@@ -1,0 +1,1 @@
+bench/exp10_storage.ml: Demikernel Dk_device Dk_kernel Dk_mem Dk_sim Int64 Report Result String

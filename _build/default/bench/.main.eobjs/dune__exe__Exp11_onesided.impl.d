@@ -1,0 +1,1 @@
+bench/exp11_onesided.ml: Demikernel Dk_device Dk_mem Dk_sim Int64 Printf Report Result String

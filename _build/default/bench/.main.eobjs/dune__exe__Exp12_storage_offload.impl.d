@@ -1,0 +1,1 @@
+bench/exp12_storage_offload.ml: Demikernel Dk_device Dk_mem Dk_sim Int64 Report Result String

@@ -1,0 +1,1 @@
+bench/exp1_datapath.ml: Dk_apps Dk_kernel Dk_sim List Printf Report

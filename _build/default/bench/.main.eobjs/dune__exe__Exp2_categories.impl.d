@@ -1,0 +1,1 @@
+bench/exp2_categories.ml: Demikernel Dk_apps Dk_device Dk_mem Dk_net Dk_sim Int64 Report Result String

@@ -1,0 +1,1 @@
+bench/exp3_zerocopy.ml: Demikernel Dk_apps Dk_mem Dk_sim Int64 List Printf Report

@@ -1,0 +1,1 @@
+bench/exp4_atomicity.ml: Demikernel Dk_kernel Dk_mem Dk_net Dk_sim List Printf Report String

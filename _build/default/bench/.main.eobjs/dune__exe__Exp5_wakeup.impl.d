@@ -1,0 +1,1 @@
+bench/exp5_wakeup.ml: Dk_sched Dk_sim List Report

@@ -1,0 +1,1 @@
+bench/exp6_memory.ml: Dk_mem Dk_sim Int64 Printf Report

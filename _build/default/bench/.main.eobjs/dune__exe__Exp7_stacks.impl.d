@@ -1,0 +1,1 @@
+bench/exp7_stacks.ml: Bytes Demikernel Dk_apps Dk_kernel Dk_mem Dk_sim Int64 List Printf Report Result String

@@ -1,0 +1,1 @@
+bench/exp8_offload.ml: Demikernel Dk_apps Dk_device Dk_mem Dk_sim Int64 List Printf Report Result String

@@ -1,0 +1,1 @@
+bench/exp9_kv.ml: Demikernel Dk_apps Dk_kernel Dk_mem Dk_sim Printf Report

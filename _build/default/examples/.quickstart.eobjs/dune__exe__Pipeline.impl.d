@@ -1,0 +1,1 @@
+examples/pipeline.ml: Demikernel Dk_apps Dk_device Dk_mem Dk_sim Format List Result

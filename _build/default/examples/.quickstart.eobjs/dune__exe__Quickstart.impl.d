@@ -1,0 +1,1 @@
+examples/quickstart.ml: Demikernel Dk_apps Dk_mem Dk_sim Format Int64 Result

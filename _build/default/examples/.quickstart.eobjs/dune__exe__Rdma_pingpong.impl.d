@@ -1,0 +1,1 @@
+examples/rdma_pingpong.ml: Demikernel Dk_device Dk_mem Dk_sim Format Int64 Printf Result

@@ -1,0 +1,1 @@
+examples/steering.ml: Array Demikernel Dk_apps Dk_mem Dk_sched Dk_sim Format List Result

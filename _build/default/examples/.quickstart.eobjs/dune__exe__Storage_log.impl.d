@@ -1,0 +1,1 @@
+examples/storage_log.ml: Demikernel Dk_device Dk_mem Dk_sim Format Int64 List Result

@@ -1,0 +1,55 @@
+(* Kernel-bypass storage queues (§5.3): a log-structured record store
+   directly on an NVMe-class device — no syscalls, no VFS, no page
+   cache — with crash recovery by scanning the self-describing layout.
+
+   Run with:  dune exec examples/storage_log.exe *)
+
+module Demi = Demikernel.Demi
+module Types = Demikernel.Types
+module Engine = Dk_sim.Engine
+module Sga = Dk_mem.Sga
+
+let () =
+  let engine = Engine.create () in
+  let cost = Dk_sim.Cost.default in
+  let block = Dk_device.Block.create ~engine ~cost () in
+
+  (* First life: create a log and append some records. *)
+  let demi = Demi.create ~engine ~cost ~block () in
+  let qd = Result.get_ok (Demi.fcreate demi "orders.log") in
+  let t0 = Engine.now engine in
+  List.iter
+    (fun r ->
+      match Demi.blocking_push demi qd r with
+      | Types.Pushed -> ()
+      | res -> Format.kasprintf failwith "append failed: %a" Types.pp_op_result res)
+    [
+      Sga.of_strings [ "order"; "1"; "widgets x3" ];
+      Sga.of_strings [ "order"; "2"; "sprockets x1" ];
+      Sga.of_strings [ "order"; "3"; "gears x7" ];
+    ];
+  Format.printf "3 records durable in %Ld ns (doorbell + flash, no syscalls)@."
+    (Int64.sub (Engine.now engine) t0);
+
+  (* "Crash": drop the runtime. The device retains the blocks. *)
+  ignore (Demi.close demi qd);
+
+  (* Second life: recover by scanning the log's CRC-sealed records.
+     The file catalog is in-memory in this reproduction (a real system
+     would keep it in a superblock), so the fresh runtime re-registers
+     the path — extent allocation is deterministic, so it lands on the
+     same blocks — and then fopen scans the device for the real
+     contents. *)
+  let demi2 = Demi.create ~engine ~cost ~block () in
+  ignore (Demi.fcreate demi2 "orders.log");
+  let qd2 = Result.get_ok (Demi.fopen demi2 "orders.log") in
+  print_endline "recovered; replaying:";
+  let rec replay i =
+    match Demi.wait_timeout demi2 (Result.get_ok (Demi.pop demi2 qd2)) ~timeout:1_000_000L with
+    | Types.Popped sga ->
+        Format.printf "  record %d: %S (%d segments)@." i (Sga.to_string sga)
+          (Sga.segment_count sga);
+        replay (i + 1)
+    | _ -> Format.printf "  (end of log after %d records)@." (i - 1)
+  in
+  replay 1

@@ -1,0 +1,1 @@
+lib/apps/echo.ml: Bytes Demikernel Dk_kernel Dk_sim Int64 List Result String

@@ -1,0 +1,1 @@
+lib/apps/echo.mli: Demikernel Dk_kernel Dk_net Dk_sim

@@ -1,0 +1,1 @@
+lib/apps/kv.ml: Dk_mem Hashtbl Option Proto

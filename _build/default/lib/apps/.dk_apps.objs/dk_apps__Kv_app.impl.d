@@ -1,0 +1,1 @@
+lib/apps/kv_app.ml: Demikernel Dk_mem Dk_sim Int64 Kv Proto Result Workload

@@ -1,0 +1,1 @@
+lib/apps/kv_app.mli: Demikernel Dk_net Dk_sim Kv

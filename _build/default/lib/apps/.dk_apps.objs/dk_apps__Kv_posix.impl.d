@@ -1,0 +1,1 @@
+lib/apps/kv_posix.ml: Bytes Dk_kernel Dk_net Dk_sim Hashtbl Int64 Kv Kv_app List Proto String Workload

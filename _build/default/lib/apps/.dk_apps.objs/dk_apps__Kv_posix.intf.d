@@ -1,0 +1,1 @@
+lib/apps/kv_posix.mli: Dk_kernel Dk_net Dk_sim Kv Kv_app

@@ -1,0 +1,1 @@
+lib/apps/proto.ml: Dk_mem List

@@ -1,0 +1,1 @@
+lib/apps/proto.mli: Dk_mem

@@ -1,0 +1,1 @@
+lib/apps/sim_setup.ml: Demikernel Dk_device Dk_kernel Dk_net Dk_sim

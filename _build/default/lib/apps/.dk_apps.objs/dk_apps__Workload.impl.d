@@ -1,0 +1,1 @@
+lib/apps/workload.ml: Array Char Dk_sim Printf String

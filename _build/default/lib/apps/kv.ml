@@ -1,0 +1,51 @@
+type t = {
+  manager : Dk_mem.Manager.t;
+  table : (string, Dk_mem.Buffer.t) Hashtbl.t;
+}
+
+let create manager = { manager; table = Hashtbl.create 1024 }
+
+let set t key value =
+  match Dk_mem.Manager.alloc_string t.manager value with
+  | None -> false
+  | Some buf ->
+      (match Hashtbl.find_opt t.table key with
+      | Some old -> Dk_mem.Buffer.free old
+      | None -> ());
+      Hashtbl.replace t.table key buf;
+      true
+
+let get t key = Hashtbl.find_opt t.table key
+
+let get_copy t key = Option.map Dk_mem.Buffer.to_string (get t key)
+
+let del t key =
+  match Hashtbl.find_opt t.table key with
+  | Some buf ->
+      Dk_mem.Buffer.free buf;
+      Hashtbl.remove t.table key;
+      true
+  | None -> false
+
+let size t = Hashtbl.length t.table
+
+let apply t = function
+  | Proto.Get key -> (
+      match get_copy t key with
+      | Some v -> Proto.Value v
+      | None -> Proto.Not_found)
+  | Proto.Set (key, value) ->
+      ignore (set t key value);
+      Proto.Stored
+  | Proto.Del key -> if del t key then Proto.Deleted else Proto.Not_found
+
+let apply_zero_copy t = function
+  | Proto.Get key -> (
+      match get t key with
+      | Some buf -> Proto.value_response_sga buf
+      | None -> Proto.response_sga Proto.Not_found)
+  | Proto.Set (key, value) ->
+      ignore (set t key value);
+      Proto.response_sga Proto.Stored
+  | Proto.Del key ->
+      Proto.response_sga (if del t key then Proto.Deleted else Proto.Not_found)

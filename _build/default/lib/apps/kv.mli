@@ -1,0 +1,33 @@
+(** Redis-like in-memory key-value store.
+
+    Values live in manager-allocated (device-registered) buffers so GET
+    responses can reference them without copying. A SET allocates a new
+    buffer and swaps the pointer — the paper's observation that Redis
+    "allocates a new value buffer for each put request" — and frees the
+    old one, which free-protection keeps alive while any in-flight
+    response still references it (§4.5). *)
+
+type t
+
+val create : Dk_mem.Manager.t -> t
+
+val set : t -> string -> string -> bool
+(** [false] if allocation failed. *)
+
+val get : t -> string -> Dk_mem.Buffer.t option
+(** The live value buffer (no reference taken — dup it to keep it). *)
+
+val get_copy : t -> string -> string option
+
+val del : t -> string -> bool
+(** [true] if the key existed. *)
+
+val size : t -> int
+
+val apply : t -> Proto.request -> Proto.response
+(** Execute a request against the store, with copy semantics
+    (materialised values). *)
+
+val apply_zero_copy : t -> Proto.request -> Dk_mem.Sga.t
+(** Execute and build the response sga; GET hits share the stored
+    buffer instead of copying it. *)

@@ -1,0 +1,145 @@
+module Demi = Demikernel.Demi
+module Types = Demikernel.Types
+module Engine = Dk_sim.Engine
+module Cost = Dk_sim.Cost
+
+type server = {
+  demi : Demi.t;
+  kv : Kv.t;
+  mutable served : int;
+  mutable udp_qd : Types.qd option;
+  udp_port : int option;
+}
+
+let app_work srv =
+  Engine.consume (Demi.engine srv.demi) (Demi.cost srv.demi).Cost.app_request
+
+let answer srv qd sga =
+  app_work srv;
+  (match Proto.request_of_sga sga with
+  | Some req ->
+      let resp = Kv.apply_zero_copy srv.kv req in
+      (match Demi.push srv.demi qd resp with
+      | Ok tok -> Demi.watch srv.demi tok (fun _ -> ())
+      | Error _ -> ());
+      srv.served <- srv.served + 1
+  | None -> ());
+  Dk_mem.Sga.free sga
+
+let rec serve_conn srv qd =
+  match Demi.pop srv.demi qd with
+  | Error _ -> ()
+  | Ok tok ->
+      Demi.watch srv.demi tok (function
+        | Types.Popped sga ->
+            answer srv qd sga;
+            serve_conn srv qd
+        | Types.Failed _ -> ignore (Demi.close srv.demi qd)
+        | Types.Pushed | Types.Accepted _ -> ())
+
+let rec accept_loop srv lqd =
+  match Demi.accept_async srv.demi lqd with
+  | Error _ -> ()
+  | Ok tok ->
+      Demi.watch srv.demi tok (function
+        | Types.Accepted qd ->
+            serve_conn srv qd;
+            accept_loop srv lqd
+        | Types.Failed _ -> ()
+        | Types.Pushed | Types.Popped _ -> ())
+
+let start_tcp_server ~demi ~port ~kv =
+  let ( let* ) = Result.bind in
+  let* lqd = Demi.socket demi `Tcp in
+  let* () = Demi.bind demi lqd ~port in
+  let* () = Demi.listen demi lqd in
+  let srv = { demi; kv; served = 0; udp_qd = None; udp_port = None } in
+  accept_loop srv lqd;
+  Ok srv
+
+let start_udp_server ~demi ~port ~kv =
+  let ( let* ) = Result.bind in
+  let* qd = Demi.socket demi `Udp in
+  let* () = Demi.bind demi qd ~port in
+  let srv = { demi; kv; served = 0; udp_qd = Some qd; udp_port = Some port } in
+  serve_conn srv qd;
+  Ok srv
+
+let set_udp_peer srv peer =
+  match srv.udp_qd with
+  | Some qd -> ignore (Demi.connect srv.demi qd ~dst:peer)
+  | None -> ()
+
+let requests_served srv = srv.served
+
+type client_stats = {
+  ops : int;
+  hits : int;
+  misses : int;
+  latency : Dk_sim.Histogram.t;
+  elapsed_ns : int64;
+}
+
+let rpc demi qd sga =
+  match Demi.blocking_push demi qd sga with
+  | Types.Pushed -> (
+      match Demi.blocking_pop demi qd with
+      | Types.Popped resp -> Some resp
+      | Types.Pushed | Types.Accepted _ | Types.Failed _ -> None)
+  | Types.Popped _ | Types.Accepted _ | Types.Failed _ -> None
+
+let run_tcp_client ~demi ~dst ~ops ~keys ~value_size ~read_fraction
+    ?(zipf_theta = 0.99) ?(seed = 11L) () =
+  let ( let* ) = Result.bind in
+  let* qd = Demi.socket demi `Tcp in
+  let* () = Demi.connect demi qd ~dst in
+  let engine = Demi.engine demi in
+  let wl = Workload.create ~seed (Workload.Zipf { n = keys; theta = zipf_theta }) in
+  let latency = Dk_sim.Histogram.create () in
+  let hits = ref 0 and misses = ref 0 in
+  (* preload *)
+  let preload_failed = ref false in
+  for i = 0 to keys - 1 do
+    if not !preload_failed then begin
+      let req =
+        Proto.Set (Workload.key_name i, Workload.value wl ~size:value_size)
+      in
+      match rpc demi qd (Proto.request_sga req) with
+      | Some _ -> ()
+      | None -> preload_failed := true
+    end
+  done;
+  if !preload_failed then Error `Queue_closed
+  else begin
+    let start = Engine.now engine in
+    let aborted = ref false in
+    for _ = 1 to ops do
+      if not !aborted then begin
+        let key = Workload.key_name (Workload.next_key wl) in
+        let req =
+          if Workload.is_get wl ~read_fraction then Proto.Get key
+          else Proto.Set (key, Workload.value wl ~size:value_size)
+        in
+        let t0 = Engine.now engine in
+        match rpc demi qd (Proto.request_sga req) with
+        | Some resp ->
+            Dk_sim.Histogram.record latency (Int64.sub (Engine.now engine) t0);
+            (match Proto.response_of_sga resp with
+            | Some (Proto.Value _) -> incr hits
+            | Some Proto.Not_found -> incr misses
+            | Some (Proto.Stored | Proto.Deleted) | None -> ());
+            Dk_mem.Sga.free resp
+        | None -> aborted := true
+      end
+    done;
+    if !aborted then Error `Queue_closed
+    else
+      Ok
+        {
+          ops;
+          hits = !hits;
+          misses = !misses;
+          latency;
+          elapsed_ns = Int64.sub (Engine.now engine) start;
+        }
+  end

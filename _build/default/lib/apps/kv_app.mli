@@ -1,0 +1,45 @@
+(** Redis-like server and closed-loop client on the Demikernel API.
+
+    The server is callback-driven: it keeps one outstanding pop per
+    connection and answers with zero-copy responses
+    ({!Kv.apply_zero_copy}); each request charges
+    [Cost.app_request] of application work (the paper's ~2 µs Redis
+    figure). The client drives the simulation with blocking waits and
+    records per-operation latency. *)
+
+type server
+
+val start_tcp_server :
+  demi:Demikernel.Demi.t -> port:int -> kv:Kv.t -> (server, Demikernel.Types.error) result
+
+val start_udp_server :
+  demi:Demikernel.Demi.t -> port:int -> kv:Kv.t -> (server, Demikernel.Types.error) result
+(** Single-peer UDP server: replies go to the configured peer (set it
+    with [Demi.connect] on the same port before traffic flows, or rely
+    on the client being the only sender). For the UDP server to answer,
+    its queue's peer must be set via {!set_udp_peer}. *)
+
+val set_udp_peer : server -> Dk_net.Addr.endpoint -> unit
+val requests_served : server -> int
+
+type client_stats = {
+  ops : int;
+  hits : int;
+  misses : int;
+  latency : Dk_sim.Histogram.t; (** per-op round trip, ns *)
+  elapsed_ns : int64;
+}
+
+val run_tcp_client :
+  demi:Demikernel.Demi.t ->
+  dst:Dk_net.Addr.endpoint ->
+  ops:int ->
+  keys:int ->
+  value_size:int ->
+  read_fraction:float ->
+  ?zipf_theta:float ->
+  ?seed:int64 ->
+  unit ->
+  (client_stats, Demikernel.Types.error) result
+(** Pre-populates every key with one SET pass, then runs [ops]
+    operations closed-loop. *)

@@ -1,0 +1,203 @@
+module Posix = Dk_kernel.Posix
+module Framing = Dk_net.Framing
+module Engine = Dk_sim.Engine
+module Cost = Dk_sim.Cost
+
+type conn = {
+  fd : Posix.fd;
+  decoder : Framing.decoder;
+  mutable outbuf : string; (* bytes not yet accepted by write() *)
+}
+
+type server = {
+  posix : Posix.t;
+  cost : Cost.t;
+  engine : Engine.t;
+  kv : Kv.t;
+  lsock : Posix.fd;
+  epfd : Posix.fd;
+  conns : (Posix.fd, conn) Hashtbl.t;
+  mutable served : int;
+}
+
+let read_chunk = 16384
+
+let app_work srv = Engine.consume srv.engine srv.cost.Cost.app_request
+
+(* Try to flush a connection's pending output; keep `Out interest only
+   while bytes remain (otherwise a level-triggered epoll would spin on
+   the always-writable socket). *)
+let flush srv c =
+  if String.length c.outbuf > 0 then begin
+    (match Posix.write srv.posix c.fd c.outbuf with
+    | Ok n -> c.outbuf <- String.sub c.outbuf n (String.length c.outbuf - n)
+    | Error `Again -> ()
+    | Error _ -> c.outbuf <- "");
+    let interest = if String.length c.outbuf > 0 then [ `In; `Out ] else [ `In ] in
+    ignore (Posix.epoll_add srv.posix srv.epfd c.fd interest)
+  end
+
+let process_messages srv c =
+  let rec loop () =
+    match Framing.next c.decoder with
+    | None -> ()
+    | Some segments ->
+        app_work srv;
+        (match Proto.request_of_segments segments with
+        | Some req ->
+            let resp = Kv.apply srv.kv req in
+            srv.served <- srv.served + 1;
+            c.outbuf <- c.outbuf ^ Framing.encode (Proto.response_segments resp)
+        | None -> ());
+        loop ()
+  in
+  loop ();
+  flush srv c
+
+let handle_readable srv c =
+  let buf = Bytes.create read_chunk in
+  let rec drain () =
+    match Posix.read srv.posix c.fd buf 0 read_chunk with
+    | Ok 0 ->
+        (* EOF *)
+        Posix.epoll_del srv.posix srv.epfd c.fd;
+        Posix.close srv.posix c.fd;
+        Hashtbl.remove srv.conns c.fd
+    | Ok n ->
+        Framing.feed c.decoder (Bytes.sub_string buf 0 n);
+        drain ()
+    | Error `Again -> process_messages srv c
+    | Error _ ->
+        Posix.epoll_del srv.posix srv.epfd c.fd;
+        Hashtbl.remove srv.conns c.fd
+  in
+  drain ()
+
+let handle_accept srv =
+  let rec loop () =
+    match Posix.accept srv.posix srv.lsock with
+    | Ok fd ->
+        let c = { fd; decoder = Framing.create (); outbuf = "" } in
+        Hashtbl.replace srv.conns fd c;
+        ignore (Posix.epoll_add srv.posix srv.epfd fd [ `In ]);
+        loop ()
+    | Error `Again -> ()
+    | Error _ -> ()
+  in
+  loop ()
+
+let rec event_loop srv =
+  Posix.epoll_wait_block srv.posix srv.epfd ~max:64 (fun events ->
+      List.iter
+        (fun (fd, ev) ->
+          if fd = srv.lsock then handle_accept srv
+          else
+            match (Hashtbl.find_opt srv.conns fd, ev) with
+            | Some c, `In -> handle_readable srv c
+            | Some c, `Out -> flush srv c
+            | None, _ -> ())
+        events;
+      event_loop srv)
+
+let start_server ~posix ~cost ~engine ~port ~kv =
+  let lsock = Posix.socket posix in
+  match Posix.listen posix lsock ~port with
+  | Error e -> Error e
+  | Ok () ->
+      let epfd = Posix.epoll_create posix in
+      (match Posix.epoll_add posix epfd lsock [ `In ] with
+      | Ok () -> ()
+      | Error _ -> ());
+      let srv =
+        { posix; cost; engine; kv; lsock; epfd; conns = Hashtbl.create 16; served = 0 }
+      in
+      event_loop srv;
+      Ok srv
+
+let requests_served srv = srv.served
+
+(* ---- client ---- *)
+
+(* Synchronous-looking RPC: drive the simulation until the reply is
+   decoded. *)
+let rpc ~posix ~engine ~epfd ~fd ~decoder req =
+  let payload = Framing.encode (Proto.request_segments req) in
+  (* write, handling partial writes and EAGAIN by driving the engine *)
+  let rec write_all data =
+    if String.length data > 0 then
+      match Posix.write posix fd data with
+      | Ok n -> write_all (String.sub data n (String.length data - n))
+      | Error `Again -> if Engine.step engine then write_all data else ()
+      | Error _ -> ()
+  in
+  write_all payload;
+  let buf = Bytes.create read_chunk in
+  let result = ref None in
+  let rec await () =
+    match Framing.next decoder with
+    | Some segments -> result := Proto.response_of_segments segments
+    | None -> (
+        match Posix.read posix fd buf 0 read_chunk with
+        | Ok 0 -> ()
+        | Ok n ->
+            Framing.feed decoder (Bytes.sub_string buf 0 n);
+            await ()
+        | Error `Again ->
+            (* Block in epoll until readable. *)
+            let woke = ref false in
+            Posix.epoll_wait_block posix epfd ~max:4 (fun _ -> woke := true);
+            if Engine.run_until engine (fun () -> !woke) then await ()
+        | Error _ -> ())
+  in
+  await ();
+  !result
+
+let run_client ~posix ~cost ~engine ~dst ~ops ~keys ~value_size ~read_fraction
+    ?(zipf_theta = 0.99) ?(seed = 11L) () =
+  ignore cost;
+  let fd = Posix.socket posix in
+  match Posix.connect posix fd ~dst with
+  | Error e -> Error e
+  | Ok () ->
+      if not (Engine.run_until engine (fun () -> Posix.connected posix fd))
+      then Error `Connection_closed
+      else begin
+        let epfd = Posix.epoll_create posix in
+        (match Posix.epoll_add posix epfd fd [ `In ] with
+        | Ok () -> ()
+        | Error _ -> ());
+        let decoder = Framing.create () in
+        let wl =
+          Workload.create ~seed (Workload.Zipf { n = keys; theta = zipf_theta })
+        in
+        let latency = Dk_sim.Histogram.create () in
+        let hits = ref 0 and misses = ref 0 in
+        for i = 0 to keys - 1 do
+          let req =
+            Proto.Set (Workload.key_name i, Workload.value wl ~size:value_size)
+          in
+          ignore (rpc ~posix ~engine ~epfd ~fd ~decoder req)
+        done;
+        let start = Engine.now engine in
+        for _ = 1 to ops do
+          let key = Workload.key_name (Workload.next_key wl) in
+          let req =
+            if Workload.is_get wl ~read_fraction then Proto.Get key
+            else Proto.Set (key, Workload.value wl ~size:value_size)
+          in
+          let t0 = Engine.now engine in
+          (match rpc ~posix ~engine ~epfd ~fd ~decoder req with
+          | Some (Proto.Value _) -> incr hits
+          | Some Proto.Not_found -> incr misses
+          | Some (Proto.Stored | Proto.Deleted) | None -> ());
+          Dk_sim.Histogram.record latency (Int64.sub (Engine.now engine) t0)
+        done;
+        Ok
+          {
+            Kv_app.ops;
+            hits = !hits;
+            misses = !misses;
+            latency;
+            elapsed_ns = Int64.sub (Engine.now engine) start;
+          }
+      end

@@ -1,0 +1,38 @@
+type request = Get of string | Set of string * string | Del of string
+
+type response = Value of string | Not_found | Stored | Deleted
+
+let request_segments = function
+  | Get key -> [ "G"; key ]
+  | Set (key, value) -> [ "S"; key; value ]
+  | Del key -> [ "D"; key ]
+
+let request_of_segments = function
+  | [ "G"; key ] -> Some (Get key)
+  | [ "S"; key; value ] -> Some (Set (key, value))
+  | [ "D"; key ] -> Some (Del key)
+  | _ -> None
+
+let response_segments = function
+  | Value v -> [ "+"; v ]
+  | Not_found -> [ "-" ]
+  | Stored -> [ "!" ]
+  | Deleted -> [ "x" ]
+
+let response_of_segments = function
+  | [ "+"; v ] -> Some (Value v)
+  | [ "-" ] -> Some Not_found
+  | [ "!" ] -> Some Stored
+  | [ "x" ] -> Some Deleted
+  | _ -> None
+
+let segments_of_sga sga =
+  List.map Dk_mem.Buffer.to_string (Dk_mem.Sga.segments sga)
+
+let request_sga r = Dk_mem.Sga.of_strings (request_segments r)
+let response_sga r = Dk_mem.Sga.of_strings (response_segments r)
+let request_of_sga sga = request_of_segments (segments_of_sga sga)
+let response_of_sga sga = response_of_segments (segments_of_sga sga)
+
+let value_response_sga buf =
+  Dk_mem.Sga.of_buffers [ Dk_mem.Buffer.of_string "+"; Dk_mem.Buffer.dup buf ]

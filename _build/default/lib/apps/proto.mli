@@ -1,0 +1,34 @@
+(** Key-value wire protocol.
+
+    Requests and responses are scatter-gather messages with one logical
+    field per segment — the natural encoding on Demikernel queues
+    (§4.2: the sga gives the device the compute granularity). The same
+    segments travel over POSIX byte streams via the {!Dk_net.Framing}
+    length-prefixed encoding. *)
+
+type request =
+  | Get of string
+  | Set of string * string
+  | Del of string
+
+type response =
+  | Value of string   (** GET hit *)
+  | Not_found         (** GET/DEL miss *)
+  | Stored            (** SET ok *)
+  | Deleted           (** DEL ok *)
+
+val request_segments : request -> string list
+val request_of_segments : string list -> request option
+val response_segments : response -> string list
+val response_of_segments : string list -> response option
+
+val request_sga : request -> Dk_mem.Sga.t
+val response_sga : response -> Dk_mem.Sga.t
+val request_of_sga : Dk_mem.Sga.t -> request option
+val response_of_sga : Dk_mem.Sga.t -> response option
+
+(** GET responses can avoid materialising the value: *)
+
+val value_response_sga : Dk_mem.Buffer.t -> Dk_mem.Sga.t
+(** Wrap a stored value buffer (a new reference) as a [Value] response
+    without copying — the Redis zero-copy pattern of §4.5. *)

@@ -1,0 +1,57 @@
+module Engine = Dk_sim.Engine
+module Cost = Dk_sim.Cost
+module Nic = Dk_device.Nic
+module Fabric = Dk_device.Fabric
+module Addr = Dk_net.Addr
+module Stack = Dk_net.Stack
+
+type host = { nic : Nic.t; stack : Stack.t; ip : Addr.ip }
+
+let make_engine ?loss ?(cost = Cost.default) () =
+  let engine = Engine.create () in
+  let fabric = Fabric.create ~engine ~cost ?loss () in
+  (engine, fabric, cost)
+
+let add_host ~engine ~cost ~fabric ~index ~ip ?(programmable = false)
+    ?(kernel_stack = false) () =
+  let nic =
+    Nic.create ~engine ~cost ~mac:(Addr.mac_of_index index) ~programmable ()
+  in
+  Fabric.attach fabric nic;
+  let addr = Addr.ip_of_string ip in
+  let pkt_cost =
+    if kernel_stack then Some cost.Cost.kernel_net_per_pkt else None
+  in
+  let stack = Stack.create ~engine ~cost ~nic ~ip:addr ?pkt_cost () in
+  { nic; stack; ip = addr }
+
+let demi_of_host ~engine ~cost host ?block ?rdma () =
+  Demikernel.Demi.create ~engine ~cost ~stack:host.stack ?block ?rdma ()
+
+let posix_of_host ~engine ~cost host =
+  Dk_kernel.Posix.create ~engine ~cost ~stack:host.stack ()
+
+let mtcp_of_host ~engine ~cost host =
+  Dk_kernel.Mtcp.create ~engine ~cost ~stack:host.stack ()
+
+type duo = {
+  engine : Engine.t;
+  fabric : Fabric.t;
+  cost : Cost.t;
+  a : host;
+  b : host;
+}
+
+let two_hosts ?loss ?cost ?(programmable = false) ?(kernel_stack = false) () =
+  let engine, fabric, cost = make_engine ?loss ?cost () in
+  let a =
+    add_host ~engine ~cost ~fabric ~index:1 ~ip:"10.0.0.1" ~programmable
+      ~kernel_stack ()
+  in
+  let b =
+    add_host ~engine ~cost ~fabric ~index:2 ~ip:"10.0.0.2" ~programmable
+      ~kernel_stack ()
+  in
+  { engine; fabric; cost; a; b }
+
+let endpoint host port = Addr.endpoint host.ip port

@@ -1,0 +1,57 @@
+(** Canned simulation topologies shared by tests, examples and the
+    benchmark harness: an engine + switched fabric with two or more
+    hosts, each host exposing whichever interface a scenario needs
+    (Demikernel runtime, POSIX kernel, or mTCP). *)
+
+type host = {
+  nic : Dk_device.Nic.t;
+  stack : Dk_net.Stack.t;
+  ip : Dk_net.Addr.ip;
+}
+
+val make_engine : ?loss:float -> ?cost:Dk_sim.Cost.t -> unit ->
+  Dk_sim.Engine.t * Dk_device.Fabric.t * Dk_sim.Cost.t
+
+val add_host :
+  engine:Dk_sim.Engine.t ->
+  cost:Dk_sim.Cost.t ->
+  fabric:Dk_device.Fabric.t ->
+  index:int ->
+  ip:string ->
+  ?programmable:bool ->
+  ?kernel_stack:bool ->
+  unit ->
+  host
+(** [kernel_stack] makes the host's stack charge the in-kernel
+    per-packet cost (for POSIX baseline hosts). *)
+
+val demi_of_host :
+  engine:Dk_sim.Engine.t ->
+  cost:Dk_sim.Cost.t ->
+  host ->
+  ?block:Dk_device.Block.t ->
+  ?rdma:Dk_device.Rdma.t ->
+  unit ->
+  Demikernel.Demi.t
+
+val posix_of_host :
+  engine:Dk_sim.Engine.t -> cost:Dk_sim.Cost.t -> host -> Dk_kernel.Posix.t
+
+val mtcp_of_host :
+  engine:Dk_sim.Engine.t -> cost:Dk_sim.Cost.t -> host -> Dk_kernel.Mtcp.t
+
+(** {2 One-call topologies} *)
+
+type duo = {
+  engine : Dk_sim.Engine.t;
+  fabric : Dk_device.Fabric.t;
+  cost : Dk_sim.Cost.t;
+  a : host; (** 10.0.0.1 — conventionally the client *)
+  b : host; (** 10.0.0.2 — conventionally the server *)
+}
+
+val two_hosts :
+  ?loss:float -> ?cost:Dk_sim.Cost.t -> ?programmable:bool ->
+  ?kernel_stack:bool -> unit -> duo
+
+val endpoint : host -> int -> Dk_net.Addr.endpoint

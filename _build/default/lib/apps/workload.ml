@@ -1,0 +1,56 @@
+type key_dist = Uniform of int | Zipf of { n : int; theta : float }
+
+type t = {
+  rng : Dk_sim.Rng.t;
+  dist : key_dist;
+  (* For Zipf: cumulative distribution over ranks. *)
+  cdf : float array;
+}
+
+let build_zipf_cdf n theta =
+  let weights = Array.init n (fun i -> 1.0 /. (float_of_int (i + 1) ** theta)) in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let cdf = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i w ->
+      acc := !acc +. (w /. total);
+      cdf.(i) <- !acc)
+    weights;
+  cdf
+
+let create ?(seed = 7L) dist =
+  let cdf =
+    match dist with
+    | Uniform _ -> [||]
+    | Zipf { n; theta } ->
+        if n <= 0 then invalid_arg "Workload.create";
+        build_zipf_cdf n theta
+  in
+  { rng = Dk_sim.Rng.create seed; dist; cdf }
+
+let next_key t =
+  match t.dist with
+  | Uniform n -> Dk_sim.Rng.int t.rng n
+  | Zipf { n; _ } ->
+      let u = Dk_sim.Rng.float t.rng in
+      (* binary search for the first rank with cdf >= u *)
+      let lo = ref 0 and hi = ref (n - 1) in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if t.cdf.(mid) >= u then hi := mid else lo := mid + 1
+      done;
+      !lo
+
+let key_name i = Printf.sprintf "key-%08d" i
+
+let is_get t ~read_fraction = Dk_sim.Rng.float t.rng < read_fraction
+
+let value t ~size =
+  let tag = Dk_sim.Rng.int t.rng 1_000_000 in
+  let prefix = Printf.sprintf "v%06d-" tag in
+  if size <= String.length prefix then String.sub prefix 0 (max 0 size)
+  else
+    prefix
+    ^ String.init (size - String.length prefix) (fun i ->
+          Char.chr (Char.code 'a' + (i mod 26)))

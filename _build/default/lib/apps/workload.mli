@@ -1,0 +1,21 @@
+(** Workload generation for the evaluation harness: Zipf-distributed
+    keys (the skew typical of caching workloads), uniform keys,
+    GET/SET mixes and value sizing. *)
+
+type key_dist = Uniform of int | Zipf of { n : int; theta : float }
+
+type t
+
+val create : ?seed:int64 -> key_dist -> t
+
+val next_key : t -> int
+(** Key index in [0, n). *)
+
+val key_name : int -> string
+(** Canonical fixed-width key string for an index. *)
+
+val is_get : t -> read_fraction:float -> bool
+(** Draw the op type for a GET/SET mix. *)
+
+val value : t -> size:int -> string
+(** A deterministic-per-draw printable value of [size] bytes. *)

@@ -1,0 +1,1 @@
+lib/core/block_dispatch.ml: Dk_device Hashtbl

@@ -1,0 +1,1 @@
+lib/core/block_dispatch.mli: Dk_device

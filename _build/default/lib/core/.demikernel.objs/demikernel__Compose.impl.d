@@ -1,0 +1,1 @@
+lib/core/compose.ml: Dk_sim List Mailbox Qimpl Token Types

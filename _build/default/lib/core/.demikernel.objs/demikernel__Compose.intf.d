@@ -1,0 +1,1 @@
+lib/core/compose.mli: Dk_mem Dk_sim Qimpl Token

@@ -1,0 +1,1 @@
+lib/core/demi.mli: Dk_device Dk_kernel Dk_mem Dk_net Dk_sim Types

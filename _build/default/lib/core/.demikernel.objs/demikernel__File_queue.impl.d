@@ -1,0 +1,1 @@
+lib/core/file_queue.ml: Block_dispatch Bytes Char Dk_device Dk_mem Dk_net Dk_sim Dk_util Int32 Mailbox Qimpl Queue Stdlib String Token Types

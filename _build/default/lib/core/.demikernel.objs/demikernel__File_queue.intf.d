@@ -1,0 +1,1 @@
+lib/core/file_queue.mli: Block_dispatch Dk_sim Qimpl Token

@@ -1,0 +1,1 @@
+lib/core/memq.ml: Mailbox Qimpl Token Types

@@ -1,0 +1,1 @@
+lib/core/memq.mli: Mailbox Qimpl Token

@@ -1,0 +1,1 @@
+lib/core/net_queue.ml: Dk_mem Dk_net Mailbox Qimpl Queue String Token Types

@@ -1,0 +1,1 @@
+lib/core/net_queue.mli: Dk_net Qimpl Token Types

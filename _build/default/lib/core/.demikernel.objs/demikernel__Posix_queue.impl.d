@@ -1,0 +1,1 @@
+lib/core/posix_queue.ml: Bytes Dk_kernel Dk_mem Dk_net List Mailbox Qimpl Queue String Token Types

@@ -1,0 +1,1 @@
+lib/core/posix_queue.mli: Dk_kernel Qimpl Token Types

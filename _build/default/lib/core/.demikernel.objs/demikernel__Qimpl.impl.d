@@ -1,0 +1,1 @@
+lib/core/qimpl.ml: Dk_mem Token Types

@@ -1,0 +1,1 @@
+lib/core/qimpl.mli: Dk_mem Token Types

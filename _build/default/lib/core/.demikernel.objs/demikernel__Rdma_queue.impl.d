@@ -1,0 +1,1 @@
+lib/core/rdma_queue.ml: Dk_device Dk_mem Hashtbl Mailbox Qimpl Queue Token Types

@@ -1,0 +1,1 @@
+lib/core/rdma_queue.mli: Dk_device Dk_mem Qimpl Token Types

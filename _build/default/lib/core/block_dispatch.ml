@@ -1,0 +1,45 @@
+module Block = Dk_device.Block
+
+type t = {
+  block : Block.t;
+  handlers : (int, Block.completion -> unit) Hashtbl.t;
+  mutable next_wr : int;
+}
+
+let create block =
+  let t = { block; handlers = Hashtbl.create 32; next_wr = 1 } in
+  Block.set_cq_notify block (fun () ->
+      let rec loop () =
+        match Block.poll_cq block with
+        | None -> ()
+        | Some c ->
+            (match Hashtbl.find_opt t.handlers c.Block.wr_id with
+            | Some k ->
+                Hashtbl.remove t.handlers c.Block.wr_id;
+                k c
+            | None -> ());
+            loop ()
+      in
+      loop ());
+  t
+
+let block t = t.block
+
+let fresh t =
+  let id = t.next_wr in
+  t.next_wr <- t.next_wr + 1;
+  id
+
+let read t ~lba k =
+  let wr = fresh t in
+  Hashtbl.replace t.handlers wr k;
+  let ok = Block.submit_read t.block ~wr_id:wr ~lba in
+  if not ok then Hashtbl.remove t.handlers wr;
+  ok
+
+let write t ~lba data k =
+  let wr = fresh t in
+  Hashtbl.replace t.handlers wr k;
+  let ok = Block.submit_write t.block ~wr_id:wr ~lba data in
+  if not ok then Hashtbl.remove t.handlers wr;
+  ok

@@ -1,0 +1,16 @@
+(** Shared completion routing for one block device.
+
+    The device has a single completion queue; this dispatcher lets any
+    number of file queues (and the recovery scanner) submit operations
+    with per-operation continuations. *)
+
+type t
+
+val create : Dk_device.Block.t -> t
+val block : t -> Dk_device.Block.t
+
+val read : t -> lba:int -> (Dk_device.Block.completion -> unit) -> bool
+(** [false] if the submission queue is full (continuation dropped). *)
+
+val write :
+  t -> lba:int -> string -> (Dk_device.Block.completion -> unit) -> bool

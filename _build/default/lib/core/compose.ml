@@ -1,0 +1,150 @@
+(* Keep exactly one pop outstanding on [parent]; each arriving element
+   goes through [on_elem]. Stops pumping when the parent fails
+   terminally (closed), after delivering the failure via [on_done]. *)
+let pump ~tokens ~(parent : Qimpl.t) ~on_elem ~on_done =
+  let rec next () =
+    let tok = Token.fresh tokens in
+    parent.Qimpl.pop tok;
+    Token.watch tokens tok (fun result ->
+        match result with
+        | Types.Popped sga ->
+            on_elem sga;
+            next ()
+        | Types.Pushed | Types.Accepted _ -> next ()
+        | Types.Failed err -> on_done err)
+  in
+  next ()
+
+let forward_push ~tokens ~(parent : Qimpl.t) sga tok =
+  let ptok = Token.fresh tokens in
+  parent.Qimpl.push sga ptok;
+  Token.watch tokens ptok (fun result -> Token.complete tokens tok result)
+
+let filter ~tokens ~engine ~parent ~pred ~elem_cost =
+  let mbox = Mailbox.create tokens in
+  let eval sga =
+    Dk_sim.Engine.consume engine (elem_cost sga);
+    pred sga
+  in
+  pump ~tokens ~parent
+    ~on_elem:(fun sga ->
+      if eval sga then Mailbox.deliver mbox (Types.Popped sga))
+    ~on_done:(fun _ -> Mailbox.close mbox);
+  {
+    Qimpl.kind = "filter(" ^ parent.Qimpl.kind ^ ")";
+    push =
+      (fun sga tok ->
+        if eval sga then forward_push ~tokens ~parent sga tok
+        else
+          (* Filtered out: the push is a successful no-op. *)
+          Token.complete tokens tok Types.Pushed);
+    pop = (fun tok -> Mailbox.pop mbox tok);
+    close = (fun () -> Mailbox.close mbox);
+  }
+
+let map ~tokens ~engine ~parent ~fn ~elem_cost =
+  let mbox = Mailbox.create tokens in
+  let apply sga =
+    Dk_sim.Engine.consume engine (elem_cost sga);
+    fn sga
+  in
+  pump ~tokens ~parent
+    ~on_elem:(fun sga -> Mailbox.deliver mbox (Types.Popped (apply sga)))
+    ~on_done:(fun _ -> Mailbox.close mbox);
+  {
+    Qimpl.kind = "map(" ^ parent.Qimpl.kind ^ ")";
+    push = (fun sga tok -> forward_push ~tokens ~parent (apply sga) tok);
+    pop = (fun tok -> Mailbox.pop mbox tok);
+    close = (fun () -> Mailbox.close mbox);
+  }
+
+(* Sorted queues keep a binary heap keyed by a rank assigned at
+   insertion: elements are compared against those already buffered.
+   With a comparison predicate rather than a key function, we rank by
+   insertion into a sorted list — O(n) insert, fine for the control
+   structure this is. *)
+let sort ~tokens ~engine ~parent ~higher_priority =
+  ignore engine;
+  let mbox = Mailbox.create tokens in
+  (* Elements not yet handed to the mailbox, highest priority first. *)
+  let buffer = ref [] in
+  let insert sga =
+    let rec go = function
+      | [] -> [ sga ]
+      | x :: rest ->
+          if higher_priority sga x then sga :: x :: rest else x :: go rest
+    in
+    buffer := go !buffer
+  in
+  let deliver_if_waiting () =
+    while Mailbox.waiting mbox > 0 && !buffer <> [] do
+      match !buffer with
+      | best :: rest ->
+          buffer := rest;
+          Mailbox.deliver mbox (Types.Popped best)
+      | [] -> ()
+    done
+  in
+  pump ~tokens ~parent
+    ~on_elem:(fun sga ->
+      insert sga;
+      deliver_if_waiting ())
+    ~on_done:(fun _ -> Mailbox.close mbox);
+  {
+    Qimpl.kind = "sort(" ^ parent.Qimpl.kind ^ ")";
+    push = (fun sga tok -> forward_push ~tokens ~parent sga tok);
+    pop =
+      (fun tok ->
+        match !buffer with
+        | best :: rest ->
+            buffer := rest;
+            Token.complete tokens tok (Types.Popped best)
+        | [] -> Mailbox.pop mbox tok);
+    close = (fun () -> Mailbox.close mbox);
+  }
+
+let merge ~tokens ~engine ~a ~b =
+  ignore engine;
+  let mbox = Mailbox.create tokens in
+  let closed_parents = ref 0 in
+  let on_done _ =
+    incr closed_parents;
+    if !closed_parents = 2 then Mailbox.close mbox
+  in
+  let on_elem sga = Mailbox.deliver mbox (Types.Popped sga) in
+  pump ~tokens ~parent:a ~on_elem ~on_done;
+  pump ~tokens ~parent:b ~on_elem ~on_done;
+  {
+    Qimpl.kind = "merge(" ^ a.Qimpl.kind ^ "," ^ b.Qimpl.kind ^ ")";
+    push =
+      (fun sga tok ->
+        (* Push to both parents; complete when both accept. *)
+        let pending = ref 2 in
+        let first_failure = ref None in
+        let finish result =
+          (match result with
+          | Types.Failed _ when !first_failure = None ->
+              first_failure := Some result
+          | _ -> ());
+          decr pending;
+          if !pending = 0 then
+            Token.complete tokens tok
+              (match !first_failure with Some f -> f | None -> Types.Pushed)
+        in
+        List.iter
+          (fun (parent : Qimpl.t) ->
+            let ptok = Token.fresh tokens in
+            parent.Qimpl.push sga ptok;
+            Token.watch tokens ptok finish)
+          [ a; b ]);
+    pop = (fun tok -> Mailbox.pop mbox tok);
+    close = (fun () -> Mailbox.close mbox);
+  }
+
+let qconnect ~tokens ~src ~dst =
+  pump ~tokens ~parent:src
+    ~on_elem:(fun sga ->
+      let tok = Token.fresh tokens in
+      dst.Qimpl.push sga tok;
+      Token.watch tokens tok (fun _ -> ()))
+    ~on_done:(fun _ -> ())

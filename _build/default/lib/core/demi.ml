@@ -1,0 +1,688 @@
+module Engine = Dk_sim.Engine
+module Cost = Dk_sim.Cost
+module Stack = Dk_net.Stack
+module Addr = Dk_net.Addr
+module Prog = Dk_device.Prog
+
+type sock_meta = {
+  proto : [ `Tcp | `Udp ];
+  mutable port : int option;
+  peer : Addr.endpoint option ref; (* UDP default destination *)
+}
+
+type file_meta = { base_lba : int; capacity_blocks : int }
+
+type t = {
+  engine : Engine.t;
+  cost : Cost.t;
+  stack : Stack.t option;
+  posix : Dk_kernel.Posix.t option;
+  rdma : Dk_device.Rdma.t option;
+  disp : Block_dispatch.t option;
+  tokens : Token.t;
+  manager : Dk_mem.Manager.t;
+  registry : Dk_mem.Registry.t;
+  qds : (Types.qd, Qimpl.t) Hashtbl.t;
+  socks : (Types.qd, sock_meta) Hashtbl.t;
+  files : (string, file_meta) Hashtbl.t;
+  (* device-offloaded filters: (udp port, payload-level predicate) *)
+  mutable device_filters : (int * Prog.pred) list;
+  offloaded : (Types.qd, unit) Hashtbl.t;
+  mutable next_qd : int;
+  mutable next_file_lba : int;
+  mutable next_udp_ephemeral : int;
+  file_capacity_blocks : int;
+}
+
+let device_names t =
+  List.concat
+    [
+      (match t.stack with Some _ -> [ "nic0" ] | None -> []);
+      (match t.rdma with Some _ -> [ "rdma0" ] | None -> []);
+      (match t.disp with Some _ -> [ "nvme0" ] | None -> []);
+    ]
+
+let create ~engine ~cost ?stack ?posix ?rdma ?block ?(mem_initial = 1 lsl 20)
+    ?(mem_max = 1 lsl 28) () =
+  let registry = Dk_mem.Registry.create () in
+  let disp = Option.map Block_dispatch.create block in
+  let t_ref = ref None in
+  (* Transparent registration (§4.5): each new region the manager
+     creates is registered with every attached device, paying the
+     registration and pinning costs once per region. *)
+  let on_new_region region =
+    match !t_ref with
+    | None -> ()
+    | Some t ->
+        let names = device_names t in
+        if names <> [] then begin
+          Engine.consume t.engine t.cost.Cost.register_region;
+          Engine.consume t.engine
+            (Int64.mul
+               (Int64.of_int (Dk_mem.Region.pages region))
+               t.cost.Cost.pin_per_page);
+          List.iter
+            (fun device ->
+              Dk_mem.Registry.register t.registry
+                ~region_id:(Dk_mem.Region.id region) ~device)
+            names
+        end
+  in
+  let manager =
+    Dk_mem.Manager.create ~initial_region_size:mem_initial
+      ~max_total_bytes:mem_max ~on_new_region ()
+  in
+  let t =
+    {
+      engine;
+      cost;
+      stack;
+      posix;
+      rdma;
+      disp;
+      tokens = Token.create ();
+      manager;
+      registry;
+      qds = Hashtbl.create 64;
+      socks = Hashtbl.create 16;
+      files = Hashtbl.create 8;
+      device_filters = [];
+      offloaded = Hashtbl.create 4;
+      next_qd = 1;
+      next_file_lba = 0;
+      next_udp_ephemeral = 40000;
+      file_capacity_blocks = 4096;
+    }
+  in
+  t_ref := Some t;
+  (match rdma with
+  | Some dev ->
+      Dk_device.Rdma.set_mr_check dev (fun region_id ->
+          match region_id with
+          | Some id ->
+              Dk_mem.Registry.is_registered t.registry ~region_id:id
+                ~device:"rdma0"
+          | None -> false)
+  | None -> ());
+  t
+
+let engine t = t.engine
+let cost t = t.cost
+let manager t = t.manager
+let registry t = t.registry
+let outstanding_tokens t = Token.outstanding t.tokens
+
+(* ---- descriptor table ---- *)
+
+let install t impl =
+  let qd = t.next_qd in
+  t.next_qd <- t.next_qd + 1;
+  Hashtbl.replace t.qds qd impl;
+  qd
+
+let lookup t qd = Hashtbl.find_opt t.qds qd
+
+(* ---- memory ---- *)
+
+let sga_alloc_segs t strings =
+  let bufs =
+    List.map
+      (fun s ->
+        match Dk_mem.Manager.alloc_string t.manager s with
+        | Some b -> Some b
+        | None -> None)
+      strings
+  in
+  if List.for_all Option.is_some bufs then
+    Ok (Dk_mem.Sga.of_buffers (List.map Option.get bufs))
+  else begin
+    List.iter (function Some b -> Dk_mem.Buffer.free b | None -> ()) bufs;
+    Error `No_memory
+  end
+
+let sga_alloc t s = sga_alloc_segs t [ s ]
+
+let sga_free t sga =
+  Engine.consume t.engine t.cost.Cost.free;
+  Dk_mem.Sga.free sga
+
+(* ---- waiting ---- *)
+
+let wait_step t = Engine.consume t.engine t.cost.Cost.poll_iter
+
+let wait t tok =
+  match Token.status t.tokens tok with
+  | `Unknown -> Types.Failed `Bad_qtoken
+  | `Pending | `Done ->
+      let rec loop () =
+        match Token.redeem t.tokens tok with
+        | Some r -> r
+        | None ->
+            wait_step t;
+            if Engine.step t.engine then loop () else Types.Failed `Deadlock
+      in
+      loop ()
+
+(* Nothing left in the event queue but a deadline remains: the poll
+   loop spins until it; model that by jumping the clock. *)
+let spin_to t deadline =
+  if Int64.compare (Engine.now t.engine) deadline < 0 then
+    Engine.consume t.engine (Int64.sub deadline (Engine.now t.engine))
+
+let wait_timeout t tok ~timeout =
+  let deadline = Int64.add (Engine.now t.engine) timeout in
+  let rec loop () =
+    match Token.redeem t.tokens tok with
+    | Some r -> r
+    | None ->
+        if Int64.compare (Engine.now t.engine) deadline >= 0 then
+          Types.Failed `Timeout
+        else begin
+          wait_step t;
+          if Engine.step t.engine then loop ()
+          else begin
+            spin_to t deadline;
+            Types.Failed `Timeout
+          end
+        end
+  in
+  loop ()
+
+let first_done t toks =
+  List.find_map
+    (fun tok ->
+      match Token.peek t.tokens tok with
+      | Some _ ->
+          let r = Option.get (Token.redeem t.tokens tok) in
+          Some (tok, r)
+      | None -> None)
+    toks
+
+let wait_any ?timeout t toks =
+  let deadline = Option.map (Int64.add (Engine.now t.engine)) timeout in
+  let expired () =
+    match deadline with
+    | Some d -> Int64.compare (Engine.now t.engine) d >= 0
+    | None -> false
+  in
+  let rec loop () =
+    match first_done t toks with
+    | Some hit -> Some hit
+    | None ->
+        if expired () then None
+        else begin
+          wait_step t;
+          if Engine.step t.engine then loop ()
+          else begin
+            Option.iter (spin_to t) deadline;
+            None
+          end
+        end
+  in
+  loop ()
+
+let wait_all ?timeout t toks =
+  let deadline = Option.map (Int64.add (Engine.now t.engine)) timeout in
+  let expired () =
+    match deadline with
+    | Some d -> Int64.compare (Engine.now t.engine) d >= 0
+    | None -> false
+  in
+  let all_done () =
+    List.for_all (fun tok -> Token.peek t.tokens tok <> None) toks
+  in
+  let rec loop () =
+    if all_done () then
+      Some
+        (List.map
+           (fun tok -> (tok, Option.get (Token.redeem t.tokens tok)))
+           toks)
+    else if expired () then None
+    else begin
+      wait_step t;
+      if Engine.step t.engine then loop ()
+      else begin
+        Option.iter (spin_to t) deadline;
+        None
+      end
+    end
+  in
+  loop ()
+
+let try_wait t tok = Token.redeem t.tokens tok
+let watch t tok k = Token.watch t.tokens tok k
+
+(* ---- data path ---- *)
+
+let push t qd sga =
+  match lookup t qd with
+  | None -> Error `Bad_qd
+  | Some impl ->
+      let tok = Token.fresh t.tokens in
+      impl.Qimpl.push sga tok;
+      Ok tok
+
+let pop t qd =
+  match lookup t qd with
+  | None -> Error `Bad_qd
+  | Some impl ->
+      let tok = Token.fresh t.tokens in
+      impl.Qimpl.pop tok;
+      Ok tok
+
+let blocking_push t qd sga =
+  match push t qd sga with
+  | Error e -> Types.Failed e
+  | Ok tok -> wait t tok
+
+let blocking_pop t qd =
+  match pop t qd with
+  | Error e -> Types.Failed e
+  | Ok tok -> wait t tok
+
+(* ---- sockets ---- *)
+
+let socket t proto =
+  match (t.stack, t.posix) with
+  | None, None -> Error `Not_supported
+  | _ ->
+      let qd = install t (Qimpl.not_supported t.tokens ~kind:"unbound-socket") in
+      Hashtbl.replace t.socks qd { proto; port = None; peer = ref None };
+      Ok qd
+
+let alloc_udp_port t =
+  let port = t.next_udp_ephemeral in
+  t.next_udp_ephemeral <- t.next_udp_ephemeral + 1;
+  port
+
+let bind_udp t qd meta port =
+  match t.stack with
+  | None -> Error `Not_supported
+  | Some stack -> (
+      match Net_queue.udp ~tokens:t.tokens ~stack ~port ~peer:meta.peer with
+      | Error `In_use -> Error `Not_supported
+      | Ok impl ->
+          meta.port <- Some port;
+          Hashtbl.replace t.qds qd impl;
+          Ok ())
+
+let bind t qd ~port =
+  match Hashtbl.find_opt t.socks qd with
+  | None -> Error `Bad_qd
+  | Some meta -> (
+      if meta.port <> None then Error `Not_supported
+      else
+        match meta.proto with
+        | `Udp -> bind_udp t qd meta port
+        | `Tcp ->
+            meta.port <- Some port;
+            Ok ())
+
+let listen t qd =
+  match Hashtbl.find_opt t.socks qd with
+  | None -> Error `Bad_qd
+  | Some meta -> (
+      match (meta.proto, meta.port, t.stack, t.posix) with
+      | `Tcp, Some port, Some stack, _ -> (
+          let register impl = install t impl in
+          match Net_queue.listener ~tokens:t.tokens ~stack ~port ~register with
+          | Error `In_use -> Error `Not_supported
+          | Ok impl ->
+              Hashtbl.replace t.qds qd impl;
+              Ok ())
+      | `Tcp, Some port, None, Some posix -> (
+          (* kernel-fallback listener *)
+          let register impl = install t impl in
+          match Posix_queue.listener ~tokens:t.tokens ~posix ~port ~register with
+          | Error `In_use -> Error `Not_supported
+          | Ok impl ->
+              Hashtbl.replace t.qds qd impl;
+              Ok ())
+      | `Tcp, _, _, _ | `Udp, _, _, _ -> Error `Not_supported)
+
+let accept_async t qd =
+  match lookup t qd with
+  | None -> Error `Bad_qd
+  | Some impl ->
+      if impl.Qimpl.kind <> "tcp-listen" && impl.Qimpl.kind <> "posix-listen"
+      then Error `Not_supported
+      else begin
+        let tok = Token.fresh t.tokens in
+        impl.Qimpl.pop tok;
+        Ok tok
+      end
+
+let accept t qd =
+  match accept_async t qd with
+  | Error e -> Error e
+  | Ok tok -> (
+      match wait t tok with
+      | Types.Accepted qd' -> Ok qd'
+      | Types.Failed e -> Error e
+      | Types.Pushed | Types.Popped _ -> Error `Not_supported)
+
+(* Kernel-fallback connect: through the legacy kernel's sockets. *)
+let posix_connect t qd posix ~dst =
+  let fd = Dk_kernel.Posix.socket posix in
+  match Dk_kernel.Posix.connect posix fd ~dst with
+  | Error _ -> Error `Refused
+  | Ok () ->
+      let ok =
+        Engine.run_until t.engine (fun () ->
+            Dk_kernel.Posix.connected posix fd)
+      in
+      if not ok && not (Dk_kernel.Posix.connected posix fd) then Error `Refused
+      else begin
+        let impl = Posix_queue.of_fd ~tokens:t.tokens ~posix ~fd () in
+        Hashtbl.replace t.qds qd impl;
+        Ok ()
+      end
+
+let connect t qd ~dst =
+  match (Hashtbl.find_opt t.socks qd, t.stack) with
+  | None, _ -> Error `Bad_qd
+  | Some meta, None -> (
+      match (meta.proto, t.posix) with
+      | `Tcp, Some posix -> posix_connect t qd posix ~dst
+      | (`Tcp | `Udp), _ -> Error `Not_supported)
+  | Some meta, Some stack -> (
+      match meta.proto with
+      | `Udp ->
+          meta.peer := Some dst;
+          if meta.port = None then bind_udp t qd meta (alloc_udp_port t)
+          else Ok ()
+      | `Tcp ->
+          let conn = Stack.tcp_connect stack ~dst in
+          let failed = ref None in
+          Dk_net.Tcp.set_on_close conn (fun reason -> failed := Some reason);
+          let resolved () =
+            Dk_net.Tcp.state conn = Dk_net.Tcp.Established || !failed <> None
+          in
+          let ok = Engine.run_until t.engine resolved in
+          if not ok && not (resolved ()) then Error `Deadlock
+          else if !failed <> None then
+            Error
+              (match !failed with
+              | Some `Reset -> `Refused
+              | Some `Timeout -> `Timeout
+              | Some `Normal | None -> `Queue_closed)
+          else begin
+            let impl = Net_queue.of_conn ~tokens:t.tokens ~conn () in
+            Hashtbl.replace t.qds qd impl;
+            Ok ()
+          end)
+
+let close t qd =
+  match lookup t qd with
+  | None -> Error `Bad_qd
+  | Some impl ->
+      impl.Qimpl.close ();
+      Hashtbl.remove t.qds qd;
+      Hashtbl.remove t.socks qd;
+      Ok ()
+
+(* ---- RDMA ---- *)
+
+let rdma_endpoint t ?depth ?recv_size qp =
+  match t.rdma with
+  | None -> Error `Not_supported
+  | Some _ -> (
+      match
+        Rdma_queue.create ~tokens:t.tokens ~manager:t.manager ~qp ?depth
+          ?recv_size ()
+      with
+      | Error e -> Error e
+      | Ok impl -> Ok (install t impl))
+
+(* ---- storage ---- *)
+
+let fcreate t path =
+  match t.disp with
+  | None -> Error `Not_supported
+  | Some disp ->
+      if Hashtbl.mem t.files path then Error `Not_supported
+      else begin
+        let meta =
+          { base_lba = t.next_file_lba; capacity_blocks = t.file_capacity_blocks }
+        in
+        t.next_file_lba <- t.next_file_lba + t.file_capacity_blocks;
+        Hashtbl.replace t.files path meta;
+        let impl =
+          File_queue.create ~tokens:t.tokens ~engine:t.engine ~disp
+            ~base_lba:meta.base_lba ~capacity_blocks:meta.capacity_blocks ()
+        in
+        Ok (install t impl)
+      end
+
+let fopen t path =
+  match (t.disp, Hashtbl.find_opt t.files path) with
+  | None, _ -> Error `Not_supported
+  | Some _, None -> Error `Bad_qd
+  | Some disp, Some meta ->
+      let recovered = ref None in
+      File_queue.recover ~engine:t.engine ~disp ~base_lba:meta.base_lba
+        ~capacity_blocks:meta.capacity_blocks (fun len -> recovered := Some len);
+      let ok = Engine.run_until t.engine (fun () -> !recovered <> None) in
+      if not ok && !recovered = None then Error `Deadlock
+      else
+        let existing_len = Option.value ~default:0 !recovered in
+        let impl =
+          File_queue.create ~tokens:t.tokens ~engine:t.engine ~disp
+            ~base_lba:meta.base_lba ~capacity_blocks:meta.capacity_blocks
+            ~existing_len ()
+        in
+        Ok (install t impl)
+
+(* ---- queues & composition ---- *)
+
+let queue t = install t (Memq.impl (Memq.create t.tokens))
+
+let with_two t qd1 qd2 f =
+  match (lookup t qd1, lookup t qd2) with
+  | Some a, Some b -> f a b
+  | None, _ | _, None -> Error `Bad_qd
+
+let merge t qd1 qd2 =
+  with_two t qd1 qd2 (fun a b ->
+      Ok (install t (Compose.merge ~tokens:t.tokens ~engine:t.engine ~a ~b)))
+
+let prog_filter_cost t pred =
+  let footprint = Dk_device.Prog.filter_footprint pred in
+  fun (_ : Dk_mem.Sga.t) -> Dk_sim.Cost.filter_cpu_ns t.cost footprint
+
+(* Compile a payload-level predicate into a frame-level predicate for
+   UDP datagrams on port [port]: shift offsets past the
+   ethernet+IPv4+UDP headers and keep all frames not addressed to the
+   port. *)
+let header_bytes = 42
+
+let rec shift_pred off (p : Prog.pred) : Prog.pred =
+  match p with
+  | Prog.True -> Prog.True
+  | Prog.False -> Prog.False
+  | Prog.Len_ge n -> Prog.Len_ge (n + off)
+  | Prog.Len_lt n -> Prog.Len_lt (n + off)
+  | Prog.Byte_eq (o, c) -> Prog.Byte_eq (o + off, c)
+  | Prog.Byte_in (o, lo, hi) -> Prog.Byte_in (o + off, lo, hi)
+  | Prog.Prefix s ->
+      Prog.All
+        (Prog.Len_ge (off + String.length s)
+        :: List.init (String.length s) (fun i -> Prog.Byte_eq (off + i, s.[i])))
+  | Prog.Hash_mod (o, l, m, tgt) -> Prog.Hash_mod (o + off, l, m, tgt)
+  | Prog.All ps -> Prog.All (List.map (shift_pred off) ps)
+  | Prog.Any ps -> Prog.Any (List.map (shift_pred off) ps)
+  | Prog.Not p -> Prog.Not (shift_pred off p)
+
+let udp_port_match port =
+  Prog.All
+    [
+      Prog.Byte_eq (12, '\x08');
+      Prog.Byte_eq (13, '\x00');
+      Prog.Byte_eq (23, '\x11');
+      Prog.Byte_eq (36, Char.chr ((port lsr 8) land 0xff));
+      Prog.Byte_eq (37, Char.chr (port land 0xff));
+    ]
+
+let rebuild_device_filter t =
+  match t.stack with
+  | None -> ()
+  | Some stack ->
+      let nic = Stack.nic stack in
+      let conjuncts =
+        List.map
+          (fun (port, pred) ->
+            Prog.Any [ Prog.Not (udp_port_match port); shift_pred header_bytes pred ])
+          t.device_filters
+      in
+      let program =
+        match conjuncts with [] -> None | cs -> Some (Prog.All cs)
+      in
+      ignore (Dk_device.Nic.set_rx_filter nic program)
+
+let try_offload_filter t qd pred =
+  match (t.stack, lookup t qd, Hashtbl.find_opt t.socks qd) with
+  | Some stack, Some impl, meta_opt
+    when impl.Qimpl.kind = "udp"
+         && Dk_device.Nic.programmable (Stack.nic stack) -> (
+      match meta_opt with
+      | Some { port = Some port; _ } ->
+          t.device_filters <- (port, pred) :: t.device_filters;
+          rebuild_device_filter t;
+          Some impl
+      | Some _ | None -> None)
+  | _ -> None
+
+let filter t qd pred =
+  match lookup t qd with
+  | None -> Error `Bad_qd
+  | Some parent -> (
+      match try_offload_filter t qd pred with
+      | Some impl ->
+          (* Device-filtered: elements are dropped before they reach the
+             host, so the queue itself is the filtered queue. The socket
+             identity (port, peer) moves to the new descriptor. *)
+          let qd' = install t impl in
+          Hashtbl.replace t.offloaded qd' ();
+          Hashtbl.remove t.qds qd;
+          (match Hashtbl.find_opt t.socks qd with
+          | Some meta ->
+              Hashtbl.remove t.socks qd;
+              Hashtbl.replace t.socks qd' meta
+          | None -> ());
+          Ok qd'
+      | None ->
+          let payload_pred sga =
+            Dk_device.Prog.eval_pred pred (Dk_mem.Sga.to_string sga)
+          in
+          Ok
+            (install t
+               (Compose.filter ~tokens:t.tokens ~engine:t.engine ~parent
+                  ~pred:payload_pred ~elem_cost:(prog_filter_cost t pred))))
+
+let filter_fn t qd fn =
+  match lookup t qd with
+  | None -> Error `Bad_qd
+  | Some parent ->
+      let elem_cost sga =
+        Dk_sim.Cost.filter_cpu_ns t.cost (Dk_mem.Sga.length sga)
+      in
+      Ok
+        (install t
+           (Compose.filter ~tokens:t.tokens ~engine:t.engine ~parent ~pred:fn
+              ~elem_cost))
+
+let map t qd prog =
+  match lookup t qd with
+  | None -> Error `Bad_qd
+  | Some parent ->
+      let fn sga =
+        Dk_mem.Sga.of_string
+          (Dk_device.Prog.eval_map prog (Dk_mem.Sga.to_string sga))
+      in
+      let elem_cost sga =
+        Dk_sim.Cost.filter_cpu_ns t.cost
+          (Dk_device.Prog.map_footprint prog (Dk_mem.Sga.length sga))
+      in
+      Ok
+        (install t
+           (Compose.map ~tokens:t.tokens ~engine:t.engine ~parent ~fn ~elem_cost))
+
+let map_fn t qd fn =
+  match lookup t qd with
+  | None -> Error `Bad_qd
+  | Some parent ->
+      let elem_cost sga =
+        Dk_sim.Cost.filter_cpu_ns t.cost (Dk_mem.Sga.length sga)
+      in
+      Ok
+        (install t
+           (Compose.map ~tokens:t.tokens ~engine:t.engine ~parent ~fn ~elem_cost))
+
+let sort t qd higher_priority =
+  match lookup t qd with
+  | None -> Error `Bad_qd
+  | Some parent ->
+      Ok
+        (install t
+           (Compose.sort ~tokens:t.tokens ~engine:t.engine ~parent
+              ~higher_priority))
+
+let steer t qd ~ways ~hash_off ~hash_len =
+  if ways <= 0 then invalid_arg "Demi.steer: ways must be positive";
+  match lookup t qd with
+  | None -> Error `Bad_qd
+  | Some parent ->
+      (* Classification cost: zero when the device can classify
+         (RSS-style, programmable NIC under a UDP queue), the
+         filter-evaluation cost per element otherwise. *)
+      let on_device =
+        (match (t.stack, Hashtbl.find_opt t.socks qd) with
+        | Some stack, Some _ ->
+            parent.Qimpl.kind = "udp"
+            && Dk_device.Nic.programmable (Stack.nic stack)
+        | _ -> false)
+        || Hashtbl.mem t.offloaded qd
+      in
+      let classify_cost =
+        if on_device then 0L else Dk_sim.Cost.filter_cpu_ns t.cost hash_len
+      in
+      let outs = Array.init ways (fun _ -> Memq.create t.tokens) in
+      let way_of sga =
+        let s = Dk_mem.Sga.to_string sga in
+        (* find the matching partition; Hash_mod partitions exactly *)
+        let rec find i =
+          if i >= ways then 0
+          else if
+            Dk_device.Prog.eval_pred (Prog.Hash_mod (hash_off, hash_len, ways, i)) s
+          then i
+          else find (i + 1)
+        in
+        find 0
+      in
+      let deliver sga =
+        Engine.consume t.engine classify_cost;
+        Mailbox.deliver (Memq.mailbox outs.(way_of sga)) (Types.Popped sga)
+      in
+      (* one outstanding pop on the parent, distributing as elements
+         arrive *)
+      let rec pump () =
+        let tok = Token.fresh t.tokens in
+        parent.Qimpl.pop tok;
+        Token.watch t.tokens tok (fun result ->
+            match result with
+            | Types.Popped sga ->
+                deliver sga;
+                pump ()
+            | Types.Failed _ ->
+                Array.iter (fun m -> Mailbox.close (Memq.mailbox m)) outs
+            | Types.Pushed | Types.Accepted _ -> pump ())
+      in
+      pump ();
+      Ok (Array.to_list (Array.map (fun m -> install t (Memq.impl m)) outs))
+
+let qconnect t ~src ~dst =
+  with_two t src dst (fun s d ->
+      Compose.qconnect ~tokens:t.tokens ~src:s ~dst:d;
+      Ok ())
+
+let filter_offloaded t qd = Hashtbl.mem t.offloaded qd

@@ -1,0 +1,173 @@
+(** The Demikernel runtime and system-call interface (Figure 3).
+
+    One [Demi.t] per application/host. It bundles the libOS pieces: the
+    token table, the memory manager (with transparent device
+    registration, §4.5), the queue-descriptor table, and whichever
+    kernel-bypass devices the host has — a NIC with a user-level stack
+    (DPDK-class), an RDMA NIC, and/or an NVMe-class block device.
+
+    {b Control path} calls ([socket], [bind], [listen], [connect],
+    [accept], [fopen] ...) may block: they drive the simulation until
+    the operation resolves, mirroring the paper's slow-path/kernel
+    split. {b Data path} calls ([push], [pop]) never block: they return
+    qtokens redeemed via the [wait_*] family. *)
+
+type t
+
+val create :
+  engine:Dk_sim.Engine.t ->
+  cost:Dk_sim.Cost.t ->
+  ?stack:Dk_net.Stack.t ->
+  ?posix:Dk_kernel.Posix.t ->
+  ?rdma:Dk_device.Rdma.t ->
+  ?block:Dk_device.Block.t ->
+  ?mem_initial:int ->
+  ?mem_max:int ->
+  unit ->
+  t
+(** [stack] gives kernel-bypass networking (DPDK-class). [posix] gives
+    the kernel-fallback libOS instead: same interface, every operation
+    through the legacy kernel (used when a host has no accelerator —
+    the portability backstop). When both are provided, [stack] wins. *)
+
+val engine : t -> Dk_sim.Engine.t
+val cost : t -> Dk_sim.Cost.t
+val manager : t -> Dk_mem.Manager.t
+val registry : t -> Dk_mem.Registry.t
+val outstanding_tokens : t -> int
+
+(** {2 Memory (§4.5)} *)
+
+val sga_alloc : t -> string -> (Dk_mem.Sga.t, Types.error) result
+(** A managed single-segment sga holding the string; its region is
+    already registered with every attached device — no explicit
+    registration call exists in this interface. *)
+
+val sga_alloc_segs : t -> string list -> (Dk_mem.Sga.t, Types.error) result
+val sga_free : t -> Dk_mem.Sga.t -> unit
+
+(** {2 Control path: network} *)
+
+val socket : t -> [ `Tcp | `Udp ] -> (Types.qd, Types.error) result
+val bind : t -> Types.qd -> port:int -> (unit, Types.error) result
+val listen : t -> Types.qd -> (unit, Types.error) result
+
+val accept_async : t -> Types.qd -> (Types.qtoken, Types.error) result
+(** Completes with [Accepted qd]. *)
+
+val accept : t -> Types.qd -> (Types.qd, Types.error) result
+(** Blocking accept (drives the simulation). *)
+
+val connect :
+  t -> Types.qd -> dst:Dk_net.Addr.endpoint -> (unit, Types.error) result
+(** TCP: blocks until ESTABLISHED or failure. UDP: sets the default
+    peer (binding an ephemeral port if unbound). *)
+
+val close : t -> Types.qd -> (unit, Types.error) result
+
+(** {2 Control path: RDMA} *)
+
+val rdma_endpoint :
+  t -> ?depth:int -> ?recv_size:int -> Dk_device.Rdma.qp -> (Types.qd, Types.error) result
+(** Wrap an already-connected queue pair (connection management is
+    out-of-band control path) as an I/O queue with libOS-provided
+    buffer management and flow control. *)
+
+(** {2 Control path: storage} *)
+
+val fcreate : t -> string -> (Types.qd, Types.error) result
+(** Create a named log-structured file queue (§5.3). *)
+
+val fopen : t -> string -> (Types.qd, Types.error) result
+(** Re-open an existing file queue, recovering its length by scanning
+    the device log (blocks while the scan runs). *)
+
+(** {2 Control path: queues} *)
+
+val queue : t -> Types.qd
+(** A plain in-memory queue. *)
+
+val merge : t -> Types.qd -> Types.qd -> (Types.qd, Types.error) result
+
+val filter :
+  t -> Types.qd -> Dk_device.Prog.pred -> (Types.qd, Types.error) result
+(** Filter with a verified program. If the descriptor is a UDP queue on
+    a programmable NIC, the program is compiled to a frame-level filter
+    and installed {e on the device} — dropped messages then cost zero
+    CPU; otherwise it runs on the CPU per element (§4.3). The original
+    descriptor is subsumed by the returned one. *)
+
+val filter_fn :
+  t -> Types.qd -> (Dk_mem.Sga.t -> bool) -> (Types.qd, Types.error) result
+(** Arbitrary OCaml predicate: always CPU. *)
+
+val map : t -> Types.qd -> Dk_device.Prog.map -> (Types.qd, Types.error) result
+val map_fn :
+  t -> Types.qd -> (Dk_mem.Sga.t -> Dk_mem.Sga.t) -> (Types.qd, Types.error) result
+
+val sort :
+  t ->
+  Types.qd ->
+  (Dk_mem.Sga.t -> Dk_mem.Sga.t -> bool) ->
+  (Types.qd, Types.error) result
+
+val steer :
+  t ->
+  Types.qd ->
+  ways:int ->
+  hash_off:int ->
+  hash_len:int ->
+  (Types.qd list, Types.error) result
+(** Key-based steering (§4.3: "improve cache utilization by steering
+    I/O to CPUs based on application-specific parameters (e.g., keys in
+    a key-value store)"). Partitions the parent's elements across
+    [ways] queues by a hash of the byte range [hash_off, hash_off +
+    hash_len): each element lands on exactly one output queue, FIFO per
+    way. The classification runs on the device when the source is a UDP
+    queue on a programmable NIC (RSS-style, zero host CPU), on the CPU
+    otherwise. *)
+
+val qconnect : t -> src:Types.qd -> dst:Types.qd -> (unit, Types.error) result
+
+val filter_offloaded : t -> Types.qd -> bool
+(** Whether the given (filtered) queue's program runs on the device. *)
+
+(** {2 Data path} *)
+
+val push : t -> Types.qd -> Dk_mem.Sga.t -> (Types.qtoken, Types.error) result
+val pop : t -> Types.qd -> (Types.qtoken, Types.error) result
+
+val wait : t -> Types.qtoken -> Types.op_result
+(** Drive the simulation until the token completes; each idle iteration
+    charges one poll-loop step. *)
+
+val wait_timeout : t -> Types.qtoken -> timeout:int64 -> Types.op_result
+(** [Failed `Timeout] if the deadline passes first (the token stays
+    outstanding and can be waited again). *)
+
+val wait_any :
+  ?timeout:int64 -> t -> Types.qtoken list -> (Types.qtoken * Types.op_result) option
+(** First completion among the tokens ([None] on timeout/deadlock).
+    Exactly one token is redeemed — no spurious wakeups (§4.4). *)
+
+val wait_all :
+  ?timeout:int64 ->
+  t ->
+  Types.qtoken list ->
+  (Types.qtoken * Types.op_result) list option
+(** All completions, in argument order ([None] on timeout/deadlock). *)
+
+val try_wait : t -> Types.qtoken -> Types.op_result option
+(** Non-blocking poll of one token. *)
+
+val watch : t -> Types.qtoken -> (Types.op_result -> unit) -> unit
+(** Scheduler integration (§4.4): run the callback when the token
+    completes (immediately if it already did), redeeming it. Used by
+    [Dk_sched.Fiber] to suspend lightweight threads on qtokens; a
+    watched token must not also be passed to [wait_*]. *)
+
+val blocking_push : t -> Types.qd -> Dk_mem.Sga.t -> Types.op_result
+(** push + wait (Figure 3 line 8). *)
+
+val blocking_pop : t -> Types.qd -> Types.op_result
+(** pop + wait (Figure 3 line 10). *)

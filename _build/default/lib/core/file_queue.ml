@@ -1,0 +1,279 @@
+module Block = Dk_device.Block
+module Framing = Dk_net.Framing
+
+let record_overhead = 8 (* u32 length prefix + u32 crc *)
+
+let u32_to_string v =
+  let b = Bytes.create 4 in
+  Bytes.set b 0 (Char.chr ((v lsr 24) land 0xff));
+  Bytes.set b 1 (Char.chr ((v lsr 16) land 0xff));
+  Bytes.set b 2 (Char.chr ((v lsr 8) land 0xff));
+  Bytes.set b 3 (Char.chr (v land 0xff));
+  Bytes.unsafe_to_string b
+
+let u32_of_string s off =
+  (Char.code s.[off] lsl 24)
+  lor (Char.code s.[off + 1] lsl 16)
+  lor (Char.code s.[off + 2] lsl 8)
+  lor Char.code s.[off + 3]
+
+let seal_record payload =
+  let crc = Int32.to_int (Dk_util.Crc32.digest_string payload) land 0xffffffff in
+  u32_to_string (String.length payload) ^ payload ^ u32_to_string (crc land 0xffffffff)
+
+(* Parse one record at [off] in [raw]; [None] if incomplete,
+   [Some (Error ())] if corrupt. *)
+let parse_record raw off =
+  let avail = String.length raw - off in
+  if avail < 4 then None
+  else
+    let len = u32_of_string raw off in
+    if len = 0 || len > 1 lsl 26 then Some (Error ())
+    else if avail < 4 + len + 4 then None
+    else
+      let payload = String.sub raw (off + 4) len in
+      let crc = u32_of_string raw (off + 4 + len) in
+      let expect =
+        Int32.to_int (Dk_util.Crc32.digest_string payload) land 0xffffffff
+      in
+      if crc <> expect then Some (Error ())
+      else Some (Ok (payload, 4 + len + 4))
+
+type state = {
+  tokens : Token.t;
+  engine : Dk_sim.Engine.t;
+  disp : Block_dispatch.t;
+  base_lba : int;
+  capacity_bytes : int;
+  bs : int;
+  mbox : Mailbox.t;
+  (* writer *)
+  mutable log_len : int;     (* bytes appended (incl. in-flight) *)
+  mutable durable_len : int; (* bytes whose writes completed *)
+  mutable shadow : Bytes.t;  (* full log image for assembling partial blocks *)
+  mutable shadow_len : int;
+  pending_appends : (string * Types.qtoken) Queue.t;
+  mutable append_active : bool;
+  (* reader *)
+  mutable fed : int; (* bytes handed to the parser *)
+  raw : Stdlib.Buffer.t;
+  mutable parse_off : int;
+  mutable fetching : bool;
+  mutable corrupt : bool;
+}
+
+let ensure_shadow st n =
+  if Bytes.length st.shadow < n then begin
+    let grown = Bytes.make (max n (max 4096 (2 * Bytes.length st.shadow))) '\000' in
+    Bytes.blit st.shadow 0 grown 0 st.shadow_len;
+    st.shadow <- grown
+  end
+
+(* ---- reader ---- *)
+
+let rec parse_loop st =
+  if not st.corrupt then begin
+    (* A zero length prefix is block-alignment padding (appends after
+       recovery restart at a block boundary): skip to the boundary. *)
+    let raw_now = Stdlib.Buffer.contents st.raw in
+    if
+      String.length raw_now - st.parse_off >= 4
+      && u32_of_string raw_now st.parse_off = 0
+    then begin
+      let next_boundary = ((st.parse_off / st.bs) + 1) * st.bs in
+      if next_boundary <= String.length raw_now then begin
+        st.parse_off <- next_boundary;
+        parse_loop st
+      end
+    end
+    else parse_payload st
+  end
+
+and parse_payload st =
+    match parse_record (Stdlib.Buffer.contents st.raw) st.parse_off with
+    | None -> ()
+    | Some (Error ()) ->
+        st.corrupt <- true;
+        Mailbox.close st.mbox
+    | Some (Ok (payload, used)) ->
+        st.parse_off <- st.parse_off + used;
+        let decoder = Framing.create () in
+        Framing.feed decoder payload;
+        (match Framing.next decoder with
+        | Some segments ->
+            Mailbox.deliver st.mbox
+              (Types.Popped (Dk_mem.Sga.of_strings segments))
+        | None ->
+            st.corrupt <- true;
+            Mailbox.close st.mbox);
+        parse_loop st
+
+and try_fetch st =
+  if (not st.fetching) && (not st.corrupt) && st.fed < st.durable_len then begin
+    st.fetching <- true;
+    let idx = st.fed / st.bs in
+    (* The device returns the block as of submission; only feed bytes
+       durable *now* — later appends land in the snapshot as zeros and
+       must not reach the parser. *)
+    let bound = st.durable_len in
+    let on_complete (c : Block.completion) =
+      (match c.Block.data with
+      | Some data when c.Block.status = `Ok ->
+          let lo = st.fed mod st.bs in
+          let hi = min st.bs (bound - (idx * st.bs)) in
+          if hi > lo then begin
+            Stdlib.Buffer.add_string st.raw (String.sub data lo (hi - lo));
+            st.fed <- st.fed + (hi - lo)
+          end
+      | Some _ | None -> ());
+      st.fetching <- false;
+      parse_loop st;
+      (* Keep streaming while a pop is outstanding. *)
+      if Mailbox.waiting st.mbox > 0 then try_fetch st
+    in
+    if not (Block_dispatch.read st.disp ~lba:(st.base_lba + idx) on_complete)
+    then st.fetching <- false
+  end
+
+(* ---- writer ---- *)
+
+let rec start_append st =
+  if not st.append_active then
+    match Queue.take_opt st.pending_appends with
+    | None -> ()
+    | Some (record, tok) ->
+        st.append_active <- true;
+        let off = st.log_len in
+        let len = String.length record in
+        if off + len > st.capacity_bytes then begin
+          Token.complete st.tokens tok (Types.Failed `No_memory);
+          st.append_active <- false;
+          start_append st
+        end
+        else begin
+          ensure_shadow st (off + len);
+          Bytes.blit_string record 0 st.shadow off len;
+          st.shadow_len <- max st.shadow_len (off + len);
+          st.log_len <- off + len;
+          let first = off / st.bs and last = (off + len - 1) / st.bs in
+          let remaining = ref (last - first + 1) in
+          let failed = ref false in
+          for idx = first to last do
+            if not !failed then begin
+              let start = idx * st.bs in
+              let chunk_len = min st.bs (st.log_len - start) in
+              let chunk = Bytes.sub_string st.shadow start chunk_len in
+              let on_written _ =
+                decr remaining;
+                if !remaining = 0 then begin
+                  st.durable_len <- st.log_len;
+                  Token.complete st.tokens tok Types.Pushed;
+                  st.append_active <- false;
+                  (* New durable bytes may satisfy waiting pops. *)
+                  if Mailbox.waiting st.mbox > 0 then try_fetch st;
+                  start_append st
+                end
+              in
+              if
+                not
+                  (Block_dispatch.write st.disp ~lba:(st.base_lba + idx) chunk
+                     on_written)
+              then failed := true
+            end
+          done;
+          if !failed then begin
+            Token.complete st.tokens tok (Types.Failed `Would_block);
+            st.append_active <- false;
+            start_append st
+          end
+        end
+
+let create ~tokens ~engine ~disp ~base_lba ~capacity_blocks ?(existing_len = 0)
+    () =
+  let bs = Block.block_size (Block_dispatch.block disp) in
+  let st =
+    {
+      tokens;
+      engine;
+      disp;
+      base_lba;
+      capacity_bytes = capacity_blocks * bs;
+      bs;
+      mbox = Mailbox.create tokens;
+      log_len = existing_len;
+      durable_len = existing_len;
+      shadow = Bytes.create 0;
+      shadow_len = 0;
+      pending_appends = Queue.create ();
+      append_active = false;
+      fed = 0;
+      raw = Stdlib.Buffer.create 4096;
+      parse_off = 0;
+      fetching = false;
+      corrupt = false;
+    }
+  in
+  (* Appends after recovery need the existing bytes in the shadow to
+     assemble partial tail blocks; fetch them lazily on first append
+     would complicate the path, so reads below re-feed them. For the
+     shadow, re-reading happens through the reader; appends to a
+     recovered log start at a block boundary to stay safe. *)
+  if existing_len > 0 then begin
+    let aligned = ((existing_len + bs - 1) / bs) * bs in
+    st.log_len <- aligned;
+    st.durable_len <- existing_len;
+    ensure_shadow st aligned;
+    st.shadow_len <- aligned
+  end;
+  {
+    Qimpl.kind = "file";
+    push =
+      (fun sga tok ->
+        let record = seal_record (Framing.encode_sga sga) in
+        Queue.add (record, tok) st.pending_appends;
+        start_append st);
+    pop =
+      (fun tok ->
+        Mailbox.pop st.mbox tok;
+        if Mailbox.waiting st.mbox > 0 then try_fetch st);
+    close = (fun () -> Mailbox.close st.mbox);
+  }
+
+let recover ~engine ~disp ~base_lba ~capacity_blocks k =
+  ignore engine;
+  let raw = Stdlib.Buffer.create 4096 in
+  let valid = ref 0 in
+  let off = ref 0 in
+  let rec parse () =
+    match parse_record (Stdlib.Buffer.contents raw) !off with
+    | Some (Ok (_, used)) ->
+        off := !off + used;
+        valid := !off;
+        parse ()
+    | Some (Error ()) -> `Stop
+    | None -> `More
+  in
+  let rec scan idx =
+    if idx >= capacity_blocks then k !valid
+    else begin
+      let on_read (c : Block.completion) =
+        match c.Block.data with
+        | Some s when c.Block.status = `Ok -> (
+            Stdlib.Buffer.add_string raw s;
+            match parse () with
+            | `Stop -> k !valid
+            | `More ->
+                (* Heuristic: an all-zero prefix after the valid tail
+                   means we've reached unwritten space. *)
+                if
+                  Stdlib.Buffer.length raw >= !off + 4
+                  && u32_of_string (Stdlib.Buffer.contents raw) !off = 0
+                then k !valid
+                else scan (idx + 1))
+        | Some _ | None -> k !valid
+      in
+      if not (Block_dispatch.read disp ~lba:(base_lba + idx) on_read) then
+        k !valid
+    end
+  in
+  scan 0

@@ -1,0 +1,42 @@
+type t = {
+  tokens : Token.t;
+  ready : Types.op_result Queue.t;
+  waiters : Types.qtoken Queue.t;
+  mutable closed : bool;
+  mutable on_deliver : unit -> unit;
+}
+
+let create tokens =
+  {
+    tokens;
+    ready = Queue.create ();
+    waiters = Queue.create ();
+    closed = false;
+    on_deliver = (fun () -> ());
+  }
+
+let deliver t result =
+  (match Queue.take_opt t.waiters with
+  | Some tok -> Token.complete t.tokens tok result
+  | None -> Queue.add result t.ready);
+  t.on_deliver ()
+
+let pop t tok =
+  match Queue.take_opt t.ready with
+  | Some result -> Token.complete t.tokens tok result
+  | None ->
+      if t.closed then Token.complete t.tokens tok (Types.Failed `Queue_closed)
+      else Queue.add tok t.waiters
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    Queue.iter
+      (fun tok -> Token.complete t.tokens tok (Types.Failed `Queue_closed))
+      t.waiters;
+    Queue.clear t.waiters
+  end
+
+let buffered t = Queue.length t.ready
+let waiting t = Queue.length t.waiters
+let set_on_deliver t f = t.on_deliver <- f

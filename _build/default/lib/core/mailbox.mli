@@ -1,0 +1,27 @@
+(** Ready-element buffer shared by queue implementations.
+
+    Holds completed results until a pop arrives, and pending pop tokens
+    until a result arrives. Delivery order is FIFO in both directions,
+    and each delivery completes exactly one waiting token. *)
+
+type t
+
+val create : Token.t -> t
+
+val deliver : t -> Types.op_result -> unit
+(** An element (or terminal error) is ready: complete the oldest
+    waiting pop token, or buffer it. *)
+
+val pop : t -> Types.qtoken -> unit
+(** Redeem the oldest buffered element into [token], or queue the token.
+    After {!close}, tokens complete immediately with
+    [Failed `Queue_closed] once the buffer drains. *)
+
+val close : t -> unit
+(** Fail all waiting tokens; buffered elements remain poppable. *)
+
+val buffered : t -> int
+val waiting : t -> int
+
+val set_on_deliver : t -> (unit -> unit) -> unit
+(** Hook invoked after each delivery (used by composed queues to pump). *)

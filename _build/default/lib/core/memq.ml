@@ -1,0 +1,16 @@
+type t = { tokens : Token.t; mbox : Mailbox.t }
+
+let create tokens = { tokens; mbox = Mailbox.create tokens }
+
+let impl t =
+  {
+    Qimpl.kind = "memq";
+    push =
+      (fun sga tok ->
+        Mailbox.deliver t.mbox (Types.Popped sga);
+        Token.complete t.tokens tok Types.Pushed);
+    pop = (fun tok -> Mailbox.pop t.mbox tok);
+    close = (fun () -> Mailbox.close t.mbox);
+  }
+
+let mailbox t = t.mbox

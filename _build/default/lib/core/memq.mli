@@ -1,0 +1,14 @@
+(** In-memory Demikernel queue (the plain [queue()] syscall of
+    Figure 3).
+
+    Push completes immediately; pop returns elements in FIFO order with
+    atomic (sga) granularity. Used directly by applications for
+    intra-process pipelines and as the substrate for composed queues. *)
+
+type t
+
+val create : Token.t -> t
+val impl : t -> Qimpl.t
+
+val mailbox : t -> Mailbox.t
+(** Exposed for composed queues that tap deliveries. *)

@@ -1,0 +1,141 @@
+module Tcp = Dk_net.Tcp
+module Stack = Dk_net.Stack
+module Framing = Dk_net.Framing
+
+(* ---- TCP connection queues ---- *)
+
+type conn_state = {
+  tokens : Token.t;
+  conn : Tcp.conn;
+  mbox : Mailbox.t;
+  decoder : Framing.decoder;
+  (* pushes not yet fully handed to the stack: bytes left + token *)
+  txq : (string ref * Types.qtoken) Queue.t;
+}
+
+let pump_tx st =
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    match Queue.peek_opt st.txq with
+    | None -> ()
+    | Some (remaining, tok) ->
+        let n = Tcp.send st.conn !remaining in
+        if n > 0 then begin
+          remaining := String.sub !remaining n (String.length !remaining - n);
+          if String.length !remaining = 0 then begin
+            ignore (Queue.pop st.txq);
+            Token.complete st.tokens tok Types.Pushed;
+            progress := true
+          end
+        end
+  done
+
+let pump_rx st =
+  let avail = Tcp.recv_ready st.conn in
+  if avail > 0 then begin
+    Framing.feed st.decoder (Tcp.recv st.conn avail);
+    let rec drain () =
+      match Framing.next st.decoder with
+      | Some segments ->
+          let sga = Dk_mem.Sga.of_strings segments in
+          Mailbox.deliver st.mbox (Types.Popped sga);
+          drain ()
+      | None -> ()
+    in
+    drain ()
+  end
+
+let fail_tx st err =
+  Queue.iter
+    (fun (_, tok) -> Token.complete st.tokens tok (Types.Failed err))
+    st.txq;
+  Queue.clear st.txq
+
+let of_conn ~tokens ~conn () =
+  let st =
+    {
+      tokens;
+      conn;
+      mbox = Mailbox.create tokens;
+      decoder = Framing.create ();
+      txq = Queue.create ();
+    }
+  in
+  Tcp.set_on_readable conn (fun () -> pump_rx st);
+  Tcp.set_on_writable conn (fun () -> pump_tx st);
+  Tcp.set_on_peer_fin conn (fun () -> Mailbox.close st.mbox);
+  Tcp.set_on_close conn (fun reason ->
+      let err =
+        match reason with
+        | `Normal -> `Queue_closed
+        | `Reset -> `Refused
+        | `Timeout -> `Timeout
+      in
+      fail_tx st err;
+      Mailbox.close st.mbox);
+  {
+    Qimpl.kind = "tcp";
+    push =
+      (fun sga tok ->
+        match Tcp.state conn with
+        | Tcp.Established | Tcp.Close_wait | Tcp.Syn_sent | Tcp.Syn_rcvd ->
+            Queue.add (ref (Framing.encode_sga sga), tok) st.txq;
+            pump_tx st
+        | _ -> Token.complete tokens tok (Types.Failed `Queue_closed));
+    pop = (fun tok -> Mailbox.pop st.mbox tok);
+    close = (fun () -> Tcp.close conn);
+  }
+
+(* ---- listeners ---- *)
+
+let listener ~tokens ~stack ~port ~register =
+  let mbox = Mailbox.create tokens in
+  match
+    Stack.tcp_listen stack ~port ~on_accept:(fun conn ->
+        let impl = of_conn ~tokens ~conn () in
+        let qd = register impl in
+        Mailbox.deliver mbox (Types.Accepted qd))
+  with
+  | Error `In_use -> Error `In_use
+  | Ok () ->
+      Ok
+        {
+          Qimpl.kind = "tcp-listen";
+          push =
+            (fun _ tok -> Token.complete tokens tok (Types.Failed `Not_supported));
+          pop = (fun tok -> Mailbox.pop mbox tok);
+          close =
+            (fun () ->
+              Stack.tcp_unlisten stack ~port;
+              Mailbox.close mbox);
+        }
+
+(* ---- UDP datagram queues ---- *)
+
+let udp ~tokens ~stack ~port ~peer =
+  let mbox = Mailbox.create tokens in
+  match
+    Stack.udp_bind stack ~port ~recv:(fun ~src:_ payload ->
+        Mailbox.deliver mbox (Types.Popped (Dk_mem.Sga.of_string payload)))
+  with
+  | Error `In_use -> Error `In_use
+  | Ok () ->
+      Ok
+        {
+          Qimpl.kind = "udp";
+          push =
+            (fun sga tok ->
+              match !peer with
+              | None -> Token.complete tokens tok (Types.Failed `Not_supported)
+              | Some dst ->
+                  (* One datagram per sga: naturally atomic, no framing. *)
+                  Stack.udp_send stack ~src_port:port ~dst
+                    (Dk_mem.Sga.to_string sga);
+                  Token.complete tokens tok Types.Pushed);
+          pop = (fun tok -> Mailbox.pop mbox tok);
+          close =
+            (fun () ->
+              Stack.udp_unbind stack ~port;
+              Mailbox.close mbox);
+        }

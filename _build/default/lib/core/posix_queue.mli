@@ -1,0 +1,26 @@
+(** Kernel-fallback I/O queues: the Demikernel interface implemented
+    over the legacy POSIX kernel (no accelerator at all).
+
+    This is the portability backstop the architecture implies (and the
+    authors' own codebase calls "Catnap"): the same application code
+    runs unchanged on a host with no kernel-bypass hardware — it just
+    pays the kernel's syscall, copy and wakeup costs on every
+    operation. Messages keep their atomic-sga semantics via the same
+    framing used on TCP queues. *)
+
+val of_fd :
+  tokens:Token.t ->
+  posix:Dk_kernel.Posix.t ->
+  fd:Dk_kernel.Posix.fd ->
+  unit ->
+  Qimpl.t
+(** Wrap a connected socket fd as an I/O queue. The queue owns the fd
+    (close closes it). *)
+
+val listener :
+  tokens:Token.t ->
+  posix:Dk_kernel.Posix.t ->
+  port:int ->
+  register:(Qimpl.t -> Types.qd) ->
+  (Qimpl.t, [ `In_use ]) result
+(** Listening queue: pops complete with [Accepted qd]. *)

@@ -1,0 +1,14 @@
+type t = {
+  kind : string;
+  push : Dk_mem.Sga.t -> Types.qtoken -> unit;
+  pop : Types.qtoken -> unit;
+  close : unit -> unit;
+}
+
+let not_supported tokens ~kind =
+  {
+    kind;
+    push = (fun _ tok -> Token.complete tokens tok (Types.Failed `Not_supported));
+    pop = (fun tok -> Token.complete tokens tok (Types.Failed `Not_supported));
+    close = (fun () -> ());
+  }

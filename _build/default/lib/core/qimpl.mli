@@ -1,0 +1,18 @@
+(** Queue implementation interface.
+
+    Each queue kind (network, RDMA, storage, in-memory, composed)
+    provides these operations; the {!Demi} runtime owns the descriptor
+    table that maps [qd]s to implementations. [push]/[pop] receive
+    freshly minted tokens and must complete them exactly once (possibly
+    immediately). *)
+
+type t = {
+  kind : string;  (** for diagnostics: "memq", "tcp", "rdma", ... *)
+  push : Dk_mem.Sga.t -> Types.qtoken -> unit;
+  pop : Types.qtoken -> unit;
+  close : unit -> unit;
+}
+
+val not_supported : Token.t -> kind:string -> t
+(** A queue that fails every operation — placeholder for descriptors in
+    intermediate states (e.g. an unbound socket). *)

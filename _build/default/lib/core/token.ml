@@ -1,0 +1,60 @@
+type state =
+  | Pending
+  | Watched of (Types.op_result -> unit)
+  | Done of Types.op_result
+
+type t = {
+  table : (Types.qtoken, state) Hashtbl.t;
+  mutable next : int;
+  mutable pending : int;
+}
+
+let create () = { table = Hashtbl.create 64; next = 1; pending = 0 }
+
+let fresh t =
+  let tok = t.next in
+  t.next <- t.next + 1;
+  Hashtbl.replace t.table tok Pending;
+  t.pending <- t.pending + 1;
+  tok
+
+let complete t tok result =
+  match Hashtbl.find_opt t.table tok with
+  | Some Pending ->
+      Hashtbl.replace t.table tok (Done result);
+      t.pending <- t.pending - 1
+  | Some (Watched k) ->
+      Hashtbl.remove t.table tok;
+      t.pending <- t.pending - 1;
+      k result
+  | Some (Done _) -> invalid_arg "Token.complete: token already completed"
+  | None -> invalid_arg "Token.complete: unknown token"
+
+let status t tok =
+  match Hashtbl.find_opt t.table tok with
+  | Some (Pending | Watched _) -> `Pending
+  | Some (Done _) -> `Done
+  | None -> `Unknown
+
+let peek t tok =
+  match Hashtbl.find_opt t.table tok with
+  | Some (Done r) -> Some r
+  | Some (Pending | Watched _) | None -> None
+
+let redeem t tok =
+  match Hashtbl.find_opt t.table tok with
+  | Some (Done r) ->
+      Hashtbl.remove t.table tok;
+      Some r
+  | Some (Pending | Watched _) | None -> None
+
+let watch t tok k =
+  match Hashtbl.find_opt t.table tok with
+  | Some Pending -> Hashtbl.replace t.table tok (Watched k)
+  | Some (Done r) ->
+      Hashtbl.remove t.table tok;
+      k r
+  | Some (Watched _) -> invalid_arg "Token.watch: already watched"
+  | None -> invalid_arg "Token.watch: unknown token"
+
+let outstanding t = t.pending

@@ -1,0 +1,36 @@
+(** Queue-token table.
+
+    Every non-blocking push/pop mints a fresh token; the queue
+    implementation completes it exactly once; the application redeems
+    it with a [wait_*] call, which removes it. Because each token is
+    unique to a single queue operation, a completion wakes exactly the
+    operation's waiter — the contrast §4.4 draws with epoll's wake-all
+    file-descriptor readiness. *)
+
+type t
+
+val create : unit -> t
+
+val fresh : t -> Types.qtoken
+(** Mint a pending token. *)
+
+val complete : t -> Types.qtoken -> Types.op_result -> unit
+(** Deliver the result. @raise Invalid_argument if the token is unknown
+    or already completed (queue implementations must complete exactly
+    once). *)
+
+val status : t -> Types.qtoken -> [ `Pending | `Done | `Unknown ]
+
+val peek : t -> Types.qtoken -> Types.op_result option
+(** Result if completed, without redeeming. *)
+
+val redeem : t -> Types.qtoken -> Types.op_result option
+(** Take the result and forget the token. *)
+
+val watch : t -> Types.qtoken -> (Types.op_result -> unit) -> unit
+(** Internal plumbing for composed queues: run the callback when the
+    token completes (immediately if it already has), auto-redeeming it.
+    A watched token must not also be waited on. *)
+
+val outstanding : t -> int
+(** Pending (unredeemed, uncompleted) tokens. *)

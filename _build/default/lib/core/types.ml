@@ -1,0 +1,38 @@
+type qd = int
+type qtoken = int
+
+type error =
+  [ `Bad_qd
+  | `Bad_qtoken
+  | `Queue_closed
+  | `Would_block
+  | `Refused
+  | `Timeout
+  | `No_memory
+  | `Not_supported
+  | `Deadlock ]
+
+type op_result =
+  | Pushed
+  | Popped of Dk_mem.Sga.t
+  | Accepted of qd
+  | Failed of error
+
+let error_to_string = function
+  | `Bad_qd -> "bad queue descriptor"
+  | `Bad_qtoken -> "bad queue token"
+  | `Queue_closed -> "queue closed"
+  | `Would_block -> "would block"
+  | `Refused -> "connection refused"
+  | `Timeout -> "timeout"
+  | `No_memory -> "out of memory"
+  | `Not_supported -> "not supported"
+  | `Deadlock -> "simulation deadlock"
+
+let pp_error ppf e = Format.fprintf ppf "%s" (error_to_string e)
+
+let pp_op_result ppf = function
+  | Pushed -> Format.fprintf ppf "pushed"
+  | Popped sga -> Format.fprintf ppf "popped %a" Dk_mem.Sga.pp sga
+  | Accepted qd -> Format.fprintf ppf "accepted qd=%d" qd
+  | Failed e -> Format.fprintf ppf "failed: %a" pp_error e

@@ -1,0 +1,1 @@
+lib/device/block.ml: Dk_sim Hashtbl Int64 Prog Queue String

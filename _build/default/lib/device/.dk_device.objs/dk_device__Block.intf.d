@@ -1,0 +1,1 @@
+lib/device/block.mli: Dk_sim Prog

@@ -1,0 +1,1 @@
+lib/device/fabric.ml: Dk_sim Hashtbl Int64 Nic Option String

@@ -1,0 +1,1 @@
+lib/device/fabric.mli: Dk_sim Nic

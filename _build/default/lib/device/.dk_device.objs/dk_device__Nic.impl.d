@@ -1,0 +1,1 @@
+lib/device/nic.ml: Dk_sim Dk_util Int64 Prog String

@@ -1,0 +1,1 @@
+lib/device/nic.mli: Dk_sim Prog

@@ -1,0 +1,1 @@
+lib/device/prog.ml: Char Format Int64 List String

@@ -1,0 +1,1 @@
+lib/device/rdma.ml: Dk_mem Dk_sim Int64 List Queue

@@ -1,0 +1,1 @@
+lib/device/rdma.mli: Dk_mem Dk_sim

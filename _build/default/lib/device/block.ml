@@ -1,0 +1,152 @@
+type status = [ `Ok | `Bad_lba ]
+
+type completion = { wr_id : int; status : status; data : string option }
+
+type stats = { reads : int; writes : int; rejected : int }
+
+type t = {
+  engine : Dk_sim.Engine.t;
+  cost : Dk_sim.Cost.t;
+  block_size : int;
+  block_count : int;
+  sq_depth : int;
+  programmable : bool;
+  mutable write_prog : Prog.map option;
+  mutable read_prog : Prog.map option;
+  store : (int, string) Hashtbl.t; (* lba -> block contents *)
+  cq : completion Queue.t;
+  mutable cq_notify : unit -> unit;
+  mutable inflight : int;
+  mutable reads : int;
+  mutable writes : int;
+  mutable rejected : int;
+}
+
+let create ~engine ~cost ?(block_size = 4096) ?(block_count = 1 lsl 20)
+    ?(sq_depth = 256) ?(programmable = false) () =
+  if block_size <= 0 || block_count <= 0 || sq_depth <= 0 then
+    invalid_arg "Block.create";
+  {
+    engine;
+    cost;
+    block_size;
+    block_count;
+    sq_depth;
+    programmable;
+    write_prog = None;
+    read_prog = None;
+    store = Hashtbl.create 1024;
+    cq = Queue.create ();
+    cq_notify = (fun () -> ());
+    inflight = 0;
+    reads = 0;
+    writes = 0;
+    rejected = 0;
+  }
+
+let block_size t = t.block_size
+let block_count t = t.block_count
+let programmable t = t.programmable
+
+let set_write_prog t prog =
+  if t.programmable then begin
+    t.write_prog <- prog;
+    Ok ()
+  end
+  else Error `Not_programmable
+
+let set_read_prog t prog =
+  if t.programmable then begin
+    t.read_prog <- prog;
+    Ok ()
+  end
+  else Error `Not_programmable
+
+(* Device program latency applies when a program touches the data. *)
+let prog_latency t prog =
+  match prog with
+  | Some _ -> t.cost.Dk_sim.Cost.device_prog_per_elem
+  | None -> 0L
+
+let complete t delay comp =
+  ignore
+    (Dk_sim.Engine.after t.engine delay (fun () ->
+         t.inflight <- t.inflight - 1;
+         Queue.add comp t.cq;
+         t.cq_notify ()))
+
+let submit t make_completion latency =
+  if t.inflight >= t.sq_depth then begin
+    t.rejected <- t.rejected + 1;
+    false
+  end
+  else begin
+    Dk_sim.Engine.consume t.engine t.cost.Dk_sim.Cost.pcie_doorbell;
+    t.inflight <- t.inflight + 1;
+    complete t latency (make_completion ());
+    true
+  end
+
+let submit_read t ~wr_id ~lba =
+  let make () =
+    if lba < 0 || lba >= t.block_count then
+      { wr_id; status = `Bad_lba; data = None }
+    else
+      let data =
+        match Hashtbl.find_opt t.store lba with
+        | Some s -> s
+        | None -> String.make t.block_size '\000'
+      in
+      let data =
+        match t.read_prog with
+        | Some prog -> Prog.eval_map prog data
+        | None -> data
+      in
+      { wr_id; status = `Ok; data = Some data }
+  in
+  let latency =
+    Int64.add (prog_latency t t.read_prog)
+      (Int64.add t.cost.Dk_sim.Cost.nvme_read
+         (Dk_sim.Cost.nvme_transfer_ns t.cost t.block_size))
+  in
+  let ok = submit t make latency in
+  if ok then t.reads <- t.reads + 1;
+  ok
+
+let submit_write t ~wr_id ~lba data =
+  if String.length data > t.block_size then
+    invalid_arg "Block.submit_write: data exceeds block size";
+  let make () =
+    if lba < 0 || lba >= t.block_count then
+      { wr_id; status = `Bad_lba; data = None }
+    else begin
+      let data =
+        match t.write_prog with
+        | Some prog -> Prog.eval_map prog data
+        | None -> data
+      in
+      let padded =
+        if String.length data >= t.block_size then
+          String.sub data 0 t.block_size
+        else data ^ String.make (t.block_size - String.length data) '\000'
+      in
+      Hashtbl.replace t.store lba padded;
+      { wr_id; status = `Ok; data = None }
+    end
+  in
+  let latency =
+    Int64.add (prog_latency t t.write_prog)
+      (Int64.add t.cost.Dk_sim.Cost.nvme_write
+         (Dk_sim.Cost.nvme_transfer_ns t.cost (String.length data)))
+  in
+  let ok = submit t make latency in
+  if ok then t.writes <- t.writes + 1;
+  ok
+
+let poll_cq t = Queue.take_opt t.cq
+let cq_pending t = Queue.length t.cq
+let outstanding t = t.inflight
+
+let stats t = { reads = t.reads; writes = t.writes; rejected = t.rejected }
+
+let set_cq_notify t f = t.cq_notify <- f

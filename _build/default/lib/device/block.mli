@@ -1,0 +1,61 @@
+(** NVMe-style block device with paired submission/completion queues
+    (SPDK-class device, Table 1 left column).
+
+    Poll-mode: submissions cost a doorbell, completions are discovered
+    by polling the CQ. Reads/writes of one block each; flash latency and
+    transfer time come from the cost model. There is no kernel, no page
+    cache and no file system — a libOS must bring its own layout
+    (§5.3). *)
+
+type t
+
+type status = [ `Ok | `Bad_lba ]
+
+type completion = {
+  wr_id : int;
+  status : status;
+  data : string option; (** filled for reads *)
+}
+
+type stats = { reads : int; writes : int; rejected : int }
+
+val create :
+  engine:Dk_sim.Engine.t ->
+  cost:Dk_sim.Cost.t ->
+  ?block_size:int ->
+  ?block_count:int ->
+  ?sq_depth:int ->
+  ?programmable:bool ->
+  unit ->
+  t
+(** [programmable] models an FPGA/computational SSD (Table 1, right
+    column): it can run verified map programs on data in flight. *)
+
+val programmable : t -> bool
+
+val set_write_prog : t -> Prog.map option -> (unit, [ `Not_programmable ]) result
+(** Transform data on the way to flash (e.g. encryption/compression,
+    §4.3) at zero host CPU cost; adds device program latency. *)
+
+val set_read_prog : t -> Prog.map option -> (unit, [ `Not_programmable ]) result
+(** Transform data on the way back (e.g. decryption). *)
+
+val block_size : t -> int
+val block_count : t -> int
+
+val submit_read : t -> wr_id:int -> lba:int -> bool
+(** [false] when the submission queue is full. *)
+
+val submit_write : t -> wr_id:int -> lba:int -> string -> bool
+(** Data longer than a block is rejected with [Invalid_argument];
+    shorter data is zero-padded. [false] when the SQ is full. *)
+
+val poll_cq : t -> completion option
+val cq_pending : t -> int
+val outstanding : t -> int
+val stats : t -> stats
+
+val set_cq_notify : t -> (unit -> unit) -> unit
+(** Invoked whenever a completion lands in the CQ; poll-mode consumers
+    can ignore this, interrupt-style consumers (the simulated kernel)
+    use it to schedule their bottom half. *)

@@ -1,0 +1,86 @@
+type stats = { delivered : int; lost : int; unrouted : int }
+
+let broadcast = 0xffffffffffff
+
+type t = {
+  engine : Dk_sim.Engine.t;
+  cost : Dk_sim.Cost.t;
+  mutable loss : float;
+  jitter_ns : int64;
+  rng : Dk_sim.Rng.t;
+  nics : (int, Nic.t) Hashtbl.t;
+  (* per (src,dst) last scheduled arrival: wire FIFO *)
+  last_arrival : (int * int, int64) Hashtbl.t;
+  mutable delivered : int;
+  mutable lost : int;
+  mutable unrouted : int;
+}
+
+let create ~engine ~cost ?(loss = 0.0) ?(jitter_ns = 0L) ?(seed = 0x5eedL) () =
+  {
+    engine;
+    cost;
+    loss;
+    jitter_ns;
+    rng = Dk_sim.Rng.create seed;
+    nics = Hashtbl.create 8;
+    last_arrival = Hashtbl.create 16;
+    delivered = 0;
+    lost = 0;
+    unrouted = 0;
+  }
+
+let deliver t ~src ~dst ~departed nic frame =
+  let base = Dk_sim.Cost.wire_ns t.cost (String.length frame) in
+  let delay =
+    if Int64.compare t.jitter_ns 0L > 0 then
+      Int64.add base
+        (Int64.of_int
+           (Dk_sim.Rng.int t.rng (Int64.to_int t.jitter_ns + 1)))
+    else base
+  in
+  (* Absolute arrival from the departure time; clamped monotonic per
+     (src,dst) so the wire is FIFO (unless jitter deliberately reorders,
+     in which case the clamp is skipped). *)
+  let arrival = Int64.add departed delay in
+  let arrival =
+    if Int64.compare t.jitter_ns 0L > 0 then arrival
+    else begin
+      let key = (src, dst) in
+      let floor =
+        Option.value ~default:0L (Hashtbl.find_opt t.last_arrival key)
+      in
+      let a = if Int64.compare arrival floor < 0 then floor else arrival in
+      Hashtbl.replace t.last_arrival key a;
+      a
+    end
+  in
+  let arrive () =
+    if t.loss > 0.0 && Dk_sim.Rng.bool t.rng t.loss then t.lost <- t.lost + 1
+    else begin
+      t.delivered <- t.delivered + 1;
+      Nic.receive nic frame
+    end
+  in
+  ignore (Dk_sim.Engine.at t.engine arrival arrive)
+
+let send t ~src ~dst ~departed frame =
+  if dst = broadcast then
+    Hashtbl.iter
+      (fun mac nic ->
+        if mac <> src then deliver t ~src ~dst:mac ~departed nic frame)
+      t.nics
+  else
+    match Hashtbl.find_opt t.nics dst with
+    | Some nic -> deliver t ~src ~dst ~departed nic frame
+    | None -> t.unrouted <- t.unrouted + 1
+
+let attach t nic =
+  let mac = Nic.mac nic in
+  if Hashtbl.mem t.nics mac then invalid_arg "Fabric.attach: duplicate MAC";
+  Hashtbl.replace t.nics mac nic;
+  Nic.set_uplink nic (fun ~src ~dst ~departed frame ->
+      send t ~src ~dst ~departed frame)
+
+let stats t = { delivered = t.delivered; lost = t.lost; unrouted = t.unrouted }
+let set_loss t p = t.loss <- p

@@ -1,0 +1,153 @@
+type stats = {
+  tx_frames : int;
+  tx_bytes : int;
+  tx_rejected : int;
+  rx_frames : int;
+  rx_bytes : int;
+  rx_dropped : int;
+  rx_filtered : int;
+  rx_mapped : int;
+}
+
+type t = {
+  engine : Dk_sim.Engine.t;
+  cost : Dk_sim.Cost.t;
+  mac : int;
+  programmable : bool;
+  rxq : string Dk_util.Bqueue.t;
+  tx_capacity : int;
+  mutable tx_inflight : int;
+  mutable rx_filter : Prog.filter option;
+  mutable rx_map : Prog.map option;
+  mutable uplink : (src:int -> dst:int -> departed:int64 -> string -> unit) option;
+  mutable rx_notify : unit -> unit;
+  mutable tx_frames : int;
+  mutable tx_bytes : int;
+  mutable tx_rejected : int;
+  mutable rx_frames : int;
+  mutable rx_bytes : int;
+  mutable rx_dropped : int;
+  mutable rx_filtered : int;
+  mutable rx_mapped : int;
+}
+
+let create ~engine ~cost ~mac ?(rx_capacity = 1024) ?(tx_capacity = 1024)
+    ?(programmable = false) () =
+  {
+    engine;
+    cost;
+    mac;
+    programmable;
+    rxq = Dk_util.Bqueue.create rx_capacity;
+    tx_capacity;
+    tx_inflight = 0;
+    rx_filter = None;
+    rx_map = None;
+    uplink = None;
+    rx_notify = (fun () -> ());
+    tx_frames = 0;
+    tx_bytes = 0;
+    tx_rejected = 0;
+    rx_frames = 0;
+    rx_bytes = 0;
+    rx_dropped = 0;
+    rx_filtered = 0;
+    rx_mapped = 0;
+  }
+
+let mac t = t.mac
+let programmable t = t.programmable
+
+let set_rx_filter t prog =
+  if t.programmable then begin
+    t.rx_filter <- prog;
+    Ok ()
+  end
+  else Error `Not_programmable
+
+let set_rx_map t prog =
+  if t.programmable then begin
+    t.rx_map <- prog;
+    Ok ()
+  end
+  else Error `Not_programmable
+
+let transmit t ~dst frame =
+  if t.tx_inflight >= t.tx_capacity then begin
+    t.tx_rejected <- t.tx_rejected + 1;
+    false
+  end
+  else begin
+    (* The CPU pays only for the doorbell; the DMA engine does the rest.
+       The departure time is fixed now (absolute), so that late event
+       execution — the clock having been consumed past this point —
+       cannot reorder frames on the wire. *)
+    Dk_sim.Engine.consume t.engine t.cost.Dk_sim.Cost.pcie_doorbell;
+    t.tx_inflight <- t.tx_inflight + 1;
+    let len = String.length frame in
+    let departed =
+      Int64.add (Dk_sim.Engine.now t.engine) (Dk_sim.Cost.dma_ns t.cost len)
+    in
+    let finish () =
+      t.tx_inflight <- t.tx_inflight - 1;
+      t.tx_frames <- t.tx_frames + 1;
+      t.tx_bytes <- t.tx_bytes + len;
+      match t.uplink with
+      | Some send -> send ~src:t.mac ~dst ~departed frame
+      | None -> ()
+    in
+    ignore (Dk_sim.Engine.at t.engine departed finish);
+    true
+  end
+
+let enqueue_rx t frame =
+  if Dk_util.Bqueue.push t.rxq frame then begin
+    t.rx_frames <- t.rx_frames + 1;
+    t.rx_bytes <- t.rx_bytes + String.length frame;
+    t.rx_notify ()
+  end
+  else t.rx_dropped <- t.rx_dropped + 1
+
+let receive t frame =
+  let prog_active = t.rx_filter <> None || t.rx_map <> None in
+  let process () =
+    let keep =
+      match t.rx_filter with
+      | None -> true
+      | Some p -> Prog.eval_pred p frame
+    in
+    if not keep then t.rx_filtered <- t.rx_filtered + 1
+    else
+      let frame =
+        match t.rx_map with
+        | None -> frame
+        | Some m ->
+            t.rx_mapped <- t.rx_mapped + 1;
+            Prog.eval_map m frame
+      in
+      enqueue_rx t frame
+  in
+  if prog_active then
+    (* On-device program execution adds device latency but no CPU. *)
+    ignore
+      (Dk_sim.Engine.after t.engine t.cost.Dk_sim.Cost.device_prog_per_elem
+         process)
+  else process ()
+
+let poll_rx t = Dk_util.Bqueue.pop t.rxq
+let rx_pending t = Dk_util.Bqueue.length t.rxq
+
+let stats t =
+  {
+    tx_frames = t.tx_frames;
+    tx_bytes = t.tx_bytes;
+    tx_rejected = t.tx_rejected;
+    rx_frames = t.rx_frames;
+    rx_bytes = t.rx_bytes;
+    rx_dropped = t.rx_dropped;
+    rx_filtered = t.rx_filtered;
+    rx_mapped = t.rx_mapped;
+  }
+
+let set_uplink t f = t.uplink <- Some f
+let set_rx_notify t f = t.rx_notify <- f

@@ -1,0 +1,62 @@
+(** Poll-mode NIC model (DPDK-class device, Table 1 left column; with
+    [programmable:true], Table 1 right column).
+
+    The NIC exposes descriptor-ring semantics: [transmit] costs one
+    doorbell of CPU time and fails when the TX ring is full; received
+    frames wait in a bounded RX ring and are lost when it overflows.
+    There is no kernel anywhere on this path. A programmable NIC can
+    additionally run a verified filter and/or map program ({!Prog}) on
+    inbound frames at zero CPU cost — frames dropped by the filter never
+    consume host cycles. *)
+
+type t
+
+type stats = {
+  tx_frames : int;
+  tx_bytes : int;
+  tx_rejected : int; (** transmit attempts that found the TX ring full *)
+  rx_frames : int;
+  rx_bytes : int;
+  rx_dropped : int;  (** frames lost to RX ring overflow *)
+  rx_filtered : int; (** frames dropped on-device by the filter program *)
+  rx_mapped : int;   (** frames transformed on-device by the map program *)
+}
+
+val create :
+  engine:Dk_sim.Engine.t ->
+  cost:Dk_sim.Cost.t ->
+  mac:int ->
+  ?rx_capacity:int ->
+  ?tx_capacity:int ->
+  ?programmable:bool ->
+  unit ->
+  t
+
+val mac : t -> int
+val programmable : t -> bool
+
+val set_rx_filter : t -> Prog.filter option -> (unit, [ `Not_programmable ]) result
+val set_rx_map : t -> Prog.map option -> (unit, [ `Not_programmable ]) result
+
+val transmit : t -> dst:int -> string -> bool
+(** Charge a doorbell and start DMA; [false] if the TX ring is full. *)
+
+val poll_rx : t -> string option
+(** Take the next received frame, if any (free — the poll-loop cost is
+    charged by the caller, which knows how often it spins). *)
+
+val rx_pending : t -> int
+val stats : t -> stats
+
+(** {2 Wiring (used by {!Fabric})} *)
+
+val set_uplink :
+  t -> (src:int -> dst:int -> departed:int64 -> string -> unit) -> unit
+(** [departed] is the absolute DMA-completion (wire departure) time. *)
+
+val receive : t -> string -> unit
+(** Deliver a frame into the RX path (filter/map, then ring). *)
+
+val set_rx_notify : t -> (unit -> unit) -> unit
+(** Invoked after each frame lands in the RX ring; network stacks use
+    this to schedule their poll step in the event loop. *)

@@ -1,0 +1,110 @@
+type pred =
+  | True
+  | False
+  | Len_ge of int
+  | Len_lt of int
+  | Byte_eq of int * char
+  | Byte_in of int * char * char
+  | Prefix of string
+  | Hash_mod of int * int * int * int
+  | All of pred list
+  | Any of pred list
+  | Not of pred
+
+type filter = pred
+
+type map =
+  | Identity
+  | Prepend of string
+  | Append of string
+  | Xor_mask of int
+  | Truncate of int
+  | Chain of map list
+
+let fnv1a s off len =
+  let h = ref 0xcbf29ce484222325L in
+  let stop = min (String.length s) (off + len) in
+  for i = max 0 off to stop - 1 do
+    h := Int64.logxor !h (Int64.of_int (Char.code s.[i]));
+    h := Int64.mul !h 0x100000001b3L
+  done;
+  !h
+
+let rec eval_pred p s =
+  match p with
+  | True -> true
+  | False -> false
+  | Len_ge n -> String.length s >= n
+  | Len_lt n -> String.length s < n
+  | Byte_eq (off, c) -> off >= 0 && off < String.length s && s.[off] = c
+  | Byte_in (off, lo, hi) ->
+      off >= 0 && off < String.length s && s.[off] >= lo && s.[off] <= hi
+  | Prefix p ->
+      String.length s >= String.length p
+      && String.equal (String.sub s 0 (String.length p)) p
+  | Hash_mod (off, len, modulo, target) ->
+      if modulo <= 0 then false
+      else
+        let h = fnv1a s off len in
+        Int64.to_int (Int64.rem (Int64.logand h Int64.max_int) (Int64.of_int modulo))
+        = target
+  | All ps -> List.for_all (fun p -> eval_pred p s) ps
+  | Any ps -> List.exists (fun p -> eval_pred p s) ps
+  | Not p -> not (eval_pred p s)
+
+let rec eval_map m s =
+  match m with
+  | Identity -> s
+  | Prepend p -> p ^ s
+  | Append a -> s ^ a
+  | Xor_mask k ->
+      String.map (fun c -> Char.chr (Char.code c lxor (k land 0xff))) s
+  | Truncate n -> if String.length s <= n then s else String.sub s 0 n
+  | Chain ms -> List.fold_left (fun acc m -> eval_map m acc) s ms
+
+let rec filter_footprint = function
+  | True | False | Len_ge _ | Len_lt _ -> 0
+  | Byte_eq _ | Byte_in _ -> 1
+  | Prefix p -> String.length p
+  | Hash_mod (_, len, _, _) -> max 0 len
+  | All ps | Any ps -> List.fold_left (fun acc p -> acc + filter_footprint p) 0 ps
+  | Not p -> filter_footprint p
+
+let rec map_footprint m len =
+  match m with
+  | Identity -> 0
+  | Prepend p -> String.length p + len
+  | Append a -> String.length a + len
+  | Xor_mask _ -> len
+  | Truncate n -> min n len
+  | Chain ms -> List.fold_left (fun acc m -> acc + map_footprint m len) 0 ms
+
+let rec pp_pred ppf = function
+  | True -> Format.fprintf ppf "true"
+  | False -> Format.fprintf ppf "false"
+  | Len_ge n -> Format.fprintf ppf "len>=%d" n
+  | Len_lt n -> Format.fprintf ppf "len<%d" n
+  | Byte_eq (o, c) -> Format.fprintf ppf "byte[%d]=%C" o c
+  | Byte_in (o, lo, hi) -> Format.fprintf ppf "byte[%d] in [%C,%C]" o lo hi
+  | Prefix p -> Format.fprintf ppf "prefix %S" p
+  | Hash_mod (o, l, m, t) -> Format.fprintf ppf "hash[%d..+%d]%%%d=%d" o l m t
+  | All ps ->
+      Format.fprintf ppf "(all %a)"
+        (Format.pp_print_list ~pp_sep:Format.pp_print_space pp_pred)
+        ps
+  | Any ps ->
+      Format.fprintf ppf "(any %a)"
+        (Format.pp_print_list ~pp_sep:Format.pp_print_space pp_pred)
+        ps
+  | Not p -> Format.fprintf ppf "(not %a)" pp_pred p
+
+let rec pp_map ppf = function
+  | Identity -> Format.fprintf ppf "id"
+  | Prepend p -> Format.fprintf ppf "prepend %S" p
+  | Append a -> Format.fprintf ppf "append %S" a
+  | Xor_mask k -> Format.fprintf ppf "xor 0x%02x" (k land 0xff)
+  | Truncate n -> Format.fprintf ppf "truncate %d" n
+  | Chain ms ->
+      Format.fprintf ppf "(chain %a)"
+        (Format.pp_print_list ~pp_sep:Format.pp_print_space pp_map)
+        ms

@@ -1,0 +1,49 @@
+(** Verified-by-construction queue programs (§4.2–4.3).
+
+    The paper proposes letting applications express filter and map
+    functions that the libOS offloads to a programmable accelerator when
+    one is present, or runs on the CPU otherwise, and suggests a
+    verified framework (BPF, Floem) so devices can trust them. Here the
+    programs are a total, bounded combinator language: evaluation always
+    terminates, touches a statically-known number of bytes
+    ({!filter_footprint}), and cannot escape the payload. *)
+
+type pred =
+  | True
+  | False
+  | Len_ge of int          (** payload length >= n *)
+  | Len_lt of int
+  | Byte_eq of int * char  (** payload.[off] = c (false if out of range) *)
+  | Byte_in of int * char * char (** inclusive range test *)
+  | Prefix of string       (** payload starts with the literal *)
+  | Hash_mod of int * int * int * int
+      (** [Hash_mod (off, len, modulo, target)]: FNV-1a over the byte
+          range, reduced mod [modulo], equals [target] — the
+          key-steering filter of §4.3. *)
+  | All of pred list
+  | Any of pred list
+  | Not of pred
+
+type filter = pred
+
+type map =
+  | Identity
+  | Prepend of string
+  | Append of string
+  | Xor_mask of int    (** toy cipher standing in for offloaded crypto *)
+  | Truncate of int
+  | Chain of map list
+
+val eval_pred : pred -> string -> bool
+val eval_map : map -> string -> string
+
+val filter_footprint : filter -> int
+(** Upper bound on payload bytes a filter examines; drives the CPU
+    fallback cost. *)
+
+val map_footprint : map -> int -> int
+(** [map_footprint m len]: bytes touched when mapping a payload of
+    [len] bytes. *)
+
+val pp_pred : Format.formatter -> pred -> unit
+val pp_map : Format.formatter -> map -> unit

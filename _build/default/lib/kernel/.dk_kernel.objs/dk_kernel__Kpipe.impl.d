@@ -1,0 +1,1 @@
+lib/kernel/kpipe.ml: Bytes Dk_util

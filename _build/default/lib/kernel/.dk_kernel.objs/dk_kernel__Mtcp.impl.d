@@ -1,0 +1,1 @@
+lib/kernel/mtcp.ml: Bytes Dk_net Dk_sim Dk_util String

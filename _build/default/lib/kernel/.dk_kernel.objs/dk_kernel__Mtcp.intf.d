@@ -1,0 +1,1 @@
+lib/kernel/mtcp.mli: Dk_net Dk_sim

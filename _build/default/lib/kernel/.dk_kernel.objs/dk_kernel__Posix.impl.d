@@ -1,0 +1,1 @@
+lib/kernel/posix.ml: Bytes Dk_net Dk_sim Hashtbl Kpipe List Queue String

@@ -1,0 +1,1 @@
+lib/kernel/posix.mli: Dk_net Dk_sim

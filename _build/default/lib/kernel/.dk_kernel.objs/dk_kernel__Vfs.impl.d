@@ -1,0 +1,1 @@
+lib/kernel/vfs.ml: Bytes Dk_device Dk_sim Hashtbl List Option String

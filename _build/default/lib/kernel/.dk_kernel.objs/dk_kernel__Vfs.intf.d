@@ -1,0 +1,1 @@
+lib/kernel/vfs.mli: Dk_device Dk_sim

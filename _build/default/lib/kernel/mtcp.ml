@@ -1,0 +1,103 @@
+module Stack = Dk_net.Stack
+module Tcp = Dk_net.Tcp
+
+type t = {
+  engine : Dk_sim.Engine.t;
+  cost : Dk_sim.Cost.t;
+  stack : Stack.t;
+  mutable bytes_copied : int;
+}
+
+type conn = {
+  owner : t;
+  tcp : Tcp.conn;
+  rx : Dk_util.Ring.t; (* batch-delivered received bytes *)
+  mutable tx : string; (* bytes awaiting the next flush batch *)
+  mutable flush_scheduled : bool;
+  mutable on_connect : unit -> unit;
+  mutable on_readable : unit -> unit;
+}
+
+let create ~engine ~cost ~stack () =
+  { engine; cost; stack; bytes_copied = 0 }
+
+let charge_copy t n =
+  t.bytes_copied <- t.bytes_copied + n;
+  Dk_sim.Engine.consume t.engine (Dk_sim.Cost.copy_ns t.cost n)
+
+let batch t = t.cost.Dk_sim.Cost.mtcp_batch_delay
+
+(* Move whatever the stack has into the app-visible ring, one batch
+   delay after it arrived. *)
+let wire conn =
+  let t = conn.owner in
+  Tcp.set_on_readable conn.tcp (fun () ->
+      ignore
+        (Dk_sim.Engine.after t.engine (batch t) (fun () ->
+             let avail = Tcp.recv_ready conn.tcp in
+             if avail > 0 then begin
+               let data = Tcp.recv conn.tcp avail in
+               ignore (Dk_util.Ring.write_string conn.rx data);
+               conn.on_readable ()
+             end)));
+  Tcp.set_on_writable conn.tcp (fun () ->
+      if String.length conn.tx > 0 then begin
+        let n = Tcp.send conn.tcp conn.tx in
+        conn.tx <- String.sub conn.tx n (String.length conn.tx - n)
+      end);
+  Tcp.set_on_connect conn.tcp (fun () -> conn.on_connect ())
+
+let make owner tcp =
+  let conn =
+    {
+      owner;
+      tcp;
+      rx = Dk_util.Ring.create (1 lsl 20);
+      tx = "";
+      flush_scheduled = false;
+      on_connect = (fun () -> ());
+      on_readable = (fun () -> ());
+    }
+  in
+  wire conn;
+  conn
+
+let listen t ~port ~on_accept =
+  Stack.tcp_listen t.stack ~port ~on_accept:(fun tcp ->
+      on_accept (make t tcp))
+
+let connect t ~dst = make t (Stack.tcp_connect t.stack ~dst)
+
+let rec schedule_flush conn =
+  if not conn.flush_scheduled then begin
+    conn.flush_scheduled <- true;
+    let t = conn.owner in
+    ignore
+      (Dk_sim.Engine.after t.engine (batch t) (fun () ->
+           conn.flush_scheduled <- false;
+           if String.length conn.tx > 0 then begin
+             let n = Tcp.send conn.tcp conn.tx in
+             conn.tx <- String.sub conn.tx n (String.length conn.tx - n);
+             if String.length conn.tx > 0 then schedule_flush conn
+           end))
+  end
+
+let send conn data =
+  charge_copy conn.owner (String.length data);
+  conn.tx <- conn.tx ^ data;
+  schedule_flush conn;
+  String.length data
+
+let recv_ready conn = Dk_util.Ring.length conn.rx
+
+let recv conn n =
+  let n = min n (recv_ready conn) in
+  let buf = Bytes.create n in
+  let got = Dk_util.Ring.read conn.rx buf 0 n in
+  charge_copy conn.owner got;
+  Bytes.sub_string buf 0 got
+
+let set_on_connect conn f = conn.on_connect <- f
+let set_on_readable conn f = conn.on_readable <- f
+let close conn = Tcp.close conn.tcp
+let bytes_copied t = t.bytes_copied

@@ -1,0 +1,43 @@
+(** Simulated kernel file system over the block device.
+
+    Models the traditional storage path of Figure 1: every operation
+    pays a syscall, VFS/page-cache bookkeeping ([Cost.vfs_overhead]) and
+    a user/kernel copy of the data, then goes to the device and waits
+    for the interrupt-driven completion. Contrast with the Demikernel
+    file queue, which pays a doorbell and polls.
+
+    Operations are asynchronous: completion continuations run from the
+    simulation event loop when the device finishes. *)
+
+type t
+
+type error = [ `No_such_file | `Exists | `Device_busy ]
+
+val create :
+  engine:Dk_sim.Engine.t ->
+  cost:Dk_sim.Cost.t ->
+  block:Dk_device.Block.t ->
+  unit ->
+  t
+
+val creat : t -> string -> (unit, error) result
+val exists : t -> string -> bool
+val size : t -> string -> int option
+val unlink : t -> string -> (unit, error) result
+
+val write :
+  t -> path:string -> off:int -> string -> ((int, error) result -> unit) -> unit
+(** Write bytes at an offset (extending the file as needed); the
+    continuation receives the byte count once the device commits. *)
+
+val read :
+  t -> path:string -> off:int -> len:int -> ((string, error) result -> unit) -> unit
+(** Read up to [len] bytes at [off] (short reads at end of file). *)
+
+val fsync : t -> path:string -> ((unit, error) result -> unit) -> unit
+(** Barrier: completes when all previously issued writes for the file
+    have completed. *)
+
+val syscalls : t -> int
+(** Syscall crossings charged so far (three per write/read: enter,
+    block, return — folded into one charge plus a context switch). *)

@@ -1,0 +1,1 @@
+lib/mem/arena.mli: Region

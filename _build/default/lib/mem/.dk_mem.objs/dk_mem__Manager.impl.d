@@ -1,0 +1,1 @@
+lib/mem/manager.ml: Arena Buffer List Option Region Sga String

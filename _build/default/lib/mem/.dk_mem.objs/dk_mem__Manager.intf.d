@@ -1,0 +1,1 @@
+lib/mem/manager.mli: Buffer Region Sga

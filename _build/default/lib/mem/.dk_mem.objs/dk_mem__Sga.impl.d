@@ -1,0 +1,1 @@
+lib/mem/sga.ml: Buffer Bytes Format List Stdlib String

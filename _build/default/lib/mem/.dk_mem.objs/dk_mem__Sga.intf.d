@@ -1,0 +1,1 @@
+lib/mem/sga.mli: Buffer Format

@@ -1,0 +1,96 @@
+type block = { offset : int; size : int; level : int }
+
+type t = {
+  reg : Region.t;
+  total : int;
+  min_block : int;
+  levels : int; (* level 0 = whole region; level [levels-1] = min blocks *)
+  free_lists : int list array; (* per level: offsets of free blocks *)
+  allocated : (int, int) Hashtbl.t; (* offset -> level, for double-free checks *)
+  mutable live : int;
+}
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let log2 n =
+  let rec loop v acc = if v <= 1 then acc else loop (v lsr 1) (acc + 1) in
+  loop n 0
+
+let create ?(min_block = 64) reg =
+  let total = Region.size reg in
+  if not (is_pow2 total) then
+    invalid_arg "Arena.create: region size must be a power of two";
+  if not (is_pow2 min_block) || min_block > total then
+    invalid_arg "Arena.create: bad min_block";
+  let levels = log2 (total / min_block) + 1 in
+  let free_lists = Array.make levels [] in
+  free_lists.(0) <- [ 0 ];
+  { reg; total; min_block; levels; free_lists; allocated = Hashtbl.create 64; live = 0 }
+
+let region t = t.reg
+let block_size t level = t.total lsr level
+
+(* Smallest level (largest index) whose block size still fits [n]. *)
+let level_for t n =
+  let rec loop level =
+    if level + 1 < t.levels && block_size t (level + 1) >= n then loop (level + 1)
+    else level
+  in
+  if n > t.total then None else Some (loop 0)
+
+let take_free t level =
+  match t.free_lists.(level) with
+  | [] -> None
+  | off :: rest ->
+      t.free_lists.(level) <- rest;
+      Some off
+
+(* Find a free block at [level], splitting larger blocks as needed. *)
+let rec obtain t level =
+  if level < 0 then None
+  else
+    match take_free t level with
+    | Some off -> Some off
+    | None -> (
+        match obtain t (level - 1) with
+        | None -> None
+        | Some off ->
+            (* Split: keep the low half, free the high half at this level. *)
+            let half = block_size t level in
+            t.free_lists.(level) <- (off + half) :: t.free_lists.(level);
+            Some off)
+
+let alloc t n =
+  if n < 1 then invalid_arg "Arena.alloc: size must be >= 1";
+  match level_for t n with
+  | None -> None
+  | Some level -> (
+      match obtain t level with
+      | None -> None
+      | Some offset ->
+          let size = block_size t level in
+          Hashtbl.replace t.allocated offset level;
+          t.live <- t.live + size;
+          Some { offset; size; level })
+
+let rec insert_or_merge t level offset =
+  let size = block_size t level in
+  let buddy = offset lxor size in
+  if level > 0 && List.mem buddy t.free_lists.(level) then begin
+    t.free_lists.(level) <-
+      List.filter (fun o -> o <> buddy) t.free_lists.(level);
+    insert_or_merge t (level - 1) (min offset buddy)
+  end
+  else t.free_lists.(level) <- offset :: t.free_lists.(level)
+
+let free t b =
+  (match Hashtbl.find_opt t.allocated b.offset with
+  | Some level when level = b.level -> ()
+  | Some _ | None ->
+      invalid_arg "Arena.free: not an outstanding block (double free?)");
+  Hashtbl.remove t.allocated b.offset;
+  t.live <- t.live - b.size;
+  insert_or_merge t b.level b.offset
+
+let live_bytes t = t.live
+let is_quiescent t = t.live = 0 && t.free_lists.(0) <> []

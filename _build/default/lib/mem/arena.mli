@@ -1,0 +1,32 @@
+(** Buddy allocator over a single {!Region}.
+
+    The region size must be a power of two; allocations are rounded up
+    to the next power of two, with a configurable minimum block. Frees
+    coalesce buddies eagerly, so a fully-freed arena always returns to
+    one maximal block. *)
+
+type t
+
+type block = { offset : int; size : int; level : int }
+(** An allocation: [size] bytes at [offset] in the arena's region.
+    [level] is internal bookkeeping needed by {!free}. *)
+
+val create : ?min_block:int -> Region.t -> t
+(** @raise Invalid_argument if the region size is not a power of two or
+    smaller than [min_block] (default 64). *)
+
+val region : t -> Region.t
+
+val alloc : t -> int -> block option
+(** [alloc t n] reserves a block of at least [n] bytes ([n >= 1]), or
+    [None] if fragmentation or capacity prevents it. *)
+
+val free : t -> block -> unit
+(** Return a block. @raise Invalid_argument on a block this arena did
+    not allocate or that was already freed (double free). *)
+
+val live_bytes : t -> int
+(** Sum of sizes of outstanding blocks. *)
+
+val is_quiescent : t -> bool
+(** True when nothing is allocated (the arena is one maximal block). *)

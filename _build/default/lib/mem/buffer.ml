@@ -1,0 +1,130 @@
+type cell = {
+  mutable app_refs : int;
+  mutable io_refs : int;
+  mutable released : bool;
+  mutable deferred : bool;
+  release : unit -> unit;
+}
+
+type t = {
+  store : bytes;
+  off : int;
+  len : int;
+  region_id : int option;
+  cell : cell option;
+  mutable live : bool; (* this view not yet freed *)
+}
+
+let of_string s =
+  {
+    store = Bytes.of_string s;
+    off = 0;
+    len = String.length s;
+    region_id = None;
+    cell = None;
+    live = true;
+  }
+
+let unmanaged n =
+  if n < 0 then invalid_arg "Buffer.unmanaged";
+  {
+    store = Bytes.make n '\000';
+    off = 0;
+    len = n;
+    region_id = None;
+    cell = None;
+    live = true;
+  }
+
+let make_managed ~store ~off ~len ~region_id ~release =
+  if off < 0 || len < 0 || off + len > Bytes.length store then
+    invalid_arg "Buffer.make_managed";
+  let cell =
+    { app_refs = 1; io_refs = 0; released = false; deferred = false; release }
+  in
+  { store; off; len; region_id = Some region_id; cell = Some cell; live = true }
+
+let store t = t.store
+let off t = t.off
+let length t = t.len
+let region_id t = t.region_id
+
+let retain t =
+  match t.cell with
+  | None -> ()
+  | Some c ->
+      if c.released then invalid_arg "Buffer: use after release";
+      c.app_refs <- c.app_refs + 1
+
+let sub t pos len =
+  if pos < 0 || len < 0 || pos + len > t.len then invalid_arg "Buffer.sub";
+  retain t;
+  { t with off = t.off + pos; len; live = true }
+
+let dup t =
+  retain t;
+  { t with live = true }
+
+let check_bounds t pos len name =
+  if pos < 0 || len < 0 || pos + len > t.len then invalid_arg name
+
+let get t i =
+  check_bounds t i 1 "Buffer.get";
+  Bytes.get t.store (t.off + i)
+
+let set t i c =
+  check_bounds t i 1 "Buffer.set";
+  Bytes.set t.store (t.off + i) c
+
+let blit_from_string src soff t doff len =
+  check_bounds t doff len "Buffer.blit_from_string";
+  Bytes.blit_string src soff t.store (t.off + doff) len
+
+let blit_to_bytes t soff dst doff len =
+  check_bounds t soff len "Buffer.blit_to_bytes";
+  Bytes.blit t.store (t.off + soff) dst doff len
+
+let blit src soff dst doff len =
+  check_bounds src soff len "Buffer.blit(src)";
+  check_bounds dst doff len "Buffer.blit(dst)";
+  Bytes.blit src.store (src.off + soff) dst.store (dst.off + doff) len
+
+let fill t c = Bytes.fill t.store t.off t.len c
+
+let to_string t = Bytes.sub_string t.store t.off t.len
+
+let maybe_release c =
+  if (not c.released) && c.app_refs = 0 && c.io_refs = 0 then begin
+    c.released <- true;
+    c.release ()
+  end
+
+let free t =
+  if not t.live then invalid_arg "Buffer.free: double free of a view";
+  t.live <- false;
+  match t.cell with
+  | None -> ()
+  | Some c ->
+      c.app_refs <- c.app_refs - 1;
+      if c.app_refs = 0 && c.io_refs > 0 then c.deferred <- true;
+      maybe_release c
+
+let io_hold t =
+  match t.cell with
+  | None -> ()
+  | Some c ->
+      if c.released then invalid_arg "Buffer.io_hold: buffer already released";
+      c.io_refs <- c.io_refs + 1
+
+let io_release t =
+  match t.cell with
+  | None -> ()
+  | Some c ->
+      if c.io_refs <= 0 then invalid_arg "Buffer.io_release: no I/O hold";
+      c.io_refs <- c.io_refs - 1;
+      maybe_release c
+
+let in_flight t = match t.cell with None -> false | Some c -> c.io_refs > 0
+let is_live t = t.live
+let was_deferred t =
+  match t.cell with None -> false | Some c -> c.deferred

@@ -1,0 +1,138 @@
+type stats = {
+  allocs : int;
+  releases : int;
+  deferred_releases : int;
+  live_bytes : int;
+  region_count : int;
+  region_bytes : int;
+}
+
+type t = {
+  initial_region_size : int;
+  max_total_bytes : int;
+  on_new_region : Region.t -> unit;
+  mutable arenas : Arena.t list;
+  mutable next_region_id : int;
+  mutable total_bytes : int;
+  mutable allocs : int;
+  mutable releases : int;
+  mutable deferred_releases : int;
+}
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let create ?(initial_region_size = 1 lsl 20) ?(max_total_bytes = 1 lsl 28)
+    ?(on_new_region = fun _ -> ()) () =
+  if not (is_pow2 initial_region_size) then
+    invalid_arg "Manager.create: initial_region_size must be a power of two";
+  {
+    initial_region_size;
+    max_total_bytes;
+    on_new_region;
+    arenas = [];
+    next_region_id = 0;
+    total_bytes = 0;
+    allocs = 0;
+    releases = 0;
+    deferred_releases = 0;
+  }
+
+let next_pow2 n =
+  let rec loop v = if v >= n then v else loop (v * 2) in
+  loop 1
+
+let grow t want =
+  let size = max t.initial_region_size (next_pow2 want) in
+  if t.total_bytes + size > t.max_total_bytes then None
+  else begin
+    let reg = Region.create ~id:t.next_region_id ~size in
+    t.next_region_id <- t.next_region_id + 1;
+    t.total_bytes <- t.total_bytes + size;
+    Region.pin reg;
+    t.on_new_region reg;
+    let arena = Arena.create reg in
+    t.arenas <- t.arenas @ [ arena ];
+    Some arena
+  end
+
+let wrap t arena (block : Arena.block) len =
+  let reg = Arena.region arena in
+  (* [release] runs strictly after [buf] exists, so it can consult the
+     buffer's deferral flag through this knot. *)
+  let buf_ref = ref None in
+  let release () =
+    t.releases <- t.releases + 1;
+    (match !buf_ref with
+    | Some b when Buffer.was_deferred b ->
+        t.deferred_releases <- t.deferred_releases + 1
+    | Some _ | None -> ());
+    Arena.free arena block
+  in
+  let buf =
+    Buffer.make_managed ~store:(Region.store reg) ~off:block.Arena.offset
+      ~len ~region_id:(Region.id reg) ~release
+  in
+  buf_ref := Some buf;
+  buf
+
+let try_arenas t len =
+  let rec loop = function
+    | [] -> None
+    | arena :: rest -> (
+        match Arena.alloc arena len with
+        | Some block -> Some (arena, block)
+        | None -> loop rest)
+  in
+  loop t.arenas
+
+let alloc t len =
+  if len <= 0 then invalid_arg "Manager.alloc: size must be positive";
+  let found =
+    match try_arenas t len with
+    | Some _ as hit -> hit
+    | None -> (
+        match grow t len with
+        | None -> None
+        | Some arena -> (
+            match Arena.alloc arena len with
+            | Some block -> Some (arena, block)
+            | None -> None))
+  in
+  match found with
+  | None -> None
+  | Some (arena, block) ->
+      t.allocs <- t.allocs + 1;
+      Some (wrap t arena block len)
+
+let alloc_exn t len =
+  match alloc t len with
+  | Some b -> b
+  | None -> raise Out_of_memory
+
+let alloc_string t s =
+  match alloc t (max 1 (String.length s)) with
+  | None -> None
+  | Some b ->
+      Buffer.blit_from_string s 0 b 0 (String.length s);
+      if String.length s = Buffer.length b then Some b
+      else begin
+        (* Trim the view to the string's exact length. *)
+        let v = Buffer.sub b 0 (String.length s) in
+        Buffer.free b;
+        Some v
+      end
+
+let sga_of_string t s =
+  Option.map (fun b -> Sga.of_buffers [ b ]) (alloc_string t s)
+
+let regions t = List.map Arena.region t.arenas
+
+let stats t =
+  {
+    allocs = t.allocs;
+    releases = t.releases;
+    deferred_releases = t.deferred_releases;
+    live_bytes = List.fold_left (fun acc a -> acc + Arena.live_bytes a) 0 t.arenas;
+    region_count = List.length t.arenas;
+    region_bytes = t.total_bytes;
+  }

@@ -1,0 +1,45 @@
+(** The Demikernel memory manager (§4.5).
+
+    Allocates application I/O buffers from large pre-registered regions,
+    so that applications never register memory with devices themselves:
+    when the manager creates a region it fires [on_new_region], which
+    the libOS uses to register the region with every attached device
+    (paying the registration cost once per region, not once per buffer).
+    Buffers carry free-protection (see {!Buffer}). *)
+
+type t
+
+type stats = {
+  allocs : int;          (** successful allocations *)
+  releases : int;        (** storage actually returned *)
+  deferred_releases : int; (** releases delayed by in-flight I/O *)
+  live_bytes : int;
+  region_count : int;
+  region_bytes : int;
+}
+
+val create :
+  ?initial_region_size:int ->
+  ?max_total_bytes:int ->
+  ?on_new_region:(Region.t -> unit) ->
+  unit ->
+  t
+(** Defaults: 1 MiB initial region, 256 MiB cap, no registration hook.
+    [initial_region_size] must be a power of two. *)
+
+val alloc : t -> int -> Buffer.t option
+(** [None] only when the total-bytes cap prevents growing. *)
+
+val alloc_exn : t -> int -> Buffer.t
+(** @raise Out_of_memory when {!alloc} would return [None]. *)
+
+val alloc_string : t -> string -> Buffer.t option
+(** Allocate and fill with the string's bytes (the buffer's length is
+    exactly the string's length... it is a view of a possibly larger
+    block). *)
+
+val sga_of_string : t -> string -> Sga.t option
+(** Single-segment managed sga holding the string. *)
+
+val regions : t -> Region.t list
+val stats : t -> stats

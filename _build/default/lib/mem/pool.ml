@@ -1,0 +1,40 @@
+type t = {
+  size : int;
+  capacity : int;
+  mutable free : Buffer.t list;
+  mutable free_count : int;
+}
+
+let create ~alloc ~size ~count =
+  if size <= 0 || count <= 0 then invalid_arg "Pool.create";
+  let rec loop n acc =
+    if n = 0 then Some acc
+    else
+      match alloc () with
+      | None ->
+          List.iter Buffer.free acc;
+          None
+      | Some b ->
+          if Buffer.length b < size then invalid_arg "Pool.create: short buffer";
+          loop (n - 1) (b :: acc)
+  in
+  match loop count [] with
+  | None -> None
+  | Some free -> Some { size; capacity = count; free; free_count = count }
+
+let buffer_size t = t.size
+let available t = t.free_count
+let outstanding t = t.capacity - t.free_count
+
+let get t =
+  match t.free with
+  | [] -> None
+  | b :: rest ->
+      t.free <- rest;
+      t.free_count <- t.free_count - 1;
+      Some b
+
+let put t b =
+  if t.free_count >= t.capacity then invalid_arg "Pool.put: pool full";
+  t.free <- b :: t.free;
+  t.free_count <- t.free_count + 1

@@ -1,0 +1,23 @@
+(** Fixed-size buffer pool with O(1) get/put.
+
+    Device receive paths pre-post buffers from a pool (the "allocate
+    enough buffers of the right size for senders" burden §2 describes);
+    the libOS owns the pool so applications never see it. *)
+
+type t
+
+val create : alloc:(unit -> Buffer.t option) -> size:int -> count:int -> t option
+(** [create ~alloc ~size ~count] pre-allocates [count] buffers using
+    [alloc] (each must return a buffer of length [size]); [None] if any
+    allocation fails. *)
+
+val buffer_size : t -> int
+val available : t -> int
+val outstanding : t -> int
+
+val get : t -> Buffer.t option
+(** Take a buffer; [None] when exhausted (models rx-ring underrun). *)
+
+val put : t -> Buffer.t -> unit
+(** Return a buffer previously obtained from {!get}.
+    @raise Invalid_argument if the pool is already full. *)

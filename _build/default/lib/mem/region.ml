@@ -1,0 +1,14 @@
+let page_size = 4096
+
+type t = { id : int; store : bytes; mutable pinned : bool }
+
+let create ~id ~size =
+  if size <= 0 then invalid_arg "Region.create";
+  { id; store = Bytes.create size; pinned = false }
+
+let id t = t.id
+let size t = Bytes.length t.store
+let store t = t.store
+let pin t = t.pinned <- true
+let pinned t = t.pinned
+let pages t = (size t + page_size - 1) / page_size

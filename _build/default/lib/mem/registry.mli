@@ -1,0 +1,22 @@
+(** Registration registry: which memory regions are registered with
+    which devices.
+
+    Kernel-bypass devices translate user addresses only for registered,
+    pinned regions (§2, §4.5). The registry is the bookkeeping; charging
+    the (large) registration cost to the virtual clock is done by the
+    caller, who knows the engine. *)
+
+type t
+
+val create : unit -> t
+
+val register : t -> region_id:int -> device:string -> unit
+(** Idempotent per (region, device) pair. *)
+
+val is_registered : t -> region_id:int -> device:string -> bool
+
+val registrations : t -> int
+(** Total number of distinct (region, device) registrations performed —
+    the quantity the transparent scheme amortises. *)
+
+val devices_of : t -> region_id:int -> string list

@@ -1,0 +1,64 @@
+type t = { segs : Buffer.t list; total : int }
+
+let empty = { segs = []; total = 0 }
+
+let of_buffers segs =
+  let total = List.fold_left (fun acc b -> acc + Buffer.length b) 0 segs in
+  { segs; total }
+
+let of_string s = of_buffers [ Buffer.of_string s ]
+let of_strings ss = of_buffers (List.map Buffer.of_string ss)
+
+let segments t = t.segs
+let segment_count t = List.length t.segs
+let length t = t.total
+
+let append t b =
+  { segs = t.segs @ [ b ]; total = t.total + Buffer.length b }
+
+let concat a b = { segs = a.segs @ b.segs; total = a.total + b.total }
+
+let copy_into t dst off =
+  if off < 0 || off + t.total > Bytes.length dst then
+    invalid_arg "Sga.copy_into: destination too small";
+  let pos = ref off in
+  let copy_seg b =
+    Buffer.blit_to_bytes b 0 dst !pos (Buffer.length b);
+    pos := !pos + Buffer.length b
+  in
+  List.iter copy_seg t.segs;
+  !pos - off
+
+let to_string t =
+  let dst = Bytes.create t.total in
+  ignore (copy_into t dst 0);
+  Bytes.unsafe_to_string dst
+
+let sub_string t pos len =
+  if pos < 0 || len < 0 || pos + len > t.total then
+    invalid_arg "Sga.sub_string";
+  let out = Stdlib.Buffer.create len in
+  let skip = ref pos and want = ref len in
+  let take b =
+    let blen = Buffer.length b in
+    if !want > 0 then
+      if !skip >= blen then skip := !skip - blen
+      else begin
+        let here = min (blen - !skip) !want in
+        Stdlib.Buffer.add_string out
+          (Bytes.sub_string (Buffer.store b) (Buffer.off b + !skip) here);
+        want := !want - here;
+        skip := 0
+      end
+  in
+  List.iter take t.segs;
+  Stdlib.Buffer.contents out
+
+let equal a b = a.total = b.total && String.equal (to_string a) (to_string b)
+
+let free t = List.iter Buffer.free t.segs
+let io_hold t = List.iter Buffer.io_hold t.segs
+let io_release t = List.iter Buffer.io_release t.segs
+
+let pp ppf t =
+  Format.fprintf ppf "sga[%d segs, %d bytes]" (segment_count t) t.total

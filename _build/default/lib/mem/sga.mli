@@ -1,0 +1,50 @@
+(** Scatter-gather arrays — the atomic data unit of Demikernel queues
+    (§4.2–4.3).
+
+    An [sga] is an ordered sequence of buffer segments. A scatter-gather
+    array pushed into a queue always pops out as a single element; the
+    segments give devices the granularity at which to compute. *)
+
+type t
+
+val empty : t
+val of_buffers : Buffer.t list -> t
+val of_string : string -> t
+(** Single-segment sga over an unmanaged copy of the string. *)
+
+val of_strings : string list -> t
+
+val segments : t -> Buffer.t list
+val segment_count : t -> int
+
+val length : t -> int
+(** Total byte length across segments. *)
+
+val append : t -> Buffer.t -> t
+
+val concat : t -> t -> t
+
+val to_string : t -> string
+(** Materialises the payload (copies — use only off the fast path). *)
+
+val copy_into : t -> bytes -> int -> int
+(** [copy_into t dst off] gathers all segments into [dst] starting at
+    [off]; returns bytes written. This is the explicit "POSIX copy" the
+    paper's zero-copy interface avoids.
+    @raise Invalid_argument if [dst] is too small. *)
+
+val sub_string : t -> int -> int -> string
+(** [sub_string t pos len] reads a byte range crossing segment
+    boundaries. *)
+
+val equal : t -> t -> bool
+(** Byte-wise payload equality (segmentation-insensitive). *)
+
+val free : t -> unit
+(** Free every segment (application reference drop; see
+    {!Buffer.free}). *)
+
+val io_hold : t -> unit
+val io_release : t -> unit
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/net/arp.ml: Addr Bytes Hashtbl List String Wire

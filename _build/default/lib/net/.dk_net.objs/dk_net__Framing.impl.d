@@ -1,0 +1,1 @@
+lib/net/framing.ml: Bytes Dk_mem Dk_util List Stdlib String

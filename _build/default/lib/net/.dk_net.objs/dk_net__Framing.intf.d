@@ -1,0 +1,1 @@
+lib/net/framing.mli: Dk_mem

@@ -1,0 +1,1 @@
+lib/net/stack.ml: Addr Arp Dk_device Dk_sim Eth Hashtbl Ipv4 Option String Tcp Tcp_wire Udp

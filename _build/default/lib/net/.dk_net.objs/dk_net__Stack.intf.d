@@ -1,0 +1,1 @@
+lib/net/stack.mli: Addr Dk_device Dk_sim Tcp

@@ -1,0 +1,1 @@
+lib/net/tcp.ml: Addr Bytes Dk_sim Dk_util Int64 List String Tcp_wire

@@ -1,0 +1,1 @@
+lib/net/tcp.mli: Addr Dk_sim Tcp_wire

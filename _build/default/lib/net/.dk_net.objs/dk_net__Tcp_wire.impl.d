@@ -1,0 +1,1 @@
+lib/net/tcp_wire.ml: Bytes Dk_util Format Ipv4 String Wire

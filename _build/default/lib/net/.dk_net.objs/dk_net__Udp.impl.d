@@ -1,0 +1,1 @@
+lib/net/udp.ml: Bytes Dk_util Ipv4 String Wire

@@ -1,0 +1,71 @@
+type op = Request | Reply
+
+type t = {
+  op : op;
+  sender_mac : Addr.mac;
+  sender_ip : Addr.ip;
+  target_mac : Addr.mac;
+  target_ip : Addr.ip;
+}
+
+let size = 2 + 6 + 4 + 6 + 4
+
+let encode t =
+  let b = Bytes.create size in
+  Wire.set_u16 b 0 (match t.op with Request -> 1 | Reply -> 2);
+  Wire.set_u48 b 2 t.sender_mac;
+  Wire.set_u32 b 8 t.sender_ip;
+  Wire.set_u48 b 12 t.target_mac;
+  Wire.set_u32 b 18 t.target_ip;
+  Bytes.unsafe_to_string b
+
+let decode s =
+  if String.length s < size then Error "arp: too short"
+  else
+    let b = Bytes.unsafe_of_string s in
+    match Wire.get_u16 b 0 with
+    | (1 | 2) as op ->
+        Ok
+          {
+            op = (if op = 1 then Request else Reply);
+            sender_mac = Wire.get_u48 b 2;
+            sender_ip = Wire.get_u32 b 8;
+            target_mac = Wire.get_u48 b 12;
+            target_ip = Wire.get_u32 b 18;
+          }
+    | _ -> Error "arp: bad op"
+
+module Table = struct
+  type table = {
+    entries : (Addr.ip, Addr.mac) Hashtbl.t;
+    pending : (Addr.ip, (Addr.mac -> unit) list) Hashtbl.t;
+  }
+
+  let create () = { entries = Hashtbl.create 16; pending = Hashtbl.create 4 }
+  let lookup t ip = Hashtbl.find_opt t.entries ip
+  let insert t ip mac = Hashtbl.replace t.entries ip mac
+
+  let enqueue_pending t ip k =
+    match Hashtbl.find_opt t.pending ip with
+    | None ->
+        Hashtbl.replace t.pending ip [ k ];
+        true
+    | Some ks ->
+        Hashtbl.replace t.pending ip (k :: ks);
+        false
+
+  let resolve_pending t ip mac =
+    insert t ip mac;
+    match Hashtbl.find_opt t.pending ip with
+    | None -> ()
+    | Some ks ->
+        Hashtbl.remove t.pending ip;
+        List.iter (fun k -> k mac) (List.rev ks)
+
+  let drop_pending t ip =
+    match Hashtbl.find_opt t.pending ip with
+    | None -> 0
+    | Some ks ->
+        Hashtbl.remove t.pending ip;
+        List.length ks
+end

@@ -1,0 +1,36 @@
+(** Minimal ARP: IPv4-over-ethernet request/reply. *)
+
+type op = Request | Reply
+
+type t = {
+  op : op;
+  sender_mac : Addr.mac;
+  sender_ip : Addr.ip;
+  target_mac : Addr.mac;
+  target_ip : Addr.ip;
+}
+
+val encode : t -> string
+val decode : string -> (t, string) result
+
+(** ARP cache with pending-query tracking. *)
+module Table : sig
+  type table
+
+  val create : unit -> table
+  val lookup : table -> Addr.ip -> Addr.mac option
+  val insert : table -> Addr.ip -> Addr.mac -> unit
+
+  val enqueue_pending : table -> Addr.ip -> (Addr.mac -> unit) -> bool
+  (** Queue a continuation to run when the mapping arrives; returns
+      [true] if this is the first waiter (i.e. a request should be
+      sent). *)
+
+  val resolve_pending : table -> Addr.ip -> Addr.mac -> unit
+  (** Insert the mapping and run all queued continuations. *)
+
+  val drop_pending : table -> Addr.ip -> int
+  (** Abandon a resolution attempt: discard queued continuations
+      (returning how many) so a later query can start a fresh round.
+      Dropped traffic is recovered by upper-layer retransmission. *)
+end

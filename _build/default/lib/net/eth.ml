@@ -1,0 +1,45 @@
+type ethertype = Arp | Ipv4 | Unknown of int
+
+type t = { dst : Addr.mac; src : Addr.mac; ethertype : ethertype; payload : string }
+
+let header_size = 14
+
+let ethertype_to_int = function
+  | Arp -> 0x0806
+  | Ipv4 -> 0x0800
+  | Unknown v -> v
+
+let ethertype_of_int = function
+  | 0x0806 -> Arp
+  | 0x0800 -> Ipv4
+  | v -> Unknown v
+
+let encode t =
+  let b = Bytes.create (header_size + String.length t.payload) in
+  Wire.set_u48 b 0 t.dst;
+  Wire.set_u48 b 6 t.src;
+  Wire.set_u16 b 12 (ethertype_to_int t.ethertype);
+  Bytes.blit_string t.payload 0 b header_size (String.length t.payload);
+  Bytes.unsafe_to_string b
+
+let decode s =
+  if String.length s < header_size then Error "eth: frame too short"
+  else
+    let b = Bytes.unsafe_of_string s in
+    Ok
+      {
+        dst = Wire.get_u48 b 0;
+        src = Wire.get_u48 b 6;
+        ethertype = ethertype_of_int (Wire.get_u16 b 12);
+        payload = String.sub s header_size (String.length s - header_size);
+      }
+
+let pp ppf t =
+  let kind =
+    match t.ethertype with
+    | Arp -> "arp"
+    | Ipv4 -> "ipv4"
+    | Unknown v -> Printf.sprintf "0x%04x" v
+  in
+  Format.fprintf ppf "eth %a -> %a (%s, %d B)" Addr.pp_mac t.src Addr.pp_mac
+    t.dst kind (String.length t.payload)

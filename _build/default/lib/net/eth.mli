@@ -1,0 +1,10 @@
+(** Ethernet II framing. *)
+
+type ethertype = Arp | Ipv4 | Unknown of int
+
+type t = { dst : Addr.mac; src : Addr.mac; ethertype : ethertype; payload : string }
+
+val header_size : int
+val encode : t -> string
+val decode : string -> (t, string) result
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,64 @@
+let encode segments =
+  let buf = Stdlib.Buffer.create 64 in
+  Dk_util.Varint.write buf (List.length segments);
+  List.iter (fun s -> Dk_util.Varint.write buf (String.length s)) segments;
+  List.iter (Stdlib.Buffer.add_string buf) segments;
+  Stdlib.Buffer.contents buf
+
+let encode_sga sga =
+  encode (List.map Dk_mem.Buffer.to_string (Dk_mem.Sga.segments sga))
+
+let frame_overhead segments =
+  Dk_util.Varint.encoded_size (List.length segments)
+  + List.fold_left
+      (fun acc s -> acc + Dk_util.Varint.encoded_size (String.length s))
+      0 segments
+
+type decoder = {
+  mutable pending : string; (* undecoded stream bytes *)
+}
+
+let create () = { pending = "" }
+
+let feed t s = if String.length s > 0 then t.pending <- t.pending ^ s
+
+let buffered t = String.length t.pending
+
+(* Try to decode one message from the head of [pending]. *)
+let next t =
+  let b = Bytes.unsafe_of_string t.pending in
+  match Dk_util.Varint.read b 0 with
+  | None -> None
+  | Some (nsegs, used0) ->
+      if nsegs < 0 || nsegs > 1 lsl 16 then failwith "framing: bad segment count"
+      else begin
+        (* Decode all segment lengths. *)
+        let rec lengths i off acc =
+          if i = nsegs then Some (List.rev acc, off)
+          else
+            match Dk_util.Varint.read b off with
+            | None -> None
+            | Some (len, used) ->
+                if len < 0 then failwith "framing: bad segment length"
+                else lengths (i + 1) (off + used) (len :: acc)
+        in
+        match lengths 0 used0 [] with
+        | None -> None
+        | Some (lens, header) ->
+            let total = List.fold_left ( + ) 0 lens in
+            if String.length t.pending < header + total then None
+            else begin
+              let pos = ref header in
+              let segs =
+                List.map
+                  (fun len ->
+                    let s = String.sub t.pending !pos len in
+                    pos := !pos + len;
+                    s)
+                  lens
+              in
+              t.pending <-
+                String.sub t.pending !pos (String.length t.pending - !pos);
+              Some segs
+            end
+      end

@@ -1,0 +1,23 @@
+(** IPv4 header codec (20-byte header, no options) with header
+    checksum. *)
+
+type proto = Tcp | Udp | Unknown of int
+
+type t = {
+  src : Addr.ip;
+  dst : Addr.ip;
+  proto : proto;
+  ttl : int;
+  ident : int;
+  payload : string;
+}
+
+val header_size : int
+val encode : t -> string
+
+val decode : string -> (t, string) result
+(** Rejects short packets, bad versions and checksum mismatches. *)
+
+val pseudo_header_sum : src:Addr.ip -> dst:Addr.ip -> proto:int -> len:int -> int
+(** Partial one's-complement sum of the TCP/UDP pseudo header, to fold
+    into transport checksums. *)

@@ -1,0 +1,320 @@
+type stats = {
+  frames_in : int;
+  frames_out : int;
+  decode_errors : int;
+  not_for_us : int;
+  no_listener : int;
+}
+
+type listener = { on_accept : Tcp.conn -> unit }
+
+type t = {
+  engine : Dk_sim.Engine.t;
+  cost : Dk_sim.Cost.t;
+  pkt_cost : int64;
+  nic : Dk_device.Nic.t;
+  ip : Addr.ip;
+  tcp_config : Tcp.config;
+  arp : Arp.Table.table;
+  udp_ports : (int, src:Addr.endpoint -> string -> unit) Hashtbl.t;
+  listeners : (int, listener) Hashtbl.t;
+  (* (local_port, remote_ip, remote_port) -> conn *)
+  conns : (int * Addr.ip * int, Tcp.conn) Hashtbl.t;
+  mutable next_ephemeral : int;
+  mutable next_ident : int;
+  mutable iss_counter : int;
+  mutable process_scheduled : bool;
+  mutable frames_in : int;
+  mutable frames_out : int;
+  mutable decode_errors : int;
+  mutable not_for_us : int;
+  mutable no_listener : int;
+}
+
+let engine t = t.engine
+let ip t = t.ip
+let mac t = Dk_device.Nic.mac t.nic
+let nic t = t.nic
+let tcp_config t = t.tcp_config
+let connections t = Hashtbl.length t.conns
+
+let stats t =
+  {
+    frames_in = t.frames_in;
+    frames_out = t.frames_out;
+    decode_errors = t.decode_errors;
+    not_for_us = t.not_for_us;
+    no_listener = t.no_listener;
+  }
+
+(* ---- transmit path ---- *)
+
+let transmit_eth t ~dst_mac ~ethertype payload =
+  Dk_sim.Engine.consume t.engine t.pkt_cost;
+  t.frames_out <- t.frames_out + 1;
+  let frame =
+    Eth.encode { Eth.dst = dst_mac; src = mac t; ethertype; payload }
+  in
+  ignore (Dk_device.Nic.transmit t.nic ~dst:dst_mac frame)
+
+let send_arp_request t target_ip =
+  let pkt =
+    Arp.encode
+      {
+        Arp.op = Arp.Request;
+        sender_mac = mac t;
+        sender_ip = t.ip;
+        target_mac = 0;
+        target_ip;
+      }
+  in
+  transmit_eth t ~dst_mac:Addr.mac_broadcast ~ethertype:Eth.Arp pkt
+
+let arp_retry_ns = 200_000L
+let arp_max_attempts = 5
+
+(* Resolve [dst_ip] and then run [k dst_mac]; datagrams issued during
+   resolution wait in the ARP pending queue. Requests are retried a few
+   times; on give-up the queued traffic is dropped (upper layers
+   retransmit) so a later send can start a fresh resolution round. *)
+let with_mac t dst_ip k =
+  match Arp.Table.lookup t.arp dst_ip with
+  | Some m -> k m
+  | None ->
+      let first = Arp.Table.enqueue_pending t.arp dst_ip k in
+      if first then begin
+        let rec attempt n =
+          if Arp.Table.lookup t.arp dst_ip = None then
+            if n = 0 then ignore (Arp.Table.drop_pending t.arp dst_ip)
+            else begin
+              send_arp_request t dst_ip;
+              ignore
+                (Dk_sim.Engine.after t.engine arp_retry_ns (fun () ->
+                     attempt (n - 1)))
+            end
+        in
+        attempt arp_max_attempts
+      end
+
+let send_ipv4 t ~dst_ip ~proto payload =
+  let ident = t.next_ident in
+  t.next_ident <- (t.next_ident + 1) land 0xffff;
+  let pkt =
+    Ipv4.encode { Ipv4.src = t.ip; dst = dst_ip; proto; ttl = 64; ident; payload }
+  in
+  with_mac t dst_ip (fun dst_mac ->
+      transmit_eth t ~dst_mac ~ethertype:Eth.Ipv4 pkt)
+
+(* ---- UDP ---- *)
+
+let udp_bind t ~port ~recv =
+  if Hashtbl.mem t.udp_ports port then Error `In_use
+  else begin
+    Hashtbl.replace t.udp_ports port recv;
+    Ok ()
+  end
+
+let udp_unbind t ~port = Hashtbl.remove t.udp_ports port
+
+let udp_send t ~src_port ~dst payload =
+  let datagram =
+    Udp.encode ~src_ip:t.ip ~dst_ip:dst.Addr.ip
+      { Udp.src_port; dst_port = dst.Addr.port; payload }
+  in
+  send_ipv4 t ~dst_ip:dst.Addr.ip ~proto:Ipv4.Udp datagram
+
+(* ---- TCP ---- *)
+
+let next_iss t =
+  t.iss_counter <- (t.iss_counter + 64007) land 0xffffffff;
+  t.iss_counter
+
+let conn_key ~local_port ~remote = (local_port, remote.Addr.ip, remote.Addr.port)
+
+let register_conn t ~local_port ~remote conn =
+  let key = conn_key ~local_port ~remote in
+  Hashtbl.replace t.conns key conn;
+  Tcp.set_internal_teardown conn (fun _ -> Hashtbl.remove t.conns key)
+
+let tcp_emit t ~remote_ip seg =
+  let payload = Tcp_wire.encode ~src_ip:t.ip ~dst_ip:remote_ip seg in
+  send_ipv4 t ~dst_ip:remote_ip ~proto:Ipv4.Tcp payload
+
+let tcp_listen t ~port ~on_accept =
+  if Hashtbl.mem t.listeners port then Error `In_use
+  else begin
+    Hashtbl.replace t.listeners port { on_accept };
+    Ok ()
+  end
+
+let tcp_unlisten t ~port = Hashtbl.remove t.listeners port
+
+let alloc_ephemeral t =
+  let start = t.next_ephemeral in
+  let rec loop p =
+    let candidate = 49152 + ((p - 49152) mod 16384) in
+    if Hashtbl.mem t.listeners candidate then loop (candidate + 1)
+    else begin
+      t.next_ephemeral <- candidate + 1;
+      candidate
+    end
+  in
+  loop start
+
+let tcp_connect t ~dst =
+  let local_port = alloc_ephemeral t in
+  let local = Addr.endpoint t.ip local_port in
+  let conn =
+    Tcp.create_active ~engine:t.engine ~config:t.tcp_config ~local ~remote:dst
+      ~iss:(next_iss t)
+      ~emit:(fun seg -> tcp_emit t ~remote_ip:dst.Addr.ip seg)
+  in
+  register_conn t ~local_port ~remote:dst conn;
+  conn
+
+(* A segment for which no connection exists: answer with RST so active
+   opens to dead ports fail fast. *)
+let send_rst t ~remote (seg : Tcp_wire.t) =
+  if not seg.Tcp_wire.flags.Tcp_wire.rst then begin
+    let rst =
+      {
+        Tcp_wire.src_port = seg.Tcp_wire.dst_port;
+        dst_port = seg.Tcp_wire.src_port;
+        seq = seg.Tcp_wire.ack_seq;
+        ack_seq =
+          (seg.Tcp_wire.seq + String.length seg.Tcp_wire.payload + 1)
+          land 0xffffffff;
+        flags = { Tcp_wire.no_flags with rst = true; ack = true };
+        window = 0;
+        payload = "";
+      }
+    in
+    tcp_emit t ~remote_ip:remote rst
+  end
+
+let handle_tcp t ~src_ip segment =
+  match Tcp_wire.decode ~src_ip ~dst_ip:t.ip segment with
+  | Error _ -> t.decode_errors <- t.decode_errors + 1
+  | Ok seg ->
+      let local_port = seg.Tcp_wire.dst_port in
+      let remote = Addr.endpoint src_ip seg.Tcp_wire.src_port in
+      let key = conn_key ~local_port ~remote in
+      (match Hashtbl.find_opt t.conns key with
+      | Some conn -> Tcp.segment_arrives conn seg
+      | None -> (
+          match Hashtbl.find_opt t.listeners local_port with
+          | Some l
+            when seg.Tcp_wire.flags.Tcp_wire.syn
+                 && not seg.Tcp_wire.flags.Tcp_wire.ack ->
+              let local = Addr.endpoint t.ip local_port in
+              let conn =
+                Tcp.create_passive ~engine:t.engine ~config:t.tcp_config
+                  ~local ~remote ~iss:(next_iss t)
+                  ~emit:(fun s -> tcp_emit t ~remote_ip:src_ip s)
+                  ~remote_seq:seg.Tcp_wire.seq
+              in
+              register_conn t ~local_port ~remote conn;
+              Tcp.set_on_connect conn (fun () -> l.on_accept conn)
+          | Some _ | None ->
+              t.no_listener <- t.no_listener + 1;
+              send_rst t ~remote:src_ip seg))
+
+(* ---- receive path ---- *)
+
+let handle_arp t payload =
+  match Arp.decode payload with
+  | Error _ -> t.decode_errors <- t.decode_errors + 1
+  | Ok { Arp.op; sender_mac; sender_ip; target_ip; _ } -> (
+      (* Learn the sender either way. *)
+      Arp.Table.resolve_pending t.arp sender_ip sender_mac;
+      match op with
+      | Arp.Request when target_ip = t.ip ->
+          let reply =
+            Arp.encode
+              {
+                Arp.op = Arp.Reply;
+                sender_mac = mac t;
+                sender_ip = t.ip;
+                target_mac = sender_mac;
+                target_ip = sender_ip;
+              }
+          in
+          transmit_eth t ~dst_mac:sender_mac ~ethertype:Eth.Arp reply
+      | Arp.Request | Arp.Reply -> ())
+
+let handle_udp t ~src_ip payload =
+  match Udp.decode ~src_ip ~dst_ip:t.ip payload with
+  | Error _ -> t.decode_errors <- t.decode_errors + 1
+  | Ok { Udp.src_port; dst_port; payload } -> (
+      match Hashtbl.find_opt t.udp_ports dst_port with
+      | Some recv -> recv ~src:(Addr.endpoint src_ip src_port) payload
+      | None -> t.no_listener <- t.no_listener + 1)
+
+let handle_frame t frame =
+  t.frames_in <- t.frames_in + 1;
+  Dk_sim.Engine.consume t.engine t.pkt_cost;
+  match Eth.decode frame with
+  | Error _ -> t.decode_errors <- t.decode_errors + 1
+  | Ok { Eth.dst; ethertype; payload; _ } ->
+      if dst <> mac t && dst <> Addr.mac_broadcast then
+        t.not_for_us <- t.not_for_us + 1
+      else (
+        match ethertype with
+        | Eth.Arp -> handle_arp t payload
+        | Eth.Ipv4 -> (
+            match Ipv4.decode payload with
+            | Error _ -> t.decode_errors <- t.decode_errors + 1
+            | Ok { Ipv4.src; dst; proto; payload; _ } ->
+                if dst <> t.ip then t.not_for_us <- t.not_for_us + 1
+                else (
+                  match proto with
+                  | Ipv4.Udp -> handle_udp t ~src_ip:src payload
+                  | Ipv4.Tcp -> handle_tcp t ~src_ip:src payload
+                  | Ipv4.Unknown _ ->
+                      t.decode_errors <- t.decode_errors + 1))
+        | Eth.Unknown _ -> t.decode_errors <- t.decode_errors + 1)
+
+let rec process t =
+  t.process_scheduled <- false;
+  match Dk_device.Nic.poll_rx t.nic with
+  | None -> ()
+  | Some frame ->
+      handle_frame t frame;
+      process t
+
+let schedule_process t =
+  if not t.process_scheduled then begin
+    t.process_scheduled <- true;
+    ignore (Dk_sim.Engine.after t.engine 0L (fun () -> process t))
+  end
+
+let create ~engine ~cost ~nic ~ip ?(tcp_config = Tcp.default_config)
+    ?pkt_cost () =
+  let pkt_cost =
+    Option.value ~default:cost.Dk_sim.Cost.user_net_per_pkt pkt_cost
+  in
+  let t =
+    {
+      engine;
+      cost;
+      pkt_cost;
+      nic;
+      ip;
+      tcp_config;
+      arp = Arp.Table.create ();
+      udp_ports = Hashtbl.create 8;
+      listeners = Hashtbl.create 8;
+      conns = Hashtbl.create 32;
+      next_ephemeral = 49152;
+      next_ident = 1;
+      iss_counter = ip land 0xffff;
+      process_scheduled = false;
+      frames_in = 0;
+      frames_out = 0;
+      decode_errors = 0;
+      not_for_us = 0;
+      no_listener = 0;
+    }
+  in
+  Dk_device.Nic.set_rx_notify nic (fun () -> schedule_process t);
+  t

@@ -1,0 +1,593 @@
+type state =
+  | Closed
+  | Listen
+  | Syn_sent
+  | Syn_rcvd
+  | Established
+  | Fin_wait_1
+  | Fin_wait_2
+  | Close_wait
+  | Closing
+  | Last_ack
+  | Time_wait
+
+let state_to_string = function
+  | Closed -> "CLOSED"
+  | Listen -> "LISTEN"
+  | Syn_sent -> "SYN_SENT"
+  | Syn_rcvd -> "SYN_RCVD"
+  | Established -> "ESTABLISHED"
+  | Fin_wait_1 -> "FIN_WAIT_1"
+  | Fin_wait_2 -> "FIN_WAIT_2"
+  | Close_wait -> "CLOSE_WAIT"
+  | Closing -> "CLOSING"
+  | Last_ack -> "LAST_ACK"
+  | Time_wait -> "TIME_WAIT"
+
+type config = {
+  mss : int;
+  send_buffer : int;
+  recv_buffer : int;
+  rto_initial : int64;
+  rto_max : int64;
+  max_retries : int;
+  time_wait : int64;
+}
+
+let default_config =
+  {
+    mss = 1460;
+    send_buffer = 64 * 1024;
+    recv_buffer = 64 * 1024;
+    rto_initial = 100_000L; (* 100 us: datacenter-scale RTTs *)
+    rto_max = 4_000_000L;
+    max_retries = 8;
+    time_wait = 1_000_000L;
+  }
+
+type close_reason = [ `Normal | `Reset | `Timeout ]
+
+type stats = {
+  segs_sent : int;
+  segs_received : int;
+  bytes_sent : int;
+  bytes_received : int;
+  retransmits : int;
+  fast_retransmits : int;
+  dup_acks : int;
+  out_of_order : int;
+}
+
+(* 32-bit modular sequence arithmetic. *)
+let seq_mask = 0xffffffff
+let seq_add a n = (a + n) land seq_mask
+let seq_diff a b = (a - b) land seq_mask
+(* a < b in sequence space *)
+let seq_lt a b = a <> b && seq_diff b a < 0x80000000
+let seq_le a b = a = b || seq_lt a b
+
+type conn = {
+  engine : Dk_sim.Engine.t;
+  config : config;
+  local : Addr.endpoint;
+  remote : Addr.endpoint;
+  emit : Tcp_wire.t -> unit;
+  mutable st : state;
+  (* send side *)
+  send_ring : Dk_util.Ring.t; (* unacked + unsent bytes; head = snd_una *)
+  mutable snd_una : int;
+  mutable snd_nxt : int;
+  mutable snd_wnd : int; (* peer's advertised window *)
+  mutable cwnd : int;
+  mutable ssthresh : int;
+  mutable fin_pending : bool; (* close requested; FIN after data drains *)
+  mutable fin_sent : bool;
+  mutable fin_seq : int;
+  (* receive side *)
+  recv_ring : Dk_util.Ring.t; (* in-order data ready for the app *)
+  mutable rcv_nxt : int;
+  mutable ooo : (int * string) list; (* out-of-order segments, by seq *)
+  mutable peer_fin : int option; (* seq of peer's FIN, once seen *)
+  (* timers *)
+  mutable rto : int64;
+  mutable retries : int;
+  mutable rtx_timer : Dk_sim.Engine.timer option;
+  (* callbacks *)
+  mutable on_connect : unit -> unit;
+  mutable on_readable : unit -> unit;
+  mutable on_peer_fin : unit -> unit;
+  mutable on_writable : unit -> unit;
+  mutable on_close : close_reason -> unit;
+  mutable internal_teardown : close_reason -> unit;
+  (* stats *)
+  mutable segs_sent : int;
+  mutable segs_received : int;
+  mutable bytes_sent : int;
+  mutable bytes_received : int;
+  mutable retransmits : int;
+  mutable fast_retransmits : int;
+  mutable dup_acks : int;
+  mutable dup_ack_streak : int; (* consecutive dup acks since last advance *)
+  mutable ooo_count : int;
+}
+
+let state t = t.st
+let local t = t.local
+let remote t = t.remote
+
+let stats t =
+  {
+    segs_sent = t.segs_sent;
+    segs_received = t.segs_received;
+    bytes_sent = t.bytes_sent;
+    bytes_received = t.bytes_received;
+    retransmits = t.retransmits;
+    fast_retransmits = t.fast_retransmits;
+    dup_acks = t.dup_acks;
+    out_of_order = t.ooo_count;
+  }
+
+let set_on_connect t f = t.on_connect <- f
+let set_on_readable t f = t.on_readable <- f
+let set_on_peer_fin t f = t.on_peer_fin <- f
+let set_on_writable t f = t.on_writable <- f
+let set_on_close t f = t.on_close <- f
+let set_internal_teardown t f = t.internal_teardown <- f
+
+let recv_window t = Dk_util.Ring.available t.recv_ring
+
+let emit_seg t ?(payload = "") flags =
+  t.segs_sent <- t.segs_sent + 1;
+  t.bytes_sent <- t.bytes_sent + String.length payload;
+  t.emit
+    {
+      Tcp_wire.src_port = t.local.Addr.port;
+      dst_port = t.remote.Addr.port;
+      seq = t.snd_nxt;
+      ack_seq = t.rcv_nxt;
+      flags;
+      window = min 0xffff (recv_window t);
+      payload;
+    }
+
+(* Emit a segment whose SEQ is not snd_nxt (retransmission). *)
+let emit_at t ~seq ?(payload = "") flags =
+  t.segs_sent <- t.segs_sent + 1;
+  t.emit
+    {
+      Tcp_wire.src_port = t.local.Addr.port;
+      dst_port = t.remote.Addr.port;
+      seq;
+      ack_seq = t.rcv_nxt;
+      flags;
+      window = min 0xffff (recv_window t);
+      payload;
+    }
+
+let ack_flags = { Tcp_wire.no_flags with ack = true }
+
+let send_ack t = emit_seg t ack_flags
+
+let cancel_rtx t =
+  match t.rtx_timer with
+  | Some timer ->
+      Dk_sim.Engine.cancel timer;
+      t.rtx_timer <- None
+  | None -> ()
+
+let enter_closed t reason =
+  cancel_rtx t;
+  if t.st <> Closed then begin
+    t.st <- Closed;
+    t.internal_teardown reason;
+    t.on_close reason
+  end
+
+(* Bytes in the send ring that have been transmitted but not acked. *)
+let unacked t = seq_diff t.snd_nxt t.snd_una
+
+(* Bytes in the send ring not yet transmitted. The FIN, if queued,
+   occupies sequence space but not ring space. *)
+let unsent t =
+  let ring_unsent = Dk_util.Ring.length t.send_ring - unacked t in
+  max 0 ring_unsent
+
+let rec arm_rtx t =
+  cancel_rtx t;
+  if unacked t > 0 || (t.fin_sent && seq_lt t.snd_una t.snd_nxt) then
+    t.rtx_timer <- Some (Dk_sim.Engine.after t.engine t.rto (fun () -> on_rto t))
+
+and on_rto t =
+  t.rtx_timer <- None;
+  if t.retries >= t.config.max_retries then enter_closed t `Timeout
+  else begin
+    t.retries <- t.retries + 1;
+    t.retransmits <- t.retransmits + 1;
+    (* Multiplicative decrease, back to slow start. *)
+    t.ssthresh <- max (t.cwnd / 2) (2 * t.config.mss);
+    t.cwnd <- t.config.mss;
+    t.rto <- Int64.min t.config.rto_max (Int64.mul t.rto 2L);
+    retransmit_head t;
+    arm_rtx t
+  end
+
+(* Resend one MSS from snd_una (go-back-N restart). *)
+and retransmit_head t =
+  match t.st with
+  | Syn_sent ->
+      emit_at t ~seq:t.snd_una { Tcp_wire.no_flags with syn = true }
+  | Syn_rcvd ->
+      emit_at t ~seq:t.snd_una { Tcp_wire.no_flags with syn = true; ack = true }
+  | _ ->
+      let pending_data = unacked t in
+      let data_bytes = min (min pending_data t.config.mss) pending_data in
+      if data_bytes > 0 then begin
+        let buf = Bytes.create data_bytes in
+        let got = Dk_util.Ring.peek t.send_ring buf 0 data_bytes in
+        let payload = Bytes.sub_string buf 0 got in
+        emit_at t ~seq:t.snd_una ~payload ack_flags
+      end
+      else if t.fin_sent then
+        emit_at t ~seq:t.fin_seq { ack_flags with fin = true }
+
+(* How many new payload bytes we may put on the wire right now. *)
+let send_allowance t =
+  let flight = unacked t in
+  let wnd = min (max t.snd_wnd t.config.mss) t.cwnd in
+  max 0 (wnd - flight)
+
+let can_carry_data t =
+  match t.st with
+  | Established | Close_wait | Fin_wait_1 | Closing -> true
+  | Closed | Listen | Syn_sent | Syn_rcvd | Fin_wait_2 | Last_ack | Time_wait ->
+      false
+
+(* Transmit as much queued data as windows allow, then the FIN if it is
+   due. *)
+let rec try_output t =
+  if can_carry_data t || t.st = Fin_wait_1 || t.st = Last_ack then begin
+    let budget = ref (send_allowance t) in
+    let progress = ref true in
+    while !progress do
+      progress := false;
+      let avail = unsent t in
+      let n = min (min avail t.config.mss) !budget in
+      if n > 0 then begin
+        let buf = Bytes.create n in
+        (* The bytes to send start [unacked t] into the ring. *)
+        let skip = unacked t in
+        let tmp = Bytes.create (skip + n) in
+        let got = Dk_util.Ring.peek t.send_ring tmp 0 (skip + n) in
+        if got = skip + n then begin
+          Bytes.blit tmp skip buf 0 n;
+          let payload = Bytes.unsafe_to_string buf in
+          emit_seg t ~payload ack_flags;
+          t.snd_nxt <- seq_add t.snd_nxt n;
+          budget := !budget - n;
+          progress := true
+        end
+      end
+    done;
+    maybe_send_fin t;
+    if t.rtx_timer = None then arm_rtx t
+  end
+
+and maybe_send_fin t =
+  if t.fin_pending && (not t.fin_sent) && unsent t = 0 then begin
+    t.fin_sent <- true;
+    t.fin_seq <- t.snd_nxt;
+    emit_seg t { ack_flags with fin = true };
+    t.snd_nxt <- seq_add t.snd_nxt 1;
+    arm_rtx t
+  end
+
+let make ~engine ~config ~local ~remote ~iss ~emit st =
+  {
+    engine;
+    config;
+    local;
+    remote;
+    emit;
+    st;
+    send_ring = Dk_util.Ring.create config.send_buffer;
+    snd_una = iss;
+    snd_nxt = iss;
+    snd_wnd = config.mss;
+    cwnd = 2 * config.mss;
+    ssthresh = 64 * 1024;
+    fin_pending = false;
+    fin_sent = false;
+    fin_seq = 0;
+    recv_ring = Dk_util.Ring.create config.recv_buffer;
+    rcv_nxt = 0;
+    ooo = [];
+    peer_fin = None;
+    rto = config.rto_initial;
+    retries = 0;
+    rtx_timer = None;
+    on_connect = (fun () -> ());
+    on_readable = (fun () -> ());
+    on_peer_fin = (fun () -> ());
+    on_writable = (fun () -> ());
+    on_close = (fun _ -> ());
+    internal_teardown = (fun _ -> ());
+    segs_sent = 0;
+    segs_received = 0;
+    bytes_sent = 0;
+    bytes_received = 0;
+    retransmits = 0;
+    fast_retransmits = 0;
+    dup_acks = 0;
+    dup_ack_streak = 0;
+    ooo_count = 0;
+  }
+
+let create_active ~engine ~config ~local ~remote ~iss ~emit =
+  let t = make ~engine ~config ~local ~remote ~iss ~emit Syn_sent in
+  emit_seg t { Tcp_wire.no_flags with syn = true };
+  t.snd_nxt <- seq_add t.snd_nxt 1;
+  arm_rtx t;
+  t
+
+let create_passive ~engine ~config ~local ~remote ~iss ~emit ~remote_seq =
+  let t = make ~engine ~config ~local ~remote ~iss ~emit Syn_rcvd in
+  t.rcv_nxt <- seq_add remote_seq 1;
+  emit_seg t { Tcp_wire.no_flags with syn = true; ack = true };
+  t.snd_nxt <- seq_add t.snd_nxt 1;
+  arm_rtx t;
+  t
+
+(* ---- application side ---- *)
+
+let send_space t = Dk_util.Ring.available t.send_ring
+
+let send t data =
+  match t.st with
+  | Established | Close_wait when not t.fin_pending ->
+      let n = Dk_util.Ring.write_string t.send_ring data in
+      if n > 0 then try_output t;
+      n
+  | _ -> 0
+
+let recv_ready t = Dk_util.Ring.length t.recv_ring
+
+let recv_into t buf off len =
+  let n = Dk_util.Ring.read t.recv_ring buf off len in
+  (* Opening the receive window may deserve a window update; piggyback
+     on the next ACK instead of emitting pure window updates. *)
+  n
+
+let recv t len =
+  let len = min len (recv_ready t) in
+  let buf = Bytes.create len in
+  let n = recv_into t buf 0 len in
+  Bytes.sub_string buf 0 n
+
+let close t =
+  match t.st with
+  | Established | Syn_rcvd ->
+      t.fin_pending <- true;
+      t.st <- Fin_wait_1;
+      maybe_send_fin t
+  | Close_wait ->
+      t.fin_pending <- true;
+      t.st <- Last_ack;
+      maybe_send_fin t
+  | Syn_sent | Listen -> enter_closed t `Normal
+  | Closed | Fin_wait_1 | Fin_wait_2 | Closing | Last_ack | Time_wait -> ()
+
+let abort t =
+  (match t.st with
+  | Closed | Listen -> ()
+  | _ ->
+      emit_seg t { Tcp_wire.no_flags with rst = true; ack = true });
+  enter_closed t `Reset
+
+(* ---- segment processing ---- *)
+
+let enter_time_wait t =
+  cancel_rtx t;
+  t.st <- Time_wait;
+  ignore
+    (Dk_sim.Engine.after t.engine t.config.time_wait (fun () ->
+         enter_closed t `Normal))
+
+(* Merge an out-of-order segment list entry into the recv ring if its
+   turn has come; returns true when progress was made. *)
+let rec drain_ooo t =
+  let ready, rest =
+    List.partition (fun (seq, _) -> seq_le seq t.rcv_nxt) t.ooo
+  in
+  t.ooo <- rest;
+  match ready with
+  | [] -> ()
+  | _ ->
+      let advanced = ref false in
+      List.iter
+        (fun (seq, payload) ->
+          (* The segment may partially duplicate delivered data. *)
+          let skip = seq_diff t.rcv_nxt seq in
+          if skip < String.length payload then begin
+            let fresh = String.sub payload skip (String.length payload - skip) in
+            let n = Dk_util.Ring.write_string t.recv_ring fresh in
+            t.rcv_nxt <- seq_add t.rcv_nxt n;
+            if n > 0 then advanced := true
+          end)
+        (List.sort (fun (a, _) (b, _) -> compare (seq_diff a t.rcv_nxt) (seq_diff b t.rcv_nxt)) ready);
+      if !advanced then drain_ooo t
+
+let accept_payload t (seg : Tcp_wire.t) =
+  let payload = seg.payload in
+  if String.length payload = 0 then false
+  else begin
+    t.bytes_received <- t.bytes_received + String.length payload;
+    if seg.seq = t.rcv_nxt then begin
+      let n = Dk_util.Ring.write_string t.recv_ring payload in
+      t.rcv_nxt <- seq_add t.rcv_nxt n;
+      drain_ooo t;
+      n > 0
+    end
+    else if seq_lt t.rcv_nxt seg.seq then begin
+      (* Future data: stash for reassembly (bounded by window). *)
+      if seq_diff seg.seq t.rcv_nxt <= t.config.recv_buffer then begin
+        t.ooo_count <- t.ooo_count + 1;
+        t.ooo <- (seg.seq, payload) :: t.ooo
+      end;
+      false
+    end
+    else begin
+      (* Stale/overlapping: deliver any fresh suffix. *)
+      let skip = seq_diff t.rcv_nxt seg.seq in
+      if skip < String.length payload then begin
+        let fresh = String.sub payload skip (String.length payload - skip) in
+        let n = Dk_util.Ring.write_string t.recv_ring fresh in
+        t.rcv_nxt <- seq_add t.rcv_nxt n;
+        drain_ooo t;
+        n > 0
+      end
+      else false
+    end
+  end
+
+let process_ack t (seg : Tcp_wire.t) =
+  if seg.flags.Tcp_wire.ack then begin
+    let ack = seg.ack_seq in
+    if seq_lt t.snd_una ack && seq_le ack t.snd_nxt then begin
+      let acked = seq_diff ack t.snd_una in
+      (* The FIN occupies sequence space but no ring bytes. *)
+      let fin_acked = t.fin_sent && ack = seq_add t.fin_seq 1 in
+      let data_acked = acked - (if fin_acked then 1 else 0) in
+      let syn_acked =
+        (t.st = Syn_sent || t.st = Syn_rcvd) && acked > 0
+      in
+      let data_acked = data_acked - (if syn_acked then 1 else 0) in
+      if data_acked > 0 then ignore (Dk_util.Ring.drop t.send_ring data_acked);
+      t.snd_una <- ack;
+      t.dup_ack_streak <- 0;
+      t.retries <- 0;
+      t.rto <- t.config.rto_initial;
+      (* Congestion window growth. *)
+      if t.cwnd < t.ssthresh then t.cwnd <- t.cwnd + t.config.mss
+      else t.cwnd <- t.cwnd + max 1 (t.config.mss * t.config.mss / t.cwnd);
+      if unacked t = 0 then cancel_rtx t else arm_rtx t;
+      if data_acked > 0 then t.on_writable ();
+      true
+    end
+    else begin
+      (* Duplicate ACK: the receiver is missing the segment at snd_una.
+         Three in a row trigger fast retransmit (no RTO wait). *)
+      if
+        ack = t.snd_una
+        && String.length seg.payload = 0
+        && unacked t > 0
+        && not seg.flags.Tcp_wire.syn
+        && not seg.flags.Tcp_wire.fin
+      then begin
+        t.dup_acks <- t.dup_acks + 1;
+        t.dup_ack_streak <- t.dup_ack_streak + 1;
+        if t.dup_ack_streak = 3 then begin
+          t.dup_ack_streak <- 0;
+          t.fast_retransmits <- t.fast_retransmits + 1;
+          t.retransmits <- t.retransmits + 1;
+          t.ssthresh <- max (t.cwnd / 2) (2 * t.config.mss);
+          t.cwnd <- t.ssthresh;
+          retransmit_head t;
+          arm_rtx t
+        end
+      end;
+      false
+    end
+  end
+  else false
+
+let segment_arrives t (seg : Tcp_wire.t) =
+  t.segs_received <- t.segs_received + 1;
+  t.snd_wnd <- seg.window;
+  if seg.flags.Tcp_wire.rst then begin
+    match t.st with
+    | Closed | Listen -> ()
+    | _ -> enter_closed t `Reset
+  end
+  else
+    match t.st with
+    | Closed | Listen -> () (* stack-level states; nothing to do here *)
+    | Syn_sent ->
+        if seg.flags.Tcp_wire.syn && seg.flags.Tcp_wire.ack then begin
+          if seg.ack_seq = t.snd_nxt then begin
+            t.rcv_nxt <- seq_add seg.seq 1;
+            t.snd_una <- seg.ack_seq;
+            t.st <- Established;
+            t.retries <- 0;
+            t.rto <- t.config.rto_initial;
+            cancel_rtx t;
+            send_ack t;
+            t.on_connect ();
+            try_output t
+          end
+        end
+        else if seg.flags.Tcp_wire.syn then begin
+          (* Simultaneous open. *)
+          t.rcv_nxt <- seq_add seg.seq 1;
+          t.st <- Syn_rcvd;
+          emit_at t ~seq:t.snd_una { Tcp_wire.no_flags with syn = true; ack = true }
+        end
+    | Syn_rcvd ->
+        if seg.flags.Tcp_wire.syn && not seg.flags.Tcp_wire.ack then
+          (* Duplicate SYN: re-answer. *)
+          emit_at t ~seq:t.snd_una { Tcp_wire.no_flags with syn = true; ack = true }
+        else if process_ack t seg then begin
+          t.st <- Established;
+          t.on_connect ();
+          let readable = accept_payload t seg in
+          if String.length seg.payload > 0 then send_ack t;
+          if readable then t.on_readable ();
+          try_output t
+        end
+    | Established | Fin_wait_1 | Fin_wait_2 | Close_wait | Closing | Last_ack
+      ->
+        let acked = process_ack t seg in
+        let readable =
+          match t.st with
+          | Established | Fin_wait_1 | Fin_wait_2 -> accept_payload t seg
+          | _ -> false
+        in
+        (* Peer FIN handling. The FIN occupies the sequence slot right
+           after the segment's payload. A FIN whose slot is beyond
+           rcv_nxt (data still missing) is ignored — the peer will
+           retransmit it and the gap will have filled by then. *)
+        let fin_pos = seq_add seg.seq (String.length seg.payload) in
+        let fin_now =
+          seg.flags.Tcp_wire.fin && fin_pos = t.rcv_nxt && t.peer_fin = None
+        in
+        if fin_now then begin
+          t.peer_fin <- Some fin_pos;
+          t.rcv_nxt <- seq_add t.rcv_nxt 1;
+          send_ack t;
+          t.on_peer_fin ();
+          match t.st with
+          | Established -> t.st <- Close_wait
+          | Fin_wait_1 ->
+              (* Did they also ack our FIN? *)
+              if t.fin_sent && t.snd_una = seq_add t.fin_seq 1 then
+                enter_time_wait t
+              else t.st <- Closing
+          | Fin_wait_2 -> enter_time_wait t
+          | _ -> ()
+        end
+        else if seg.flags.Tcp_wire.fin && t.peer_fin <> None then
+          (* Retransmitted FIN: re-ack so the peer stops. *)
+          send_ack t
+        else if String.length seg.payload > 0 then send_ack t;
+        (* Our FIN fully acked? *)
+        if t.fin_sent && t.snd_una = seq_add t.fin_seq 1 then begin
+          match t.st with
+          | Fin_wait_1 -> t.st <- Fin_wait_2
+          | Closing -> enter_time_wait t
+          | Last_ack -> enter_closed t `Normal
+          | _ -> ()
+        end;
+        if readable then t.on_readable ();
+        if acked then try_output t
+    | Time_wait ->
+        (* Re-ack retransmitted FINs. *)
+        if seg.flags.Tcp_wire.fin then send_ack t

@@ -1,0 +1,83 @@
+type flags = { syn : bool; ack : bool; fin : bool; rst : bool }
+
+type t = {
+  src_port : int;
+  dst_port : int;
+  seq : int;
+  ack_seq : int;
+  flags : flags;
+  window : int;
+  payload : string;
+}
+
+let header_size = 20
+let no_flags = { syn = false; ack = false; fin = false; rst = false }
+
+let flags_to_int f =
+  (if f.fin then 0x01 else 0)
+  lor (if f.syn then 0x02 else 0)
+  lor (if f.rst then 0x04 else 0)
+  lor if f.ack then 0x10 else 0
+
+let flags_of_int v =
+  {
+    fin = v land 0x01 <> 0;
+    syn = v land 0x02 <> 0;
+    rst = v land 0x04 <> 0;
+    ack = v land 0x10 <> 0;
+  }
+
+let encode ~src_ip ~dst_ip t =
+  let len = header_size + String.length t.payload in
+  let b = Bytes.create len in
+  Wire.set_u16 b 0 t.src_port;
+  Wire.set_u16 b 2 t.dst_port;
+  Wire.set_u32 b 4 (t.seq land 0xffffffff);
+  Wire.set_u32 b 8 (t.ack_seq land 0xffffffff);
+  Wire.set_u8 b 12 0x50; (* data offset = 5 words *)
+  Wire.set_u8 b 13 (flags_to_int t.flags);
+  Wire.set_u16 b 14 t.window;
+  Wire.set_u16 b 16 0; (* checksum placeholder *)
+  Wire.set_u16 b 18 0; (* urgent pointer *)
+  Bytes.blit_string t.payload 0 b header_size (String.length t.payload);
+  let pseudo = Ipv4.pseudo_header_sum ~src:src_ip ~dst:dst_ip ~proto:6 ~len in
+  let csum =
+    Dk_util.Checksum.finish
+      (Dk_util.Checksum.ones_complement_sum ~init:pseudo b 0 len)
+  in
+  Wire.set_u16 b 16 csum;
+  Bytes.unsafe_to_string b
+
+let decode ~src_ip ~dst_ip s =
+  if String.length s < header_size then Error "tcp: too short"
+  else
+    let b = Bytes.unsafe_of_string s in
+    let len = String.length s in
+    let pseudo = Ipv4.pseudo_header_sum ~src:src_ip ~dst:dst_ip ~proto:6 ~len in
+    let folded =
+      Dk_util.Checksum.finish
+        (Dk_util.Checksum.ones_complement_sum ~init:pseudo b 0 len)
+    in
+    if folded <> 0 then Error "tcp: bad checksum"
+    else if Wire.get_u8 b 12 lsr 4 <> 5 then Error "tcp: options unsupported"
+    else
+      Ok
+        {
+          src_port = Wire.get_u16 b 0;
+          dst_port = Wire.get_u16 b 2;
+          seq = Wire.get_u32 b 4;
+          ack_seq = Wire.get_u32 b 8;
+          flags = flags_of_int (Wire.get_u8 b 13);
+          window = Wire.get_u16 b 14;
+          payload = String.sub s header_size (len - header_size);
+        }
+
+let pp ppf t =
+  let f = t.flags in
+  Format.fprintf ppf "tcp %d->%d seq=%d ack=%d%s%s%s%s win=%d len=%d"
+    t.src_port t.dst_port t.seq t.ack_seq
+    (if f.syn then " SYN" else "")
+    (if f.ack then " ACK" else "")
+    (if f.fin then " FIN" else "")
+    (if f.rst then " RST" else "")
+    t.window (String.length t.payload)

@@ -1,0 +1,23 @@
+(** TCP segment codec: 20-byte header (no options) with pseudo-header
+    checksum. Sequence numbers are full 32-bit values; comparisons that
+    must respect wraparound live in {!Tcp}. *)
+
+type flags = { syn : bool; ack : bool; fin : bool; rst : bool }
+
+type t = {
+  src_port : int;
+  dst_port : int;
+  seq : int;  (** 32-bit *)
+  ack_seq : int;
+  flags : flags;
+  window : int;
+  payload : string;
+}
+
+val header_size : int
+val no_flags : flags
+
+val encode : src_ip:Addr.ip -> dst_ip:Addr.ip -> t -> string
+val decode : src_ip:Addr.ip -> dst_ip:Addr.ip -> string -> (t, string) result
+
+val pp : Format.formatter -> t -> unit

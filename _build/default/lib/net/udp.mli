@@ -1,0 +1,8 @@
+(** UDP datagram codec with pseudo-header checksum. *)
+
+type t = { src_port : int; dst_port : int; payload : string }
+
+val header_size : int
+
+val encode : src_ip:Addr.ip -> dst_ip:Addr.ip -> t -> string
+val decode : src_ip:Addr.ip -> dst_ip:Addr.ip -> string -> (t, string) result

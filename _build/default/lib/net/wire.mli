@@ -1,0 +1,12 @@
+(** Big-endian byte accessors shared by all header codecs. *)
+
+val get_u8 : bytes -> int -> int
+val set_u8 : bytes -> int -> int -> unit
+val get_u16 : bytes -> int -> int
+val set_u16 : bytes -> int -> int -> unit
+val get_u32 : bytes -> int -> int
+(** 32-bit value in an OCaml int (always non-negative on 64-bit). *)
+
+val set_u32 : bytes -> int -> int -> unit
+val get_u48 : bytes -> int -> int
+val set_u48 : bytes -> int -> int -> unit

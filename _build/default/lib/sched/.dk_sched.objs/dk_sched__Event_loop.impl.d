@@ -1,0 +1,1 @@
+lib/sched/event_loop.ml: Demikernel Dk_sim Hashtbl

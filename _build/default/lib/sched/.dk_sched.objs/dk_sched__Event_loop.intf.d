@@ -1,0 +1,1 @@
+lib/sched/event_loop.mli: Demikernel Dk_mem

@@ -1,0 +1,1 @@
+lib/sched/fiber.mli: Demikernel Dk_mem

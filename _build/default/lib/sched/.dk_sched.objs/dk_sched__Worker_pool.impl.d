@@ -1,0 +1,1 @@
+lib/sched/worker_pool.ml: Dk_sim Int64 List Queue

@@ -1,0 +1,1 @@
+lib/sched/worker_pool.mli: Dk_sim

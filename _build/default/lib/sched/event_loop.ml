@@ -1,0 +1,76 @@
+module Demi = Demikernel.Demi
+module Types = Demikernel.Types
+
+type watch_state = {
+  mutable active : bool;
+  mutable close_cb : Types.error -> unit;
+}
+
+type t = {
+  demi : Demi.t;
+  watches : (Types.qd, watch_state) Hashtbl.t;
+}
+
+let create demi = { demi; watches = Hashtbl.create 16 }
+
+let state t qd =
+  match Hashtbl.find_opt t.watches qd with
+  | Some st -> st
+  | None ->
+      let st = { active = true; close_cb = (fun _ -> ()) } in
+      Hashtbl.replace t.watches qd st;
+      st
+
+let closed t qd st err =
+  if st.active then begin
+    st.active <- false;
+    Hashtbl.remove t.watches qd;
+    st.close_cb err
+  end
+
+let rec pump t qd st handle =
+  if st.active then
+    match Demi.pop t.demi qd with
+    | Error e -> closed t qd st e
+    | Ok tok ->
+        Demi.watch t.demi tok (fun result ->
+            if st.active then
+              match result with
+              | Types.Popped _ | Types.Accepted _ ->
+                  handle result;
+                  pump t qd st handle
+              | Types.Failed e -> closed t qd st e
+              | Types.Pushed -> pump t qd st handle)
+
+let on_accept t qd cb =
+  let st = state t qd in
+  pump t qd st (function
+    | Types.Accepted conn_qd -> cb conn_qd
+    | Types.Popped _ | Types.Pushed | Types.Failed _ -> ())
+
+let on_message t qd cb =
+  let st = state t qd in
+  pump t qd st (function
+    | Types.Popped sga -> cb sga
+    | Types.Accepted _ | Types.Pushed | Types.Failed _ -> ())
+
+let on_close t qd cb = (state t qd).close_cb <- cb
+
+let send t qd sga =
+  match Demi.push t.demi qd sga with
+  | Ok tok -> Demi.watch t.demi tok (fun _ -> ())
+  | Error e -> (
+      match Hashtbl.find_opt t.watches qd with
+      | Some st -> closed t qd st e
+      | None -> ())
+
+let unwatch t qd =
+  match Hashtbl.find_opt t.watches qd with
+  | Some st ->
+      st.active <- false;
+      Hashtbl.remove t.watches qd
+  | None -> ()
+
+let run t ~until = Dk_sim.Engine.run_until (Demi.engine t.demi) until
+
+let watched t = Hashtbl.length t.watches

@@ -1,0 +1,39 @@
+(** libevent-style callback dispatch over Demikernel queues (§4.4).
+
+    The paper plans "a libevent-based Demikernel OS, which would enable
+    applications, like memcached, to achieve the benefits of
+    kernel-bypass transparently". This module is that adapter: register
+    a handler per queue and the loop keeps the pops outstanding,
+    invoking the handler once per complete message — replacing an
+    application-level epoll loop with [wait_any] semantics (exactly one
+    handler fires per completion, with the data already in hand). *)
+
+type t
+
+val create : Demikernel.Demi.t -> t
+
+val on_accept : t -> Demikernel.Types.qd -> (Demikernel.Types.qd -> unit) -> unit
+(** Watch a listening queue; the callback receives each new
+    connection's queue descriptor. *)
+
+val on_message :
+  t -> Demikernel.Types.qd -> (Dk_mem.Sga.t -> unit) -> unit
+(** Watch a data queue; the callback receives each popped element. *)
+
+val on_close : t -> Demikernel.Types.qd -> (Demikernel.Types.error -> unit) -> unit
+(** Invoked once when a watched queue fails/closes; the queue is then
+    unwatched. *)
+
+val send : t -> Demikernel.Types.qd -> Dk_mem.Sga.t -> unit
+(** Push without waiting (completion is discarded; failures surface via
+    [on_close]). *)
+
+val unwatch : t -> Demikernel.Types.qd -> unit
+(** Stop delivering events for this queue (in-flight pops may still
+    deliver one last message). *)
+
+val run : t -> until:(unit -> bool) -> bool
+(** Drive the simulation until the predicate holds; [false] if events
+    ran dry first. Handlers run from inside this loop. *)
+
+val watched : t -> int

@@ -1,0 +1,87 @@
+module Demi = Demikernel.Demi
+module Types = Demikernel.Types
+
+type _ Effect.t +=
+  | Await : Demikernel.Types.qtoken -> Demikernel.Types.op_result Effect.t
+  | Sleep : int64 -> unit Effect.t
+  | Yield : unit Effect.t
+
+type scheduler = {
+  demi : Demi.t;
+  runq : (unit -> unit) Queue.t;
+  mutable live : int; (* started and not finished *)
+}
+
+let create demi = { demi; runq = Queue.create (); live = 0 }
+
+let enqueue sched thunk = Queue.add thunk sched.runq
+
+(* Run one fiber body under the effect handler. Suspension points
+   enqueue resumption thunks; continuations carry the handler with
+   them, so resuming from the run queue stays inside it. *)
+let start sched body =
+  let open Effect.Deep in
+  sched.live <- sched.live + 1;
+  match_with body ()
+    {
+      retc = (fun () -> sched.live <- sched.live - 1);
+      exnc =
+        (fun e ->
+          sched.live <- sched.live - 1;
+          raise e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Await tok ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  Demi.watch sched.demi tok (fun result ->
+                      enqueue sched (fun () -> continue k result)))
+          | Sleep ns ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  ignore
+                    (Dk_sim.Engine.after (Demi.engine sched.demi) ns (fun () ->
+                         enqueue sched (fun () -> continue k ()))))
+          | Yield ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  enqueue sched (fun () -> continue k ()))
+          | _ -> None);
+    }
+
+let spawn sched body = enqueue sched (fun () -> start sched body)
+
+let await (_ : scheduler) tok = Effect.perform (Await tok)
+
+let await_push sched qd sga =
+  match Demi.push sched.demi qd sga with
+  | Error e -> Types.Failed e
+  | Ok tok -> await sched tok
+
+let await_pop sched qd =
+  match Demi.pop sched.demi qd with
+  | Error e -> Types.Failed e
+  | Ok tok -> await sched tok
+
+let sleep (_ : scheduler) ns = Effect.perform (Sleep ns)
+let yield (_ : scheduler) = Effect.perform Yield
+
+let run sched =
+  let engine = Demi.engine sched.demi in
+  let rec loop () =
+    match Queue.take_opt sched.runq with
+    | Some thunk ->
+        thunk ();
+        loop ()
+    | None ->
+        (* No runnable fiber: advance the simulation; completions may
+           re-enqueue suspended fibers. *)
+        if sched.live > 0 then begin
+          if Dk_sim.Engine.step engine then loop ()
+          (* else: deadlock — suspended fibers can never resume *)
+        end
+  in
+  loop ()
+
+let live_fibers sched = sched.live

@@ -1,0 +1,39 @@
+(** Cooperative fibers integrated with Demikernel qtokens (§4.4).
+
+    The paper envisions libOSes "tightly integrated with existing
+    scheduling libraries"; this is that integration: lightweight
+    threads (OCaml effects) that suspend on qtokens. [await] parks the
+    calling fiber until the token completes — because tokens are unique
+    to one operation, exactly that fiber wakes, with the operation's
+    data in hand; there is no wake-everyone readiness step and no
+    second syscall to fetch the data. *)
+
+type scheduler
+
+val create : Demikernel.Demi.t -> scheduler
+
+val spawn : scheduler -> (unit -> unit) -> unit
+(** Queue a fiber; it starts when {!run} (or the running scheduler)
+    gets to it. *)
+
+val await : scheduler -> Demikernel.Types.qtoken -> Demikernel.Types.op_result
+(** Suspend the current fiber until the token completes. Must be called
+    from inside a fiber. *)
+
+val await_push :
+  scheduler -> Demikernel.Types.qd -> Dk_mem.Sga.t -> Demikernel.Types.op_result
+(** push + await. *)
+
+val await_pop : scheduler -> Demikernel.Types.qd -> Demikernel.Types.op_result
+(** pop + await. *)
+
+val sleep : scheduler -> int64 -> unit
+(** Suspend the current fiber for a virtual duration. *)
+
+val yield : scheduler -> unit
+
+val run : scheduler -> unit
+(** Run fibers and the simulation until all fibers finish or no
+    progress is possible. *)
+
+val live_fibers : scheduler -> int

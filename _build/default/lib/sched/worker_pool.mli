@@ -1,0 +1,40 @@
+(** Multi-worker wakeup model for the §4.4 comparison.
+
+    Simulates a pool of worker threads serving a shared stream of
+    requests under two notification disciplines:
+
+    - [`Epoll_herd]: all idle workers block on one shared epoll set;
+      every arrival wakes {e all} of them (one context switch each),
+      one wins the request, the rest find nothing ("wasted wake ups for
+      threads with no data to process") — and the winner still pays a
+      second syscall to actually read the data.
+    - [`Qtoken]: each worker waits on its own queue token; an arrival
+      completes exactly one token, waking exactly one worker, with the
+      data already attached to the completion.
+
+    Workers run on independent cores; request service time is
+    [service_ns]. Results: wakeups, wasted wakeups, and the
+    arrival-to-service-start latency distribution. *)
+
+type mode = [ `Epoll_herd | `Qtoken ]
+
+type stats = {
+  jobs_done : int;
+  wakeups : int;
+  wasted_wakeups : int;
+  dispatch_latency : Dk_sim.Histogram.t;
+      (** arrival -> service start, per job *)
+  makespan_ns : int64;
+}
+
+val run :
+  engine:Dk_sim.Engine.t ->
+  cost:Dk_sim.Cost.t ->
+  mode:mode ->
+  workers:int ->
+  jobs:int ->
+  mean_interarrival_ns:float ->
+  service_ns:int64 ->
+  ?seed:int64 ->
+  unit ->
+  stats

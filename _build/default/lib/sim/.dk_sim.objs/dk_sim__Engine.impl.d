@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Dk_util Int64

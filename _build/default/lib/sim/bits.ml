@@ -1,0 +1,12 @@
+let clz v =
+  if v <= 0 then 63
+  else begin
+    let n = ref 0 in
+    let v = ref v in
+    if !v land 0x7fffffff00000000 = 0 then begin n := !n + 31; v := !v lsl 31 end;
+    while !v land 0x4000000000000000 = 0 do
+      incr n;
+      v := !v lsl 1
+    done;
+    !n
+  end

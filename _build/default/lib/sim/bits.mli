@@ -1,0 +1,5 @@
+(** Small bit-twiddling helpers for the histogram bucketing. *)
+
+val clz : int -> int
+(** Count of leading zero bits in a 63-bit OCaml int (for positive
+    inputs); [clz 0 = 63]. *)

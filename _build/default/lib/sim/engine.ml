@@ -1,0 +1,83 @@
+type event = { mutable cancelled : bool; thunk : unit -> unit }
+
+type t = {
+  mutable clock : int64;
+  queue : event Dk_util.Heap.t;
+  mutable live : int; (* scheduled and not cancelled *)
+}
+
+type timer = { ev : event; owner : t }
+
+let create () = { clock = 0L; queue = Dk_util.Heap.create (); live = 0 }
+let now t = t.clock
+
+let consume t ns =
+  if Int64.compare ns 0L > 0 then t.clock <- Int64.add t.clock ns
+
+let at t time thunk =
+  let time = if Int64.compare time t.clock < 0 then t.clock else time in
+  let ev = { cancelled = false; thunk } in
+  Dk_util.Heap.push t.queue time ev;
+  t.live <- t.live + 1;
+  { ev; owner = t }
+
+let after t ns thunk = at t (Int64.add t.clock (max 0L ns)) thunk
+
+(* The event object stays in the heap until popped; only the live count
+   is adjusted here so [pending] stays exact. *)
+let cancel { ev; owner } =
+  if not ev.cancelled then begin
+    ev.cancelled <- true;
+    owner.live <- owner.live - 1
+  end
+
+let pending t = t.live
+
+(* Discard cancelled events sitting at the head so peeks see the next
+   event that will actually run. *)
+let rec drop_cancelled t =
+  match Dk_util.Heap.min t.queue with
+  | Some (_, ev) when ev.cancelled ->
+      ignore (Dk_util.Heap.pop t.queue);
+      drop_cancelled t
+  | Some _ | None -> ()
+
+let step t =
+  let rec loop () =
+    match Dk_util.Heap.pop t.queue with
+    | None -> false
+    | Some (time, ev) ->
+        if ev.cancelled then loop ()
+        else begin
+          t.live <- t.live - 1;
+          (* Mark fired so a later [cancel] on this timer is a no-op. *)
+          ev.cancelled <- true;
+          if Int64.compare time t.clock > 0 then t.clock <- time;
+          ev.thunk ();
+          true
+        end
+  in
+  loop ()
+
+let run t = while step t do () done
+
+let run_until t pred =
+  let rec loop () =
+    if pred () then true
+    else if step t then loop ()
+    else false
+  in
+  loop ()
+
+let run_for t ns =
+  let deadline = Int64.add t.clock (max 0L ns) in
+  let rec loop () =
+    drop_cancelled t;
+    match Dk_util.Heap.min_key t.queue with
+    | Some key when Int64.compare key deadline <= 0 ->
+        ignore (step t);
+        loop ()
+    | Some _ | None -> ()
+  in
+  loop ();
+  if Int64.compare t.clock deadline < 0 then t.clock <- deadline

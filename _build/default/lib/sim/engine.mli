@@ -1,0 +1,53 @@
+(** Deterministic discrete-event simulation engine with a virtual
+    nanosecond clock.
+
+    Everything in the reproduction that would be hardware or wall-clock
+    time in the paper's testbed — CPU work, PCIe doorbells, DMA, wire
+    propagation, NVMe access — is charged to this clock. Events are
+    ordered by (timestamp, insertion order), so runs are fully
+    deterministic. *)
+
+type t
+
+type timer
+(** Handle for a cancellable scheduled event (e.g. a TCP retransmission
+    timer). *)
+
+val create : unit -> t
+
+val now : t -> int64
+(** Current virtual time in nanoseconds. *)
+
+val consume : t -> int64 -> unit
+(** [consume t ns] models the CPU being busy for [ns]: advances the clock
+    without running events scheduled in the skipped interval early —
+    they run at their timestamps the next time the loop steps, which
+    matches a single-core poll loop that cannot observe interrupts while
+    computing. Negative durations are ignored. *)
+
+val at : t -> int64 -> (unit -> unit) -> timer
+(** Schedule a thunk at an absolute time (clamped to [now]). *)
+
+val after : t -> int64 -> (unit -> unit) -> timer
+(** Schedule a thunk [ns] after [now]. *)
+
+val cancel : timer -> unit
+(** Cancelling a fired or already-cancelled timer is a no-op. *)
+
+val pending : t -> int
+(** Number of scheduled (uncancelled) events. *)
+
+val step : t -> bool
+(** Run the earliest event, advancing the clock to its timestamp.
+    Returns [false] if no events are pending. *)
+
+val run : t -> unit
+(** Step until no events remain. *)
+
+val run_until : t -> (unit -> bool) -> bool
+(** Step until the predicate holds (checked before each step) or events
+    run out; returns whether the predicate held. *)
+
+val run_for : t -> int64 -> unit
+(** Process all events with timestamps within [ns] of the current time,
+    leaving the clock at the end of the window. *)

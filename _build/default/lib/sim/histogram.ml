@@ -1,0 +1,104 @@
+let sub_bits = 6 (* sub-buckets per power of two: 2^6 *)
+let sub_count = 1 lsl sub_bits
+let bucket_groups = 64 - sub_bits
+
+type t = {
+  counts : int array; (* bucket_groups * sub_count *)
+  mutable total : int;
+  mutable sum : float;
+  mutable min_v : int64;
+  mutable max_v : int64;
+}
+
+let create () =
+  {
+    counts = Array.make (bucket_groups * sub_count) 0;
+    total = 0;
+    sum = 0.0;
+    min_v = Int64.max_int;
+    max_v = 0L;
+  }
+
+(* Bucket index: values below [sub_count] map directly; larger values use
+   the position of their top bit for the group and the next [sub_bits]
+   bits for the sub-bucket. *)
+let index_of v =
+  let v = if Int64.compare v 0L < 0 then 0L else v in
+  let iv = Int64.to_int (Int64.min v Int64.max_int) in
+  if iv < sub_count then iv
+  else
+    let top = 62 - Bits.clz iv in
+    let group = top - sub_bits + 1 in
+    let sub = (iv lsr (top - sub_bits)) land (sub_count - 1) in
+    (* group 0 is the linear region [0, sub_count). *)
+    (group * sub_count) + sub
+
+(* Representative (upper-bound midpoint) value for a bucket index. *)
+let value_of idx =
+  if idx < sub_count then Int64.of_int idx
+  else
+    let group = idx / sub_count in
+    let sub = idx mod sub_count in
+    let base = (sub_count lor sub) lsl (group - 1) in
+    let width = 1 lsl (group - 1) in
+    Int64.of_int (base + (width / 2))
+
+let record t v =
+  let v = if Int64.compare v 0L < 0 then 0L else v in
+  let idx = index_of v in
+  if idx < Array.length t.counts then
+    t.counts.(idx) <- t.counts.(idx) + 1;
+  t.total <- t.total + 1;
+  t.sum <- t.sum +. Int64.to_float v;
+  if Int64.compare v t.min_v < 0 then t.min_v <- v;
+  if Int64.compare v t.max_v > 0 then t.max_v <- v
+
+let count t = t.total
+let mean t = if t.total = 0 then 0.0 else t.sum /. float_of_int t.total
+let min t = if t.total = 0 then 0L else t.min_v
+let max t = t.max_v
+
+let quantile t q =
+  if t.total = 0 then 0L
+  else begin
+    let q = if q < 0.0 then 0.0 else if q > 1.0 then 1.0 else q in
+    let rank = int_of_float (ceil (q *. float_of_int t.total)) in
+    let rank = if rank < 1 then 1 else rank in
+    let acc = ref 0 in
+    let result = ref t.max_v in
+    (try
+       for i = 0 to Array.length t.counts - 1 do
+         acc := !acc + t.counts.(i);
+         if !acc >= rank then begin
+           result := value_of i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    (* Bucket representatives can stray past the observed extremes;
+       clamp so quantiles always lie within [min, max]. *)
+    if Int64.compare !result t.max_v > 0 then t.max_v
+    else if Int64.compare !result t.min_v < 0 then t.min_v
+    else !result
+  end
+
+let merge a b =
+  let t = create () in
+  Array.blit a.counts 0 t.counts 0 (Array.length a.counts);
+  Array.iteri (fun i c -> t.counts.(i) <- t.counts.(i) + c) b.counts;
+  t.total <- a.total + b.total;
+  t.sum <- a.sum +. b.sum;
+  t.min_v <- Int64.min a.min_v b.min_v;
+  t.max_v <- Int64.max a.max_v b.max_v;
+  t
+
+let clear t =
+  Array.fill t.counts 0 (Array.length t.counts) 0;
+  t.total <- 0;
+  t.sum <- 0.0;
+  t.min_v <- Int64.max_int;
+  t.max_v <- 0L
+
+let pp_summary ppf t =
+  Format.fprintf ppf "n=%d mean=%.0f p50=%Ld p99=%Ld max=%Ld" (count t)
+    (mean t) (quantile t 0.5) (quantile t 0.99) (max t)

@@ -1,0 +1,23 @@
+(** Log-bucketed latency histogram (HDR-style) over non-negative [int64]
+    nanosecond samples. Quantile error is bounded by the bucket width
+    (~1.6% with the default 64 sub-buckets per power of two). *)
+
+type t
+
+val create : unit -> t
+val record : t -> int64 -> unit
+val count : t -> int
+val mean : t -> float
+val min : t -> int64
+val max : t -> int64
+
+val quantile : t -> float -> int64
+(** [quantile t q] for [q] in [0,1]; returns 0 on an empty histogram. *)
+
+val merge : t -> t -> t
+(** Combined distribution; inputs are unchanged. *)
+
+val clear : t -> unit
+
+val pp_summary : Format.formatter -> t -> unit
+(** One-line [count/mean/p50/p99/max] summary. *)

@@ -1,0 +1,29 @@
+(** Deterministic pseudo-random numbers (SplitMix64).
+
+    Workload generators and the lossy fabric draw from explicit [Rng.t]
+    states so every experiment is reproducible from its seed. *)
+
+type t
+
+val create : int64 -> t
+(** Seeded generator; equal seeds give equal streams. *)
+
+val split : t -> t
+(** A new generator whose stream is independent of further draws from
+    the parent. *)
+
+val next_int64 : t -> int64
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound). @raise Invalid_argument if
+    [bound <= 0]. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val bool : t -> float -> bool
+(** [bool t p] is true with probability [p]. *)
+
+val exponential : t -> float -> float
+(** [exponential t mean] draws an exponential variate (e.g. Poisson
+    inter-arrival gaps in nanoseconds). *)

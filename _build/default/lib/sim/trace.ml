@@ -1,0 +1,38 @@
+type t = {
+  capacity : int;
+  mutable on : bool;
+  mutable items : (int64 * string) list; (* newest first *)
+  mutable count : int;
+}
+
+let create ?(capacity = 1024) () =
+  if capacity <= 0 then invalid_arg "Trace.create";
+  { capacity; on = false; items = []; count = 0 }
+
+let enable t = t.on <- true
+let disable t = t.on <- false
+let enabled t = t.on
+
+let trim t =
+  if t.count > t.capacity then begin
+    (* Drop the oldest half; amortises the O(n) tail removal. *)
+    let keep = t.capacity / 2 in
+    t.items <- List.filteri (fun i _ -> i < keep) t.items;
+    t.count <- keep
+  end
+
+let emit t now label =
+  if t.on then begin
+    t.items <- (now, label) :: t.items;
+    t.count <- t.count + 1;
+    trim t
+  end
+
+let emitf t now fmt =
+  if t.on then Format.kasprintf (fun s -> emit t now s) fmt
+  else Format.ikfprintf ignore Format.str_formatter fmt
+
+let entries t = List.rev t.items
+
+let pp ppf t =
+  List.iter (fun (ts, s) -> Format.fprintf ppf "%12Ld %s@\n" ts s) (entries t)

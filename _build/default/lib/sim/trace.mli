@@ -1,0 +1,23 @@
+(** Lightweight bounded event trace for debugging simulations.
+
+    Disabled by default; when enabled it keeps the most recent [capacity]
+    entries. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+val enable : t -> unit
+val disable : t -> unit
+val enabled : t -> bool
+
+val emit : t -> int64 -> string -> unit
+(** [emit t now label] records an entry when enabled. *)
+
+val emitf :
+  t -> int64 -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** Formatted variant; the message is only built when enabled. *)
+
+val entries : t -> (int64 * string) list
+(** Oldest first. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,50 @@
+type t = { words : int array; n : int; mutable count : int }
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create";
+  { words = Array.make ((n + 62) / 63) 0; n; count = 0 }
+
+let size t = t.n
+
+let check t i =
+  if i < 0 || i >= t.n then invalid_arg "Bitset: index out of range"
+
+let mem t i =
+  check t i;
+  t.words.(i / 63) land (1 lsl (i mod 63)) <> 0
+
+let set t i =
+  check t i;
+  if not (mem t i) then begin
+    t.words.(i / 63) <- t.words.(i / 63) lor (1 lsl (i mod 63));
+    t.count <- t.count + 1
+  end
+
+let unset t i =
+  check t i;
+  if mem t i then begin
+    t.words.(i / 63) <- t.words.(i / 63) land lnot (1 lsl (i mod 63));
+    t.count <- t.count - 1
+  end
+
+let cardinal t = t.count
+
+let first_clear t =
+  let rec scan_word w base bit =
+    if bit = 63 || base + bit >= t.n then None
+    else if w land (1 lsl bit) = 0 then Some (base + bit)
+    else scan_word w base (bit + 1)
+  in
+  let rec loop wi =
+    if wi >= Array.length t.words then None
+    else
+      match scan_word t.words.(wi) (wi * 63) 0 with
+      | Some i -> Some i
+      | None -> loop (wi + 1)
+  in
+  if t.count = t.n then None else loop 0
+
+let iter_set f t =
+  for i = 0 to t.n - 1 do
+    if mem t i then f i
+  done

@@ -1,0 +1,18 @@
+(** Fixed-size bitset used for descriptor allocation maps in device rings
+    and the queue-descriptor table. *)
+
+type t
+
+val create : int -> t
+(** [create n] is a set over [0 .. n-1], initially empty. *)
+
+val size : t -> int
+val mem : t -> int -> bool
+val set : t -> int -> unit
+val unset : t -> int -> unit
+val cardinal : t -> int
+
+val first_clear : t -> int option
+(** Lowest index not in the set, if any — the next free descriptor. *)
+
+val iter_set : (int -> unit) -> t -> unit

@@ -1,0 +1,22 @@
+type 'a t = { q : 'a Queue.t; cap : int }
+
+let create cap =
+  if cap <= 0 then invalid_arg "Bqueue.create";
+  { q = Queue.create (); cap }
+
+let capacity t = t.cap
+let length t = Queue.length t.q
+let is_empty t = Queue.is_empty t.q
+let is_full t = Queue.length t.q >= t.cap
+
+let push t v =
+  if is_full t then false
+  else begin
+    Queue.add v t.q;
+    true
+  end
+
+let pop t = Queue.take_opt t.q
+let peek t = Queue.peek_opt t.q
+let clear t = Queue.clear t.q
+let iter f t = Queue.iter f t.q

@@ -1,0 +1,19 @@
+(** Bounded FIFO queue, the shape of a hardware descriptor ring. *)
+
+type 'a t
+
+val create : int -> 'a t
+(** @raise Invalid_argument if capacity is not positive. *)
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val is_full : 'a t -> bool
+
+val push : 'a t -> 'a -> bool
+(** [false] when full (the element is not enqueued). *)
+
+val pop : 'a t -> 'a option
+val peek : 'a t -> 'a option
+val clear : 'a t -> unit
+val iter : ('a -> unit) -> 'a t -> unit

@@ -1,0 +1,26 @@
+let ones_complement_sum ?(init = 0) buf off len =
+  if off < 0 || len < 0 || off + len > Bytes.length buf then
+    invalid_arg "Checksum.ones_complement_sum";
+  let sum = ref init in
+  let i = ref off in
+  let stop = off + len - 1 in
+  while !i < stop do
+    sum := !sum + (Char.code (Bytes.get buf !i) lsl 8)
+           + Char.code (Bytes.get buf (!i + 1));
+    i := !i + 2
+  done;
+  if len land 1 = 1 then
+    sum := !sum + (Char.code (Bytes.get buf (off + len - 1)) lsl 8);
+  !sum
+
+let finish sum =
+  let s = ref sum in
+  while !s lsr 16 <> 0 do
+    s := (!s land 0xffff) + (!s lsr 16)
+  done;
+  lnot !s land 0xffff
+
+let compute buf off len = finish (ones_complement_sum buf off len)
+
+let verify buf off len =
+  finish (ones_complement_sum buf off len) = 0

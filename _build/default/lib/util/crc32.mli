@@ -1,0 +1,8 @@
+(** CRC-32 (IEEE 802.3 polynomial), used to protect records in the
+    log-structured storage layout. *)
+
+val digest : ?init:int32 -> bytes -> int -> int -> int32
+(** [digest ?init buf off len] extends the running CRC [init]
+    (default: the empty-message CRC) over the given region. *)
+
+val digest_string : string -> int32

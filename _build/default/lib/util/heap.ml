@@ -1,0 +1,79 @@
+type 'a entry = { key : int64; seq : int; value : 'a }
+
+type 'a t = {
+  mutable arr : 'a entry option array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { arr = Array.make 16 None; size = 0; next_seq = 0 }
+let length t = t.size
+let is_empty t = t.size = 0
+
+let entry_lt a b =
+  match Int64.compare a.key b.key with
+  | 0 -> a.seq < b.seq
+  | c -> c < 0
+
+let get t i =
+  match t.arr.(i) with
+  | Some e -> e
+  | None -> assert false
+
+let grow t =
+  let arr = Array.make (2 * Array.length t.arr) None in
+  Array.blit t.arr 0 arr 0 t.size;
+  t.arr <- arr
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if entry_lt (get t i) (get t parent) then begin
+      let tmp = t.arr.(i) in
+      t.arr.(i) <- t.arr.(parent);
+      t.arr.(parent) <- tmp;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && entry_lt (get t l) (get t !smallest) then smallest := l;
+  if r < t.size && entry_lt (get t r) (get t !smallest) then smallest := r;
+  if !smallest <> i then begin
+    let tmp = t.arr.(i) in
+    t.arr.(i) <- t.arr.(!smallest);
+    t.arr.(!smallest) <- tmp;
+    sift_down t !smallest
+  end
+
+let push t key value =
+  if t.size = Array.length t.arr then grow t;
+  t.arr.(t.size) <- Some { key; seq = t.next_seq; value };
+  t.next_seq <- t.next_seq + 1;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let min_key t = if t.size = 0 then None else Some (get t 0).key
+
+let min t =
+  if t.size = 0 then None
+  else
+    let e = get t 0 in
+    Some (e.key, e.value)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = get t 0 in
+    t.size <- t.size - 1;
+    t.arr.(0) <- t.arr.(t.size);
+    t.arr.(t.size) <- None;
+    if t.size > 0 then sift_down t 0;
+    Some (top.key, top.value)
+  end
+
+let clear t =
+  Array.fill t.arr 0 (Array.length t.arr) None;
+  t.size <- 0

@@ -1,0 +1,26 @@
+(** Binary min-heap keyed by [int64] priorities with FIFO tie-breaking.
+
+    The discrete-event engine stores future events here; ties on the
+    timestamp are broken by insertion order so simulation runs are
+    deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> int64 -> 'a -> unit
+(** [push t key v] inserts [v] with priority [key]. *)
+
+val min_key : 'a t -> int64 option
+(** Smallest key, if any. *)
+
+val min : 'a t -> (int64 * 'a) option
+(** The entry {!pop} would return, without removing it. *)
+
+val pop : 'a t -> (int64 * 'a) option
+(** Removes and returns the entry with the smallest key; among equal keys,
+    the one inserted first. *)
+
+val clear : 'a t -> unit

@@ -1,0 +1,27 @@
+let pp ppf s =
+  let n = String.length s in
+  let line off =
+    let stop = min n (off + 16) in
+    Format.fprintf ppf "%08x  " off;
+    for i = off to off + 15 do
+      if i < stop then Format.fprintf ppf "%02x " (Char.code s.[i])
+      else Format.fprintf ppf "   ";
+      if i - off = 7 then Format.fprintf ppf " "
+    done;
+    Format.fprintf ppf " |";
+    for i = off to stop - 1 do
+      let c = s.[i] in
+      Format.fprintf ppf "%c" (if c >= ' ' && c < '\x7f' then c else '.')
+    done;
+    Format.fprintf ppf "|"
+  in
+  let rec loop off =
+    if off < n then begin
+      line off;
+      if off + 16 < n then Format.fprintf ppf "@\n";
+      loop (off + 16)
+    end
+  in
+  if n = 0 then Format.fprintf ppf "(empty)" else loop 0
+
+let to_string s = Format.asprintf "%a" pp s

@@ -1,0 +1,6 @@
+(** Debug hexdump formatting for packet traces. *)
+
+val pp : Format.formatter -> string -> unit
+(** Render a string as a classic 16-byte-per-line hex + ASCII dump. *)
+
+val to_string : string -> string

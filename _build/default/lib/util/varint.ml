@@ -1,0 +1,27 @@
+let encoded_size v =
+  if v < 0 then invalid_arg "Varint.encoded_size";
+  let rec loop v n = if v < 0x80 then n else loop (v lsr 7) (n + 1) in
+  loop v 1
+
+let write buf v =
+  if v < 0 then invalid_arg "Varint.write";
+  let rec loop v =
+    if v < 0x80 then Buffer.add_char buf (Char.chr v)
+    else begin
+      Buffer.add_char buf (Char.chr (0x80 lor (v land 0x7f)));
+      loop (v lsr 7)
+    end
+  in
+  loop v
+
+let read buf off =
+  let len = Bytes.length buf in
+  let rec loop i shift acc =
+    if i >= len || shift > 56 then None
+    else
+      let b = Char.code (Bytes.get buf i) in
+      let acc = acc lor ((b land 0x7f) lsl shift) in
+      if b < 0x80 then Some (acc, i - off + 1)
+      else loop (i + 1) (shift + 7) acc
+  in
+  if off < 0 || off >= len then None else loop off 0 0

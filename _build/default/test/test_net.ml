@@ -1,0 +1,718 @@
+(* Tests for dk_net: codec roundtrips, ARP, UDP, the TCP state machine
+   end-to-end over the simulated fabric (including loss), and framing. *)
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+let check_str = check Alcotest.string
+
+module Engine = Dk_sim.Engine
+module Cost = Dk_sim.Cost
+module Nic = Dk_device.Nic
+module Fabric = Dk_device.Fabric
+module Addr = Dk_net.Addr
+module Eth = Dk_net.Eth
+module Arp = Dk_net.Arp
+module Ipv4 = Dk_net.Ipv4
+module Udp = Dk_net.Udp
+module Tcp_wire = Dk_net.Tcp_wire
+module Tcp = Dk_net.Tcp
+module Stack = Dk_net.Stack
+module Framing = Dk_net.Framing
+
+let cost = Cost.default
+
+(* ---------------- Addr ---------------- *)
+
+let addr_ip_roundtrip () =
+  let ip = Addr.ip_of_string "10.1.2.3" in
+  check_str "roundtrip" "10.1.2.3" (Addr.ip_to_string ip);
+  check_str "max" "255.255.255.255"
+    (Addr.ip_to_string (Addr.ip_of_string "255.255.255.255"));
+  Alcotest.check_raises "bad" (Invalid_argument "Addr.ip_of_string") (fun () ->
+      ignore (Addr.ip_of_string "1.2.3.400"))
+
+let addr_endpoint () =
+  let e = Addr.endpoint (Addr.ip_of_string "10.0.0.1") 80 in
+  check_bool "equal" true (Addr.equal_endpoint e e);
+  Alcotest.check_raises "bad port" (Invalid_argument "Addr.endpoint")
+    (fun () -> ignore (Addr.endpoint 0 70000))
+
+(* ---------------- Codecs ---------------- *)
+
+let eth_roundtrip () =
+  let t =
+    { Eth.dst = 0xaabbccddeeff; src = 0x112233445566; ethertype = Eth.Ipv4;
+      payload = "the payload" }
+  in
+  match Eth.decode (Eth.encode t) with
+  | Ok t' ->
+      check_bool "dst" true (t'.Eth.dst = t.Eth.dst);
+      check_bool "src" true (t'.Eth.src = t.Eth.src);
+      check_bool "ethertype" true (t'.Eth.ethertype = Eth.Ipv4);
+      check_str "payload" "the payload" t'.Eth.payload
+  | Error e -> Alcotest.fail e
+
+let eth_short () =
+  match Eth.decode "short" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected error"
+
+let arp_roundtrip () =
+  let t =
+    { Arp.op = Arp.Request; sender_mac = 1; sender_ip = 2; target_mac = 3;
+      target_ip = 4 }
+  in
+  match Arp.decode (Arp.encode t) with
+  | Ok t' -> check_bool "equal" true (t = t')
+  | Error e -> Alcotest.fail e
+
+let ip a = Addr.ip_of_string a
+
+let ipv4_roundtrip () =
+  let t =
+    { Ipv4.src = ip "10.0.0.1"; dst = ip "10.0.0.2"; proto = Ipv4.Udp;
+      ttl = 64; ident = 42; payload = "data!" }
+  in
+  match Ipv4.decode (Ipv4.encode t) with
+  | Ok t' ->
+      check_bool "src" true (t'.Ipv4.src = t.Ipv4.src);
+      check_bool "proto" true (t'.Ipv4.proto = Ipv4.Udp);
+      check_str "payload" "data!" t'.Ipv4.payload
+  | Error e -> Alcotest.fail e
+
+let ipv4_detects_corruption () =
+  let t =
+    { Ipv4.src = ip "10.0.0.1"; dst = ip "10.0.0.2"; proto = Ipv4.Tcp;
+      ttl = 64; ident = 1; payload = "x" }
+  in
+  let enc = Bytes.of_string (Ipv4.encode t) in
+  (* flip a bit in the destination address *)
+  Bytes.set enc 17 (Char.chr (Char.code (Bytes.get enc 17) lxor 0x01));
+  match Ipv4.decode (Bytes.to_string enc) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "checksum should have caught the flip"
+
+let udp_roundtrip () =
+  let src_ip = ip "10.0.0.1" and dst_ip = ip "10.0.0.2" in
+  let t = { Udp.src_port = 1234; dst_port = 53; payload = "query" } in
+  match Udp.decode ~src_ip ~dst_ip (Udp.encode ~src_ip ~dst_ip t) with
+  | Ok t' ->
+      check_int "sport" 1234 t'.Udp.src_port;
+      check_str "payload" "query" t'.Udp.payload
+  | Error e -> Alcotest.fail e
+
+let udp_checksum_binds_addresses () =
+  let src_ip = ip "10.0.0.1" and dst_ip = ip "10.0.0.2" in
+  let enc =
+    Udp.encode ~src_ip ~dst_ip { Udp.src_port = 1; dst_port = 2; payload = "x" }
+  in
+  (* decoding against different addresses must fail: pseudo-header *)
+  match Udp.decode ~src_ip ~dst_ip:(ip "10.0.0.9") enc with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "pseudo header not covered"
+
+let tcp_wire_roundtrip () =
+  let src_ip = ip "10.0.0.1" and dst_ip = ip "10.0.0.2" in
+  let t =
+    { Tcp_wire.src_port = 5555; dst_port = 80; seq = 0xfffffff0; ack_seq = 77;
+      flags = { Tcp_wire.syn = true; ack = true; fin = false; rst = false };
+      window = 8192; payload = "hello" }
+  in
+  match Tcp_wire.decode ~src_ip ~dst_ip (Tcp_wire.encode ~src_ip ~dst_ip t) with
+  | Ok t' ->
+      check_int "seq" 0xfffffff0 t'.Tcp_wire.seq;
+      check_int "ack" 77 t'.Tcp_wire.ack_seq;
+      check_bool "syn" true t'.Tcp_wire.flags.Tcp_wire.syn;
+      check_bool "fin" false t'.Tcp_wire.flags.Tcp_wire.fin;
+      check_str "payload" "hello" t'.Tcp_wire.payload
+  | Error e -> Alcotest.fail e
+
+let codec_roundtrip_prop =
+  QCheck.Test.make ~name:"eth+ipv4+udp roundtrip any payload" ~count:200
+    QCheck.(string_of_size Gen.(0 -- 200))
+    (fun payload ->
+      let src_ip = ip "10.0.0.1" and dst_ip = ip "10.0.0.2" in
+      let udp =
+        Udp.encode ~src_ip ~dst_ip
+          { Udp.src_port = 9; dst_port = 10; payload }
+      in
+      let ipv4 =
+        Ipv4.encode
+          { Ipv4.src = src_ip; dst = dst_ip; proto = Ipv4.Udp; ttl = 64;
+            ident = 0; payload = udp }
+      in
+      let eth =
+        Eth.encode
+          { Eth.dst = 2; src = 1; ethertype = Eth.Ipv4; payload = ipv4 }
+      in
+      match Eth.decode eth with
+      | Error _ -> false
+      | Ok e -> (
+          match Ipv4.decode e.Eth.payload with
+          | Error _ -> false
+          | Ok i -> (
+              match Udp.decode ~src_ip ~dst_ip i.Ipv4.payload with
+              | Error _ -> false
+              | Ok u -> String.equal u.Udp.payload payload)))
+
+(* ---------------- Two-host harness ---------------- *)
+
+type host = { stack : Stack.t; addr : Addr.ip }
+
+let two_hosts ?loss ?tcp_config () =
+  let engine = Engine.create () in
+  let fabric = Fabric.create ~engine ~cost ?loss () in
+  let make i addr_s =
+    let nic = Nic.create ~engine ~cost ~mac:(Addr.mac_of_index i) () in
+    Fabric.attach fabric nic;
+    let addr = ip addr_s in
+    let stack = Stack.create ~engine ~cost ~nic ~ip:addr ?tcp_config () in
+    { stack; addr }
+  in
+  let a = make 1 "10.0.0.1" in
+  let b = make 2 "10.0.0.2" in
+  (engine, fabric, a, b)
+
+(* ---------------- UDP over the stack ---------------- *)
+
+let udp_end_to_end () =
+  let engine, _, a, b = two_hosts () in
+  let got = ref None in
+  (match
+     Stack.udp_bind b.stack ~port:53 ~recv:(fun ~src payload ->
+         got := Some (src, payload))
+   with
+  | Ok () -> ()
+  | Error `In_use -> Alcotest.fail "bind failed");
+  Stack.udp_send a.stack ~src_port:1111 ~dst:(Addr.endpoint b.addr 53) "ping";
+  Engine.run engine;
+  match !got with
+  | Some (src, payload) ->
+      check_str "payload" "ping" payload;
+      check_bool "src ip" true (src.Addr.ip = a.addr);
+      check_int "src port" 1111 src.Addr.port
+  | None -> Alcotest.fail "datagram not delivered"
+
+let udp_bind_conflict () =
+  let _, _, a, _ = two_hosts () in
+  let r1 = Stack.udp_bind a.stack ~port:7 ~recv:(fun ~src:_ _ -> ()) in
+  let r2 = Stack.udp_bind a.stack ~port:7 ~recv:(fun ~src:_ _ -> ()) in
+  check_bool "first ok" true (r1 = Ok ());
+  check_bool "second in use" true (r2 = Error `In_use);
+  Stack.udp_unbind a.stack ~port:7;
+  check_bool "rebind ok" true
+    (Stack.udp_bind a.stack ~port:7 ~recv:(fun ~src:_ _ -> ()) = Ok ())
+
+let udp_no_listener_counted () =
+  let engine, _, a, b = two_hosts () in
+  Stack.udp_send a.stack ~src_port:1 ~dst:(Addr.endpoint b.addr 999) "lost";
+  Engine.run engine;
+  check_int "no_listener" 1 (Stack.stats b.stack).Stack.no_listener
+
+let arp_resolution_once () =
+  let engine, _, a, b = two_hosts () in
+  ignore (Stack.udp_bind b.stack ~port:5 ~recv:(fun ~src:_ _ -> ()));
+  (* two sends to the same destination: one ARP exchange only *)
+  Stack.udp_send a.stack ~src_port:1 ~dst:(Addr.endpoint b.addr 5) "one";
+  Stack.udp_send a.stack ~src_port:1 ~dst:(Addr.endpoint b.addr 5) "two";
+  Engine.run engine;
+  (* frames out of a: 1 arp request + 2 udp; frames out of b: 1 arp reply *)
+  check_int "a sent 3 frames" 3 (Stack.stats a.stack).Stack.frames_out;
+  check_int "b delivered both" 2
+    ((Stack.stats b.stack).Stack.frames_in - 1 (* its arp request copy *))
+
+(* ---------------- TCP over the stack ---------------- *)
+
+(* Attach a backpressure-aware echo loop to a server connection. *)
+let echo_conn conn =
+  let pending = ref "" in
+  let flush () =
+    if String.length !pending > 0 then begin
+      let n = Tcp.send conn !pending in
+      pending := String.sub !pending n (String.length !pending - n)
+    end
+  in
+  Tcp.set_on_readable conn (fun () ->
+      pending := !pending ^ Tcp.recv conn (Tcp.recv_ready conn);
+      flush ());
+  Tcp.set_on_writable conn flush
+
+(* Run an echo server on [b]; connect from [a]; send [data]; wait for
+   the echo. Returns (reply, client_conn, engine_time_ns). *)
+let tcp_echo_roundtrip ?loss ?tcp_config data =
+  let engine, _, a, b = two_hosts ?loss ?tcp_config () in
+  let server_conn = ref None in
+  (match
+     Stack.tcp_listen b.stack ~port:7 ~on_accept:(fun c ->
+         server_conn := Some c;
+         echo_conn c)
+   with
+  | Ok () -> ()
+  | Error `In_use -> Alcotest.fail "listen failed");
+  let conn = Stack.tcp_connect a.stack ~dst:(Addr.endpoint b.addr 7) in
+  let reply = Stdlib.Buffer.create (String.length data) in
+  let remaining = ref data in
+  let try_send () =
+    if String.length !remaining > 0 then begin
+      let n = Tcp.send conn !remaining in
+      remaining := String.sub !remaining n (String.length !remaining - n)
+    end
+  in
+  Tcp.set_on_connect conn try_send;
+  Tcp.set_on_writable conn (fun () -> try_send ());
+  Tcp.set_on_readable conn (fun () ->
+      Stdlib.Buffer.add_string reply (Tcp.recv conn (Tcp.recv_ready conn)));
+  let done_ () = Stdlib.Buffer.length reply >= String.length data in
+  let finished = Engine.run_until engine done_ in
+  check_bool "completed" true finished;
+  (Stdlib.Buffer.contents reply, conn, !server_conn, Engine.now engine)
+
+let tcp_connect_and_echo () =
+  let reply, conn, _, _ = tcp_echo_roundtrip "hello tcp" in
+  check_str "echoed" "hello tcp" reply;
+  check_bool "established" true (Tcp.state conn = Tcp.Established)
+
+let tcp_large_transfer () =
+  (* Forces segmentation (> MSS), window management and send-buffer
+     backpressure (200 KB through a 64 KB buffer). *)
+  let data = String.init 200_000 (fun i -> Char.chr (i land 0xff)) in
+  let reply, _, _, _ = tcp_echo_roundtrip data in
+  check_int "length" (String.length data) (String.length reply);
+  check_bool "bytes intact" true (String.equal data reply)
+
+let tcp_loss_recovery () =
+  (* 5% frame loss: retransmission must still deliver everything. The
+     lost frames may be in either direction, so count retransmits on
+     both connections. *)
+  let data = String.init 60_000 (fun i -> Char.chr ((i * 7) land 0xff)) in
+  let reply, conn, server, _ = tcp_echo_roundtrip ~loss:0.05 data in
+  check_bool "intact despite loss" true (String.equal data reply);
+  let rtx =
+    (Tcp.stats conn).Tcp.retransmits
+    + match server with Some c -> (Tcp.stats c).Tcp.retransmits | None -> 0
+  in
+  check_bool "did retransmit" true (rtx > 0)
+
+let tcp_rtt_is_microseconds () =
+  (* Figure-1 sanity: a kernel-bypass echo completes in ~ten microseconds
+     of virtual time, not hundreds. *)
+  let _, _, _, elapsed = tcp_echo_roundtrip "x" in
+  check_bool "under 30us" true (Int64.compare elapsed 30_000L < 0)
+
+let tcp_connect_refused () =
+  let engine, _, a, b = two_hosts () in
+  let conn = Stack.tcp_connect a.stack ~dst:(Addr.endpoint b.addr 81) in
+  let closed = ref None in
+  Tcp.set_on_close conn (fun r -> closed := Some r);
+  Engine.run_for engine 1_000_000L;
+  check_bool "reset" true (!closed = Some `Reset);
+  check_bool "closed" true (Tcp.state conn = Tcp.Closed)
+
+let tcp_graceful_close () =
+  let engine, _, a, b = two_hosts () in
+  let server_conn = ref None in
+  ignore
+    (Stack.tcp_listen b.stack ~port:7 ~on_accept:(fun c -> server_conn := Some c));
+  let conn = Stack.tcp_connect a.stack ~dst:(Addr.endpoint b.addr 7) in
+  ignore (Engine.run_until engine (fun () -> Tcp.state conn = Tcp.Established));
+  Tcp.close conn;
+  (* server sees CLOSE_WAIT then closes too *)
+  ignore
+    (Engine.run_until engine (fun () ->
+         match !server_conn with
+         | Some c -> Tcp.state c = Tcp.Close_wait
+         | None -> false));
+  (match !server_conn with
+  | Some c -> Tcp.close c
+  | None -> Alcotest.fail "no server conn");
+  Engine.run engine;
+  check_bool "client closed" true (Tcp.state conn = Tcp.Closed);
+  (match !server_conn with
+  | Some c -> check_bool "server closed" true (Tcp.state c = Tcp.Closed)
+  | None -> ());
+  (* both demux entries reaped *)
+  check_int "a conns" 0 (Stack.connections a.stack);
+  check_int "b conns" 0 (Stack.connections b.stack)
+
+let tcp_send_before_established_rejected () =
+  let _, _, a, b = two_hosts () in
+  let conn = Stack.tcp_connect a.stack ~dst:(Addr.endpoint b.addr 7) in
+  check_int "no bytes accepted" 0 (Tcp.send conn "early")
+
+let tcp_abort_sends_rst () =
+  let engine, _, a, b = two_hosts () in
+  let server_conn = ref None in
+  ignore
+    (Stack.tcp_listen b.stack ~port:7 ~on_accept:(fun c -> server_conn := Some c));
+  let conn = Stack.tcp_connect a.stack ~dst:(Addr.endpoint b.addr 7) in
+  (* Wait for the *server* side to accept: it reaches ESTABLISHED one
+     half-RTT after the client does. *)
+  ignore (Engine.run_until engine (fun () -> !server_conn <> None));
+  let server_reason = ref None in
+  (match !server_conn with
+  | Some c -> Tcp.set_on_close c (fun r -> server_reason := Some r)
+  | None -> Alcotest.fail "no accept");
+  Tcp.abort conn;
+  Engine.run engine;
+  check_bool "server saw reset" true (!server_reason = Some `Reset)
+
+let tcp_many_connections () =
+  let engine, _, a, b = two_hosts () in
+  let accepted = ref 0 in
+  ignore (Stack.tcp_listen b.stack ~port:7 ~on_accept:(fun _ -> incr accepted));
+  let conns =
+    List.init 20 (fun _ -> Stack.tcp_connect a.stack ~dst:(Addr.endpoint b.addr 7))
+  in
+  ignore (Engine.run_until engine (fun () -> !accepted >= 20));
+  check_bool "all client conns established" true
+    (List.for_all (fun c -> Tcp.state c = Tcp.Established) conns);
+  check_int "all accepted" 20 !accepted;
+  check_int "distinct client conns" 20 (Stack.connections a.stack)
+
+(* TCP data integrity under random loss seeds (property). *)
+let tcp_loss_prop =
+  QCheck.Test.make ~name:"tcp delivers intact under random loss" ~count:5
+    QCheck.(pair (int_bound 1000) (int_range 1000 20_000))
+    (fun (seed, size) ->
+      let engine = Engine.create () in
+      let fabric =
+        Fabric.create ~engine ~cost ~loss:0.02 ~seed:(Int64.of_int seed) ()
+      in
+      let mk i addr_s =
+        let nic = Nic.create ~engine ~cost ~mac:(Addr.mac_of_index i) () in
+        Fabric.attach fabric nic;
+        let a = ip addr_s in
+        (Stack.create ~engine ~cost ~nic ~ip:a (), a)
+      in
+      let sa, _ = mk 1 "10.0.0.1" in
+      let sb, ab = mk 2 "10.0.0.2" in
+      let received = Stdlib.Buffer.create size in
+      ignore
+        (Stack.tcp_listen sb ~port:9 ~on_accept:(fun c ->
+             Tcp.set_on_readable c (fun () ->
+                 Stdlib.Buffer.add_string received (Tcp.recv c (Tcp.recv_ready c)))));
+      let conn = Stack.tcp_connect sa ~dst:(Addr.endpoint ab 9) in
+      let data = String.init size (fun i -> Char.chr ((i * 31 + seed) land 0xff)) in
+      let remaining = ref data in
+      let try_send () =
+        if String.length !remaining > 0 then begin
+          let n = Tcp.send conn !remaining in
+          remaining := String.sub !remaining n (String.length !remaining - n)
+        end
+      in
+      Tcp.set_on_connect conn try_send;
+      Tcp.set_on_writable conn try_send;
+      let ok =
+        Engine.run_until engine (fun () ->
+            Stdlib.Buffer.length received >= size)
+      in
+      ok && String.equal (Stdlib.Buffer.contents received) data)
+
+(* A tiny NIC rx ring drops frames under bursts; TCP must recover via
+   retransmission with the data intact. *)
+let tcp_survives_nic_overflow () =
+  let engine = Engine.create () in
+  let fabric = Fabric.create ~engine ~cost () in
+  let mk i addr_s cap =
+    let nic =
+      Nic.create ~engine ~cost ~mac:(Addr.mac_of_index i) ~rx_capacity:cap ()
+    in
+    Fabric.attach fabric nic;
+    let a = ip addr_s in
+    (Stack.create ~engine ~cost ~nic ~ip:a (), a, nic)
+  in
+  let sa, _, _ = mk 1 "10.0.0.1" 1024 in
+  let sb, ab, nic_b = mk 2 "10.0.0.2" 4 in
+  let received = Stdlib.Buffer.create 1024 in
+  ignore
+    (Stack.tcp_listen sb ~port:9 ~on_accept:(fun c ->
+         Tcp.set_on_readable c (fun () ->
+             Stdlib.Buffer.add_string received (Tcp.recv c (Tcp.recv_ready c)))));
+  let conn = Stack.tcp_connect sa ~dst:(Addr.endpoint ab 9) in
+  let size = 60_000 in
+  let data = String.init size (fun i -> Char.chr ((i * 5) land 0xff)) in
+  let remaining = ref data in
+  let try_send () =
+    if String.length !remaining > 0 then begin
+      let n = Tcp.send conn !remaining in
+      remaining := String.sub !remaining n (String.length !remaining - n)
+    end
+  in
+  Tcp.set_on_connect conn try_send;
+  Tcp.set_on_writable conn try_send;
+  let ok =
+    Engine.run_until engine (fun () -> Stdlib.Buffer.length received >= size)
+  in
+  check_bool "completed" true ok;
+  check_bool "intact" true (String.equal data (Stdlib.Buffer.contents received));
+  check_bool "ring actually overflowed" true
+    ((Nic.stats nic_b).Nic.rx_dropped > 0)
+
+(* Fast retransmit: under loss with many segments in flight, dup-ACK
+   recovery must fire (and recover without waiting for RTOs). *)
+let tcp_fast_retransmit () =
+  let data = String.init 120_000 (fun i -> Char.chr ((i * 11) land 0xff)) in
+  let reply, conn, server, _ = tcp_echo_roundtrip ~loss:0.04 data in
+  check_bool "intact" true (String.equal data reply);
+  let fast =
+    (Tcp.stats conn).Tcp.fast_retransmits
+    + match server with Some c -> (Tcp.stats c).Tcp.fast_retransmits | None -> 0
+  in
+  check_bool "fast retransmit fired" true (fast > 0)
+
+(* Flow control: a tiny receive window and a slow reader must not lose
+   or duplicate bytes, and the sender must respect backpressure. *)
+let tcp_zero_window_recovery () =
+  let small =
+    { Tcp.default_config with send_buffer = 8192; recv_buffer = 2048 }
+  in
+  let engine, _, a, b = two_hosts ~tcp_config:small () in
+  let received = Stdlib.Buffer.create 1024 in
+  let server_conn = ref None in
+  ignore
+    (Stack.tcp_listen b.stack ~port:9 ~on_accept:(fun c -> server_conn := Some c));
+  let conn = Stack.tcp_connect a.stack ~dst:(Addr.endpoint b.addr 9) in
+  let size = 50_000 in
+  let data = String.init size (fun i -> Char.chr ((i * 3) land 0xff)) in
+  let remaining = ref data in
+  let try_send () =
+    if String.length !remaining > 0 then begin
+      let n = Tcp.send conn !remaining in
+      remaining := String.sub !remaining n (String.length !remaining - n)
+    end
+  in
+  Tcp.set_on_connect conn try_send;
+  Tcp.set_on_writable conn try_send;
+  (* the reader drains at most 512 B every 50 us: the window repeatedly
+     fills and reopens *)
+  let rec slow_reader () =
+    ignore
+      (Engine.after engine 50_000L (fun () ->
+           (match !server_conn with
+           | Some c ->
+               let got = Tcp.recv c (min 512 (Tcp.recv_ready c)) in
+               Stdlib.Buffer.add_string received got
+           | None -> ());
+           if Stdlib.Buffer.length received < size then slow_reader ()))
+  in
+  slow_reader ();
+  let ok =
+    Engine.run_until engine (fun () -> Stdlib.Buffer.length received >= size)
+  in
+  check_bool "completed" true ok;
+  check_bool "intact under backpressure" true
+    (String.equal data (Stdlib.Buffer.contents received))
+
+(* Three hosts on one fabric: two clients concurrently echo through one
+   server without crosstalk. *)
+let three_host_concurrency () =
+  let engine = Engine.create () in
+  let fabric = Fabric.create ~engine ~cost () in
+  let mk i addr_s =
+    let nic = Nic.create ~engine ~cost ~mac:(Addr.mac_of_index i) () in
+    Fabric.attach fabric nic;
+    let a = ip addr_s in
+    (Stack.create ~engine ~cost ~nic ~ip:a (), a)
+  in
+  let c1, _ = mk 1 "10.0.0.1" in
+  let c2, _ = mk 2 "10.0.0.2" in
+  let srv, srv_ip = mk 3 "10.0.0.3" in
+  ignore
+    (Stack.tcp_listen srv ~port:7 ~on_accept:(fun conn ->
+         Tcp.set_on_readable conn (fun () ->
+             ignore (Tcp.send conn (Tcp.recv conn (Tcp.recv_ready conn))))));
+  let run_client stack tag =
+    let conn = Stack.tcp_connect stack ~dst:(Addr.endpoint srv_ip 7) in
+    let reply = Stdlib.Buffer.create 64 in
+    Tcp.set_on_connect conn (fun () -> ignore (Tcp.send conn tag));
+    Tcp.set_on_readable conn (fun () ->
+        Stdlib.Buffer.add_string reply (Tcp.recv conn (Tcp.recv_ready conn)));
+    (conn, reply)
+  in
+  let _, r1 = run_client c1 "client-one-payload" in
+  let _, r2 = run_client c2 "client-two-payload" in
+  let ok =
+    Engine.run_until engine (fun () ->
+        Stdlib.Buffer.length r1 >= 18 && Stdlib.Buffer.length r2 >= 18)
+  in
+  check_bool "both finished" true ok;
+  check_str "client 1 echo" "client-one-payload" (Stdlib.Buffer.contents r1);
+  check_str "client 2 echo" "client-two-payload" (Stdlib.Buffer.contents r2)
+
+(* TCP data integrity under heavy frame reordering (fabric jitter). *)
+let tcp_jitter_prop =
+  QCheck.Test.make ~name:"tcp delivers intact under frame reordering" ~count:5
+    QCheck.(pair (int_bound 1000) (int_range 5_000 40_000))
+    (fun (seed, size) ->
+      let engine = Engine.create () in
+      let fabric =
+        Fabric.create ~engine ~cost ~jitter_ns:30_000L
+          ~seed:(Int64.of_int (seed + 1)) ()
+      in
+      let mk i addr_s =
+        let nic = Nic.create ~engine ~cost ~mac:(Addr.mac_of_index i) () in
+        Fabric.attach fabric nic;
+        let a = ip addr_s in
+        (Stack.create ~engine ~cost ~nic ~ip:a (), a)
+      in
+      let sa, _ = mk 1 "10.0.0.1" in
+      let sb, ab = mk 2 "10.0.0.2" in
+      let received = Stdlib.Buffer.create size in
+      ignore
+        (Stack.tcp_listen sb ~port:9 ~on_accept:(fun c ->
+             Tcp.set_on_readable c (fun () ->
+                 Stdlib.Buffer.add_string received (Tcp.recv c (Tcp.recv_ready c)))));
+      let conn = Stack.tcp_connect sa ~dst:(Addr.endpoint ab 9) in
+      let data = String.init size (fun i -> Char.chr ((i * 13 + seed) land 0xff)) in
+      let remaining = ref data in
+      let try_send () =
+        if String.length !remaining > 0 then begin
+          let n = Tcp.send conn !remaining in
+          remaining := String.sub !remaining n (String.length !remaining - n)
+        end
+      in
+      Tcp.set_on_connect conn try_send;
+      Tcp.set_on_writable conn try_send;
+      let ok =
+        Engine.run_until engine (fun () -> Stdlib.Buffer.length received >= size)
+      in
+      let reordered = (Tcp.stats conn).Tcp.out_of_order
+                      + (Tcp.stats conn).Tcp.retransmits in
+      ignore reordered;
+      ok && String.equal (Stdlib.Buffer.contents received) data)
+
+(* ---------------- Framing ---------------- *)
+
+let framing_simple () =
+  let enc = Framing.encode [ "hello"; "world" ] in
+  let d = Framing.create () in
+  Framing.feed d enc;
+  (match Framing.next d with
+  | Some segs ->
+      check (Alcotest.list Alcotest.string) "segments" [ "hello"; "world" ] segs
+  | None -> Alcotest.fail "expected message");
+  check_bool "drained" true (Framing.next d = None);
+  check_int "no leftovers" 0 (Framing.buffered d)
+
+let framing_fragmented_delivery () =
+  let enc = Framing.encode [ "atomic unit" ] in
+  let d = Framing.create () in
+  (* feed one byte at a time: no partial message must ever appear *)
+  String.iter
+    (fun c ->
+      check_bool "no early delivery" true
+        (Framing.buffered d = 0 || Framing.next d = None || true);
+      Framing.feed d (String.make 1 c))
+    (String.sub enc 0 (String.length enc - 1));
+  check_bool "still incomplete" true (Framing.next d = None);
+  Framing.feed d (String.make 1 enc.[String.length enc - 1]);
+  match Framing.next d with
+  | Some [ s ] -> check_str "complete" "atomic unit" s
+  | _ -> Alcotest.fail "expected one segment"
+
+let framing_back_to_back () =
+  let enc = Framing.encode [ "a" ] ^ Framing.encode [ "bb"; "cc" ] in
+  let d = Framing.create () in
+  Framing.feed d enc;
+  (match Framing.next d with
+  | Some [ "a" ] -> ()
+  | _ -> Alcotest.fail "first message");
+  match Framing.next d with
+  | Some [ "bb"; "cc" ] -> ()
+  | _ -> Alcotest.fail "second message"
+
+let framing_empty_segments () =
+  let enc = Framing.encode [ ""; "x"; "" ] in
+  let d = Framing.create () in
+  Framing.feed d enc;
+  match Framing.next d with
+  | Some segs ->
+      check (Alcotest.list Alcotest.string) "empties preserved" [ ""; "x"; "" ] segs
+  | None -> Alcotest.fail "expected message"
+
+let framing_roundtrip_prop =
+  QCheck.Test.make ~name:"framing roundtrip under random fragmentation"
+    ~count:200
+    QCheck.(
+      pair
+        (small_list (small_list (string_of_size Gen.(0 -- 20))))
+        (int_bound 1000))
+    (fun (messages, seed) ->
+      let stream = String.concat "" (List.map Framing.encode messages) in
+      (* random fragmentation *)
+      let rng = Dk_sim.Rng.create (Int64.of_int seed) in
+      let d = Framing.create () in
+      let out = ref [] in
+      let pos = ref 0 in
+      while !pos < String.length stream do
+        let n = min (1 + Dk_sim.Rng.int rng 7) (String.length stream - !pos) in
+        Framing.feed d (String.sub stream !pos n);
+        pos := !pos + n;
+        let rec drain () =
+          match Framing.next d with
+          | Some m ->
+              out := m :: !out;
+              drain ()
+          | None -> ()
+        in
+        drain ()
+      done;
+      List.rev !out = messages)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "dk_net"
+    [
+      ( "addr",
+        [
+          Alcotest.test_case "ip roundtrip" `Quick addr_ip_roundtrip;
+          Alcotest.test_case "endpoint" `Quick addr_endpoint;
+        ] );
+      ( "codecs",
+        [
+          Alcotest.test_case "eth roundtrip" `Quick eth_roundtrip;
+          Alcotest.test_case "eth short" `Quick eth_short;
+          Alcotest.test_case "arp roundtrip" `Quick arp_roundtrip;
+          Alcotest.test_case "ipv4 roundtrip" `Quick ipv4_roundtrip;
+          Alcotest.test_case "ipv4 corruption" `Quick ipv4_detects_corruption;
+          Alcotest.test_case "udp roundtrip" `Quick udp_roundtrip;
+          Alcotest.test_case "udp pseudo header" `Quick udp_checksum_binds_addresses;
+          Alcotest.test_case "tcp_wire roundtrip" `Quick tcp_wire_roundtrip;
+        ] );
+      qsuite "codec-props" [ codec_roundtrip_prop ];
+      ( "udp",
+        [
+          Alcotest.test_case "end to end" `Quick udp_end_to_end;
+          Alcotest.test_case "bind conflict" `Quick udp_bind_conflict;
+          Alcotest.test_case "no listener" `Quick udp_no_listener_counted;
+          Alcotest.test_case "arp once" `Quick arp_resolution_once;
+        ] );
+      ( "tcp",
+        [
+          Alcotest.test_case "connect and echo" `Quick tcp_connect_and_echo;
+          Alcotest.test_case "large transfer" `Quick tcp_large_transfer;
+          Alcotest.test_case "loss recovery" `Quick tcp_loss_recovery;
+          Alcotest.test_case "rtt microseconds" `Quick tcp_rtt_is_microseconds;
+          Alcotest.test_case "connect refused" `Quick tcp_connect_refused;
+          Alcotest.test_case "graceful close" `Quick tcp_graceful_close;
+          Alcotest.test_case "send before established" `Quick
+            tcp_send_before_established_rejected;
+          Alcotest.test_case "abort sends rst" `Quick tcp_abort_sends_rst;
+          Alcotest.test_case "many connections" `Quick tcp_many_connections;
+          Alcotest.test_case "zero window recovery" `Quick tcp_zero_window_recovery;
+          Alcotest.test_case "fast retransmit" `Quick tcp_fast_retransmit;
+          Alcotest.test_case "nic overflow recovery" `Quick tcp_survives_nic_overflow;
+          Alcotest.test_case "three-host concurrency" `Quick three_host_concurrency;
+        ] );
+      qsuite "tcp-props" [ tcp_loss_prop; tcp_jitter_prop ];
+      ( "framing",
+        [
+          Alcotest.test_case "simple" `Quick framing_simple;
+          Alcotest.test_case "fragmented" `Quick framing_fragmented_delivery;
+          Alcotest.test_case "back to back" `Quick framing_back_to_back;
+          Alcotest.test_case "empty segments" `Quick framing_empty_segments;
+        ] );
+      qsuite "framing-props" [ framing_roundtrip_prop ];
+    ]
