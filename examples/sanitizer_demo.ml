@@ -1,0 +1,47 @@
+(* Sanitizer mode, demonstrated on three seeded bugs.
+
+   Kernel-bypass makes lifetime bugs silent: a device DMAs into freed
+   memory or a queue completes a token twice and nothing faults — data
+   is simply wrong later. With sanitize on, the same bugs raise
+   [Dk_check.Violation] at the exact operation that went wrong.
+
+   Run with:  dune exec examples/sanitizer_demo.exe
+   (The demo forces sanitize on; DK_SANITIZE=1 does the same for any
+   program without a code change.) *)
+
+module Manager = Dk_mem.Manager
+module Buffer = Dk_mem.Buffer
+module Dk_check = Dk_mem.Dk_check
+
+let show name f =
+  match f () with
+  | () -> Printf.printf "%-16s not detected (?)\n" name
+  | exception Dk_check.Violation (kind, detail) ->
+      Printf.printf "%-16s caught %s:\n  %s\n" name
+        (Dk_check.kind_name kind) detail
+
+let () =
+  let mgr = Manager.create ~sanitize:true () in
+
+  show "use-after-free" (fun () ->
+      let b = Manager.alloc_exn mgr 64 in
+      Buffer.free b;
+      (* the device may already own these bytes *)
+      ignore (Buffer.get b 0));
+
+  show "double-free" (fun () ->
+      let b = Manager.alloc_exn mgr 64 in
+      Buffer.free b;
+      Buffer.free b);
+
+  show "canary-smash" (fun () ->
+      let b = Manager.alloc_exn mgr 32 in
+      (* a mis-sized DMA overruns the requested length *)
+      Bytes.set (Buffer.store b) (Buffer.off b + Buffer.length b) 'X';
+      Buffer.free b);
+
+  (* leak sweep: one allocation intentionally never freed *)
+  ignore (Manager.alloc_exn mgr 128);
+  let leaks, reports = Dk_check.capture (fun () -> Manager.check_leaks mgr) in
+  Printf.printf "shutdown sweep   %d leak(s):\n" (List.length leaks);
+  List.iter (fun (_, detail) -> Printf.printf "  %s\n" detail) reports

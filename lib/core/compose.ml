@@ -76,14 +76,14 @@ let sort ~tokens ~engine ~parent ~higher_priority =
     in
     buffer := go !buffer
   in
-  let deliver_if_waiting () =
-    while Mailbox.waiting mbox > 0 && !buffer <> [] do
+  let rec deliver_if_waiting () =
+    if Mailbox.waiting mbox > 0 then
       match !buffer with
       | best :: rest ->
           buffer := rest;
-          Mailbox.deliver mbox (Types.Popped best)
+          Mailbox.deliver mbox (Types.Popped best);
+          deliver_if_waiting ()
       | [] -> ()
-    done
   in
   pump ~tokens ~parent
     ~on_elem:(fun sga ->

@@ -43,7 +43,8 @@ let device_names t =
     ]
 
 let create ~engine ~cost ?stack ?posix ?rdma ?block ?(mem_initial = 1 lsl 20)
-    ?(mem_max = 1 lsl 28) () =
+    ?(mem_max = 1 lsl 28) ?(sanitize = Dk_mem.Dk_check.enabled_from_env ()) ()
+    =
   let registry = Dk_mem.Registry.create () in
   let disp = Option.map Block_dispatch.create block in
   let t_ref = ref None in
@@ -70,7 +71,7 @@ let create ~engine ~cost ?stack ?posix ?rdma ?block ?(mem_initial = 1 lsl 20)
   in
   let manager =
     Dk_mem.Manager.create ~initial_region_size:mem_initial
-      ~max_total_bytes:mem_max ~on_new_region ()
+      ~max_total_bytes:mem_max ~on_new_region ~sanitize ()
   in
   let t =
     {
@@ -80,7 +81,7 @@ let create ~engine ~cost ?stack ?posix ?rdma ?block ?(mem_initial = 1 lsl 20)
       posix;
       rdma;
       disp;
-      tokens = Token.create ();
+      tokens = Token.create ~audit:sanitize ();
       manager;
       registry;
       qds = Hashtbl.create 64;
@@ -111,6 +112,17 @@ let cost t = t.cost
 let manager t = t.manager
 let registry t = t.registry
 let outstanding_tokens t = Token.outstanding t.tokens
+let sanitized t = Dk_mem.Manager.sanitized t.manager
+let audit_tokens t = Token.audit t.tokens
+
+(* Shutdown sweep for sanitizer mode: once the application believes all
+   I/O has drained, every minted token must be completed+redeemed (or
+   watched and delivered) and every buffer freed. Reports through
+   Dk_check and returns (dangling tokens, leaked allocations). *)
+let check_shutdown t =
+  let dangling = Token.report_dangling ~context:"libOS shutdown" t.tokens in
+  let leaks = Dk_mem.Manager.check_leaks t.manager in
+  (dangling, leaks)
 
 (* ---- descriptor table ---- *)
 

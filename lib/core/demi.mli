@@ -23,18 +23,35 @@ val create :
   ?block:Dk_device.Block.t ->
   ?mem_initial:int ->
   ?mem_max:int ->
+  ?sanitize:bool ->
   unit ->
   t
 (** [stack] gives kernel-bypass networking (DPDK-class). [posix] gives
     the kernel-fallback libOS instead: same interface, every operation
     through the legacy kernel (used when a host has no accelerator —
-    the portability backstop). When both are provided, [stack] wins. *)
+    the portability backstop). When both are provided, [stack] wins.
+
+    [sanitize] (default: [DK_SANITIZE] in the environment) turns on
+    sanitizer mode for the whole libOS instance: the memory manager's
+    canary/poison/use-after-free checks ({!Dk_mem.Manager.create}) and
+    the token table's exactly-once audit ({!Token.create}). *)
 
 val engine : t -> Dk_sim.Engine.t
 val cost : t -> Dk_sim.Cost.t
 val manager : t -> Dk_mem.Manager.t
 val registry : t -> Dk_mem.Registry.t
 val outstanding_tokens : t -> int
+
+val sanitized : t -> bool
+
+val audit_tokens : t -> Token.audit_report
+(** Exactly-once bookkeeping snapshot — see {!Token.audit}. *)
+
+val check_shutdown : t -> int * Dk_mem.Manager.leak list
+(** Sanitizer-mode shutdown sweep: report (via {!Dk_mem.Dk_check}) any
+    token still dangling and any allocation still live, returning
+    (dangling count, leaks). Meaningful once the application believes
+    all I/O has drained. *)
 
 (** {2 Memory (§4.5)} *)
 

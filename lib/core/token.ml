@@ -1,15 +1,40 @@
+module Dk_check = Dk_mem.Dk_check
+
 type state =
   | Pending
   | Watched of (Types.op_result -> unit)
   | Done of Types.op_result
 
-type t = {
-  table : (Types.qtoken, state) Hashtbl.t;
-  mutable next : int;
-  mutable pending : int;
+type audit_report = {
+  dangling : Types.qtoken list;
+  double_completes : int;
+  redeems_after_watch : int;
 }
 
-let create () = { table = Hashtbl.create 64; next = 1; pending = 0 }
+type t = {
+  table : (Types.qtoken, state) Hashtbl.t;
+  audit : bool;
+  (* tombstones for tokens consumed by a watch callback, so a later
+     redeem/complete on them is diagnosable (audit mode only) *)
+  consumed : (Types.qtoken, unit) Hashtbl.t;
+  mutable next : int;
+  mutable pending : int;
+  mutable double_completes : int;
+  mutable redeems_after_watch : int;
+}
+
+let create ?(audit = Dk_check.enabled_from_env ()) () =
+  {
+    table = Hashtbl.create 64;
+    audit;
+    consumed = Hashtbl.create (if audit then 64 else 1);
+    next = 1;
+    pending = 0;
+    double_completes = 0;
+    redeems_after_watch = 0;
+  }
+
+let audited t = t.audit
 
 let fresh t =
   let tok = t.next in
@@ -17,6 +42,17 @@ let fresh t =
   Hashtbl.replace t.table tok Pending;
   t.pending <- t.pending + 1;
   tok
+
+let double_complete t tok =
+  if t.audit then begin
+    t.double_completes <- t.double_completes + 1;
+    Dk_check.report Dk_check.Token_double_complete
+      (Printf.sprintf
+         "token %d completed twice: the second completion's wakeup would be \
+          lost or delivered to the wrong waiter"
+         tok)
+  end
+  else invalid_arg "Token.complete: token already completed"
 
 let complete t tok result =
   match Hashtbl.find_opt t.table tok with
@@ -26,9 +62,12 @@ let complete t tok result =
   | Some (Watched k) ->
       Hashtbl.remove t.table tok;
       t.pending <- t.pending - 1;
+      if t.audit then Hashtbl.replace t.consumed tok ();
       k result
-  | Some (Done _) -> invalid_arg "Token.complete: token already completed"
-  | None -> invalid_arg "Token.complete: unknown token"
+  | Some (Done _) -> double_complete t tok
+  | None ->
+      if t.audit && Hashtbl.mem t.consumed tok then double_complete t tok
+      else invalid_arg "Token.complete: unknown token"
 
 let status t tok =
   match Hashtbl.find_opt t.table tok with
@@ -41,20 +80,69 @@ let peek t tok =
   | Some (Done r) -> Some r
   | Some (Pending | Watched _) | None -> None
 
+(* A watched token is auto-redeemed by its callback; redeeming it by
+   hand would double-deliver the completion (§4.4: exactly one wakeup
+   per token). Enforced, not just documented. *)
+let redeem_watched t tok =
+  if t.audit then begin
+    t.redeems_after_watch <- t.redeems_after_watch + 1;
+    Dk_check.report Dk_check.Token_redeem_after_watch
+      (Printf.sprintf
+         "token %d is watched: its completion is delivered to the watch \
+          callback and cannot also be waited on"
+         tok);
+    None
+  end
+  else
+    invalid_arg
+      "Token.redeem: token is watched; a watched token cannot also be waited \
+       on"
+
 let redeem t tok =
   match Hashtbl.find_opt t.table tok with
   | Some (Done r) ->
       Hashtbl.remove t.table tok;
       Some r
-  | Some (Pending | Watched _) | None -> None
+  | Some (Watched _) -> redeem_watched t tok
+  | Some Pending -> None
+  | None ->
+      if t.audit && Hashtbl.mem t.consumed tok then redeem_watched t tok
+      else None
 
 let watch t tok k =
   match Hashtbl.find_opt t.table tok with
   | Some Pending -> Hashtbl.replace t.table tok (Watched k)
   | Some (Done r) ->
       Hashtbl.remove t.table tok;
+      if t.audit then Hashtbl.replace t.consumed tok ();
       k r
   | Some (Watched _) -> invalid_arg "Token.watch: already watched"
   | None -> invalid_arg "Token.watch: unknown token"
 
 let outstanding t = t.pending
+
+let audit t =
+  let dangling =
+    Hashtbl.fold
+      (fun tok state acc ->
+        match state with Pending | Watched _ -> tok :: acc | Done _ -> acc)
+      t.table []
+    |> List.sort compare
+  in
+  {
+    dangling;
+    double_completes = t.double_completes;
+    redeems_after_watch = t.redeems_after_watch;
+  }
+
+let report_dangling ?(context = "queue drain") t =
+  let r = audit t in
+  List.iter
+    (fun tok ->
+      Dk_check.report Dk_check.Token_dangling
+        (Printf.sprintf
+           "token %d still pending at %s: its completion will never arrive \
+            and any waiter is stuck forever"
+           tok context))
+    r.dangling;
+  List.length r.dangling

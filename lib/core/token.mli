@@ -5,11 +5,27 @@
     it with a [wait_*] call, which removes it. Because each token is
     unique to a single queue operation, a completion wakes exactly the
     operation's waiter — the contrast §4.4 draws with epoll's wake-all
-    file-descriptor readiness. *)
+    file-descriptor readiness.
+
+    The exactly-once contract is enforced: completing a completed token
+    or redeeming a watched one raises [Invalid_argument] — or, with
+    audit mode on ([~audit:true] or [DK_SANITIZE=1]), is recorded and
+    reported through {!Dk_mem.Dk_check} so a whole run can be audited
+    with {!audit}. *)
 
 type t
 
-val create : unit -> t
+type audit_report = {
+  dangling : Types.qtoken list;
+      (** minted, never completed nor redeemed — lost wakeups *)
+  double_completes : int;
+  redeems_after_watch : int;
+}
+
+val create : ?audit:bool -> unit -> t
+(** [audit] defaults to {!Dk_mem.Dk_check.enabled_from_env}. *)
+
+val audited : t -> bool
 
 val fresh : t -> Types.qtoken
 (** Mint a pending token. *)
@@ -17,7 +33,8 @@ val fresh : t -> Types.qtoken
 val complete : t -> Types.qtoken -> Types.op_result -> unit
 (** Deliver the result. @raise Invalid_argument if the token is unknown
     or already completed (queue implementations must complete exactly
-    once). *)
+    once); in audit mode a double complete is counted and reported via
+    {!Dk_mem.Dk_check.report} instead. *)
 
 val status : t -> Types.qtoken -> [ `Pending | `Done | `Unknown ]
 
@@ -25,12 +42,29 @@ val peek : t -> Types.qtoken -> Types.op_result option
 (** Result if completed, without redeeming. *)
 
 val redeem : t -> Types.qtoken -> Types.op_result option
-(** Take the result and forget the token. *)
+(** Take the result and forget the token.
+    @raise Invalid_argument if the token is watched: a watched token's
+    completion goes to its callback, so waiting on it too would deliver
+    the same completion twice. In audit mode this is counted/reported
+    and [None] is returned under {!Dk_mem.Dk_check.capture}. *)
 
 val watch : t -> Types.qtoken -> (Types.op_result -> unit) -> unit
 (** Internal plumbing for composed queues: run the callback when the
     token completes (immediately if it already has), auto-redeeming it.
-    A watched token must not also be waited on. *)
+    A watched token must not also be waited on — see {!redeem}. *)
 
 val outstanding : t -> int
 (** Pending (unredeemed, uncompleted) tokens. *)
+
+val audit : t -> audit_report
+(** Snapshot of the exactly-once bookkeeping: tokens still dangling
+    (pending or watched-but-never-completed, sorted), plus the
+    double-complete and redeem-after-watch counts recorded so far
+    (audit mode only; both are [0] otherwise, because the violations
+    raised instead). *)
+
+val report_dangling : ?context:string -> t -> int
+(** Report every dangling token through {!Dk_mem.Dk_check.report}
+    ([Token_dangling]) and return how many there were. Call when a
+    queue or the whole libOS drains: every in-flight operation should
+    have been completed or failed by then. *)

@@ -12,6 +12,7 @@ type t = {
   len : int;
   region_id : int option;
   cell : cell option;
+  sanitize : bool; (* report lifecycle violations through Dk_check *)
   mutable live : bool; (* this view not yet freed *)
 }
 
@@ -22,6 +23,7 @@ let of_string s =
     len = String.length s;
     region_id = None;
     cell = None;
+    sanitize = false;
     live = true;
   }
 
@@ -33,16 +35,45 @@ let unmanaged n =
     len = n;
     region_id = None;
     cell = None;
+    sanitize = false;
     live = true;
   }
 
-let make_managed ~store ~off ~len ~region_id ~release =
+let make_managed ?(sanitize = false) ~store ~off ~len ~region_id ~release () =
   if off < 0 || len < 0 || off + len > Bytes.length store then
     invalid_arg "Buffer.make_managed";
   let cell =
     { app_refs = 1; io_refs = 0; released = false; deferred = false; release }
   in
-  { store; off; len; region_id = Some region_id; cell = Some cell; live = true }
+  {
+    store;
+    off;
+    len;
+    region_id = Some region_id;
+    cell = Some cell;
+    sanitize;
+    live = true;
+  }
+
+let describe t =
+  Printf.sprintf "allocation (region %s, off %d, len %d)"
+    (match t.region_id with Some id -> string_of_int id | None -> "-")
+    t.off t.len
+
+(* Sanitizer guard on every data access: a freed view or a released
+   allocation must not be read or written — with kernel-bypass the
+   device may already own (or have recycled) the bytes. *)
+let check_access t op =
+  if t.sanitize then begin
+    (match t.cell with
+    | Some c when c.released ->
+        Dk_check.report Dk_check.Use_after_free
+          (Printf.sprintf "Buffer.%s on released %s" op (describe t))
+    | Some _ | None -> ());
+    if not t.live then
+      Dk_check.report Dk_check.Use_after_free
+        (Printf.sprintf "Buffer.%s on freed view of %s" op (describe t))
+  end
 
 let store t = t.store
 let off t = t.off
@@ -53,8 +84,12 @@ let retain t =
   match t.cell with
   | None -> ()
   | Some c ->
-      if c.released then invalid_arg "Buffer: use after release";
-      c.app_refs <- c.app_refs + 1
+      if c.released then
+        if t.sanitize then
+          Dk_check.report Dk_check.Use_after_free
+            (Printf.sprintf "Buffer.sub/dup on released %s" (describe t))
+        else invalid_arg "Buffer: use after release"
+      else c.app_refs <- c.app_refs + 1
 
 let sub t pos len =
   if pos < 0 || len < 0 || pos + len > t.len then invalid_arg "Buffer.sub";
@@ -69,29 +104,39 @@ let check_bounds t pos len name =
   if pos < 0 || len < 0 || pos + len > t.len then invalid_arg name
 
 let get t i =
+  check_access t "get";
   check_bounds t i 1 "Buffer.get";
   Bytes.get t.store (t.off + i)
 
 let set t i c =
+  check_access t "set";
   check_bounds t i 1 "Buffer.set";
   Bytes.set t.store (t.off + i) c
 
 let blit_from_string src soff t doff len =
+  check_access t "blit_from_string";
   check_bounds t doff len "Buffer.blit_from_string";
   Bytes.blit_string src soff t.store (t.off + doff) len
 
 let blit_to_bytes t soff dst doff len =
+  check_access t "blit_to_bytes";
   check_bounds t soff len "Buffer.blit_to_bytes";
   Bytes.blit t.store (t.off + soff) dst doff len
 
 let blit src soff dst doff len =
+  check_access src "blit(src)";
+  check_access dst "blit(dst)";
   check_bounds src soff len "Buffer.blit(src)";
   check_bounds dst doff len "Buffer.blit(dst)";
   Bytes.blit src.store (src.off + soff) dst.store (dst.off + doff) len
 
-let fill t c = Bytes.fill t.store t.off t.len c
+let fill t c =
+  check_access t "fill";
+  Bytes.fill t.store t.off t.len c
 
-let to_string t = Bytes.sub_string t.store t.off t.len
+let to_string t =
+  check_access t "to_string";
+  Bytes.sub_string t.store t.off t.len
 
 let maybe_release c =
   if (not c.released) && c.app_refs = 0 && c.io_refs = 0 then begin
@@ -100,21 +145,36 @@ let maybe_release c =
   end
 
 let free t =
-  if not t.live then invalid_arg "Buffer.free: double free of a view";
-  t.live <- false;
-  match t.cell with
-  | None -> ()
-  | Some c ->
-      c.app_refs <- c.app_refs - 1;
-      if c.app_refs = 0 && c.io_refs > 0 then c.deferred <- true;
-      maybe_release c
+  if not t.live then begin
+    if t.sanitize then
+      (* raises unless captured; either way the duplicate free must not
+         touch the refcount again *)
+      Dk_check.report Dk_check.Double_free
+        (Printf.sprintf "Buffer.free: second free of the same view of %s"
+           (describe t))
+    else invalid_arg "Buffer.free: double free of a view"
+  end
+  else begin
+    t.live <- false;
+    match t.cell with
+    | None -> ()
+    | Some c ->
+        c.app_refs <- c.app_refs - 1;
+        if c.app_refs = 0 && c.io_refs > 0 then c.deferred <- true;
+        maybe_release c
+  end
 
 let io_hold t =
   match t.cell with
   | None -> ()
   | Some c ->
-      if c.released then invalid_arg "Buffer.io_hold: buffer already released";
-      c.io_refs <- c.io_refs + 1
+      if c.released then
+        if t.sanitize then
+          Dk_check.report Dk_check.Use_after_free
+            (Printf.sprintf "Buffer.io_hold on released %s (DMA into freed \
+                             memory)" (describe t))
+        else invalid_arg "Buffer.io_hold: buffer already released"
+      else c.io_refs <- c.io_refs + 1
 
 let io_release t =
   match t.cell with

@@ -17,10 +17,22 @@ val unmanaged : int -> t
 (** An unmanaged zeroed buffer of the given size. *)
 
 val make_managed :
-  store:bytes -> off:int -> len:int -> region_id:int -> release:(unit -> unit) -> t
+  ?sanitize:bool ->
+  store:bytes ->
+  off:int ->
+  len:int ->
+  region_id:int ->
+  release:(unit -> unit) ->
+  unit ->
+  t
 (** Used by the memory manager: a managed buffer over [store] whose
     storage is returned by calling [release] when the last reference and
-    the last I/O hold are gone. *)
+    the last I/O hold are gone. With [~sanitize:true] (default false)
+    every access and lifecycle operation is checked and violations —
+    use-after-free reads/writes, double frees, I/O holds on released
+    storage — are reported through {!Dk_check} instead of silently
+    corrupting (or, for double frees, raising the generic
+    [Invalid_argument]). *)
 
 val store : t -> bytes
 val off : t -> int

@@ -1,0 +1,55 @@
+type kind =
+  | Use_after_free
+  | Double_free
+  | Canary_smash
+  | Leak
+  | Token_double_complete
+  | Token_redeem_after_watch
+  | Token_dangling
+
+let kind_name = function
+  | Use_after_free -> "use-after-free"
+  | Double_free -> "double-free"
+  | Canary_smash -> "canary-smash"
+  | Leak -> "leak"
+  | Token_double_complete -> "token-double-complete"
+  | Token_redeem_after_watch -> "token-redeem-after-watch"
+  | Token_dangling -> "token-dangling"
+
+exception Violation of kind * string
+
+let () =
+  Printexc.register_printer (function
+    | Violation (k, detail) ->
+        Some (Printf.sprintf "Dk_check.Violation(%s): %s" (kind_name k) detail)
+    | _ -> None)
+
+let enabled_from_env () =
+  match Sys.getenv_opt "DK_SANITIZE" with
+  | Some ("1" | "true" | "yes" | "on") -> true
+  | Some _ | None -> false
+
+(* Capture frames stack so sanitizer tests can nest. *)
+let captures : (kind * string) list ref list ref = ref []
+let sink : (kind -> string -> unit) option ref = ref None
+
+let set_sink f = sink := Some f
+let clear_sink () = sink := None
+
+let report k detail =
+  (match !sink with Some f -> f k detail | None -> ());
+  match !captures with
+  | acc :: _ -> acc := (k, detail) :: !acc
+  | [] -> raise (Violation (k, detail))
+
+let capture f =
+  let acc = ref [] in
+  captures := acc :: !captures;
+  Fun.protect
+    ~finally:(fun () ->
+      match !captures with
+      | top :: rest when top == acc -> captures := rest
+      | _ -> captures := List.filter (fun r -> r != acc) !captures)
+    (fun () ->
+      let v = f () in
+      (v, List.rev !acc))

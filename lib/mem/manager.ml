@@ -7,10 +7,16 @@ type stats = {
   region_bytes : int;
 }
 
+type leak = { leak_region : int; leak_off : int; leak_len : int }
+
 type t = {
   initial_region_size : int;
   max_total_bytes : int;
   on_new_region : Region.t -> unit;
+  sanitize : bool;
+  (* live allocations, for the shutdown leak sweep: (region, block
+     offset) -> payload length. Only populated when sanitizing. *)
+  live_allocs : (int * int, int) Hashtbl.t;
   mutable arenas : Arena.t list;
   mutable next_region_id : int;
   mutable total_bytes : int;
@@ -21,14 +27,25 @@ type t = {
 
 let is_pow2 n = n > 0 && n land (n - 1) = 0
 
+(* Guard bytes on each side of a sanitized allocation. An overrun of
+   the *requested* length lands in the canary even when the buddy
+   allocator rounded the block up, so smashes are caught at the exact
+   boundary the application was given. *)
+let canary_len = 8
+let canary_byte = '\xDB'
+let poison_byte = '\xDD'
+
 let create ?(initial_region_size = 1 lsl 20) ?(max_total_bytes = 1 lsl 28)
-    ?(on_new_region = fun _ -> ()) () =
+    ?(on_new_region = fun _ -> ()) ?(sanitize = Dk_check.enabled_from_env ())
+    () =
   if not (is_pow2 initial_region_size) then
     invalid_arg "Manager.create: initial_region_size must be a power of two";
   {
     initial_region_size;
     max_total_bytes;
     on_new_region;
+    sanitize;
+    live_allocs = Hashtbl.create 16;
     arenas = [];
     next_region_id = 0;
     total_bytes = 0;
@@ -36,6 +53,8 @@ let create ?(initial_region_size = 1 lsl 20) ?(max_total_bytes = 1 lsl 28)
     releases = 0;
     deferred_releases = 0;
   }
+
+let sanitized t = t.sanitize
 
 let next_pow2 n =
   let rec loop v = if v >= n then v else loop (v * 2) in
@@ -55,8 +74,36 @@ let grow t want =
     Some arena
   end
 
+let check_canaries store ~region_id ~block_off ~data_off ~len =
+  let count_smashed from =
+    let n = ref 0 in
+    for i = from to from + canary_len - 1 do
+      if Bytes.get store i <> canary_byte then incr n
+    done;
+    !n
+  in
+  let below = count_smashed block_off in
+  let above = count_smashed (data_off + len) in
+  if below > 0 || above > 0 then
+    Dk_check.report Dk_check.Canary_smash
+      (Printf.sprintf
+         "canary smashed around allocation (region %d, off %d, len %d): %d \
+          guard byte(s) below, %d above — out-of-bounds write on the data \
+          path"
+         region_id data_off len below above)
+
 let wrap t arena (block : Arena.block) len =
   let reg = Arena.region arena in
+  let store = Region.store reg in
+  let region_id = Region.id reg in
+  let data_off =
+    block.Arena.offset + if t.sanitize then canary_len else 0
+  in
+  if t.sanitize then begin
+    Bytes.fill store block.Arena.offset canary_len canary_byte;
+    Bytes.fill store (data_off + len) canary_len canary_byte;
+    Hashtbl.replace t.live_allocs (region_id, block.Arena.offset) len
+  end;
   (* [release] runs strictly after [buf] exists, so it can consult the
      buffer's deferral flag through this knot. *)
   let buf_ref = ref None in
@@ -66,11 +113,19 @@ let wrap t arena (block : Arena.block) len =
     | Some b when Buffer.was_deferred b ->
         t.deferred_releases <- t.deferred_releases + 1
     | Some _ | None -> ());
+    if t.sanitize then begin
+      Hashtbl.remove t.live_allocs (region_id, block.Arena.offset);
+      check_canaries store ~region_id ~block_off:block.Arena.offset ~data_off
+        ~len;
+      (* Poison the whole block: stale reads through raw store access
+         show 0xDD instead of plausible data. *)
+      Bytes.fill store block.Arena.offset block.Arena.size poison_byte
+    end;
     Arena.free arena block
   in
   let buf =
-    Buffer.make_managed ~store:(Region.store reg) ~off:block.Arena.offset
-      ~len ~region_id:(Region.id reg) ~release
+    Buffer.make_managed ~sanitize:t.sanitize ~store ~off:data_off ~len
+      ~region_id ~release ()
   in
   buf_ref := Some buf;
   buf
@@ -87,14 +142,15 @@ let try_arenas t len =
 
 let alloc t len =
   if len <= 0 then invalid_arg "Manager.alloc: size must be positive";
+  let want = if t.sanitize then len + (2 * canary_len) else len in
   let found =
-    match try_arenas t len with
+    match try_arenas t want with
     | Some _ as hit -> hit
     | None -> (
-        match grow t len with
+        match grow t want with
         | None -> None
         | Some arena -> (
-            match Arena.alloc arena len with
+            match Arena.alloc arena want with
             | Some block -> Some (arena, block)
             | None -> None))
   in
@@ -136,3 +192,21 @@ let stats t =
     region_count = List.length t.arenas;
     region_bytes = t.total_bytes;
   }
+
+let check_leaks t =
+  let leaks =
+    Hashtbl.fold
+      (fun (leak_region, leak_off) leak_len acc ->
+        { leak_region; leak_off; leak_len } :: acc)
+      t.live_allocs []
+    |> List.sort compare
+  in
+  List.iter
+    (fun l ->
+      Dk_check.report Dk_check.Leak
+        (Printf.sprintf
+           "allocation never freed: region %d, off %d, len %d still live at \
+            shutdown (pinned DMA memory cannot be reclaimed)"
+           l.leak_region l.leak_off l.leak_len))
+    leaks;
+  leaks

@@ -1,0 +1,370 @@
+(* Tests for the sanitizer layer (Dk_check): seeded use-after-free,
+   double-free, canary smash, poison-on-free, shutdown leak report, and
+   the token-table exactly-once audit (double complete, redeem after
+   watch, dangling tokens). Each seeded bug must be detected with the
+   right diagnostic; with sanitize off, behavior is the seed behavior. *)
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+
+module Dk_check = Dk_mem.Dk_check
+module Manager = Dk_mem.Manager
+module Buffer = Dk_mem.Buffer
+module Sga = Dk_mem.Sga
+module Engine = Dk_sim.Engine
+module Cost = Dk_sim.Cost
+module Types = Demikernel.Types
+module Token = Demikernel.Token
+module Demi = Demikernel.Demi
+
+let kinds reports = List.map fst reports
+
+let kind =
+  Alcotest.testable
+    (fun ppf k -> Format.pp_print_string ppf (Dk_check.kind_name k))
+    ( = )
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let check_detail name ~sub reports =
+  check_bool
+    (Printf.sprintf "%s: diagnostic mentions %S" name sub)
+    true
+    (List.exists (fun (_, d) -> contains ~sub d) reports)
+
+let smgr () = Manager.create ~initial_region_size:4096 ~sanitize:true ()
+
+(* ---------------- buffer lifecycle bugs ---------------- *)
+
+let uaf_read () =
+  let mgr = smgr () in
+  let b = Manager.alloc_exn mgr 64 in
+  Buffer.free b;
+  let (), reports = Dk_check.capture (fun () -> ignore (Buffer.get b 0)) in
+  check (Alcotest.list kind) "one UAF report" [ Dk_check.Use_after_free ]
+    (List.sort_uniq compare (kinds reports));
+  check_detail "uaf" ~sub:"Buffer.get" reports
+
+let uaf_write () =
+  let mgr = smgr () in
+  let b = Manager.alloc_exn mgr 64 in
+  Buffer.free b;
+  let (), reports = Dk_check.capture (fun () -> Buffer.set b 0 'x') in
+  check_bool "write-after-free detected" true
+    (List.mem Dk_check.Use_after_free (kinds reports));
+  check_detail "uaf-write" ~sub:"Buffer.set" reports
+
+let uaf_raises_outside_capture () =
+  let mgr = smgr () in
+  let b = Manager.alloc_exn mgr 64 in
+  Buffer.free b;
+  check_bool "raises Violation" true
+    (try
+       ignore (Buffer.to_string b);
+       false
+     with Dk_check.Violation (Dk_check.Use_after_free, _) -> true)
+
+let double_free () =
+  let mgr = smgr () in
+  let b = Manager.alloc_exn mgr 64 in
+  Buffer.free b;
+  let (), reports = Dk_check.capture (fun () -> Buffer.free b) in
+  check (Alcotest.list kind) "double free" [ Dk_check.Double_free ]
+    (kinds reports);
+  check_detail "double-free" ~sub:"second free" reports;
+  (* the duplicate free must not have corrupted the refcount *)
+  let st = Manager.stats mgr in
+  check_int "released exactly once" 1 st.Manager.releases
+
+let io_hold_after_release () =
+  let mgr = smgr () in
+  let b = Manager.alloc_exn mgr 64 in
+  Buffer.free b;
+  let (), reports = Dk_check.capture (fun () -> Buffer.io_hold b) in
+  check_bool "DMA-into-freed detected" true
+    (List.mem Dk_check.Use_after_free (kinds reports));
+  check_detail "io-hold" ~sub:"DMA" reports
+
+(* ---------------- canaries & poison ---------------- *)
+
+let canary_smash_above () =
+  let mgr = smgr () in
+  let b = Manager.alloc_exn mgr 32 in
+  (* overrun past the requested length through the raw store, exactly
+     what a mis-sized DMA would do (Buffer's checked API can't) *)
+  Bytes.set (Buffer.store b) (Buffer.off b + Buffer.length b) 'X';
+  let (), reports = Dk_check.capture (fun () -> Buffer.free b) in
+  check (Alcotest.list kind) "canary smash" [ Dk_check.Canary_smash ]
+    (kinds reports);
+  check_detail "overflow side" ~sub:"1 above" reports
+
+let canary_smash_below () =
+  let mgr = smgr () in
+  let b = Manager.alloc_exn mgr 32 in
+  Bytes.set (Buffer.store b) (Buffer.off b - 1) 'X';
+  Bytes.set (Buffer.store b) (Buffer.off b - 2) 'Y';
+  let (), reports = Dk_check.capture (fun () -> Buffer.free b) in
+  check (Alcotest.list kind) "canary smash" [ Dk_check.Canary_smash ]
+    (kinds reports);
+  check_detail "underflow side" ~sub:"2 guard byte(s) below" reports
+
+let clean_free_has_no_reports () =
+  let mgr = smgr () in
+  let b = Manager.alloc_exn mgr 32 in
+  Buffer.fill b 'z';
+  let (), reports = Dk_check.capture (fun () -> Buffer.free b) in
+  check_int "no reports" 0 (List.length reports)
+
+let poison_on_free () =
+  let mgr = smgr () in
+  let b = Manager.alloc_exn mgr 32 in
+  Buffer.fill b 'z';
+  let store = Buffer.store b and off = Buffer.off b in
+  Buffer.free b;
+  (* stale raw-pointer read sees poison, not the old payload *)
+  check_bool "poisoned" true (Bytes.get store off = '\xDD');
+  check_bool "all poisoned" true
+    (let ok = ref true in
+     for i = 0 to 31 do
+       if Bytes.get store (off + i) <> '\xDD' then ok := false
+     done;
+     !ok)
+
+(* ---------------- shutdown leak report ---------------- *)
+
+let leak_report () =
+  let mgr = smgr () in
+  let a = Manager.alloc_exn mgr 64 in
+  let b = Manager.alloc_exn mgr 128 in
+  Buffer.free a;
+  let leaks, reports = Dk_check.capture (fun () -> Manager.check_leaks mgr) in
+  check_int "one leak" 1 (List.length leaks);
+  check_int "leaked payload length" 128
+    (match leaks with [ l ] -> l.Manager.leak_len | _ -> -1);
+  check (Alcotest.list kind) "reported as leak" [ Dk_check.Leak ]
+    (kinds reports);
+  check_detail "leak" ~sub:"never freed" reports;
+  Buffer.free b;
+  let leaks, _ = Dk_check.capture (fun () -> Manager.check_leaks mgr) in
+  check_int "clean after free" 0 (List.length leaks)
+
+let deferred_release_is_not_a_leak_after_completion () =
+  let mgr = smgr () in
+  let b = Manager.alloc_exn mgr 64 in
+  Buffer.io_hold b;
+  Buffer.free b;
+  (* mid-flight: still live, so the sweep must list it *)
+  let leaks, _ = Dk_check.capture (fun () -> Manager.check_leaks mgr) in
+  check_int "in-flight counts as live" 1 (List.length leaks);
+  Buffer.io_release b;
+  let leaks, _ = Dk_check.capture (fun () -> Manager.check_leaks mgr) in
+  check_int "clean after completion" 0 (List.length leaks)
+
+let unsanitized_manager_unchanged () =
+  let mgr = Manager.create ~sanitize:false () in
+  check_bool "off" false (Manager.sanitized mgr);
+  let b = Manager.alloc_exn mgr 64 in
+  Buffer.free b;
+  (* seed behavior: plain Invalid_argument, not a Dk_check violation *)
+  Alcotest.check_raises "double free still traps as before"
+    (Invalid_argument "Buffer.free: double free of a view") (fun () ->
+      Buffer.free b);
+  check_int "no leak tracking" 0 (List.length (Manager.check_leaks mgr))
+
+(* ---------------- token audit ---------------- *)
+
+let token_double_complete () =
+  let t = Token.create ~audit:true () in
+  let tok = Token.fresh t in
+  Token.complete t tok Types.Pushed;
+  let (), reports =
+    Dk_check.capture (fun () -> Token.complete t tok Types.Pushed)
+  in
+  check (Alcotest.list kind) "double complete"
+    [ Dk_check.Token_double_complete ] (kinds reports);
+  check_detail "double-complete" ~sub:"completed twice" reports;
+  check_int "counted" 1 (Token.audit t).Token.double_completes
+
+let token_double_complete_after_watch () =
+  let t = Token.create ~audit:true () in
+  let tok = Token.fresh t in
+  let hits = ref 0 in
+  Token.watch t tok (fun _ -> incr hits);
+  Token.complete t tok Types.Pushed;
+  check_int "delivered once" 1 !hits;
+  let (), reports =
+    Dk_check.capture (fun () -> Token.complete t tok Types.Pushed)
+  in
+  check (Alcotest.list kind) "double complete via watch"
+    [ Dk_check.Token_double_complete ] (kinds reports);
+  check_int "not redelivered" 1 !hits
+
+let token_redeem_after_watch_audit () =
+  let t = Token.create ~audit:true () in
+  let tok = Token.fresh t in
+  Token.watch t tok (fun _ -> ());
+  let r, reports = Dk_check.capture (fun () -> Token.redeem t tok) in
+  check_bool "no result delivered" true (r = None);
+  check (Alcotest.list kind) "redeem after watch"
+    [ Dk_check.Token_redeem_after_watch ] (kinds reports);
+  (* and after the watch consumed the completion *)
+  Token.complete t tok Types.Pushed;
+  let _, reports = Dk_check.capture (fun () -> Token.redeem t tok) in
+  check (Alcotest.list kind) "redeem after watch consumed it"
+    [ Dk_check.Token_redeem_after_watch ] (kinds reports);
+  check_int "counted" 2 (Token.audit t).Token.redeems_after_watch
+
+let token_watch_then_wait_raises () =
+  (* satellite: enforced even with audit off — the seed silently
+     spun forever / double-delivered *)
+  let t = Token.create ~audit:false () in
+  let tok = Token.fresh t in
+  Token.watch t tok (fun _ -> ());
+  Alcotest.check_raises "watched token cannot be waited on"
+    (Invalid_argument
+       "Token.redeem: token is watched; a watched token cannot also be \
+        waited on") (fun () -> ignore (Token.redeem t tok))
+
+let demi_watch_then_wait_raises () =
+  let engine = Engine.create () in
+  let demi = Demi.create ~engine ~cost:Cost.default ~sanitize:false () in
+  let qd = Demi.queue demi in
+  let tok = Result.get_ok (Demi.pop demi qd) in
+  Demi.watch demi tok (fun _ -> ());
+  check_bool "Demi.wait on a watched token is a clear error" true
+    (try
+       ignore (Demi.wait demi tok);
+       false
+     with Invalid_argument _ -> true)
+
+let token_dangling () =
+  let t = Token.create ~audit:true () in
+  let t1 = Token.fresh t in
+  let t2 = Token.fresh t in
+  let t3 = Token.fresh t in
+  Token.complete t t2 Types.Pushed;
+  ignore (Token.redeem t t2);
+  Token.watch t t3 (fun _ -> ());
+  let r = Token.audit t in
+  check (Alcotest.list Alcotest.int) "dangling = pending + watched" [ t1; t3 ]
+    r.Token.dangling;
+  let n, reports = Dk_check.capture (fun () -> Token.report_dangling t) in
+  check_int "two reported" 2 n;
+  check (Alcotest.list kind) "dangling kind"
+    [ Dk_check.Token_dangling; Dk_check.Token_dangling ]
+    (kinds reports);
+  check_detail "dangling" ~sub:"still pending" reports
+
+(* ---------------- whole-libOS shutdown sweep ---------------- *)
+
+let demi_check_shutdown () =
+  let engine = Engine.create () in
+  let demi = Demi.create ~engine ~cost:Cost.default ~sanitize:true () in
+  check_bool "sanitized" true (Demi.sanitized demi);
+  let qd = Demi.queue demi in
+  let sga = Result.get_ok (Demi.sga_alloc demi "hello") in
+  ignore (Demi.blocking_push demi qd sga);
+  (match Demi.blocking_pop demi qd with
+  | Types.Popped sga' ->
+      check_bool "payload intact" true (Sga.equal sga sga');
+      Demi.sga_free demi sga'
+  | r -> Alcotest.failf "expected Popped, got %a" Types.pp_op_result r);
+  let (dangling, leaks), reports =
+    Dk_check.capture (fun () -> Demi.check_shutdown demi)
+  in
+  check_int "no dangling tokens" 0 dangling;
+  check_int "no leaks" 0 (List.length leaks);
+  check_int "no reports" 0 (List.length reports)
+
+let demi_check_shutdown_catches_bugs () =
+  let engine = Engine.create () in
+  let demi = Demi.create ~engine ~cost:Cost.default ~sanitize:true () in
+  let qd = Demi.queue demi in
+  (* a pop nobody ever satisfies: its token stays pending forever *)
+  ignore (Demi.pop demi qd);
+  (* an allocation nobody frees *)
+  ignore (Result.get_ok (Demi.sga_alloc demi "leaked"));
+  let (dangling, leaks), reports =
+    Dk_check.capture (fun () -> Demi.check_shutdown demi)
+  in
+  check_int "one dangling token" 1 dangling;
+  check_int "one leaked allocation" 1 (List.length leaks);
+  check_bool "both kinds reported" true
+    (List.mem Dk_check.Token_dangling (kinds reports)
+    && List.mem Dk_check.Leak (kinds reports))
+
+(* ---------------- capture nesting ---------------- *)
+
+let capture_nests_and_unwinds () =
+  let mgr = smgr () in
+  let b = Manager.alloc_exn mgr 16 in
+  Buffer.free b;
+  let inner, outer =
+    Dk_check.capture (fun () ->
+        let (), inner = Dk_check.capture (fun () -> ignore (Buffer.get b 0)) in
+        ignore (Buffer.get b 1);
+        inner)
+  in
+  check_bool "inner frame collected its access" true (inner <> []);
+  (* identical access inside and out: the outer frame must hold only
+     its own access's reports, none of the inner frame's *)
+  check_int "outer frame got only its own" (List.length inner)
+    (List.length outer);
+  (* after captures unwind, reports raise again *)
+  check_bool "raises after unwind" true
+    (try
+       ignore (Buffer.get b 2);
+       false
+     with Dk_check.Violation _ -> true)
+
+let () =
+  Alcotest.run "dk_check"
+    [
+      ( "buffer-sanitizer",
+        [
+          Alcotest.test_case "use-after-free read" `Quick uaf_read;
+          Alcotest.test_case "use-after-free write" `Quick uaf_write;
+          Alcotest.test_case "violation raises" `Quick uaf_raises_outside_capture;
+          Alcotest.test_case "double free" `Quick double_free;
+          Alcotest.test_case "io_hold after release" `Quick io_hold_after_release;
+        ] );
+      ( "canary-poison",
+        [
+          Alcotest.test_case "smash above" `Quick canary_smash_above;
+          Alcotest.test_case "smash below" `Quick canary_smash_below;
+          Alcotest.test_case "clean free" `Quick clean_free_has_no_reports;
+          Alcotest.test_case "poison on free" `Quick poison_on_free;
+        ] );
+      ( "leaks",
+        [
+          Alcotest.test_case "shutdown leak report" `Quick leak_report;
+          Alcotest.test_case "deferred release" `Quick
+            deferred_release_is_not_a_leak_after_completion;
+          Alcotest.test_case "sanitize off = seed behavior" `Quick
+            unsanitized_manager_unchanged;
+        ] );
+      ( "token-audit",
+        [
+          Alcotest.test_case "double complete" `Quick token_double_complete;
+          Alcotest.test_case "double complete after watch" `Quick
+            token_double_complete_after_watch;
+          Alcotest.test_case "redeem after watch (audit)" `Quick
+            token_redeem_after_watch_audit;
+          Alcotest.test_case "watch+wait raises (enforced)" `Quick
+            token_watch_then_wait_raises;
+          Alcotest.test_case "Demi watch+wait raises" `Quick
+            demi_watch_then_wait_raises;
+          Alcotest.test_case "dangling tokens" `Quick token_dangling;
+        ] );
+      ( "shutdown",
+        [
+          Alcotest.test_case "clean run" `Quick demi_check_shutdown;
+          Alcotest.test_case "dangling + leak" `Quick
+            demi_check_shutdown_catches_bugs;
+          Alcotest.test_case "capture nesting" `Quick capture_nests_and_unwinds;
+        ] );
+    ]

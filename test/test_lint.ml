@@ -1,0 +1,193 @@
+(* Tests for the dk-lint rule engine: each rule fires on a seeded
+   violation, stays quiet on clean code, and the comment/string
+   stripping keeps it from tripping on text that merely mentions a
+   forbidden construct. *)
+
+open Lint_engine
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+
+let rules findings = List.sort_uniq compare (List.map (fun f -> f.rule) findings)
+let lines_of rule findings =
+  List.filter_map (fun f -> if f.rule = rule then Some f.line else None) findings
+
+let scan ?(path = "lib/mem/example.ml") src = scan_source ~path src
+
+(* ---------------- unsafe-op ---------------- *)
+
+let unsafe_in_fast_path () =
+  let fs = scan "let f b i = Bytes.unsafe_get b i\n" in
+  check (Alcotest.list Alcotest.string) "rule" [ "unsafe-op" ] (rules fs);
+  check (Alcotest.list Alcotest.int) "line" [ 1 ] (lines_of "unsafe-op" fs)
+
+let obj_magic () =
+  let fs = scan "let coerce x =\n  Obj.magic x\n" in
+  check (Alcotest.list Alcotest.int) "line 2" [ 2 ] (lines_of "unsafe-op" fs)
+
+let unsafe_outside_fast_path_ok () =
+  (* the rule is scoped to lib/mem, lib/core, lib/net *)
+  let fs = scan ~path:"bench/harness.ml" "let f b i = Bytes.unsafe_get b i\n" in
+  check_int "not flagged outside fast path" 0
+    (List.length (lines_of "unsafe-op" fs))
+
+let unsafe_in_comment_ok () =
+  let fs = scan "(* never call Bytes.unsafe_get here *)\nlet x = 1\n" in
+  check_int "comment does not fire" 0 (List.length fs)
+
+let unsafe_in_string_ok () =
+  let fs = scan "let s = \"Obj.magic\"\n" in
+  check_int "string literal does not fire" 0 (List.length fs)
+
+(* ---------------- poly-compare ---------------- *)
+
+let poly_eq_on_buf () =
+  let fs = scan "let same buf other_buf = buf = other_buf\n" in
+  check (Alcotest.list Alcotest.string) "rule" [ "poly-compare" ] (rules fs)
+
+let poly_compare_fn_on_sga () =
+  let fs = scan "let c sga sga' = compare sga sga'\n" in
+  check (Alcotest.list Alcotest.string) "rule" [ "poly-compare" ] (rules fs)
+
+let let_binding_is_not_compare () =
+  let fs = scan "let buf = make ()\nlet rx_buf = other\n" in
+  check_int "bindings not flagged" 0 (List.length (lines_of "poly-compare" fs))
+
+let int_compare_ok () =
+  let fs = scan "let f a b = a = b\n" in
+  check_int "non-bufferish names not flagged" 0 (List.length fs)
+
+(* ---------------- print-in-lib ---------------- *)
+
+let printf_in_lib () =
+  let fs = scan ~path:"lib/apps/echo.ml" "let () = Printf.printf \"hi\"\n" in
+  check (Alcotest.list Alcotest.string) "rule" [ "print-in-lib" ] (rules fs)
+
+let print_endline_in_lib () =
+  let fs = scan ~path:"lib/apps/echo.ml" "let () = print_endline \"hi\"\n" in
+  check (Alcotest.list Alcotest.string) "rule" [ "print-in-lib" ] (rules fs)
+
+let printf_in_bench_ok () =
+  (* bench/examples report results on stdout by design *)
+  let fs = scan ~path:"bench/report.ml" "let () = Printf.printf \"ok\"\n" in
+  check_int "bench may print" 0 (List.length fs)
+
+let sprintf_ok () =
+  let fs = scan ~path:"lib/apps/echo.ml" "let s = Printf.sprintf \"x%d\" 1\n" in
+  check_int "sprintf builds strings, not output" 0 (List.length fs)
+
+(* ---------------- catch-all-exn ---------------- *)
+
+let try_with_wildcard () =
+  let fs = scan "let f () = try g () with _ -> ()\n" in
+  check (Alcotest.list Alcotest.string) "rule" [ "catch-all-exn" ] (rules fs)
+
+let try_with_named_exn_ok () =
+  let fs = scan "let f () = try g () with Not_found -> ()\n" in
+  check_int "specific handler ok" 0 (List.length fs)
+
+let match_wildcard_ok () =
+  (* a wildcard in a plain match is fine; only exception handlers count *)
+  let fs = scan "let f x = match x with Some y -> y | _ -> 0\n" in
+  check_int "match wildcard ok" 0 (List.length (lines_of "catch-all-exn" fs))
+
+let multiline_try () =
+  let src = "let f () =\n  try\n    g ()\n  with\n  | _ ->\n    ()\n" in
+  let fs = scan src in
+  check (Alcotest.list Alcotest.int) "line of the arm" [ 5 ]
+    (lines_of "catch-all-exn" fs)
+
+(* ---------------- exit-outside-bin ---------------- *)
+
+let exit_in_lib () =
+  let fs = scan "let die () = exit 1\n" in
+  check (Alcotest.list Alcotest.string) "rule" [ "exit-outside-bin" ] (rules fs)
+
+let exit_in_bin_ok () =
+  let fs = scan ~path:"bin/dk_cli.ml" "let die () = exit 1\n" in
+  check_int "bin may exit" 0 (List.length fs)
+
+(* ---------------- stripping / line numbers ---------------- *)
+
+let nested_comments () =
+  let src = "(* outer (* Obj.magic inside *) still comment *)\nlet x = 1\n" in
+  check_int "nested comment stripped" 0 (List.length (scan src))
+
+let line_numbers_survive_stripping () =
+  let src = "(* line 1\n   line 2 *)\nlet f () = try g () with _ -> ()\n" in
+  let fs = scan src in
+  check (Alcotest.list Alcotest.int) "finding on line 3" [ 3 ]
+    (lines_of "catch-all-exn" fs)
+
+(* ---------------- allowlist ---------------- *)
+
+let allowlist_suppresses_and_reports_stale () =
+  let findings =
+    [
+      { path = "lib/mem/a.ml"; line = 3; rule = "unsafe-op"; message = "m" };
+      { path = "lib/mem/b.ml"; line = 9; rule = "poly-compare"; message = "m" };
+    ]
+  in
+  let allow =
+    [
+      { a_rule = "unsafe-op"; a_path = "lib/mem/a.ml"; used = false };
+      { a_rule = "print-in-lib"; a_path = "lib/gone.ml"; used = false };
+    ]
+  in
+  let kept, stale = apply_allowlist allow findings in
+  check (Alcotest.list Alcotest.string) "kept" [ "poly-compare" ] (rules kept);
+  check_int "one stale entry" 1 (List.length stale);
+  check Alcotest.string "the stale one" "print-in-lib"
+    (List.hd stale).a_rule
+
+let () =
+  Alcotest.run "dk_lint"
+    [
+      ( "unsafe-op",
+        [
+          Alcotest.test_case "fires in fast path" `Quick unsafe_in_fast_path;
+          Alcotest.test_case "Obj.magic" `Quick obj_magic;
+          Alcotest.test_case "scoped to fast path" `Quick
+            unsafe_outside_fast_path_ok;
+          Alcotest.test_case "comment immune" `Quick unsafe_in_comment_ok;
+          Alcotest.test_case "string immune" `Quick unsafe_in_string_ok;
+        ] );
+      ( "poly-compare",
+        [
+          Alcotest.test_case "= on buf" `Quick poly_eq_on_buf;
+          Alcotest.test_case "compare on sga" `Quick poly_compare_fn_on_sga;
+          Alcotest.test_case "let-binding immune" `Quick
+            let_binding_is_not_compare;
+          Alcotest.test_case "plain names immune" `Quick int_compare_ok;
+        ] );
+      ( "print-in-lib",
+        [
+          Alcotest.test_case "printf" `Quick printf_in_lib;
+          Alcotest.test_case "print_endline" `Quick print_endline_in_lib;
+          Alcotest.test_case "bench exempt" `Quick printf_in_bench_ok;
+          Alcotest.test_case "sprintf ok" `Quick sprintf_ok;
+        ] );
+      ( "catch-all-exn",
+        [
+          Alcotest.test_case "try with _" `Quick try_with_wildcard;
+          Alcotest.test_case "named handler ok" `Quick try_with_named_exn_ok;
+          Alcotest.test_case "match wildcard ok" `Quick match_wildcard_ok;
+          Alcotest.test_case "multiline try" `Quick multiline_try;
+        ] );
+      ( "exit",
+        [
+          Alcotest.test_case "exit in lib" `Quick exit_in_lib;
+          Alcotest.test_case "exit in bin ok" `Quick exit_in_bin_ok;
+        ] );
+      ( "stripping",
+        [
+          Alcotest.test_case "nested comments" `Quick nested_comments;
+          Alcotest.test_case "line numbers" `Quick
+            line_numbers_survive_stripping;
+        ] );
+      ( "allowlist",
+        [
+          Alcotest.test_case "suppress + stale" `Quick
+            allowlist_suppresses_and_reports_stale;
+        ] );
+    ]

@@ -122,8 +122,9 @@ let buffer_unmanaged () =
 
 let managed_buffer released =
   let store = Bytes.make 64 '\000' in
-  Buffer.make_managed ~store ~off:0 ~len:64 ~region_id:7 ~release:(fun () ->
-      released := true)
+  Buffer.make_managed ~store ~off:0 ~len:64 ~region_id:7
+    ~release:(fun () -> released := true)
+    ()
 
 let buffer_release_on_free () =
   let released = ref false in
@@ -315,7 +316,12 @@ let manager_grows () =
   Buffer.free b2
 
 let manager_cap () =
-  let mgr = Manager.create ~initial_region_size:4096 ~max_total_bytes:8192 () in
+  (* exact-fit sizing: pin sanitize off so DK_SANITIZE=1 runs (16 extra
+     canary bytes per alloc) don't change the arithmetic under test *)
+  let mgr =
+    Manager.create ~initial_region_size:4096 ~max_total_bytes:8192
+      ~sanitize:false ()
+  in
   let b1 = Manager.alloc_exn mgr 4096 in
   let b2 = Manager.alloc_exn mgr 4096 in
   check_bool "cap hit" true (Manager.alloc mgr 4096 = None);
@@ -331,6 +337,33 @@ let manager_deferred_stat () =
   Buffer.io_release b;
   let st = Manager.stats mgr in
   check_int "deferred release counted" 1 st.Manager.deferred_releases
+
+(* Free-protection end to end through the manager (§4.5): the
+   application frees while the device still holds the buffer for DMA;
+   the storage must not return to the arena until the I/O completes. *)
+let manager_deferred_release_midflight () =
+  (* exact-fit sizing (whole-region alloc): sanitize off, as above *)
+  let mgr =
+    Manager.create ~initial_region_size:4096 ~max_total_bytes:4096
+      ~sanitize:false ()
+  in
+  let b = Manager.alloc_exn mgr 4096 in
+  Buffer.io_hold b;
+  (* device I/O in flight *)
+  Buffer.free b;
+  (* application released mid-flight *)
+  let st = Manager.stats mgr in
+  check_int "storage not yet returned" 0 st.Manager.releases;
+  check_bool "whole region still occupied" true (Manager.alloc mgr 4096 = None);
+  check_bool "hold keeps it in flight" true (Buffer.in_flight b);
+  Buffer.io_release b;
+  (* I/O completion triggers the deferred release *)
+  let st = Manager.stats mgr in
+  check_int "released exactly once" 1 st.Manager.releases;
+  check_int "release recorded as deferred" 1 st.Manager.deferred_releases;
+  check_int "no bytes live" 0 st.Manager.live_bytes;
+  check_bool "storage reusable after completion" true
+    (Manager.alloc mgr 4096 <> None)
 
 let manager_alloc_string () =
   let mgr = Manager.create () in
@@ -390,6 +423,7 @@ let buffer_lifecycle_prop =
       let root =
         Buffer.make_managed ~store ~off:0 ~len:64 ~region_id:1
           ~release:(fun () -> released := true)
+          ()
       in
       let views = ref [ root ] in
       let app = ref 1 and io = ref 0 in
@@ -480,6 +514,8 @@ let () =
           Alcotest.test_case "grows" `Quick manager_grows;
           Alcotest.test_case "cap" `Quick manager_cap;
           Alcotest.test_case "deferred stat" `Quick manager_deferred_stat;
+          Alcotest.test_case "deferred release mid-flight" `Quick
+            manager_deferred_release_midflight;
           Alcotest.test_case "alloc_string" `Quick manager_alloc_string;
           Alcotest.test_case "sga_of_string" `Quick manager_sga_of_string;
         ] );

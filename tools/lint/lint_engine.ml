@@ -1,0 +1,404 @@
+(* dk-lint: project-specific source rules for the Demikernel reproduction.
+
+   The linter works on a cleaned token stream (comments, string literals
+   and char literals blanked out), so the rules below are heuristic but
+   comment/string-safe. False positives are silenced through the
+   checked-in allowlist rather than by weakening a rule. *)
+
+type finding = { path : string; line : int; rule : string; message : string }
+
+let compare_finding a b =
+  match String.compare a.path b.path with
+  | 0 -> ( match compare a.line b.line with 0 -> String.compare a.rule b.rule | c -> c)
+  | c -> c
+
+let pp_finding f = Printf.sprintf "%s:%d: [%s] %s" f.path f.line f.rule f.message
+
+(* ---------------- path classification ---------------- *)
+
+let normalize path =
+  let path = String.map (fun c -> if c = '\\' then '/' else c) path in
+  if String.length path > 2 && String.sub path 0 2 = "./" then
+    String.sub path 2 (String.length path - 2)
+  else path
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let ends_with ~suffix s =
+  let ls = String.length suffix and l = String.length s in
+  l >= ls && String.sub s (l - ls) ls = suffix
+
+(* Fast-path modules: the zero-copy data path where a stray polymorphic
+   compare or unsafe access defeats the safety argument of §4.5. *)
+let fast_path_dirs = [ "lib/mem/"; "lib/core/"; "lib/net/" ]
+let in_fast_path path = List.exists (fun d -> starts_with ~prefix:d path) fast_path_dirs
+let in_lib path = starts_with ~prefix:"lib/" path
+
+(* ---------------- comment / literal stripping ---------------- *)
+
+(* Replace comments, string literals and char literals with spaces,
+   preserving newlines so line numbers survive. Handles nested (* *)
+   comments and string literals inside comments. *)
+let clean (src : string) : string =
+  let n = String.length src in
+  let out = Bytes.of_string src in
+  let blank i = if Bytes.get out i <> '\n' then Bytes.set out i ' ' in
+  let is_char_literal i =
+    (* at src.[i] = '\'': distinguish a char literal from a type
+       variable / polymorphic variant tick *)
+    if i + 2 < n && src.[i + 1] <> '\\' && src.[i + 2] = '\'' then Some (i + 2)
+    else if i + 1 < n && src.[i + 1] = '\\' then begin
+      (* escape: scan a short window for the closing quote *)
+      let rec find j = if j > i + 6 || j >= n then None
+        else if src.[j] = '\'' then Some j else find (j + 1)
+      in
+      find (i + 2)
+    end
+    else None
+  in
+  let i = ref 0 in
+  let comment_depth = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    if !comment_depth > 0 then begin
+      if c = '(' && !i + 1 < n && src.[!i + 1] = '*' then begin
+        blank !i; blank (!i + 1); incr comment_depth; i := !i + 2
+      end
+      else if c = '*' && !i + 1 < n && src.[!i + 1] = ')' then begin
+        blank !i; blank (!i + 1); decr comment_depth; i := !i + 2
+      end
+      else if c = '"' then begin
+        (* string inside a comment: skip to its end *)
+        blank !i; incr i;
+        let fin = ref false in
+        while not !fin && !i < n do
+          (if src.[!i] = '\\' && !i + 1 < n then begin blank !i; blank (!i + 1); i := !i + 1 end
+           else if src.[!i] = '"' then fin := true);
+          blank !i; incr i
+        done
+      end
+      else begin blank !i; incr i end
+    end
+    else if c = '(' && !i + 1 < n && src.[!i + 1] = '*' then begin
+      blank !i; blank (!i + 1); comment_depth := 1; i := !i + 2
+    end
+    else if c = '"' then begin
+      blank !i; incr i;
+      let fin = ref false in
+      while not !fin && !i < n do
+        (if src.[!i] = '\\' && !i + 1 < n then begin blank !i; blank (!i + 1); i := !i + 1 end
+         else if src.[!i] = '"' then fin := true);
+        blank !i; incr i
+      done
+    end
+    else if c = '\'' then begin
+      match is_char_literal !i with
+      | Some close ->
+          for j = !i to close do blank j done;
+          i := close + 1
+      | None -> incr i
+    end
+    else incr i
+  done;
+  Bytes.to_string out
+
+(* ---------------- tokenizer ---------------- *)
+
+type token = { text : string; tline : int }
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '\''
+let is_digit c = c >= '0' && c <= '9'
+
+let is_sym_char c =
+  String.contains "!$%&*+-./:<=>?@^|~" c
+
+(* Qualified identifiers ([Bytes.unsafe_get], [t.field]) come out as a
+   single dotted token; operators are maximal runs of symbol chars. *)
+let tokenize (src : string) : token list =
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 in
+  let i = ref 0 in
+  let push text tline = toks := { text; tline } :: !toks in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin incr line; incr i end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if is_ident_start c then begin
+      let start = !i and l0 = !line in
+      let stop = ref false in
+      while not !stop && !i < n do
+        if is_ident_char src.[!i] then incr i
+        else if
+          src.[!i] = '.' && !i + 1 < n && is_ident_start src.[!i + 1]
+        then incr i
+        else stop := true
+      done;
+      push (String.sub src start (!i - start)) l0
+    end
+    else if is_digit c then begin
+      let start = !i and l0 = !line in
+      while
+        !i < n
+        && (is_ident_char src.[!i] || src.[!i] = '.'
+           || ((src.[!i] = '+' || src.[!i] = '-')
+              && !i > start
+              && (src.[!i - 1] = 'e' || src.[!i - 1] = 'E')))
+      do
+        incr i
+      done;
+      push (String.sub src start (!i - start)) l0
+    end
+    else if is_sym_char c then begin
+      let start = !i and l0 = !line in
+      while !i < n && is_sym_char src.[!i] do incr i done;
+      push (String.sub src start (!i - start)) l0
+    end
+    else begin
+      push (String.make 1 c) !line;
+      incr i
+    end
+  done;
+  List.rev !toks
+
+(* ---------------- rules ---------------- *)
+
+let unsafe_primitives =
+  [
+    "Obj.magic";
+    "Bytes.unsafe_get";
+    "Bytes.unsafe_set";
+    "Bytes.unsafe_blit";
+    "Bytes.unsafe_fill";
+    "String.unsafe_get";
+    "String.unsafe_set";
+    "Array.unsafe_get";
+    "Array.unsafe_set";
+  ]
+
+let print_primitives =
+  [
+    "Printf.printf";
+    "Printf.eprintf";
+    "Format.printf";
+    "Format.eprintf";
+    "print_endline";
+    "print_string";
+    "print_newline";
+    "print_char";
+    "print_int";
+    "print_float";
+    "prerr_endline";
+    "prerr_string";
+    "prerr_newline";
+  ]
+
+(* Identifier naming convention for buffer/sga-typed values; the
+   poly-compare rule only fires next to one of these. *)
+let bufferish name =
+  let last =
+    match String.rindex_opt name '.' with
+    | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+    | None -> name
+  in
+  last = "buf" || last = "buffer" || last = "sga"
+  || ends_with ~suffix:"_buf" last
+  || ends_with ~suffix:"_buffer" last
+  || ends_with ~suffix:"_sga" last
+  || starts_with ~prefix:"buf_" last
+  || starts_with ~prefix:"sga_" last
+
+let binding_starters = [ "let"; "and"; "method"; "val"; "external"; "type" ]
+let record_contexts = [ ";"; "{"; "with"; "?" ]
+
+(* Is the [=] at index [i] a binding rather than a comparison? Walk left
+   over parameter-like tokens; a binding keyword (or record-field
+   context) before anything else means binding. *)
+let is_binding_eq (toks : token array) i =
+  let passes t =
+    t = "_" || t = "(" || t = ")" || t = "~" || t = "?" || t = ":" || t = ","
+    || t = "[" || t = "]" || t = "*" || t = "." || t = "'"
+    || (String.length t > 0 && is_ident_start t.[0])
+  in
+  let rec walk j steps =
+    if j < 0 || steps > 40 then true (* give up quietly: assume binding *)
+    else
+      let t = toks.(j).text in
+      if List.mem t binding_starters then true
+      else if List.mem t record_contexts then true
+      else if passes t then walk (j - 1) (steps + 1)
+      else false
+  in
+  walk (i - 1) 0
+
+let scan_tokens ~path (toks : token array) : finding list =
+  let findings = ref [] in
+  let add line rule message = findings := { path; line; rule; message } :: !findings in
+  let fast = in_fast_path path in
+  let lib = in_lib path in
+  let bin = starts_with ~prefix:"bin/" path in
+  let ntok = Array.length toks in
+  let text i = if i >= 0 && i < ntok then toks.(i).text else "" in
+  (* try/match tracking for the catch-all rule *)
+  let stack = ref [] in
+  for i = 0 to ntok - 1 do
+    let tok = toks.(i).text and line = toks.(i).tline in
+    (* unsafe primitives in fast-path modules *)
+    if fast && List.mem tok unsafe_primitives then
+      add line "unsafe-op"
+        (Printf.sprintf
+           "%s in a fast-path module: bounds-checked access is the only \
+            memory safety the data path has"
+           tok);
+    (* printing from library code *)
+    if lib && List.mem tok print_primitives then
+      add line "print-in-lib"
+        (Printf.sprintf "%s in lib/: route diagnostics through Dk_sim.Trace" tok);
+    (* exit outside bin/ *)
+    if (not bin) && (tok = "exit" || tok = "Stdlib.exit") then
+      add line "exit-outside-bin"
+        "exit outside bin/: libraries, benches and examples must return, not exit";
+    (* polymorphic comparison on buffers/sgas in fast-path modules *)
+    if fast then begin
+      if tok = "Stdlib.compare" then
+        add line "poly-compare"
+          "Stdlib.compare in a fast-path module compares buffer structure, \
+           not contents; use Sga.equal or compare lengths/bytes explicitly";
+      if tok = "compare" && (bufferish (text (i + 1)) || bufferish (text (i + 2)))
+      then
+        add line "poly-compare"
+          "polymorphic compare on a buffer/sga value; use Sga.equal or an \
+           explicit field comparison";
+      if tok = "=" || tok = "<>" || tok = "==" || tok = "!=" then
+        if bufferish (text (i - 1)) || bufferish (text (i + 1)) then
+          if tok <> "=" || not (is_binding_eq toks i) then
+            add line "poly-compare"
+              (Printf.sprintf
+                 "polymorphic %s on a buffer/sga value (compares the view \
+                  record, not the payload); use Sga.equal or explicit fields"
+                 tok)
+    end;
+    (* catch-all exception handlers *)
+    (match tok with
+    | "try" -> stack := `Try :: !stack
+    | "match" -> stack := `Match :: !stack
+    | "with" ->
+        let opener =
+          match !stack with
+          | top :: rest ->
+              stack := rest;
+              Some top
+          | [] -> None
+        in
+        let j = if text (i + 1) = "|" then i + 2 else i + 1 in
+        let wildcard_arm = text j = "_" && text (j + 1) = "->" in
+        (* [None] covers handlers whose try was consumed by an earlier
+           record-update [with]; a wildcard arm directly after [with]
+           cannot be a record update or a match, so flag it too. *)
+        (match opener with
+        | Some `Try | None ->
+            if wildcard_arm then
+              add toks.(j).tline "catch-all-exn"
+                "catch-all `with _ ->` swallows every exception (including \
+                 Out_of_memory and Assert_failure); match specific \
+                 exceptions or re-raise"
+        | Some `Match -> ())
+    | _ -> ())
+  done;
+  List.rev !findings
+
+let scan_source ~path (src : string) : finding list =
+  let path = normalize path in
+  scan_tokens ~path (Array.of_list (tokenize (clean src)))
+
+(* ---------------- filesystem walking ---------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let rec walk dir acc =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then acc
+  else
+    Array.fold_left
+      (fun acc entry ->
+        if entry = "" || entry.[0] = '.' || entry = "_build" then acc
+        else
+          let path = Filename.concat dir entry in
+          if Sys.is_directory path then walk path acc else path :: acc)
+      acc (Sys.readdir dir)
+
+let missing_mli ~files : finding list =
+  let set = List.fold_left (fun s f -> (f, ()) :: s) [] files in
+  let has f = List.mem_assoc f set in
+  List.filter_map
+    (fun f ->
+      if in_lib f && ends_with ~suffix:".ml" f && not (has (f ^ "i")) then
+        Some
+          {
+            path = f;
+            line = 1;
+            rule = "missing-mli";
+            message =
+              "every .ml under lib/ needs a matching .mli: interfaces are \
+               where this repo's lifetime/ownership contracts live";
+          }
+      else None)
+    files
+
+let scan_dirs (dirs : string list) : finding list * int =
+  let files =
+    List.concat_map (fun d -> walk (normalize d) []) dirs
+    |> List.map normalize |> List.sort_uniq String.compare
+  in
+  let sources = List.filter (ends_with ~suffix:".ml") files in
+  let findings =
+    missing_mli ~files
+    @ List.concat_map (fun f -> scan_source ~path:f (read_file f)) sources
+  in
+  (List.sort compare_finding findings, List.length sources)
+
+(* ---------------- allowlist ---------------- *)
+
+type allow_entry = { a_rule : string; a_path : string; mutable used : bool }
+
+let load_allowlist path : allow_entry list =
+  if not (Sys.file_exists path) then []
+  else
+    read_file path |> String.split_on_char '\n'
+    |> List.filter_map (fun line ->
+           let line = String.trim line in
+           if line = "" || line.[0] = '#' then None
+           else
+             match
+               String.split_on_char ' ' line
+               |> List.filter (fun s -> s <> "")
+             with
+             | [ a_rule; a_path ] ->
+                 Some { a_rule; a_path = normalize a_path; used = false }
+             | _ ->
+                 Printf.eprintf "dk-lint: malformed allowlist line: %s\n" line;
+                 None)
+
+let apply_allowlist (allow : allow_entry list) (findings : finding list) :
+    finding list * allow_entry list =
+  let kept =
+    List.filter
+      (fun f ->
+        match
+          List.find_opt
+            (fun e -> e.a_rule = f.rule && e.a_path = f.path)
+            allow
+        with
+        | Some e ->
+            e.used <- true;
+            false
+        | None -> true)
+      findings
+  in
+  (kept, List.filter (fun e -> not e.used) allow)
