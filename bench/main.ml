@@ -37,4 +37,6 @@ let () =
       match List.assoc_opt name experiments with
       | Some run -> run ()
       | None -> Printf.eprintf "unknown experiment %S (skipped)\n" name)
-    requested
+    requested;
+  (* Flush the last experiment's BENCH_<exp>.json. *)
+  Report.finish ()

@@ -1,8 +1,59 @@
-(* Minimal fixed-width table printer for experiment output. *)
+(* Minimal fixed-width table printer for experiment output. Each
+   experiment's tables and obs counters are also dumped to
+   BENCH_<exp>.json (suppress with DK_BENCH_JSON=0). *)
 
 let hr width = print_endline (String.make width '-')
 
+(* Pending JSON state for the experiment whose header printed last. *)
+let current : (string * string * string) option ref = ref None
+let captured : (string list * string list list) list ref = ref []
+
+let json_enabled () = Sys.getenv_opt "DK_BENCH_JSON" <> Some "0"
+
+(* "E1: data-path architectures" -> "e1" *)
+let slug_of_id id =
+  let stem =
+    match String.index_opt id ':' with
+    | Some i -> String.sub id 0 i
+    | None -> ( match String.index_opt id ' ' with
+               | Some i -> String.sub id 0 i
+               | None -> id)
+  in
+  String.lowercase_ascii (String.trim stem)
+
+let finish () =
+  (match !current with
+  | Some (slug, source, claim) when json_enabled () ->
+      let js = Dk_obs.Export.json_string in
+      let cells row = String.concat "," (List.map js row) in
+      let tables =
+        String.concat ","
+          (List.rev_map
+             (fun (head, rows) ->
+               Printf.sprintf "{\"head\":[%s],\"rows\":[%s]}" (cells head)
+                 (String.concat ","
+                    (List.map (fun r -> "[" ^ cells r ^ "]") rows)))
+             !captured)
+      in
+      let obs =
+        Dk_obs.Export.json_value ~now:0L
+          (Dk_obs.Metrics.snapshot Dk_obs.Metrics.default)
+      in
+      let oc = open_out (Printf.sprintf "BENCH_%s.json" slug) in
+      Printf.fprintf oc
+        "{\"experiment\":%s,\"source\":%s,\"claim\":%s,\"tables\":[%s],\"obs\":%s}\n"
+        (js slug) (js source) (js claim) tables obs;
+      close_out oc
+  | Some _ | None -> ());
+  current := None;
+  captured := []
+
 let header ~id ~source ~claim =
+  finish ();
+  (* Each experiment reads its own obs deltas, not its predecessors'. *)
+  Dk_obs.Metrics.reset Dk_obs.Metrics.default;
+  Dk_obs.Flight.clear Dk_obs.Flight.default;
+  current := Some (slug_of_id id, source, claim);
   print_newline ();
   hr 78;
   Printf.printf "%s  [%s]\n" id source;
@@ -17,6 +68,7 @@ let row widths cells =
   print_endline (String.concat "  " (List.map2 pad widths cells))
 
 let table widths head rows =
+  captured := (head, rows) :: !captured;
   row widths head;
   row widths (List.map (fun w -> String.make w '-') widths);
   List.iter (row widths) rows

@@ -173,10 +173,93 @@ let loss_cmd =
   Cmd.v (Cmd.info "loss" ~doc:"bulk transfer over a lossy fabric")
     Term.(const loss_run $ loss $ bytes)
 
+(* ---- stats ---- *)
+
+let flight_tail = 16
+
+let stats_run size rounds loss json =
+  (* A sanitizer violation mid-run dumps the flight recorder: the last
+     thing the datapath did before the bug, which the kernel can no
+     longer tell us (the whole point of lib/obs). *)
+  Dk_mem.Dk_check.set_sink (fun _ _ ->
+      Format.eprintf "flight recorder at violation:@.%a" Dk_obs.Flight.pp
+        Dk_obs.Flight.default);
+  Dk_obs.Metrics.reset Dk_obs.Metrics.default;
+  Dk_obs.Flight.clear Dk_obs.Flight.default;
+  let duo = Setup.two_hosts ~loss () in
+  let da = Setup.demi_of_host ~engine:duo.Setup.engine ~cost:duo.Setup.cost duo.Setup.a () in
+  let db = Setup.demi_of_host ~engine:duo.Setup.engine ~cost:duo.Setup.cost duo.Setup.b () in
+  ignore (Echo.start_demi_server ~demi:db ~port:7);
+  let h =
+    Result.get_ok
+      (Echo.demi_rtt ~demi:da ~dst:(Setup.endpoint duo.Setup.b 7) ~size ~rounds)
+  in
+  Format.printf "echo workload: %d rounds of %dB over a %.1f%%-lossy fabric@."
+    rounds size (loss *. 100.);
+  pp_hist "round-trip latency" h;
+  let now = Dk_sim.Engine.now duo.Setup.engine in
+  let snap = Dk_obs.Metrics.snapshot Dk_obs.Metrics.default in
+  Format.printf "@.%a" Dk_obs.Export.pp_table snap;
+  let fl = Dk_obs.Flight.default in
+  let entries = Dk_obs.Flight.entries fl in
+  let len = List.length entries in
+  let tail =
+    if len <= flight_tail then entries
+    else List.filteri (fun i _ -> i >= len - flight_tail) entries
+  in
+  Format.printf
+    "@.flight recorder: %d events recorded, %d evicted, %d buffered; last %d:@."
+    (Dk_obs.Flight.recorded fl) (Dk_obs.Flight.evicted fl) len
+    (List.length tail);
+  List.iter
+    (fun (e : Dk_obs.Flight.entry) ->
+      Format.printf "%12Ld  %-10s %s@." e.Dk_obs.Flight.at
+        (Dk_obs.Flight.kind_name e.Dk_obs.Flight.kind)
+        e.Dk_obs.Flight.what)
+    tail;
+  (match json with
+  | None -> ()
+  | Some file ->
+      let oc = open_out file in
+      output_string oc (Dk_obs.Export.json_lines ~now snap);
+      output_string oc (Dk_obs.Export.json_flight fl);
+      close_out oc;
+      Format.printf "@.wrote %s@." file);
+  Dk_mem.Dk_check.clear_sink ()
+
+let stats_loss_arg =
+  Arg.(value & opt float 0.0
+       & info [ "loss" ] ~docv:"FRAC" ~doc:"fabric loss probability")
+
+let json_arg =
+  Arg.(value & opt (some string) None
+       & info [ "json" ] ~docv:"FILE"
+           ~doc:"also write the snapshot and flight log as JSON lines")
+
+let stats_cmd =
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"run an echo workload and dump every datapath obs instrument")
+    Term.(const stats_run $ size_arg $ rounds_arg $ stats_loss_arg $ json_arg)
+
+(* `demi --stats` (no subcommand) behaves like `demi stats`. *)
+let default =
+  let stats_flag =
+    Arg.(value & flag
+         & info [ "stats" ]
+             ~doc:"run an echo workload and dump datapath observability stats")
+  in
+  Term.(
+    ret
+      (const (fun stats size rounds loss json ->
+           if stats then `Ok (stats_run size rounds loss json)
+           else `Help (`Pager, None))
+      $ stats_flag $ size_arg $ rounds_arg $ stats_loss_arg $ json_arg))
+
 let main =
-  Cmd.group
+  Cmd.group ~default
     (Cmd.info "demi" ~version:"1.0"
        ~doc:"Demikernel reproduction: parameterised simulation scenarios")
-    [ rtt_cmd; kv_cmd; wakeups_cmd; loss_cmd ]
+    [ rtt_cmd; kv_cmd; wakeups_cmd; loss_cmd; stats_cmd ]
 
 let () = exit (Cmd.eval main)

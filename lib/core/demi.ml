@@ -81,7 +81,7 @@ let create ~engine ~cost ?stack ?posix ?rdma ?block ?(mem_initial = 1 lsl 20)
       posix;
       rdma;
       disp;
-      tokens = Token.create ~audit:sanitize ();
+      tokens = Token.create ~audit:sanitize ~now:(fun () -> Engine.now engine) ();
       manager;
       registry;
       qds = Hashtbl.create 64;
@@ -126,10 +126,41 @@ let check_shutdown t =
 
 (* ---- descriptor table ---- *)
 
+(* Aggregates across all queues; the per-qd counters installed below
+   break the same totals down per descriptor. *)
+let m_pushes = Dk_obs.Metrics.counter "core.pushes"
+let m_pops = Dk_obs.Metrics.counter "core.pops"
+let m_poll_iters = Dk_obs.Metrics.counter "core.poll_iters"
+
+(* Every descriptor's push/pop goes through this shim: one counter bump
+   plus a flight-recorder entry per operation, no virtual time. *)
 let install t impl =
   let qd = t.next_qd in
   t.next_qd <- t.next_qd + 1;
-  Hashtbl.replace t.qds qd impl;
+  let m_push = Dk_obs.Metrics.counter (Printf.sprintf "core.qd%d.pushes" qd) in
+  let m_pop = Dk_obs.Metrics.counter (Printf.sprintf "core.qd%d.pops" qd) in
+  let instrumented =
+    {
+      impl with
+      Qimpl.push =
+        (fun sga tok ->
+          Dk_obs.Metrics.incr m_push;
+          Dk_obs.Metrics.incr m_pushes;
+          Dk_obs.Flight.recordf Dk_obs.Flight.default
+            ~now:(Engine.now t.engine) Dk_obs.Flight.Push "qd %d (%s) tok %d"
+            qd impl.Qimpl.kind tok;
+          impl.Qimpl.push sga tok);
+      pop =
+        (fun tok ->
+          Dk_obs.Metrics.incr m_pop;
+          Dk_obs.Metrics.incr m_pops;
+          Dk_obs.Flight.recordf Dk_obs.Flight.default
+            ~now:(Engine.now t.engine) Dk_obs.Flight.Pop "qd %d (%s) tok %d"
+            qd impl.Qimpl.kind tok;
+          impl.Qimpl.pop tok);
+    }
+  in
+  Hashtbl.replace t.qds qd instrumented;
   qd
 
 let lookup t qd = Hashtbl.find_opt t.qds qd
@@ -160,7 +191,9 @@ let sga_free t sga =
 
 (* ---- waiting ---- *)
 
-let wait_step t = Engine.consume t.engine t.cost.Cost.poll_iter
+let wait_step t =
+  Dk_obs.Metrics.incr m_poll_iters;
+  Engine.consume t.engine t.cost.Cost.poll_iter
 
 let wait t tok =
   match Token.status t.tokens tok with

@@ -15,15 +15,26 @@ let create tokens =
     on_deliver = (fun () -> ());
   }
 
+(* Class-wide obs instruments (aggregated across mailboxes): the
+   buffered gauge is the total depth of all ready queues, its
+   high-water mark the worst backlog any run accumulated. *)
+let m_delivered = Dk_obs.Metrics.counter "core.mailbox.delivered"
+let g_buffered = Dk_obs.Metrics.gauge "core.mailbox.buffered"
+
 let deliver t result =
+  Dk_obs.Metrics.incr m_delivered;
   (match Queue.take_opt t.waiters with
   | Some tok -> Token.complete t.tokens tok result
-  | None -> Queue.add result t.ready);
+  | None ->
+      Queue.add result t.ready;
+      Dk_obs.Metrics.gauge_add g_buffered 1);
   t.on_deliver ()
 
 let pop t tok =
   match Queue.take_opt t.ready with
-  | Some result -> Token.complete t.tokens tok result
+  | Some result ->
+      Dk_obs.Metrics.gauge_add g_buffered (-1);
+      Token.complete t.tokens tok result
   | None ->
       if t.closed then Token.complete t.tokens tok (Types.Failed `Queue_closed)
       else Queue.add tok t.waiters

@@ -14,6 +14,9 @@ type audit_report = {
 type t = {
   table : (Types.qtoken, state) Hashtbl.t;
   audit : bool;
+  (* virtual clock, when the owner has one: lets completions land in the
+     flight recorder with a timestamp. Never consumes simulated time. *)
+  clock : (unit -> int64) option;
   (* tombstones for tokens consumed by a watch callback, so a later
      redeem/complete on them is diagnosable (audit mode only) *)
   consumed : (Types.qtoken, unit) Hashtbl.t;
@@ -23,10 +26,17 @@ type t = {
   mutable redeems_after_watch : int;
 }
 
-let create ?(audit = Dk_check.enabled_from_env ()) () =
+(* Class-wide obs instruments (aggregated across token tables). *)
+let m_minted = Dk_obs.Metrics.counter "core.token.minted"
+let m_completed = Dk_obs.Metrics.counter "core.token.completed"
+let m_redeemed = Dk_obs.Metrics.counter "core.token.redeemed"
+let g_outstanding = Dk_obs.Metrics.gauge "core.token.outstanding"
+
+let create ?(audit = Dk_check.enabled_from_env ()) ?now () =
   {
     table = Hashtbl.create 64;
     audit;
+    clock = now;
     consumed = Hashtbl.create (if audit then 64 else 1);
     next = 1;
     pending = 0;
@@ -41,7 +51,18 @@ let fresh t =
   t.next <- t.next + 1;
   Hashtbl.replace t.table tok Pending;
   t.pending <- t.pending + 1;
+  Dk_obs.Metrics.incr m_minted;
+  Dk_obs.Metrics.gauge_add g_outstanding 1;
   tok
+
+let record_completion t tok =
+  Dk_obs.Metrics.incr m_completed;
+  Dk_obs.Metrics.gauge_add g_outstanding (-1);
+  match t.clock with
+  | Some now ->
+      Dk_obs.Flight.recordf Dk_obs.Flight.default ~now:(now ())
+        Dk_obs.Flight.Completion "qtoken %d" tok
+  | None -> ()
 
 let double_complete t tok =
   if t.audit then begin
@@ -58,11 +79,13 @@ let complete t tok result =
   match Hashtbl.find_opt t.table tok with
   | Some Pending ->
       Hashtbl.replace t.table tok (Done result);
-      t.pending <- t.pending - 1
+      t.pending <- t.pending - 1;
+      record_completion t tok
   | Some (Watched k) ->
       Hashtbl.remove t.table tok;
       t.pending <- t.pending - 1;
       if t.audit then Hashtbl.replace t.consumed tok ();
+      record_completion t tok;
       k result
   | Some (Done _) -> double_complete t tok
   | None ->
@@ -102,6 +125,7 @@ let redeem t tok =
   match Hashtbl.find_opt t.table tok with
   | Some (Done r) ->
       Hashtbl.remove t.table tok;
+      Dk_obs.Metrics.incr m_redeemed;
       Some r
   | Some (Watched _) -> redeem_watched t tok
   | Some Pending -> None

@@ -22,8 +22,11 @@ type audit_report = {
   redeems_after_watch : int;
 }
 
-val create : ?audit:bool -> unit -> t
-(** [audit] defaults to {!Dk_mem.Dk_check.enabled_from_env}. *)
+val create : ?audit:bool -> ?now:(unit -> int64) -> unit -> t
+(** [audit] defaults to {!Dk_mem.Dk_check.enabled_from_env}. [now], when
+    given, timestamps completions in the {!Dk_obs.Flight} recorder; it is
+    only ever read, never consumed against, so instrumentation cannot
+    perturb virtual time. *)
 
 val audited : t -> bool
 

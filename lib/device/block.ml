@@ -4,6 +4,14 @@ type completion = { wr_id : int; status : status; data : string option }
 
 type stats = { reads : int; writes : int; rejected : int }
 
+(* Class-wide obs instruments (aggregated across block devices). The
+   latency histogram measures submit-to-completion in virtual ns. *)
+let m_reads = Dk_obs.Metrics.counter "device.block.reads"
+let m_writes = Dk_obs.Metrics.counter "device.block.writes"
+let m_rejected = Dk_obs.Metrics.counter "device.block.rejected"
+let g_inflight = Dk_obs.Metrics.gauge "device.block.sq_inflight"
+let h_latency = Dk_obs.Metrics.hist "device.block.sq_latency"
+
 type t = {
   engine : Dk_sim.Engine.t;
   cost : Dk_sim.Cost.t;
@@ -69,20 +77,32 @@ let prog_latency t prog =
   | None -> 0L
 
 let complete t delay comp =
+  let submitted = Dk_sim.Engine.now t.engine in
   ignore
     (Dk_sim.Engine.after t.engine delay (fun () ->
          t.inflight <- t.inflight - 1;
+         Dk_obs.Metrics.gauge_add g_inflight (-1);
+         let now = Dk_sim.Engine.now t.engine in
+         Dk_obs.Metrics.observe h_latency (Int64.sub now submitted);
+         Dk_obs.Flight.recordf Dk_obs.Flight.default ~now
+           Dk_obs.Flight.Completion "block wr_id %d (%Ldns in queue)"
+           comp.wr_id (Int64.sub now submitted);
          Queue.add comp t.cq;
          t.cq_notify ()))
 
 let submit t make_completion latency =
   if t.inflight >= t.sq_depth then begin
     t.rejected <- t.rejected + 1;
+    Dk_obs.Metrics.incr m_rejected;
+    Dk_obs.Flight.recordf Dk_obs.Flight.default
+      ~now:(Dk_sim.Engine.now t.engine) Dk_obs.Flight.Drop
+      "block SQ full (%d in flight)" t.inflight;
     false
   end
   else begin
     Dk_sim.Engine.consume t.engine t.cost.Dk_sim.Cost.pcie_doorbell;
     t.inflight <- t.inflight + 1;
+    Dk_obs.Metrics.gauge_add g_inflight 1;
     complete t latency (make_completion ());
     true
   end
@@ -110,7 +130,10 @@ let submit_read t ~wr_id ~lba =
          (Dk_sim.Cost.nvme_transfer_ns t.cost t.block_size))
   in
   let ok = submit t make latency in
-  if ok then t.reads <- t.reads + 1;
+  if ok then begin
+    t.reads <- t.reads + 1;
+    Dk_obs.Metrics.incr m_reads
+  end;
   ok
 
 let submit_write t ~wr_id ~lba data =
@@ -140,7 +163,10 @@ let submit_write t ~wr_id ~lba data =
          (Dk_sim.Cost.nvme_transfer_ns t.cost (String.length data)))
   in
   let ok = submit t make latency in
-  if ok then t.writes <- t.writes + 1;
+  if ok then begin
+    t.writes <- t.writes + 1;
+    Dk_obs.Metrics.incr m_writes
+  end;
   ok
 
 let poll_cq t = Queue.take_opt t.cq

@@ -1,5 +1,10 @@
 type stats = { delivered : int; lost : int; unrouted : int }
 
+(* Class-wide obs instruments (aggregated across fabrics). *)
+let m_delivered = Dk_obs.Metrics.counter "device.fabric.delivered"
+let m_lost = Dk_obs.Metrics.counter "device.fabric.lost"
+let m_unrouted = Dk_obs.Metrics.counter "device.fabric.unrouted"
+
 let broadcast = 0xffffffffffff
 
 type t = {
@@ -56,9 +61,16 @@ let deliver t ~src ~dst ~departed nic frame =
     end
   in
   let arrive () =
-    if t.loss > 0.0 && Dk_sim.Rng.bool t.rng t.loss then t.lost <- t.lost + 1
+    if t.loss > 0.0 && Dk_sim.Rng.bool t.rng t.loss then begin
+      t.lost <- t.lost + 1;
+      Dk_obs.Metrics.incr m_lost;
+      Dk_obs.Flight.recordf Dk_obs.Flight.default
+        ~now:(Dk_sim.Engine.now t.engine) Dk_obs.Flight.Drop
+        "fabric lost frame %x->%x (%dB)" src dst (String.length frame)
+    end
     else begin
       t.delivered <- t.delivered + 1;
+      Dk_obs.Metrics.incr m_delivered;
       Nic.receive nic frame
     end
   in
@@ -73,7 +85,9 @@ let send t ~src ~dst ~departed frame =
   else
     match Hashtbl.find_opt t.nics dst with
     | Some nic -> deliver t ~src ~dst ~departed nic frame
-    | None -> t.unrouted <- t.unrouted + 1
+    | None ->
+        t.unrouted <- t.unrouted + 1;
+        Dk_obs.Metrics.incr m_unrouted
 
 let attach t nic =
   let mac = Nic.mac nic in

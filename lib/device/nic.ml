@@ -9,6 +9,18 @@ type stats = {
   rx_mapped : int;
 }
 
+(* Class-wide obs instruments (aggregated across NICs); the flight
+   recorder entries carry the MAC to tell instances apart. *)
+let m_tx_frames = Dk_obs.Metrics.counter "device.nic.tx_frames"
+let m_tx_bytes = Dk_obs.Metrics.counter "device.nic.tx_bytes"
+let m_tx_rejected = Dk_obs.Metrics.counter "device.nic.tx_rejected"
+let m_rx_frames = Dk_obs.Metrics.counter "device.nic.rx_frames"
+let m_rx_bytes = Dk_obs.Metrics.counter "device.nic.rx_bytes"
+let m_rx_dropped = Dk_obs.Metrics.counter "device.nic.rx_dropped"
+let m_rx_filtered = Dk_obs.Metrics.counter "device.nic.rx_filtered"
+let g_rx_pending = Dk_obs.Metrics.gauge "device.nic.rx_pending"
+let g_tx_inflight = Dk_obs.Metrics.gauge "device.nic.tx_inflight"
+
 type t = {
   engine : Dk_sim.Engine.t;
   cost : Dk_sim.Cost.t;
@@ -75,6 +87,10 @@ let set_rx_map t prog =
 let transmit t ~dst frame =
   if t.tx_inflight >= t.tx_capacity then begin
     t.tx_rejected <- t.tx_rejected + 1;
+    Dk_obs.Metrics.incr m_tx_rejected;
+    Dk_obs.Flight.recordf Dk_obs.Flight.default
+      ~now:(Dk_sim.Engine.now t.engine) Dk_obs.Flight.Drop
+      "nic %x tx ring full (%d in flight)" t.mac t.tx_inflight;
     false
   end
   else begin
@@ -84,6 +100,7 @@ let transmit t ~dst frame =
        cannot reorder frames on the wire. *)
     Dk_sim.Engine.consume t.engine t.cost.Dk_sim.Cost.pcie_doorbell;
     t.tx_inflight <- t.tx_inflight + 1;
+    Dk_obs.Metrics.gauge_add g_tx_inflight 1;
     let len = String.length frame in
     let departed =
       Int64.add (Dk_sim.Engine.now t.engine) (Dk_sim.Cost.dma_ns t.cost len)
@@ -92,6 +109,9 @@ let transmit t ~dst frame =
       t.tx_inflight <- t.tx_inflight - 1;
       t.tx_frames <- t.tx_frames + 1;
       t.tx_bytes <- t.tx_bytes + len;
+      Dk_obs.Metrics.gauge_add g_tx_inflight (-1);
+      Dk_obs.Metrics.incr m_tx_frames;
+      Dk_obs.Metrics.add m_tx_bytes len;
       match t.uplink with
       | Some send -> send ~src:t.mac ~dst ~departed frame
       | None -> ()
@@ -104,9 +124,22 @@ let enqueue_rx t frame =
   if Dk_util.Bqueue.push t.rxq frame then begin
     t.rx_frames <- t.rx_frames + 1;
     t.rx_bytes <- t.rx_bytes + String.length frame;
+    Dk_obs.Metrics.incr m_rx_frames;
+    Dk_obs.Metrics.add m_rx_bytes (String.length frame);
+    Dk_obs.Metrics.gauge_add g_rx_pending 1;
+    Dk_obs.Flight.recordf Dk_obs.Flight.default
+      ~now:(Dk_sim.Engine.now t.engine) Dk_obs.Flight.Enqueue
+      "nic %x rx %dB (ring %d)" t.mac (String.length frame)
+      (Dk_util.Bqueue.length t.rxq);
     t.rx_notify ()
   end
-  else t.rx_dropped <- t.rx_dropped + 1
+  else begin
+    t.rx_dropped <- t.rx_dropped + 1;
+    Dk_obs.Metrics.incr m_rx_dropped;
+    Dk_obs.Flight.recordf Dk_obs.Flight.default
+      ~now:(Dk_sim.Engine.now t.engine) Dk_obs.Flight.Drop
+      "nic %x rx ring full, frame dropped (%dB)" t.mac (String.length frame)
+  end
 
 let receive t frame =
   let prog_active = t.rx_filter <> None || t.rx_map <> None in
@@ -116,7 +149,10 @@ let receive t frame =
       | None -> true
       | Some p -> Prog.eval_pred p frame
     in
-    if not keep then t.rx_filtered <- t.rx_filtered + 1
+    if not keep then begin
+      t.rx_filtered <- t.rx_filtered + 1;
+      Dk_obs.Metrics.incr m_rx_filtered
+    end
     else
       let frame =
         match t.rx_map with
@@ -134,7 +170,12 @@ let receive t frame =
          process)
   else process ()
 
-let poll_rx t = Dk_util.Bqueue.pop t.rxq
+let poll_rx t =
+  match Dk_util.Bqueue.pop t.rxq with
+  | Some _ as hit ->
+      Dk_obs.Metrics.gauge_add g_rx_pending (-1);
+      hit
+  | None -> None
 let rx_pending t = Dk_util.Bqueue.length t.rxq
 
 let stats t =

@@ -27,6 +27,16 @@ type t = {
 
 let is_pow2 n = n > 0 && n land (n - 1) = 0
 
+(* Class-wide obs instruments (aggregated across managers). The
+   bytes-in-flight gauge is maintained with add/subtract at alloc and
+   release so no per-event walk of the arenas is ever needed. *)
+let m_allocs = Dk_obs.Metrics.counter "mem.manager.allocs"
+let m_releases = Dk_obs.Metrics.counter "mem.manager.releases"
+let m_deferred = Dk_obs.Metrics.counter "mem.manager.deferred_releases"
+let m_oom = Dk_obs.Metrics.counter "mem.manager.alloc_failures"
+let g_in_flight = Dk_obs.Metrics.gauge "mem.manager.bytes_in_flight"
+let g_region_bytes = Dk_obs.Metrics.gauge "mem.manager.region_bytes"
+
 (* Guard bytes on each side of a sanitized allocation. An overrun of
    the *requested* length lands in the canary even when the buddy
    allocator rounded the block up, so smashes are caught at the exact
@@ -67,6 +77,7 @@ let grow t want =
     let reg = Region.create ~id:t.next_region_id ~size in
     t.next_region_id <- t.next_region_id + 1;
     t.total_bytes <- t.total_bytes + size;
+    Dk_obs.Metrics.gauge_add g_region_bytes size;
     Region.pin reg;
     t.on_new_region reg;
     let arena = Arena.create reg in
@@ -109,9 +120,12 @@ let wrap t arena (block : Arena.block) len =
   let buf_ref = ref None in
   let release () =
     t.releases <- t.releases + 1;
+    Dk_obs.Metrics.incr m_releases;
+    Dk_obs.Metrics.gauge_add g_in_flight (-len);
     (match !buf_ref with
     | Some b when Buffer.was_deferred b ->
-        t.deferred_releases <- t.deferred_releases + 1
+        t.deferred_releases <- t.deferred_releases + 1;
+        Dk_obs.Metrics.incr m_deferred
     | Some _ | None -> ());
     if t.sanitize then begin
       Hashtbl.remove t.live_allocs (region_id, block.Arena.offset);
@@ -155,9 +169,13 @@ let alloc t len =
             | None -> None))
   in
   match found with
-  | None -> None
+  | None ->
+      Dk_obs.Metrics.incr m_oom;
+      None
   | Some (arena, block) ->
       t.allocs <- t.allocs + 1;
+      Dk_obs.Metrics.incr m_allocs;
+      Dk_obs.Metrics.gauge_add g_in_flight len;
       Some (wrap t arena block len)
 
 let alloc_exn t len =

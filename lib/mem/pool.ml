@@ -5,6 +5,11 @@ type t = {
   mutable free_count : int;
 }
 
+(* Class-wide obs instruments, shared by every pool in the process. *)
+let m_hits = Dk_obs.Metrics.counter "mem.pool.hits"
+let m_misses = Dk_obs.Metrics.counter "mem.pool.misses"
+let m_puts = Dk_obs.Metrics.counter "mem.pool.puts"
+
 let create ~alloc ~size ~count =
   if size <= 0 || count <= 0 then invalid_arg "Pool.create";
   let rec loop n acc =
@@ -28,13 +33,17 @@ let outstanding t = t.capacity - t.free_count
 
 let get t =
   match t.free with
-  | [] -> None
+  | [] ->
+      Dk_obs.Metrics.incr m_misses;
+      None
   | b :: rest ->
+      Dk_obs.Metrics.incr m_hits;
       t.free <- rest;
       t.free_count <- t.free_count - 1;
       Some b
 
 let put t b =
   if t.free_count >= t.capacity then invalid_arg "Pool.put: pool full";
+  Dk_obs.Metrics.incr m_puts;
   t.free <- b :: t.free;
   t.free_count <- t.free_count + 1

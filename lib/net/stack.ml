@@ -8,6 +8,23 @@ type stats = {
 
 type listener = { on_accept : Tcp.conn -> unit }
 
+(* Class-wide obs instruments (aggregated across stacks). *)
+let m_frames_in = Dk_obs.Metrics.counter "net.stack.frames_in"
+let m_frames_out = Dk_obs.Metrics.counter "net.stack.frames_out"
+let m_decode_errors = Dk_obs.Metrics.counter "net.stack.decode_errors"
+let m_checksum_failures = Dk_obs.Metrics.counter "net.stack.checksum_failures"
+let m_no_listener = Dk_obs.Metrics.counter "net.stack.no_listener"
+let m_not_for_us = Dk_obs.Metrics.counter "net.stack.not_for_us"
+let m_arp_requests = Dk_obs.Metrics.counter "net.arp.requests"
+let m_arp_misses = Dk_obs.Metrics.counter "net.arp.misses"
+let m_arp_abandoned = Dk_obs.Metrics.counter "net.arp.abandoned"
+
+let mentions_checksum msg =
+  let n = String.length msg and p = "checksum" in
+  let pl = String.length p in
+  let rec scan i = i + pl <= n && (String.sub msg i pl = p || scan (i + 1)) in
+  scan 0
+
 type t = {
   engine : Dk_sim.Engine.t;
   cost : Dk_sim.Cost.t;
@@ -47,17 +64,31 @@ let stats t =
     no_listener = t.no_listener;
   }
 
+(* A decode failure counts once; checksum failures — corruption the
+   hardware would normally have caught — also count separately. *)
+let decode_error t msg =
+  t.decode_errors <- t.decode_errors + 1;
+  Dk_obs.Metrics.incr m_decode_errors;
+  if mentions_checksum msg then begin
+    Dk_obs.Metrics.incr m_checksum_failures;
+    Dk_obs.Flight.recordf Dk_obs.Flight.default
+      ~now:(Dk_sim.Engine.now t.engine) Dk_obs.Flight.Drop "stack %x: %s"
+      t.ip msg
+  end
+
 (* ---- transmit path ---- *)
 
 let transmit_eth t ~dst_mac ~ethertype payload =
   Dk_sim.Engine.consume t.engine t.pkt_cost;
   t.frames_out <- t.frames_out + 1;
+  Dk_obs.Metrics.incr m_frames_out;
   let frame =
     Eth.encode { Eth.dst = dst_mac; src = mac t; ethertype; payload }
   in
   ignore (Dk_device.Nic.transmit t.nic ~dst:dst_mac frame)
 
 let send_arp_request t target_ip =
+  Dk_obs.Metrics.incr m_arp_requests;
   let pkt =
     Arp.encode
       {
@@ -81,11 +112,19 @@ let with_mac t dst_ip k =
   match Arp.Table.lookup t.arp dst_ip with
   | Some m -> k m
   | None ->
+      Dk_obs.Metrics.incr m_arp_misses;
       let first = Arp.Table.enqueue_pending t.arp dst_ip k in
       if first then begin
         let rec attempt n =
           if Arp.Table.lookup t.arp dst_ip = None then
-            if n = 0 then ignore (Arp.Table.drop_pending t.arp dst_ip)
+            if n = 0 then begin
+              let dropped = Arp.Table.drop_pending t.arp dst_ip in
+              Dk_obs.Metrics.incr m_arp_abandoned;
+              Dk_obs.Flight.recordf Dk_obs.Flight.default
+                ~now:(Dk_sim.Engine.now t.engine) Dk_obs.Flight.Drop
+                "arp gave up on %x after %d tries (%d queued sends dropped)"
+                dst_ip arp_max_attempts dropped
+            end
             else begin
               send_arp_request t dst_ip;
               ignore
@@ -194,7 +233,7 @@ let send_rst t ~remote (seg : Tcp_wire.t) =
 
 let handle_tcp t ~src_ip segment =
   match Tcp_wire.decode ~src_ip ~dst_ip:t.ip segment with
-  | Error _ -> t.decode_errors <- t.decode_errors + 1
+  | Error e -> decode_error t e
   | Ok seg ->
       let local_port = seg.Tcp_wire.dst_port in
       let remote = Addr.endpoint src_ip seg.Tcp_wire.src_port in
@@ -217,13 +256,14 @@ let handle_tcp t ~src_ip segment =
               Tcp.set_on_connect conn (fun () -> l.on_accept conn)
           | Some _ | None ->
               t.no_listener <- t.no_listener + 1;
+              Dk_obs.Metrics.incr m_no_listener;
               send_rst t ~remote:src_ip seg))
 
 (* ---- receive path ---- *)
 
 let handle_arp t payload =
   match Arp.decode payload with
-  | Error _ -> t.decode_errors <- t.decode_errors + 1
+  | Error e -> decode_error t e
   | Ok { Arp.op; sender_mac; sender_ip; target_ip; _ } -> (
       (* Learn the sender either way. *)
       Arp.Table.resolve_pending t.arp sender_ip sender_mac;
@@ -244,35 +284,42 @@ let handle_arp t payload =
 
 let handle_udp t ~src_ip payload =
   match Udp.decode ~src_ip ~dst_ip:t.ip payload with
-  | Error _ -> t.decode_errors <- t.decode_errors + 1
+  | Error e -> decode_error t e
   | Ok { Udp.src_port; dst_port; payload } -> (
       match Hashtbl.find_opt t.udp_ports dst_port with
       | Some recv -> recv ~src:(Addr.endpoint src_ip src_port) payload
-      | None -> t.no_listener <- t.no_listener + 1)
+      | None ->
+          t.no_listener <- t.no_listener + 1;
+          Dk_obs.Metrics.incr m_no_listener)
 
 let handle_frame t frame =
   t.frames_in <- t.frames_in + 1;
+  Dk_obs.Metrics.incr m_frames_in;
   Dk_sim.Engine.consume t.engine t.pkt_cost;
   match Eth.decode frame with
-  | Error _ -> t.decode_errors <- t.decode_errors + 1
+  | Error e -> decode_error t e
   | Ok { Eth.dst; ethertype; payload; _ } ->
-      if dst <> mac t && dst <> Addr.mac_broadcast then
-        t.not_for_us <- t.not_for_us + 1
+      if dst <> mac t && dst <> Addr.mac_broadcast then begin
+        t.not_for_us <- t.not_for_us + 1;
+        Dk_obs.Metrics.incr m_not_for_us
+      end
       else (
         match ethertype with
         | Eth.Arp -> handle_arp t payload
         | Eth.Ipv4 -> (
             match Ipv4.decode payload with
-            | Error _ -> t.decode_errors <- t.decode_errors + 1
+            | Error e -> decode_error t e
             | Ok { Ipv4.src; dst; proto; payload; _ } ->
-                if dst <> t.ip then t.not_for_us <- t.not_for_us + 1
+                if dst <> t.ip then begin
+                  t.not_for_us <- t.not_for_us + 1;
+                  Dk_obs.Metrics.incr m_not_for_us
+                end
                 else (
                   match proto with
                   | Ipv4.Udp -> handle_udp t ~src_ip:src payload
                   | Ipv4.Tcp -> handle_tcp t ~src_ip:src payload
-                  | Ipv4.Unknown _ ->
-                      t.decode_errors <- t.decode_errors + 1))
-        | Eth.Unknown _ -> t.decode_errors <- t.decode_errors + 1)
+                  | Ipv4.Unknown _ -> decode_error t "ipv4: unknown protocol"))
+        | Eth.Unknown _ -> decode_error t "eth: unknown ethertype")
 
 let rec process t =
   t.process_scheduled <- false;

@@ -58,6 +58,17 @@ type stats = {
   out_of_order : int;
 }
 
+(* Class-wide obs instruments (aggregated across connections); the
+   flight recorder entries name the 4-tuple to tell flows apart. *)
+let m_segs_sent = Dk_obs.Metrics.counter "net.tcp.segs_sent"
+let m_segs_received = Dk_obs.Metrics.counter "net.tcp.segs_received"
+let m_retransmits = Dk_obs.Metrics.counter "net.tcp.retransmits"
+let m_fast_retransmits = Dk_obs.Metrics.counter "net.tcp.fast_retransmits"
+let m_rto_fired = Dk_obs.Metrics.counter "net.tcp.rto_fired"
+let m_conn_timeouts = Dk_obs.Metrics.counter "net.tcp.conn_timeouts"
+let m_dup_acks = Dk_obs.Metrics.counter "net.tcp.dup_acks"
+let m_ooo = Dk_obs.Metrics.counter "net.tcp.out_of_order"
+
 (* 32-bit modular sequence arithmetic. *)
 let seq_mask = 0xffffffff
 let seq_add a n = (a + n) land seq_mask
@@ -138,6 +149,7 @@ let recv_window t = Dk_util.Ring.available t.recv_ring
 
 let emit_seg t ?(payload = "") flags =
   t.segs_sent <- t.segs_sent + 1;
+  Dk_obs.Metrics.incr m_segs_sent;
   t.bytes_sent <- t.bytes_sent + String.length payload;
   t.emit
     {
@@ -153,6 +165,7 @@ let emit_seg t ?(payload = "") flags =
 (* Emit a segment whose SEQ is not snd_nxt (retransmission). *)
 let emit_at t ~seq ?(payload = "") flags =
   t.segs_sent <- t.segs_sent + 1;
+  Dk_obs.Metrics.incr m_segs_sent;
   t.emit
     {
       Tcp_wire.src_port = t.local.Addr.port;
@@ -199,10 +212,24 @@ let rec arm_rtx t =
 
 and on_rto t =
   t.rtx_timer <- None;
-  if t.retries >= t.config.max_retries then enter_closed t `Timeout
+  Dk_obs.Metrics.incr m_rto_fired;
+  if t.retries >= t.config.max_retries then begin
+    Dk_obs.Metrics.incr m_conn_timeouts;
+    Dk_obs.Flight.recordf Dk_obs.Flight.default
+      ~now:(Dk_sim.Engine.now t.engine) Dk_obs.Flight.Drop
+      "tcp %d->%d gave up after %d retries" t.local.Addr.port
+      t.remote.Addr.port t.retries;
+    enter_closed t `Timeout
+  end
   else begin
     t.retries <- t.retries + 1;
     t.retransmits <- t.retransmits + 1;
+    Dk_obs.Metrics.incr m_retransmits;
+    Dk_obs.Flight.recordf Dk_obs.Flight.default
+      ~now:(Dk_sim.Engine.now t.engine) Dk_obs.Flight.Retransmit
+      "tcp %d->%d rto #%d, seq %d (rto now %Ldns)" t.local.Addr.port
+      t.remote.Addr.port t.retries t.snd_una
+      (Int64.min t.config.rto_max (Int64.mul t.rto 2L));
     (* Multiplicative decrease, back to slow start. *)
     t.ssthresh <- max (t.cwnd / 2) (2 * t.config.mss);
     t.cwnd <- t.config.mss;
@@ -431,6 +458,7 @@ let accept_payload t (seg : Tcp_wire.t) =
       (* Future data: stash for reassembly (bounded by window). *)
       if seq_diff seg.seq t.rcv_nxt <= t.config.recv_buffer then begin
         t.ooo_count <- t.ooo_count + 1;
+        Dk_obs.Metrics.incr m_ooo;
         t.ooo <- (seg.seq, payload) :: t.ooo
       end;
       false
@@ -484,11 +512,18 @@ let process_ack t (seg : Tcp_wire.t) =
         && not seg.flags.Tcp_wire.fin
       then begin
         t.dup_acks <- t.dup_acks + 1;
+        Dk_obs.Metrics.incr m_dup_acks;
         t.dup_ack_streak <- t.dup_ack_streak + 1;
         if t.dup_ack_streak = 3 then begin
           t.dup_ack_streak <- 0;
           t.fast_retransmits <- t.fast_retransmits + 1;
           t.retransmits <- t.retransmits + 1;
+          Dk_obs.Metrics.incr m_fast_retransmits;
+          Dk_obs.Metrics.incr m_retransmits;
+          Dk_obs.Flight.recordf Dk_obs.Flight.default
+            ~now:(Dk_sim.Engine.now t.engine) Dk_obs.Flight.Retransmit
+            "tcp %d->%d fast retransmit, seq %d (3 dup acks)"
+            t.local.Addr.port t.remote.Addr.port t.snd_una;
           t.ssthresh <- max (t.cwnd / 2) (2 * t.config.mss);
           t.cwnd <- t.ssthresh;
           retransmit_head t;
@@ -502,6 +537,7 @@ let process_ack t (seg : Tcp_wire.t) =
 
 let segment_arrives t (seg : Tcp_wire.t) =
   t.segs_received <- t.segs_received + 1;
+  Dk_obs.Metrics.incr m_segs_received;
   t.snd_wnd <- seg.window;
   if seg.flags.Tcp_wire.rst then begin
     match t.st with

@@ -1,0 +1,114 @@
+let pp_table ppf (s : Metrics.snapshot) =
+  let name_width =
+    List.fold_left
+      (fun w n -> max w (String.length n))
+      12
+      (List.map fst s.Metrics.counters
+      @ List.map (fun (n, _, _) -> n) s.Metrics.gauges
+      @ List.map fst s.Metrics.hists)
+  in
+  if s.Metrics.counters <> [] then begin
+    Format.fprintf ppf "counters:@\n";
+    List.iter
+      (fun (name, v) -> Format.fprintf ppf "  %-*s %d@\n" name_width name v)
+      s.Metrics.counters
+  end;
+  if s.Metrics.gauges <> [] then begin
+    Format.fprintf ppf "gauges (value / high-water):@\n";
+    List.iter
+      (fun (name, v, hwm) ->
+        Format.fprintf ppf "  %-*s %d / %d@\n" name_width name v hwm)
+      s.Metrics.gauges
+  end;
+  if s.Metrics.hists <> [] then begin
+    Format.fprintf ppf "histograms (ns):@\n";
+    List.iter
+      (fun (name, h) ->
+        Format.fprintf ppf
+          "  %-*s n=%d mean=%.0f p50=%Ld p90=%Ld p99=%Ld max=%Ld@\n"
+          name_width name h.Metrics.hs_count h.Metrics.hs_mean h.Metrics.hs_p50
+          h.Metrics.hs_p90 h.Metrics.hs_p99 h.Metrics.hs_max)
+      s.Metrics.hists
+  end
+
+let json_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let json_hist (h : Metrics.hist_summary) =
+  Printf.sprintf
+    "{\"count\":%d,\"mean\":%.1f,\"p50\":%Ld,\"p90\":%Ld,\"p99\":%Ld,\"max\":%Ld}"
+    h.Metrics.hs_count h.Metrics.hs_mean h.Metrics.hs_p50 h.Metrics.hs_p90
+    h.Metrics.hs_p99 h.Metrics.hs_max
+
+let fields items = String.concat "," items
+
+let json_value ~now (s : Metrics.snapshot) =
+  let counters =
+    fields
+      (List.map
+         (fun (n, v) -> Printf.sprintf "%s:%d" (json_string n) v)
+         s.Metrics.counters)
+  in
+  let gauges =
+    fields
+      (List.map
+         (fun (n, v, hwm) ->
+           Printf.sprintf "%s:{\"value\":%d,\"hwm\":%d}" (json_string n) v hwm)
+         s.Metrics.gauges)
+  in
+  let hists =
+    fields
+      (List.map
+         (fun (n, h) -> Printf.sprintf "%s:%s" (json_string n) (json_hist h))
+         s.Metrics.hists)
+  in
+  Printf.sprintf
+    "{\"ts\":%Ld,\"counters\":{%s},\"gauges\":{%s},\"histograms\":{%s}}" now
+    counters gauges hists
+
+let json_lines ~now (s : Metrics.snapshot) =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun l -> Buffer.add_string buf (l ^ "\n")) fmt in
+  List.iter
+    (fun (n, v) ->
+      line "{\"ts\":%Ld,\"kind\":\"counter\",\"name\":%s,\"value\":%d}" now
+        (json_string n) v)
+    s.Metrics.counters;
+  List.iter
+    (fun (n, v, hwm) ->
+      line "{\"ts\":%Ld,\"kind\":\"gauge\",\"name\":%s,\"value\":%d,\"hwm\":%d}"
+        now (json_string n) v hwm)
+    s.Metrics.gauges;
+  List.iter
+    (fun (n, h) ->
+      line "{\"ts\":%Ld,\"kind\":\"histogram\",\"name\":%s,\"summary\":%s}" now
+        (json_string n) (json_hist h))
+    s.Metrics.hists;
+  Buffer.contents buf
+
+let json_flight fl =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (e : Flight.entry) ->
+      Buffer.add_string buf
+        (Printf.sprintf "{\"ts\":%Ld,\"event\":\"%s\",\"what\":%s}\n"
+           e.Flight.at
+           (Flight.kind_name e.Flight.kind)
+           (json_string e.Flight.what)))
+    (Flight.entries fl);
+  Buffer.contents buf

@@ -1,0 +1,29 @@
+(** Exporters for {!Metrics} snapshots and {!Flight} recordings.
+
+    Two formats: a human-readable table for terminals (`demi stats`)
+    and JSON for machine consumption (`BENCH_<exp>.json`, `demi stats
+    --json`). JSON lines are keyed by the virtual timestamp the caller
+    passes — the exporter never reads the engine clock itself. *)
+
+val pp_table : Format.formatter -> Metrics.snapshot -> unit
+(** Counters, gauges (with high-water marks) and histogram summaries,
+    one instrument per line, grouped and name-sorted. *)
+
+val json_string : string -> string
+(** JSON string literal with the necessary escapes, including the
+    surrounding quotes. *)
+
+val json_value : now:int64 -> Metrics.snapshot -> string
+(** The whole snapshot as one JSON object:
+    [{"ts":N,"counters":{...},"gauges":{"name":{"value":V,"hwm":H}},
+      "histograms":{"name":{"count":..,"mean":..,"p50":..,"p90":..,
+      "p99":..,"max":..}}}]. *)
+
+val json_lines : now:int64 -> Metrics.snapshot -> string
+(** One JSON object per line, each carrying ["ts"], ["kind"]
+    ([counter]/[gauge]/[histogram]), ["name"] and the value fields —
+    the append-friendly form for long-running collectors. *)
+
+val json_flight : Flight.t -> string
+(** One JSON object per line per entry:
+    [{"ts":N,"event":"drop","what":"..."}], oldest first. *)

@@ -1,0 +1,153 @@
+type kind =
+  | Enqueue
+  | Dequeue
+  | Push
+  | Pop
+  | Completion
+  | Drop
+  | Retransmit
+  | Wakeup
+  | Mark
+
+let kind_name = function
+  | Enqueue -> "enqueue"
+  | Dequeue -> "dequeue"
+  | Push -> "push"
+  | Pop -> "pop"
+  | Completion -> "completion"
+  | Drop -> "drop"
+  | Retransmit -> "retransmit"
+  | Wakeup -> "wakeup"
+  | Mark -> "mark"
+
+let kind_tag = function
+  | Enqueue -> 0
+  | Dequeue -> 1
+  | Push -> 2
+  | Pop -> 3
+  | Completion -> 4
+  | Drop -> 5
+  | Retransmit -> 6
+  | Wakeup -> 7
+  | Mark -> 8
+
+let kind_of_tag = function
+  | 0 -> Enqueue
+  | 1 -> Dequeue
+  | 2 -> Push
+  | 3 -> Pop
+  | 4 -> Completion
+  | 5 -> Drop
+  | 6 -> Retransmit
+  | 7 -> Wakeup
+  | _ -> Mark
+
+type entry = { at : int64; kind : kind; what : string }
+
+(* Wire format inside the byte ring, per entry:
+   [2B payload length, big-endian][8B timestamp][1B kind tag][label].
+   The length prefix makes eviction O(1) per evicted entry: read the
+   prefix, drop that many bytes. *)
+let header_len = 2
+let payload_fixed = 9 (* timestamp + tag *)
+
+type t = {
+  ring : Dk_util.Ring.t;
+  capacity : int;
+  mutable on : bool;
+  mutable count : int;    (* entries currently in the ring *)
+  mutable total : int;    (* entries ever recorded *)
+  mutable dropped : int;  (* entries evicted to make room *)
+}
+
+let create ?(capacity = 64 * 1024) () =
+  if capacity < header_len + payload_fixed + 1 then
+    invalid_arg "Flight.create: capacity too small for one entry";
+  {
+    ring = Dk_util.Ring.create capacity;
+    capacity;
+    on = true;
+    count = 0;
+    total = 0;
+    dropped = 0;
+  }
+
+let default = create ()
+
+let enabled t = t.on
+let set_enabled t on = t.on <- on
+
+let evict_one t =
+  let hdr = Bytes.create header_len in
+  let got = Dk_util.Ring.read t.ring hdr 0 header_len in
+  if got = header_len then begin
+    let len = Bytes.get_uint16_be hdr 0 in
+    ignore (Dk_util.Ring.drop t.ring len);
+    t.count <- t.count - 1;
+    t.dropped <- t.dropped + 1
+  end
+
+let record t ~now kind what =
+  if t.on then begin
+    let max_label = t.capacity - header_len - payload_fixed in
+    let what =
+      if String.length what > max_label then String.sub what 0 max_label
+      else what
+    in
+    let plen = payload_fixed + String.length what in
+    let need = header_len + plen in
+    while Dk_util.Ring.available t.ring < need do
+      evict_one t
+    done;
+    let buf = Bytes.create need in
+    Bytes.set_uint16_be buf 0 plen;
+    Bytes.set_int64_be buf header_len now;
+    Bytes.set_uint8 buf (header_len + 8) (kind_tag kind);
+    Bytes.blit_string what 0 buf (header_len + payload_fixed)
+      (String.length what);
+    ignore (Dk_util.Ring.write t.ring buf 0 need);
+    t.count <- t.count + 1;
+    t.total <- t.total + 1
+  end
+
+let recordf t ~now kind fmt =
+  if t.on then Format.kasprintf (fun s -> record t ~now kind s) fmt
+  else Format.ikfprintf ignore Format.str_formatter fmt
+
+let entries t =
+  let len = Dk_util.Ring.length t.ring in
+  let buf = Bytes.create (max 1 len) in
+  let got = Dk_util.Ring.peek t.ring buf 0 len in
+  let rec parse off acc =
+    if off + header_len > got then List.rev acc
+    else begin
+      let plen = Bytes.get_uint16_be buf off in
+      if off + header_len + plen > got then List.rev acc
+      else
+        let at = Bytes.get_int64_be buf (off + header_len) in
+        let kind = kind_of_tag (Bytes.get_uint8 buf (off + header_len + 8)) in
+        let what =
+          Bytes.sub_string buf
+            (off + header_len + payload_fixed)
+            (plen - payload_fixed)
+        in
+        parse (off + header_len + plen) ({ at; kind; what } :: acc)
+    end
+  in
+  parse 0 []
+
+let length t = t.count
+let recorded t = t.total
+let evicted t = t.dropped
+
+let clear t =
+  Dk_util.Ring.clear t.ring;
+  t.count <- 0;
+  t.total <- 0;
+  t.dropped <- 0
+
+let pp ppf t =
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "%12Ld  %-10s %s@\n" e.at (kind_name e.kind) e.what)
+    (entries t)

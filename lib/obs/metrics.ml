@@ -1,0 +1,104 @@
+type counter = { c_name : string; mutable c_value : int }
+
+type gauge = { g_name : string; mutable g_value : int; mutable g_hwm : int }
+
+type hist = { h_name : string; h_data : Dk_sim.Histogram.t }
+
+type t = {
+  counters : (string, counter) Hashtbl.t;
+  gauges : (string, gauge) Hashtbl.t;
+  hists : (string, hist) Hashtbl.t;
+}
+
+let create () =
+  {
+    counters = Hashtbl.create 64;
+    gauges = Hashtbl.create 16;
+    hists = Hashtbl.create 16;
+  }
+
+let default = create ()
+
+let get_or_create table name make =
+  match Hashtbl.find_opt table name with
+  | Some v -> v
+  | None ->
+      let v = make () in
+      Hashtbl.replace table name v;
+      v
+
+let counter ?(reg = default) name =
+  get_or_create reg.counters name (fun () -> { c_name = name; c_value = 0 })
+
+let incr c = c.c_value <- c.c_value + 1
+let add c n = c.c_value <- c.c_value + n
+let value c = c.c_value
+let counter_name c = c.c_name
+
+let gauge ?(reg = default) name =
+  get_or_create reg.gauges name (fun () ->
+      { g_name = name; g_value = 0; g_hwm = 0 })
+
+let set g v =
+  g.g_value <- v;
+  if v > g.g_hwm then g.g_hwm <- v
+
+let gauge_add g n = set g (g.g_value + n)
+let gauge_value g = g.g_value
+let gauge_hwm g = g.g_hwm
+let gauge_name g = g.g_name
+
+let hist ?(reg = default) name =
+  get_or_create reg.hists name (fun () ->
+      { h_name = name; h_data = Dk_sim.Histogram.create () })
+
+let observe h v = Dk_sim.Histogram.record h.h_data v
+let hist_data h = h.h_data
+let hist_name h = h.h_name
+
+let reset t =
+  Hashtbl.iter (fun _ c -> c.c_value <- 0) t.counters;
+  Hashtbl.iter
+    (fun _ g ->
+      g.g_value <- 0;
+      g.g_hwm <- 0)
+    t.gauges;
+  Hashtbl.iter (fun _ h -> Dk_sim.Histogram.clear h.h_data) t.hists
+
+type hist_summary = {
+  hs_count : int;
+  hs_mean : float;
+  hs_p50 : int64;
+  hs_p90 : int64;
+  hs_p99 : int64;
+  hs_max : int64;
+}
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * int * int) list;
+  hists : (string * hist_summary) list;
+}
+
+let sorted_bindings table f =
+  Hashtbl.fold (fun name v acc -> (name, f v) :: acc) table []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let summarize (h : Dk_sim.Histogram.t) =
+  {
+    hs_count = Dk_sim.Histogram.count h;
+    hs_mean = Dk_sim.Histogram.mean h;
+    hs_p50 = Dk_sim.Histogram.quantile h 0.5;
+    hs_p90 = Dk_sim.Histogram.quantile h 0.9;
+    hs_p99 = Dk_sim.Histogram.quantile h 0.99;
+    hs_max = Dk_sim.Histogram.max h;
+  }
+
+let snapshot (t : t) : snapshot =
+  {
+    counters = sorted_bindings t.counters (fun c -> c.c_value);
+    gauges =
+      (sorted_bindings t.gauges (fun g -> (g.g_value, g.g_hwm))
+      |> List.map (fun (n, (v, h)) -> (n, v, h)));
+    hists = sorted_bindings t.hists (fun h -> summarize h.h_data);
+  }

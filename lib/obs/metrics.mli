@@ -1,0 +1,97 @@
+(** Datapath metrics registry: named counters, gauges and log-linear
+    latency histograms.
+
+    Kernel-bypass removes the kernel's observability along with its
+    overheads; the libOS must supply its own (§2, §4.4). This registry
+    is that replacement. Two invariants govern every instrument here:
+
+    - {b Fast-path cost}: recording an event is one mutable-field bump
+      on a pre-resolved record. Name resolution (hashtable lookup)
+      happens once, when the instrument is created, never per event.
+    - {b Zero virtual time}: no operation in this module touches
+      [Dk_sim.Engine] or [Dk_sim.Rng]. Instrumented and uninstrumented
+      runs produce bit-identical simulated-time results.
+
+    Instruments are get-or-create by name: asking twice for the same
+    name in the same registry returns the same instrument, so
+    components of the same class share one aggregate unless they embed
+    an instance id in the name.
+
+    Naming scheme (see DESIGN.md "Observability"):
+    [<layer>.<component>.<event>], e.g. [net.tcp.retransmits],
+    [device.nic.rx_dropped], [core.qd3.pushes]. *)
+
+type counter
+type gauge
+type hist
+
+type t
+(** A registry. Most code uses {!default}; tests create their own. *)
+
+val create : unit -> t
+
+val default : t
+(** The process-wide registry every built-in instrument registers
+    with. [reset] it between runs that must not see each other. *)
+
+(* ---- counters: monotonically increasing event counts ---- *)
+
+val counter : ?reg:t -> string -> counter
+(** Get or create. Defaults to the {!default} registry. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+val counter_name : counter -> string
+
+(* ---- gauges: instantaneous levels with a high-water mark ---- *)
+
+val gauge : ?reg:t -> string -> gauge
+val set : gauge -> int -> unit
+
+val gauge_add : gauge -> int -> unit
+(** Aggregate level across instances sharing the gauge: each instance
+    adds on entry and subtracts on exit. *)
+
+val gauge_value : gauge -> int
+
+val gauge_hwm : gauge -> int
+(** Highest value ever [set]/reached since creation or [reset]. *)
+
+val gauge_name : gauge -> string
+
+(* ---- histograms: latency distributions (ns) ---- *)
+
+val hist : ?reg:t -> string -> hist
+
+val observe : hist -> int64 -> unit
+(** Record one sample. Negative samples clamp to zero (see
+    {!Dk_sim.Histogram}). *)
+
+val hist_data : hist -> Dk_sim.Histogram.t
+val hist_name : hist -> string
+
+(* ---- registry-wide operations ---- *)
+
+val reset : t -> unit
+(** Zero every instrument; registrations (and the instrument records
+    components hold) survive, so live components keep working. *)
+
+type hist_summary = {
+  hs_count : int;
+  hs_mean : float;
+  hs_p50 : int64;
+  hs_p90 : int64;
+  hs_p99 : int64;
+  hs_max : int64;
+}
+
+type snapshot = {
+  counters : (string * int) list;          (** sorted by name *)
+  gauges : (string * int * int) list;      (** name, value, high-water *)
+  hists : (string * hist_summary) list;    (** sorted by name *)
+}
+
+val snapshot : t -> snapshot
+(** A consistent, name-sorted view; independent of creation order so
+    exports are deterministic. *)

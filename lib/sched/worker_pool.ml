@@ -13,6 +13,11 @@ type stats = {
 
 type job = { arrival : int64 }
 
+(* Class-wide obs instruments (aggregated across pool runs). *)
+let m_jobs_done = Dk_obs.Metrics.counter "sched.pool.jobs_done"
+let m_wakeups = Dk_obs.Metrics.counter "sched.pool.wakeups"
+let m_wasted = Dk_obs.Metrics.counter "sched.pool.wasted_wakeups"
+
 type state = {
   engine : Engine.t;
   cost : Cost.t;
@@ -34,6 +39,7 @@ let rec execute st id job =
     (Int64.sub (Engine.now st.engine) job.arrival);
   let finish () =
     st.jobs_done <- st.jobs_done + 1;
+    Dk_obs.Metrics.incr m_jobs_done;
     (* Look for more (unassigned) work without sleeping first. *)
     match Queue.take_opt st.ready with
     | Some next -> execute st id next
@@ -45,10 +51,14 @@ let rec execute st id job =
    find nothing. *)
 let herd_worker_wakes st id =
   st.wakeups <- st.wakeups + 1;
+  Dk_obs.Metrics.incr m_wakeups;
+  Dk_obs.Flight.recordf Dk_obs.Flight.default ~now:(Engine.now st.engine)
+    Dk_obs.Flight.Wakeup "herd worker %d" id;
   match Queue.take_opt st.ready with
   | None ->
       (* Thundering herd loser: woke for nothing, back to sleep. *)
       st.wasted <- st.wasted + 1;
+      Dk_obs.Metrics.incr m_wasted;
       st.idle <- id :: st.idle
   | Some job ->
       (* Reading the data is a second syscall the qtoken interface
@@ -81,6 +91,10 @@ let job_arrives st =
           ignore
             (Engine.after st.engine st.cost.Cost.context_switch (fun () ->
                  st.wakeups <- st.wakeups + 1;
+                 Dk_obs.Metrics.incr m_wakeups;
+                 Dk_obs.Flight.recordf Dk_obs.Flight.default
+                   ~now:(Engine.now st.engine) Dk_obs.Flight.Wakeup
+                   "qtoken worker %d" id;
                  execute st id job)))
 
 let run ~engine ~cost ~mode ~workers ~jobs ~mean_interarrival_ns ~service_ns

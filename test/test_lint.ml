@@ -107,6 +107,41 @@ let exit_in_bin_ok () =
   let fs = scan ~path:"bin/dk_cli.ml" "let die () = exit 1\n" in
   check_int "bin may exit" 0 (List.length fs)
 
+(* ---------------- adhoc-counter ---------------- *)
+
+let mutable_counter_in_lib () =
+  let fs = scan ~path:"lib/net/x.ml" "type t = { mutable rx_drops : int }\n" in
+  check (Alcotest.list Alcotest.string) "rule" [ "adhoc-counter" ] (rules fs)
+
+let ref_counter_in_lib () =
+  let fs = scan ~path:"lib/device/x.ml" "let retransmits = ref 0\n" in
+  check (Alcotest.list Alcotest.string) "rule" [ "adhoc-counter" ] (rules fs)
+
+let counter_in_obs_ok () =
+  (* lib/obs is where counters live; its own state is exempt *)
+  let fs =
+    scan ~path:"lib/obs/metrics.ml"
+      "type c = { mutable drops : int }\nlet wakeups = ref 0\n"
+  in
+  check_int "lib/obs exempt" 0 (List.length (lines_of "adhoc-counter" fs))
+
+let counter_in_bench_ok () =
+  let fs = scan ~path:"bench/harness.ml" "let drops = ref 0\n" in
+  check_int "outside lib ok" 0 (List.length (lines_of "adhoc-counter" fs))
+
+let non_statsy_mutable_ok () =
+  (* mutable ints that aren't statistics (cursors, capacities) pass *)
+  let fs =
+    scan ~path:"lib/net/x.ml"
+      "type t = { mutable head : int; mutable capacity : int }\nlet next_qd = ref 0\n"
+  in
+  check_int "non-statsy names ok" 0 (List.length (lines_of "adhoc-counter" fs))
+
+let statsy_ref_nonzero_init_ok () =
+  (* a ref seeded with a real value is state, not a counter *)
+  let fs = scan ~path:"lib/net/x.ml" "let retries = ref 3\n" in
+  check_int "non-zero init ok" 0 (List.length (lines_of "adhoc-counter" fs))
+
 (* ---------------- stripping / line numbers ---------------- *)
 
 let nested_comments () =
@@ -178,6 +213,15 @@ let () =
         [
           Alcotest.test_case "exit in lib" `Quick exit_in_lib;
           Alcotest.test_case "exit in bin ok" `Quick exit_in_bin_ok;
+        ] );
+      ( "adhoc-counter",
+        [
+          Alcotest.test_case "mutable field" `Quick mutable_counter_in_lib;
+          Alcotest.test_case "ref cell" `Quick ref_counter_in_lib;
+          Alcotest.test_case "lib/obs exempt" `Quick counter_in_obs_ok;
+          Alcotest.test_case "bench exempt" `Quick counter_in_bench_ok;
+          Alcotest.test_case "non-statsy ok" `Quick non_statsy_mutable_ok;
+          Alcotest.test_case "non-zero init ok" `Quick statsy_ref_nonzero_init_ok;
         ] );
       ( "stripping",
         [

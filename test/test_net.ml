@@ -294,6 +294,36 @@ let tcp_loss_recovery () =
   in
   check_bool "did retransmit" true (rtx > 0)
 
+let tcp_loss_observed () =
+  (* The retransmit/timeout path is wired through dk_obs: a lossy run
+     must bump the class-wide retransmit counter and leave Retransmit
+     events in the flight recorder — the libOS-side visibility the
+     kernel lost (§2, "no packet ever enters the OS"). *)
+  let m_rtx = Dk_obs.Metrics.counter "net.tcp.retransmits" in
+  let m_lost = Dk_obs.Metrics.counter "device.fabric.lost" in
+  let rtx_before = Dk_obs.Metrics.value m_rtx in
+  let lost_before = Dk_obs.Metrics.value m_lost in
+  Dk_obs.Flight.clear Dk_obs.Flight.default;
+  let data = String.init 60_000 (fun i -> Char.chr ((i * 7) land 0xff)) in
+  let reply, conn, server, _ = tcp_echo_roundtrip ~loss:0.05 data in
+  check_bool "intact despite loss" true (String.equal data reply);
+  let conn_rtx =
+    (Tcp.stats conn).Tcp.retransmits
+    + match server with Some c -> (Tcp.stats c).Tcp.retransmits | None -> 0
+  in
+  let obs_rtx = Dk_obs.Metrics.value m_rtx - rtx_before in
+  check_bool "obs counted retransmits" true (obs_rtx > 0);
+  check_bool "obs covers both conns" true (obs_rtx >= conn_rtx);
+  check_bool "obs counted fabric losses" true
+    (Dk_obs.Metrics.value m_lost - lost_before > 0);
+  let kinds =
+    List.map
+      (fun (e : Dk_obs.Flight.entry) -> Dk_obs.Flight.kind_name e.Dk_obs.Flight.kind)
+      (Dk_obs.Flight.entries Dk_obs.Flight.default)
+  in
+  check_bool "flight saw a retransmit" true (List.mem "retransmit" kinds);
+  check_bool "flight saw a drop" true (List.mem "drop" kinds)
+
 let tcp_rtt_is_microseconds () =
   (* Figure-1 sanity: a kernel-bypass echo completes in ~ten microseconds
      of virtual time, not hundreds. *)
@@ -694,6 +724,7 @@ let () =
           Alcotest.test_case "connect and echo" `Quick tcp_connect_and_echo;
           Alcotest.test_case "large transfer" `Quick tcp_large_transfer;
           Alcotest.test_case "loss recovery" `Quick tcp_loss_recovery;
+          Alcotest.test_case "loss observed" `Quick tcp_loss_observed;
           Alcotest.test_case "rtt microseconds" `Quick tcp_rtt_is_microseconds;
           Alcotest.test_case "connect refused" `Quick tcp_connect_refused;
           Alcotest.test_case "graceful close" `Quick tcp_graceful_close;

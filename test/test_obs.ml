@@ -1,0 +1,264 @@
+(* Tests for dk_obs: the metrics registry (counters, gauges,
+   histograms, snapshots) and the flight recorder (record/entries,
+   eviction, enable/disable, Dk_check dump wiring).
+
+   The registry under test is always a private [Metrics.create ()] (or
+   counter deltas on the process-global default) so the suite is
+   insensitive to instrumentation that ran before it. *)
+
+module M = Dk_obs.Metrics
+module F = Dk_obs.Flight
+module Export = Dk_obs.Export
+module Dk_check = Dk_mem.Dk_check
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_i64 = check Alcotest.int64
+
+(* ---- counters ---- *)
+
+let counter_get_or_create () =
+  let reg = M.create () in
+  let a = M.counter ~reg "x.hits" in
+  let b = M.counter ~reg "x.hits" in
+  M.incr a;
+  M.incr b;
+  check_int "same instrument" 2 (M.value a);
+  check_int "other name is fresh" 0 (M.value (M.counter ~reg "x.misses"))
+
+let counter_incr_add () =
+  let reg = M.create () in
+  let c = M.counter ~reg "c" in
+  M.incr c;
+  M.add c 41;
+  check_int "1 + 41" 42 (M.value c)
+
+let default_registry_shared () =
+  (* Instruments on the default registry are process-global: read a
+     delta, never an absolute. *)
+  let c = M.counter "test_obs.private" in
+  let before = M.value c in
+  M.incr c;
+  check_int "delta visible" (before + 1) (M.value (M.counter "test_obs.private"))
+
+(* ---- gauges ---- *)
+
+let gauge_hwm () =
+  let reg = M.create () in
+  let g = M.gauge ~reg "depth" in
+  M.gauge_add g 3;
+  M.gauge_add g 4;
+  M.gauge_add g (-5);
+  check_int "value" 2 (M.gauge_value g);
+  check_int "high-water" 7 (M.gauge_hwm g);
+  M.set g 1;
+  check_int "set" 1 (M.gauge_value g);
+  check_int "hwm survives set" 7 (M.gauge_hwm g)
+
+(* ---- histograms ---- *)
+
+let hist_observe () =
+  let reg = M.create () in
+  let h = M.hist ~reg "lat" in
+  List.iter (fun v -> M.observe h (Int64.of_int v)) [ 10; 20; 30 ];
+  check_int "count" 3 (Dk_sim.Histogram.count (M.hist_data h));
+  check_i64 "max" 30L (Dk_sim.Histogram.max (M.hist_data h))
+
+(* ---- reset ---- *)
+
+let reset_zeroes_keeps_instruments () =
+  let reg = M.create () in
+  let c = M.counter ~reg "c" in
+  let g = M.gauge ~reg "g" in
+  let h = M.hist ~reg "h" in
+  M.add c 5;
+  M.gauge_add g 9;
+  M.observe h 100L;
+  M.reset reg;
+  check_int "counter zeroed" 0 (M.value c);
+  check_int "gauge zeroed" 0 (M.gauge_value g);
+  check_int "hwm zeroed" 0 (M.gauge_hwm g);
+  check_int "hist zeroed" 0 (Dk_sim.Histogram.count (M.hist_data h));
+  (* the same record is still registered: bumps after reset are seen
+     through a fresh lookup *)
+  M.incr c;
+  check_int "still live" 1 (M.value (M.counter ~reg "c"))
+
+(* ---- snapshot ---- *)
+
+let snapshot_sorted_and_complete () =
+  let reg = M.create () in
+  M.add (M.counter ~reg "b.second") 2;
+  M.add (M.counter ~reg "a.first") 1;
+  M.gauge_add (M.gauge ~reg "g") 7;
+  M.observe (M.hist ~reg "h") 50L;
+  let s = M.snapshot reg in
+  (match s.M.counters with
+  | [ (n1, v1); (n2, v2) ] ->
+      check Alcotest.string "sorted first" "a.first" n1;
+      check_int "v1" 1 v1;
+      check Alcotest.string "sorted second" "b.second" n2;
+      check_int "v2" 2 v2
+  | l -> Alcotest.failf "expected 2 counters, got %d" (List.length l));
+  (match s.M.gauges with
+  | [ (n, v, hwm) ] ->
+      check Alcotest.string "gauge name" "g" n;
+      check_int "gauge value" 7 v;
+      check_int "gauge hwm" 7 hwm
+  | l -> Alcotest.failf "expected 1 gauge, got %d" (List.length l));
+  match s.M.hists with
+  | [ (n, hs) ] ->
+      check Alcotest.string "hist name" "h" n;
+      check_int "hist count" 1 hs.M.hs_count;
+      check_i64 "hist p50" 50L hs.M.hs_p50
+  | l -> Alcotest.failf "expected 1 hist, got %d" (List.length l)
+
+let snapshot_deterministic () =
+  let reg = M.create () in
+  List.iter (fun n -> M.incr (M.counter ~reg n)) [ "z"; "m"; "a"; "m" ];
+  let s1 = M.snapshot reg and s2 = M.snapshot reg in
+  check Alcotest.bool "identical snapshots" true (s1 = s2);
+  check_int "three names" 3 (List.length s1.M.counters)
+
+(* ---- exporters ---- *)
+
+let export_table_mentions_all () =
+  let reg = M.create () in
+  M.add (M.counter ~reg "cnt") 3;
+  M.gauge_add (M.gauge ~reg "gge") 4;
+  M.observe (M.hist ~reg "hst") 5L;
+  let out = Format.asprintf "%a" Export.pp_table (M.snapshot reg) in
+  List.iter
+    (fun needle ->
+      let found =
+        let n = String.length out and pl = String.length needle in
+        let rec scan i =
+          i + pl <= n && (String.sub out i pl = needle || scan (i + 1))
+        in
+        scan 0
+      in
+      check Alcotest.bool (needle ^ " in table") true found)
+    [ "cnt"; "gge"; "hst"; "counters:"; "gauges"; "histograms" ]
+
+let export_json_escapes () =
+  check Alcotest.string "quotes and newline"
+    {|"a\"b\\c\nd"|}
+    (Export.json_string "a\"b\\c\nd")
+
+(* ---- flight recorder ---- *)
+
+let flight_record_entries () =
+  let f = F.create ~capacity:4096 () in
+  F.record f ~now:10L F.Push "first";
+  F.record f ~now:20L F.Drop "second";
+  F.recordf f ~now:30L F.Mark "n=%d" 3;
+  check_int "length" 3 (F.length f);
+  check_int "recorded" 3 (F.recorded f);
+  check_int "evicted" 0 (F.evicted f);
+  match F.entries f with
+  | [ e1; e2; e3 ] ->
+      check_i64 "ts oldest" 10L e1.F.at;
+      check Alcotest.string "kind" "push" (F.kind_name e1.F.kind);
+      check Alcotest.string "what" "first" e1.F.what;
+      check Alcotest.string "drop" "second" e2.F.what;
+      check Alcotest.string "formatted" "n=3" e3.F.what
+  | l -> Alcotest.failf "expected 3 entries, got %d" (List.length l)
+
+let flight_eviction () =
+  (* A small ring holds only a few entries; old ones must be evicted,
+     order preserved, counts accounted. *)
+  let f = F.create ~capacity:128 () in
+  for i = 1 to 100 do
+    F.record f ~now:(Int64.of_int i) F.Enqueue (Printf.sprintf "ev%d" i)
+  done;
+  check_int "recorded all" 100 (F.recorded f);
+  check Alcotest.bool "evicted some" true (F.evicted f > 0);
+  check_int "length + evicted = recorded" 100 (F.length f + F.evicted f);
+  let es = F.entries f in
+  check Alcotest.bool "non-empty" true (es <> []);
+  (* strictly increasing timestamps, ending at the newest *)
+  let rec increasing = function
+    | a :: (b :: _ as rest) -> Int64.compare a.F.at b.F.at < 0 && increasing rest
+    | _ -> true
+  in
+  check Alcotest.bool "ordered" true (increasing es);
+  check_i64 "newest survives" 100L (List.nth es (List.length es - 1)).F.at
+
+let flight_disable_and_clear () =
+  let f = F.create ~capacity:4096 () in
+  F.record f ~now:1L F.Push "kept";
+  F.set_enabled f false;
+  F.record f ~now:2L F.Push "ignored";
+  F.recordf f ~now:3L F.Push "also %s" "ignored";
+  check_int "disabled records nothing" 1 (F.length f);
+  F.set_enabled f true;
+  F.record f ~now:4L F.Push "kept2";
+  check_int "re-enabled" 2 (F.length f);
+  F.clear f;
+  check_int "cleared" 0 (F.length f);
+  check_int "recorded reset" 0 (F.recorded f)
+
+let flight_label_truncated () =
+  (* A label longer than the whole ring still records (truncated)
+     rather than raising or looping forever. *)
+  let f = F.create ~capacity:128 () in
+  F.record f ~now:1L F.Mark (String.make 1000 'x');
+  check_int "one entry" 1 (F.length f);
+  match F.entries f with
+  | [ e ] ->
+      check Alcotest.bool "truncated" true (String.length e.F.what < 1000);
+      check Alcotest.bool "prefix kept" true
+        (String.length e.F.what > 0 && e.F.what.[0] = 'x')
+  | l -> Alcotest.failf "expected 1 entry, got %d" (List.length l)
+
+let flight_dump_on_violation () =
+  (* The documented wiring: a Dk_check sink that dumps the flight ring
+     when a sanitizer violation reports. *)
+  let f = F.create ~capacity:4096 () in
+  F.record f ~now:7L F.Drop "the smoking gun";
+  let dumped = Buffer.create 256 in
+  Dk_check.set_sink (fun _ _ ->
+      Buffer.add_string dumped (Format.asprintf "%a" F.pp f));
+  let (), reports =
+    Dk_check.capture (fun () ->
+        Dk_check.report Dk_check.Use_after_free "synthetic")
+  in
+  Dk_check.clear_sink ();
+  check_int "one report" 1 (List.length reports);
+  let out = Buffer.contents dumped in
+  let contains needle =
+    let n = String.length out and pl = String.length needle in
+    let rec scan i = i + pl <= n && (String.sub out i pl = needle || scan (i + 1)) in
+    scan 0
+  in
+  check Alcotest.bool "dump has the event" true (contains "the smoking gun");
+  check Alcotest.bool "dump has the kind" true (contains "drop")
+
+let () =
+  Alcotest.run "dk_obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "counter get-or-create" `Quick counter_get_or_create;
+          Alcotest.test_case "incr/add" `Quick counter_incr_add;
+          Alcotest.test_case "default registry shared" `Quick default_registry_shared;
+          Alcotest.test_case "gauge high-water" `Quick gauge_hwm;
+          Alcotest.test_case "histogram observe" `Quick hist_observe;
+          Alcotest.test_case "reset" `Quick reset_zeroes_keeps_instruments;
+        ] );
+      ( "snapshot",
+        [
+          Alcotest.test_case "sorted and complete" `Quick snapshot_sorted_and_complete;
+          Alcotest.test_case "deterministic" `Quick snapshot_deterministic;
+          Alcotest.test_case "table export" `Quick export_table_mentions_all;
+          Alcotest.test_case "json escaping" `Quick export_json_escapes;
+        ] );
+      ( "flight",
+        [
+          Alcotest.test_case "record/entries" `Quick flight_record_entries;
+          Alcotest.test_case "eviction" `Quick flight_eviction;
+          Alcotest.test_case "disable/clear" `Quick flight_disable_and_clear;
+          Alcotest.test_case "oversized label" `Quick flight_label_truncated;
+          Alcotest.test_case "dump on violation" `Quick flight_dump_on_violation;
+        ] );
+    ]

@@ -192,6 +192,18 @@ let hist_exact_small () =
   check_i64 "p50" 3L (H.quantile h 0.5);
   check (Alcotest.float 0.01) "mean" 3.0 (H.mean h)
 
+(* One sample: every quantile, plus min/max/mean, is that value. *)
+let hist_single_sample () =
+  let h = H.create () in
+  H.record h 4242L;
+  check_int "count" 1 (H.count h);
+  check_i64 "min" 4242L (H.min h);
+  check_i64 "max" 4242L (H.max h);
+  check (Alcotest.float 0.01) "mean" 4242.0 (H.mean h);
+  List.iter
+    (fun q -> check_i64 (Printf.sprintf "q%.2f" q) 4242L (H.quantile h q))
+    [ 0.0; 0.5; 0.9; 0.99; 1.0 ]
+
 let hist_quantile_monotone =
   QCheck.Test.make ~name:"quantiles are monotone" ~count:100
     QCheck.(small_list (int_bound 1_000_000))
@@ -356,6 +368,7 @@ let () =
       ( "histogram",
         [
           Alcotest.test_case "empty" `Quick hist_empty;
+          Alcotest.test_case "single sample" `Quick hist_single_sample;
           Alcotest.test_case "exact small values" `Quick hist_exact_small;
           Alcotest.test_case "log bucket accuracy" `Quick hist_accuracy;
           Alcotest.test_case "merge" `Quick hist_merge;

@@ -211,6 +211,24 @@ let bufferish name =
   || starts_with ~prefix:"buf_" last
   || starts_with ~prefix:"sga_" last
 
+(* Statistic-flavoured identifier segments: a [mutable … : int] field or
+   [ref 0] whose name contains one of these is almost always an event
+   counter, which belongs in Dk_obs.Metrics where `demi stats` and the
+   bench dumps can see it. Deliberate per-instance stats (a [stats t]
+   accessor mirroring class-wide obs counters) go in the allowlist. *)
+let statsy_words =
+  [
+    "hits"; "misses"; "drops"; "dropped"; "errors"; "retransmits"; "acks";
+    "wakeups"; "allocs"; "releases"; "redeems"; "completes"; "timeouts";
+    "frames"; "bytes"; "sent"; "received"; "rejected"; "lost"; "delivered";
+    "unrouted"; "filtered"; "mapped"; "copied"; "wasted"; "evicted";
+    "failures"; "reads"; "writes"; "syscalls"; "retries"; "polls";
+  ]
+
+let statsy name =
+  String.split_on_char '_' (String.lowercase_ascii name)
+  |> List.exists (fun seg -> List.mem seg statsy_words)
+
 let binding_starters = [ "let"; "and"; "method"; "val"; "external"; "type" ]
 let record_contexts = [ ";"; "{"; "with"; "?" ]
 
@@ -261,6 +279,29 @@ let scan_tokens ~path (toks : token array) : finding list =
     if (not bin) && (tok = "exit" || tok = "Stdlib.exit") then
       add line "exit-outside-bin"
         "exit outside bin/: libraries, benches and examples must return, not exit";
+    (* ad-hoc statistics counters in lib/ outside lib/obs/ *)
+    if lib && not (starts_with ~prefix:"lib/obs/" path) then begin
+      if
+        tok = "mutable" && statsy (text (i + 1)) && text (i + 2) = ":"
+        && (text (i + 3) = "int" || text (i + 3) = "int64" || text (i + 3) = "Int64.t")
+      then
+        add line "adhoc-counter"
+          (Printf.sprintf
+             "mutable counter %s outside lib/obs: statistics belong in \
+              Dk_obs.Metrics so `demi stats` and the bench dumps see them \
+              (allowlist deliberate per-instance stats)"
+             (text (i + 1)));
+      if
+        tok = "let" && statsy (text (i + 1)) && text (i + 2) = "="
+        && text (i + 3) = "ref"
+        && (text (i + 4) = "0" || text (i + 4) = "0L")
+      then
+        add line "adhoc-counter"
+          (Printf.sprintf
+             "ref-cell counter %s outside lib/obs: statistics belong in \
+              Dk_obs.Metrics so `demi stats` and the bench dumps see them"
+             (text (i + 1)))
+    end;
     (* polymorphic comparison on buffers/sgas in fast-path modules *)
     if fast then begin
       if tok = "Stdlib.compare" then
