@@ -37,6 +37,9 @@ let demi_storage () =
     | _ -> failwith "scan failed");
     H.record scan (Int64.sub (Engine.now engine) t0)
   done;
+  (match Demi.close demi qd with
+  | Ok () -> ()
+  | Error e -> failwith (Types.error_to_string e));
   (append, scan)
 
 let vfs_storage () =

@@ -67,6 +67,9 @@ let rpc_p50 () =
     H.record h (Int64.sub (Engine.now engine) t0);
     Demi.sga_free da req
   done;
+  (match Demi.close da qa with
+  | Ok () -> ()
+  | Error e -> failwith (Types.error_to_string e));
   H.quantile h 0.5
 
 (* one-sided READs against a server-exposed slot table *)

@@ -56,6 +56,9 @@ let run_case ~on_device =
     | _ -> failwith "append failed");
     H.record append (Int64.sub (Engine.now engine) t0)
   done;
+  (match Demi.close demi qd with
+  | Ok () -> ()
+  | Error e -> failwith (Types.error_to_string e));
   (H.quantile append 0.5, Int64.div !cpu_spent (Int64.of_int records))
 
 let run () =

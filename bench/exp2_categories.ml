@@ -15,6 +15,10 @@ module H = Dk_sim.Histogram
 let rounds = 50
 let size = 256
 
+let must = function
+  | Ok v -> v
+  | Error e -> failwith (Types.error_to_string e)
+
 (* No accelerator at all: the same application on the kernel-fallback
    libOS ("Catnap"-style), paying legacy prices. *)
 let fallback_class () =
@@ -80,6 +84,7 @@ let rdma_class () =
     | _ -> ());
     Demi.sga_free da sga
   done;
+  must (Demi.close da qa);
   H.quantile h 0.5
 
 (* Programmable-class: as DPDK, plus an offloaded filter program that
@@ -90,9 +95,9 @@ let programmable_class () =
   let db = Setup.demi_of_host ~engine:duo.Setup.engine ~cost:duo.Setup.cost duo.Setup.b () in
   (* UDP ping-pong with a device-side filter on the server's queue *)
   let sqd = Result.get_ok (Demi.socket db `Udp) in
-  ignore (Demi.bind db sqd ~port:9);
+  must (Demi.bind db sqd ~port:9);
   let fq = Result.get_ok (Demi.filter db sqd (Prog.Prefix "P:")) in
-  ignore (Demi.connect db fq ~dst:(Dk_net.Addr.endpoint duo.Setup.a.Setup.ip 10));
+  must (Demi.connect db fq ~dst:(Dk_net.Addr.endpoint duo.Setup.a.Setup.ip 10));
   let offloaded = Demi.filter_offloaded db fq in
   let rec pong () =
     match Demi.pop db fq with
@@ -108,8 +113,8 @@ let programmable_class () =
   in
   pong ();
   let cqd = Result.get_ok (Demi.socket da `Udp) in
-  ignore (Demi.bind da cqd ~port:10);
-  ignore (Demi.connect da cqd ~dst:(Setup.endpoint duo.Setup.b 9));
+  must (Demi.bind da cqd ~port:10);
+  must (Demi.connect da cqd ~dst:(Setup.endpoint duo.Setup.b 9));
   let h = H.create () in
   let payload = "P:" ^ String.make (size - 2) 'p' in
   let engine = duo.Setup.engine in
@@ -122,6 +127,7 @@ let programmable_class () =
         Sga.free reply
     | _ -> ()
   done;
+  must (Demi.close da cqd);
   (H.quantile h 0.5, offloaded)
 
 let run () =

@@ -62,6 +62,9 @@ let queue_run () =
     | Types.Popped _ -> incr pops
     | _ -> ()
   done;
+  (match Demi.close demi qd with
+  | Ok () -> ()
+  | Error e -> failwith (Types.error_to_string e));
   !pops
 
 let run () =

@@ -15,6 +15,10 @@ module Sga = Dk_mem.Sga
 let total = 400
 let payload_size = 200
 
+let must = function
+  | Ok v -> v
+  | Error e -> failwith (Types.error_to_string e)
+
 (* Send [total] datagrams, a fraction [keep] of which match the filter.
    Returns (virtual ns consumed end-to-end, frames filtered on device,
    messages delivered). *)
@@ -24,7 +28,7 @@ let run_case ~programmable ~keep =
   let db = Setup.demi_of_host ~engine:duo.Setup.engine ~cost:duo.Setup.cost duo.Setup.b () in
   let engine = duo.Setup.engine in
   let sqd = Result.get_ok (Demi.socket db `Udp) in
-  ignore (Demi.bind db sqd ~port:9);
+  must (Demi.bind db sqd ~port:9);
   let fq = Result.get_ok (Demi.filter db sqd (Prog.Prefix "EVT:")) in
   let delivered = ref 0 in
   let rec drain () =
@@ -40,7 +44,7 @@ let run_case ~programmable ~keep =
   in
   drain ();
   let cqd = Result.get_ok (Demi.socket da `Udp) in
-  ignore (Demi.connect da cqd ~dst:(Setup.endpoint duo.Setup.b 9));
+  must (Demi.connect da cqd ~dst:(Setup.endpoint duo.Setup.b 9));
   let rng = Dk_sim.Rng.create 31L in
   let expected = ref 0 in
   let t0 = Engine.now engine in
@@ -54,6 +58,7 @@ let run_case ~programmable ~keep =
   ignore (Engine.run_until engine (fun () -> !delivered >= !expected));
   Engine.run engine;
   let elapsed = Int64.sub (Engine.now engine) t0 in
+  must (Demi.close da cqd);
   let nic_stats = Dk_device.Nic.stats duo.Setup.b.Setup.nic in
   (elapsed, nic_stats.Dk_device.Nic.rx_filtered, !delivered)
 

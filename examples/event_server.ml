@@ -12,6 +12,10 @@ module Proto = Dk_apps.Proto
 module Kv = Dk_apps.Kv
 module Sga = Dk_mem.Sga
 
+let must = function
+  | Ok v -> v
+  | Error e -> failwith (Types.error_to_string e)
+
 let () =
   let duo = Setup.two_hosts () in
   let server =
@@ -25,8 +29,8 @@ let () =
   let kv = Kv.create (Demi.manager server) in
   let loop = Event_loop.create server in
   let lqd = Result.get_ok (Demi.socket server `Tcp) in
-  ignore (Demi.bind server lqd ~port:11211);
-  ignore (Demi.listen server lqd);
+  must (Demi.bind server lqd ~port:11211);
+  must (Demi.listen server lqd);
   let served = ref 0 in
   Event_loop.on_accept loop lqd (fun conn ->
       Format.printf "server: accepted qd=%d@." conn;
@@ -40,7 +44,7 @@ let () =
 
   (* --- client: ordinary blocking calls --- *)
   let qd = Result.get_ok (Demi.socket client `Tcp) in
-  ignore (Demi.connect client qd ~dst:(Setup.endpoint duo.Setup.b 11211));
+  must (Demi.connect client qd ~dst:(Setup.endpoint duo.Setup.b 11211));
   let rpc req =
     ignore (Demi.blocking_push client qd (Proto.request_sga req));
     match Demi.blocking_pop client qd with
@@ -58,5 +62,5 @@ let () =
   (match rpc (Proto.Get "lang") with
   | Some Proto.Not_found -> print_endline "GET lang -> (not found)"
   | _ -> print_endline "unexpected");
-  ignore (Demi.close client qd);
+  must (Demi.close client qd);
   Format.printf "server handled %d requests via event callbacks@." !served

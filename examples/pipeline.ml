@@ -13,6 +13,10 @@ module Setup = Dk_apps.Sim_setup
 module Sga = Dk_mem.Sga
 module Prog = Dk_device.Prog
 
+let must = function
+  | Ok v -> v
+  | Error e -> failwith (Types.error_to_string e)
+
 let () =
   (* programmable NICs: Table 1's right column *)
   let duo = Setup.two_hosts ~programmable:true () in
@@ -25,7 +29,7 @@ let () =
 
   (* Receiver: udp queue |> filter (on device!) |> map |> sort. *)
   let udp = Result.get_ok (Demi.socket receiver `Udp) in
-  ignore (Demi.bind receiver udp ~port:9000);
+  must (Demi.bind receiver udp ~port:9000);
   let filtered =
     Result.get_ok (Demi.filter receiver udp (Prog.Prefix "EVT:"))
   in
@@ -42,7 +46,7 @@ let () =
 
   (* Sender: a burst of matching and non-matching datagrams. *)
   let out = Result.get_ok (Demi.socket sender `Udp) in
-  ignore (Demi.connect sender out ~dst:(Setup.endpoint duo.Setup.b 9000));
+  must (Demi.connect sender out ~dst:(Setup.endpoint duo.Setup.b 9000));
   List.iter
     (fun msg -> ignore (Demi.blocking_push sender out (Sga.of_string msg)))
     [
@@ -63,4 +67,6 @@ let () =
   done;
   let stats = Dk_device.Nic.stats duo.Setup.b.Setup.nic in
   Format.printf "NIC dropped %d frames on-device (zero CPU cost)@."
-    stats.Dk_device.Nic.rx_filtered
+    stats.Dk_device.Nic.rx_filtered;
+  must (Demi.close sender out);
+  must (Demi.close receiver sorted)

@@ -45,5 +45,7 @@ let () =
         (Sga.length reply) (Sga.segment_count reply) rtt;
       Format.printf "payload: %S@." (Sga.to_string reply)
   | r -> Format.kasprintf failwith "pop failed: %a" Types.pp_op_result r);
-  ignore (Demi.close client qd);
+  (match Demi.close client qd with
+  | Ok () -> ()
+  | Error e -> failwith (Types.error_to_string e));
   print_endline "done."

@@ -15,6 +15,10 @@ module Engine = Dk_sim.Engine
 module Rdma = Dk_device.Rdma
 module Sga = Dk_mem.Sga
 
+let must = function
+  | Ok v -> v
+  | Error e -> failwith (Types.error_to_string e)
+
 let () =
   let engine = Engine.create () in
   let cost = Dk_sim.Cost.default in
@@ -64,4 +68,6 @@ let () =
     "device: %d sends, %d RNR events, %d registration failures — the libOS's@."
     st.Rdma.sends st.Rdma.rnr_events st.Rdma.registration_failures;
   Format.printf
-    "buffer management and flow control kept both failure counters at zero.@."
+    "buffer management and flow control kept both failure counters at zero.@.";
+  must (Demi.close da qa);
+  must (Demi.close db qb)

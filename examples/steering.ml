@@ -14,6 +14,10 @@ module Fiber = Dk_sched.Fiber
 module Sga = Dk_mem.Sga
 module Workload = Dk_apps.Workload
 
+let must = function
+  | Ok v -> v
+  | Error e -> failwith (Types.error_to_string e)
+
 let () =
   let engine = Dk_sim.Engine.create () in
   let demi = Demi.create ~engine ~cost:Dk_sim.Cost.default () in
@@ -51,7 +55,7 @@ let () =
         ignore (Fiber.await_push sched requests (Sga.of_string (key ^ ":payload")))
       done;
       (* producers done: close the source so workers drain and exit *)
-      ignore (Demi.close demi requests));
+      must (Demi.close demi requests));
   Fiber.run sched;
 
   Format.printf "requests per worker:@.";

@@ -9,6 +9,10 @@ module Types = Demikernel.Types
 module Engine = Dk_sim.Engine
 module Sga = Dk_mem.Sga
 
+let must = function
+  | Ok v -> v
+  | Error e -> failwith (Types.error_to_string e)
+
 let () =
   let engine = Engine.create () in
   let cost = Dk_sim.Cost.default in
@@ -32,7 +36,7 @@ let () =
     (Int64.sub (Engine.now engine) t0);
 
   (* "Crash": drop the runtime. The device retains the blocks. *)
-  ignore (Demi.close demi qd);
+  must (Demi.close demi qd);
 
   (* Second life: recover by scanning the log's CRC-sealed records.
      The file catalog is in-memory in this reproduction (a real system
@@ -41,7 +45,9 @@ let () =
      same blocks — and then fopen scans the device for the real
      contents. *)
   let demi2 = Demi.create ~engine ~cost ~block () in
-  ignore (Demi.fcreate demi2 "orders.log");
+  (match Demi.fcreate demi2 "orders.log" with
+  | Ok _registration_qd -> ()
+  | Error e -> failwith (Types.error_to_string e));
   let qd2 = Result.get_ok (Demi.fopen demi2 "orders.log") in
   print_endline "recovered; replaying:";
   let rec replay i =

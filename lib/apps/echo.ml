@@ -16,7 +16,9 @@ let rec demi_echo_conn demi qd =
             | Ok ptok -> Demi.watch demi ptok (fun _ -> ())
             | Error _ -> ());
             demi_echo_conn demi qd
-        | Types.Failed _ -> ignore (Demi.close demi qd)
+        | Types.Failed _ -> (
+            (* best-effort teardown: the peer is already gone *)
+            match Demi.close demi qd with Ok () | Error _ -> ())
         | Types.Pushed | Types.Accepted _ -> ())
 
 let rec demi_accept_loop demi lqd =
@@ -66,6 +68,7 @@ let demi_rtt ~demi ~dst ~size ~rounds =
               failed := true)
     end
   done;
+  (match Demi.close demi qd with Ok () | Error _ -> ());
   if !failed then Error `Queue_closed else Ok hist
 
 (* ---- POSIX ---- *)

@@ -34,7 +34,9 @@ let rec serve_conn srv qd =
         | Types.Popped sga ->
             answer srv qd sga;
             serve_conn srv qd
-        | Types.Failed _ -> ignore (Demi.close srv.demi qd)
+        | Types.Failed _ -> (
+            (* best-effort teardown: the peer is already gone *)
+            match Demi.close srv.demi qd with Ok () | Error _ -> ())
         | Types.Pushed | Types.Accepted _ -> ())
 
 let rec accept_loop srv lqd =
@@ -67,8 +69,8 @@ let start_udp_server ~demi ~port ~kv =
 
 let set_udp_peer srv peer =
   match srv.udp_qd with
-  | Some qd -> ignore (Demi.connect srv.demi qd ~dst:peer)
-  | None -> ()
+  | Some qd -> Demi.connect srv.demi qd ~dst:peer
+  | None -> Ok ()
 
 let requests_served srv = srv.served
 

@@ -19,7 +19,8 @@ val start_udp_server :
     on the client being the only sender). For the UDP server to answer,
     its queue's peer must be set via {!set_udp_peer}. *)
 
-val set_udp_peer : server -> Dk_net.Addr.endpoint -> unit
+val set_udp_peer :
+  server -> Dk_net.Addr.endpoint -> (unit, Demikernel.Types.error) result
 val requests_served : server -> int
 
 type client_stats = {

@@ -26,10 +26,21 @@ let obj_magic () =
   check (Alcotest.list Alcotest.int) "line 2" [ 2 ] (lines_of "unsafe-op" fs)
 
 let unsafe_outside_fast_path_ok () =
-  (* the rule is scoped to lib/mem, lib/core, lib/net *)
+  (* the rule is scoped to lib/mem, lib/core, lib/net, lib/device *)
   let fs = scan ~path:"bench/harness.ml" "let f b i = Bytes.unsafe_get b i\n" in
   check_int "not flagged outside fast path" 0
     (List.length (lines_of "unsafe-op" fs))
+
+let unsafe_in_device () =
+  (* descriptor rings are fast-path: lib/device is in unsafe-op scope *)
+  let fs = scan ~path:"lib/device/ring.ml" "let f b i = Bytes.unsafe_get b i\n" in
+  check (Alcotest.list Alcotest.int) "line" [ 1 ] (lines_of "unsafe-op" fs)
+
+let poly_compare_not_in_device () =
+  (* ...but the name-heuristic poly-compare rule stays out of it *)
+  let fs = scan ~path:"lib/device/ring.ml" "let same buf b = buf = b\n" in
+  check_int "poly-compare not extended to lib/device" 0
+    (List.length (lines_of "poly-compare" fs))
 
 let unsafe_in_comment_ok () =
   let fs = scan "(* never call Bytes.unsafe_get here *)\nlet x = 1\n" in
@@ -184,6 +195,9 @@ let () =
           Alcotest.test_case "Obj.magic" `Quick obj_magic;
           Alcotest.test_case "scoped to fast path" `Quick
             unsafe_outside_fast_path_ok;
+          Alcotest.test_case "fires in lib/device" `Quick unsafe_in_device;
+          Alcotest.test_case "poly-compare not in lib/device" `Quick
+            poly_compare_not_in_device;
           Alcotest.test_case "comment immune" `Quick unsafe_in_comment_ok;
           Alcotest.test_case "string immune" `Quick unsafe_in_string_ok;
         ] );

@@ -234,6 +234,219 @@ let flight_dump_on_violation () =
   check Alcotest.bool "dump has the event" true (contains "the smoking gun");
   check Alcotest.bool "dump has the kind" true (contains "drop")
 
+(* ---- the `demi stats --json` snapshot ----
+
+   The docs promise a JSON-lines export whose counter names include the
+   core.token.* and net.tcp.* families. Drive the same echo workload
+   the stats subcommand runs, then parse every line with a minimal
+   JSON reader (no JSON library in the switch) and check the names. *)
+
+module Json = struct
+  type t =
+    | Obj of (string * t) list
+    | Arr of t list
+    | Str of string
+    | Num of float
+    | Bool of bool
+    | Null
+
+  exception Bad of string
+
+  let parse (s : string) : t =
+    let n = String.length s in
+    let pos = ref 0 in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let next () =
+      if !pos >= n then raise (Bad "eof");
+      let c = s.[!pos] in
+      incr pos;
+      c
+    in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+          incr pos;
+          skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      let g = next () in
+      if g <> c then raise (Bad (Printf.sprintf "expected %c, got %c" c g))
+    in
+    let literal lit v =
+      String.iter expect lit;
+      v
+    in
+    let string_lit () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        match next () with
+        | '"' -> Buffer.contents b
+        | '\\' -> (
+            match next () with
+            | ('"' | '\\' | '/') as c ->
+                Buffer.add_char b c;
+                go ()
+            | 'n' -> Buffer.add_char b '\n'; go ()
+            | 't' -> Buffer.add_char b '\t'; go ()
+            | 'r' -> Buffer.add_char b '\r'; go ()
+            | 'b' -> Buffer.add_char b '\b'; go ()
+            | 'u' ->
+                pos := !pos + 4;
+                Buffer.add_char b '?';
+                go ()
+            | c -> raise (Bad (Printf.sprintf "escape %c" c)))
+        | c ->
+            Buffer.add_char b c;
+            go ()
+      in
+      go ()
+    in
+    let number () =
+      let start = !pos in
+      let num_char = function
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while (match peek () with Some c -> num_char c | None -> false) do
+        incr pos
+      done;
+      if !pos = start then raise (Bad "number");
+      float_of_string (String.sub s start (!pos - start))
+    in
+    let rec value () =
+      skip_ws ();
+      match peek () with
+      | Some '{' ->
+          expect '{';
+          skip_ws ();
+          if peek () = Some '}' then (incr pos; Obj [])
+          else
+            let rec members acc =
+              skip_ws ();
+              let k = string_lit () in
+              skip_ws ();
+              expect ':';
+              let v = value () in
+              skip_ws ();
+              match next () with
+              | ',' -> members ((k, v) :: acc)
+              | '}' -> Obj (List.rev ((k, v) :: acc))
+              | c -> raise (Bad (Printf.sprintf "in object: %c" c))
+            in
+            members []
+      | Some '[' ->
+          expect '[';
+          skip_ws ();
+          if peek () = Some ']' then (incr pos; Arr [])
+          else
+            let rec elems acc =
+              let v = value () in
+              skip_ws ();
+              match next () with
+              | ',' -> elems (v :: acc)
+              | ']' -> Arr (List.rev (v :: acc))
+              | c -> raise (Bad (Printf.sprintf "in array: %c" c))
+            in
+            elems []
+      | Some '"' -> Str (string_lit ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some _ -> Num (number ())
+      | None -> raise (Bad "empty")
+    in
+    let v = value () in
+    skip_ws ();
+    if !pos <> n then raise (Bad "trailing garbage");
+    v
+end
+
+let stats_json_workload () =
+  let module Setup = Dk_apps.Sim_setup in
+  let module Echo = Dk_apps.Echo in
+  M.reset M.default;
+  let duo = Setup.two_hosts () in
+  let da =
+    Setup.demi_of_host ~engine:duo.Setup.engine ~cost:duo.Setup.cost duo.Setup.a ()
+  in
+  let db =
+    Setup.demi_of_host ~engine:duo.Setup.engine ~cost:duo.Setup.cost duo.Setup.b ()
+  in
+  (match Echo.start_demi_server ~demi:db ~port:7 with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "echo server failed to start");
+  (match
+     Echo.demi_rtt ~demi:da ~dst:(Setup.endpoint duo.Setup.b 7) ~size:64
+       ~rounds:5
+   with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "echo workload failed");
+  let now = Dk_sim.Engine.now duo.Setup.engine in
+  Export.json_lines ~now (M.snapshot M.default)
+
+let field name = function
+  | Json.Obj kvs -> List.assoc_opt name kvs
+  | _ -> None
+
+let stats_json_lines_parse_and_name () =
+  let out = stats_json_workload () in
+  let lines =
+    String.split_on_char '\n' out |> List.filter (fun l -> l <> "")
+  in
+  Alcotest.(check bool) "snapshot is non-empty" true (lines <> []);
+  let names =
+    List.map
+      (fun l ->
+        let v = try Json.parse l with Json.Bad m -> Alcotest.fail (m ^ ": " ^ l) in
+        (match field "ts" v with
+        | Some (Json.Num _) -> ()
+        | _ -> Alcotest.fail ("missing ts: " ^ l));
+        (match field "kind" v with
+        | Some (Json.Str ("counter" | "gauge" | "histogram")) -> ()
+        | _ -> Alcotest.fail ("bad kind: " ^ l));
+        match field "name" v with
+        | Some (Json.Str n) -> n
+        | _ -> Alcotest.fail ("missing name: " ^ l))
+      lines
+  in
+  List.iter
+    (fun promised ->
+      Alcotest.(check bool) (promised ^ " present") true
+        (List.mem promised names))
+    [
+      "core.token.minted";
+      "core.token.completed";
+      "core.token.redeemed";
+      "core.token.outstanding";
+      "net.tcp.segs_sent";
+      "net.tcp.segs_received";
+      "net.tcp.retransmits";
+    ]
+
+let stats_json_counter_values_sane () =
+  let out = stats_json_workload () in
+  let lines =
+    String.split_on_char '\n' out |> List.filter (fun l -> l <> "")
+  in
+  let value_of name =
+    List.find_map
+      (fun l ->
+        let v = Json.parse l in
+        match (field "name" v, field "value" v) with
+        | Some (Json.Str n), Some (Json.Num x) when n = name -> Some x
+        | _ -> None)
+      lines
+  in
+  (match value_of "core.token.minted" with
+  | Some v -> Alcotest.(check bool) "tokens were minted" true (v > 0.)
+  | None -> Alcotest.fail "core.token.minted has no value");
+  match (value_of "core.token.minted", value_of "core.token.completed") with
+  | Some m, Some c ->
+      Alcotest.(check bool) "completed <= minted" true (c <= m)
+  | _ -> Alcotest.fail "token counters missing"
+
 let () =
   Alcotest.run "dk_obs"
     [
@@ -260,5 +473,12 @@ let () =
           Alcotest.test_case "disable/clear" `Quick flight_disable_and_clear;
           Alcotest.test_case "oversized label" `Quick flight_label_truncated;
           Alcotest.test_case "dump on violation" `Quick flight_dump_on_violation;
+        ] );
+      ( "stats --json",
+        [
+          Alcotest.test_case "lines parse, promised names present" `Quick
+            stats_json_lines_parse_and_name;
+          Alcotest.test_case "counter values sane" `Quick
+            stats_json_counter_values_sane;
         ] );
     ]

@@ -1,0 +1,31 @@
+#!/bin/sh
+# Canonical tier-1 gate. Everything a change must pass before it lands:
+#
+#   1. dune build            — the whole tree compiles (lib, bench,
+#                              examples, tools)
+#   2. dune runtest          — unit/property/integration suites, plus
+#                              @lint -> @verify (dk-lint token rules and
+#                              dk-verify typestate/dataflow analysis;
+#                              both fail on stale allowlist entries) and
+#                              the bench smoke run
+#   3. DK_SANITIZE=1 dune runtest
+#                            — the same suites under sanitizer mode
+#                              (canaries, poison-on-free, UAF/double-free
+#                              detection, leak sweeps, token audit)
+#
+# Run from anywhere; exits nonzero on the first failure.
+
+set -eu
+
+cd "$(dirname "$0")/../.."
+
+echo "== [1/3] dune build"
+dune build
+
+echo "== [2/3] dune runtest (includes @lint and @verify)"
+dune runtest
+
+echo "== [3/3] DK_SANITIZE=1 dune runtest"
+DK_SANITIZE=1 dune runtest --force
+
+echo "== tier-1 gate passed"

@@ -31,9 +31,14 @@ let ends_with ~suffix s =
   l >= ls && String.sub s (l - ls) ls = suffix
 
 (* Fast-path modules: the zero-copy data path where a stray polymorphic
-   compare or unsafe access defeats the safety argument of §4.5. *)
+   compare or unsafe access defeats the safety argument of §4.5. The
+   unsafe-op rule additionally covers lib/device/ — descriptor rings
+   and DMA buffers are fast-path too — while poly-compare stays scoped
+   to the buffer-heavy layers where its name heuristic is reliable. *)
 let fast_path_dirs = [ "lib/mem/"; "lib/core/"; "lib/net/" ]
+let unsafe_op_dirs = "lib/device/" :: fast_path_dirs
 let in_fast_path path = List.exists (fun d -> starts_with ~prefix:d path) fast_path_dirs
+let in_unsafe_scope path = List.exists (fun d -> starts_with ~prefix:d path) unsafe_op_dirs
 let in_lib path = starts_with ~prefix:"lib/" path
 
 (* ---------------- comment / literal stripping ---------------- *)
@@ -256,6 +261,7 @@ let scan_tokens ~path (toks : token array) : finding list =
   let findings = ref [] in
   let add line rule message = findings := { path; line; rule; message } :: !findings in
   let fast = in_fast_path path in
+  let unsafe_scope = in_unsafe_scope path in
   let lib = in_lib path in
   let bin = starts_with ~prefix:"bin/" path in
   let ntok = Array.length toks in
@@ -265,7 +271,7 @@ let scan_tokens ~path (toks : token array) : finding list =
   for i = 0 to ntok - 1 do
     let tok = toks.(i).text and line = toks.(i).tline in
     (* unsafe primitives in fast-path modules *)
-    if fast && List.mem tok unsafe_primitives then
+    if unsafe_scope && List.mem tok unsafe_primitives then
       add line "unsafe-op"
         (Printf.sprintf
            "%s in a fast-path module: bounds-checked access is the only \

@@ -5,7 +5,8 @@
 
     - [missing-mli]: every [.ml] under [lib/] has a matching [.mli].
     - [unsafe-op]: no [Obj.magic] / [Bytes.unsafe_*] / [String.unsafe_*]
-      in fast-path modules ([lib/mem], [lib/core], [lib/net]).
+      in fast-path modules ([lib/mem], [lib/core], [lib/net],
+      [lib/device] — descriptor rings are fast-path too).
     - [poly-compare]: no polymorphic [=]/[<>]/[compare] applied to
       buffer/sga-named values in fast-path modules (heuristic: fires
       next to identifiers named [buf]/[sga]/[*_buf]/[*_sga]/...).

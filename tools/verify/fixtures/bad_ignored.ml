@@ -1,0 +1,17 @@
+(* Seeded ignored-result violations: with the kernel out of the I/O
+   path, the Error constructor is the only failure report left — no
+   Demi result may be discarded unexamined. *)
+
+module Demi = Demikernel.Demi
+
+let ignore_bind demi qd =
+  ignore (Demi.bind demi qd ~port:9) (* FLAG ignored-result *)
+
+let underscore_close demi qd =
+  let _ = Demi.close demi qd in (* FLAG ignored-result *)
+  ()
+
+let inside_closure demi qd k =
+  k (fun () -> ignore (Demi.connect demi qd ~dst:3)) (* FLAG ignored-result *)
+
+let _ = Demi.push demi0 qd0 sga0 (* FLAG ignored-result *)

@@ -1,0 +1,77 @@
+(* Seeded qd-typestate violations. Every line carrying a FLAG comment
+   naming a rule must be reported by dk-verify; the engine test
+   asserts exact set equality. Fixtures are parsed, never compiled, so
+   unbound identifiers are fine. *)
+
+module Demi = Demikernel.Demi
+module Types = Demikernel.Types
+
+let listen_before_bind demi =
+  match Demi.socket demi `Tcp with
+  | Error _ -> ()
+  | Ok lqd ->
+      (match Demi.listen demi lqd with (* FLAG qd-typestate *)
+      | Ok () | Error _ -> ());
+      (match Demi.close demi lqd with Ok () | Error _ -> ())
+
+let bind_twice demi =
+  match Demi.socket demi `Udp with
+  | Error _ -> ()
+  | Ok qd ->
+      (match Demi.bind demi qd ~port:1 with Ok () | Error _ -> ());
+      (match Demi.bind demi qd ~port:2 with (* FLAG qd-typestate *)
+      | Ok () | Error _ -> ());
+      (match Demi.close demi qd with Ok () | Error _ -> ())
+
+let push_unconnected demi sga =
+  match Demi.socket demi `Tcp with
+  | Error _ -> ()
+  | Ok qd ->
+      (match Demi.push demi qd sga with (* FLAG qd-typestate *)
+      | Ok tok -> ( match Demi.wait demi tok with _ -> ())
+      | Error _ -> ());
+      (match Demi.close demi qd with Ok () | Error _ -> ())
+
+let accept_unlistened demi =
+  match Demi.socket demi `Tcp with
+  | Error _ -> ()
+  | Ok lqd ->
+      (match Demi.accept demi lqd with (* FLAG qd-typestate *)
+      | Ok qd -> ( match Demi.close demi qd with Ok () | Error _ -> ())
+      | Error _ -> ());
+      (match Demi.close demi lqd with Ok () | Error _ -> ())
+
+let use_after_close demi =
+  match Demi.socket demi `Tcp with
+  | Error _ -> ()
+  | Ok qd -> (
+      (match Demi.connect demi qd ~dst:7 with Ok () | Error _ -> ());
+      (match Demi.close demi qd with Ok () | Error _ -> ());
+      match Demi.pop demi qd with (* FLAG qd-typestate *)
+      | Ok tok -> ( match Demi.wait demi tok with _ -> ())
+      | Error _ -> ())
+
+let close_twice demi =
+  match Demi.socket demi `Tcp with
+  | Error _ -> ()
+  | Ok qd -> (
+      (match Demi.close demi qd with Ok () | Error _ -> ());
+      match Demi.close demi qd with (* FLAG qd-typestate *)
+      | Ok () | Error _ -> ())
+
+let leak demi =
+  match Demi.socket demi `Tcp with
+  | Error _ -> ()
+  | Ok qd -> ( (* FLAG qd-typestate *)
+      match Demi.connect demi qd ~dst:9 with Ok () | Error _ -> ())
+
+let close_some_paths demi cond =
+  match Demi.socket demi `Tcp with
+  | Error _ -> ()
+  | Ok qd -> (* FLAG qd-typestate *)
+      if cond then (match Demi.close demi qd with Ok () | Error _ -> ())
+      else ()
+
+let discard_minted demi =
+  let _ = Result.get_ok (Demi.socket demi `Tcp) in (* FLAG qd-typestate *)
+  ()

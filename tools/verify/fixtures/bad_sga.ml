@@ -1,0 +1,38 @@
+(* Seeded sga-ownership violations: the buffer belongs to the device
+   between push and the completion of the corresponding wait. *)
+
+module Demi = Demikernel.Demi
+module Sga = Demikernel.Sga
+
+let free_inflight demi qd =
+  match Demi.sga_alloc demi "x" with
+  | Error _ -> ()
+  | Ok sga -> (
+      match Demi.push demi qd sga with
+      | Error _ -> ()
+      | Ok tok ->
+          Demi.sga_free demi sga; (* FLAG sga-ownership *)
+          (match Demi.wait demi tok with _ -> ()))
+
+let double_push demi qd =
+  match Demi.sga_alloc demi "y" with
+  | Error _ -> ()
+  | Ok sga -> (
+      match Demi.push demi qd sga with
+      | Error _ -> ()
+      | Ok tok ->
+          (match Demi.push demi qd sga with (* FLAG sga-ownership *)
+          | Ok t2 -> ( match Demi.wait demi t2 with _ -> ())
+          | Error _ -> ());
+          (match Demi.wait demi tok with _ -> ()))
+
+let read_inflight demi qd =
+  match Demi.sga_alloc demi "z" with
+  | Error _ -> ()
+  | Ok sga -> (
+      match Demi.push demi qd sga with
+      | Error _ -> ()
+      | Ok tok ->
+          let len = Sga.length sga in (* FLAG sga-ownership *)
+          (match Demi.wait demi tok with _ -> ());
+          ignore len)

@@ -1,0 +1,42 @@
+(* Seeded token-linear violations: dropped tokens, double redemption,
+   watch/wait mixing, path-dependent redemption. *)
+
+module Demi = Demikernel.Demi
+module Types = Demikernel.Types
+
+let drop_token demi qd =
+  match Demi.pop demi qd with
+  | Error _ -> ()
+  | Ok tok -> () (* FLAG token-linear *)
+
+let double_wait demi qd =
+  match Demi.pop demi qd with
+  | Error _ -> ()
+  | Ok tok -> (
+      (match Demi.wait demi tok with _ -> ());
+      match Demi.wait demi tok with (* FLAG token-linear *)
+      | _ -> ())
+
+let watch_then_wait demi qd =
+  match Demi.pop demi qd with
+  | Error _ -> ()
+  | Ok tok -> (
+      Demi.watch demi tok (fun _ -> ());
+      match Demi.wait demi tok with (* FLAG token-linear *)
+      | _ -> ())
+
+let watch_twice demi qd =
+  match Demi.pop demi qd with
+  | Error _ -> ()
+  | Ok tok ->
+      Demi.watch demi tok (fun _ -> ());
+      Demi.watch demi tok (fun _ -> ()) (* FLAG token-linear *)
+
+let partial_redeem demi qd cond =
+  match Demi.pop demi qd with
+  | Error _ -> ()
+  | Ok tok -> (* FLAG token-linear *)
+      if cond then (match Demi.wait demi tok with _ -> ()) else ()
+
+let mint_and_drop demi qd sga =
+  ignore (Result.get_ok (Demi.push demi qd sga)) (* FLAG token-linear *)

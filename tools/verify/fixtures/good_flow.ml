@@ -1,0 +1,66 @@
+(* Flow shapes that are legal and must stay clean: ownership escapes,
+   branch joins that close on every path, try_wait retry loops, watch
+   callbacks freeing in-flight buffers at completion, blocking data
+   path, queue composition. *)
+
+module Demi = Demikernel.Demi
+module Types = Demikernel.Types
+
+let must = function Ok v -> v | Error _ -> failwith "demi"
+let helper _ = ()
+
+let escapes demi =
+  match Demi.socket demi `Tcp with
+  | Error _ -> ()
+  | Ok qd -> helper qd
+
+let branch_close demi cond =
+  match Demi.socket demi `Tcp with
+  | Error _ -> ()
+  | Ok qd ->
+      if cond then must (Demi.connect demi qd ~dst:1) else ();
+      must (Demi.close demi qd)
+
+let retry_try_wait demi qd =
+  match Demi.pop demi qd with
+  | Error _ -> ()
+  | Ok tok -> (
+      match Demi.try_wait demi tok with
+      | Ok None -> ( match Demi.wait demi tok with _ -> ())
+      | Ok (Some _) -> ()
+      | Error _ -> ())
+
+let inflight_closure demi qd =
+  match Demi.sga_alloc demi "w" with
+  | Error _ -> ()
+  | Ok sga -> (
+      match Demi.push demi qd sga with
+      | Error _ -> ()
+      | Ok tok -> Demi.watch demi tok (fun _ -> Demi.sga_free demi sga))
+
+let blocking demi qd =
+  match Demi.sga_alloc demi "b" with
+  | Error _ -> ()
+  | Ok sga ->
+      (match Demi.blocking_push demi qd sga with _ -> ());
+      Demi.sga_free demi sga
+
+let compose demi =
+  match Demi.socket demi `Udp with
+  | Error _ -> ()
+  | Ok qd -> (
+      must (Demi.bind demi qd ~port:5);
+      match Demi.filter demi qd ~f:(fun _ -> true) with
+      | Ok fq -> must (Demi.close demi fq)
+      | Error _ -> ())
+
+let loop_pushes demi qd msg =
+  for _ = 1 to 3 do
+    match Demi.push demi qd (must (Demi.sga_alloc demi msg)) with
+    | Ok tok -> ( match Demi.wait demi tok with _ -> ())
+    | Error _ -> ()
+  done
+
+let deliberate_discard demi =
+  let _registration_qd = must (Demi.socket demi `Udp) in
+  ()

@@ -1,0 +1,34 @@
+(* A protocol-clean server: full Figure-3 lifecycle, every result
+   matched, every token redeemed exactly once, every qd closed.
+   dk-verify must report nothing here. *)
+
+module Demi = Demikernel.Demi
+module Types = Demikernel.Types
+
+let must = function Ok v -> v | Error _ -> failwith "demi"
+
+let serve demi ~port =
+  let lqd = must (Demi.socket demi `Tcp) in
+  must (Demi.bind demi lqd ~port);
+  must (Demi.listen demi lqd);
+  (match Demi.accept demi lqd with
+  | Ok qd ->
+      (match Demi.pop demi qd with
+      | Ok tok -> (
+          match Demi.wait demi tok with
+          | Types.Popped sga -> Demi.sga_free demi sga
+          | _ -> ())
+      | Error _ -> ());
+      must (Demi.close demi qd)
+  | Error _ -> ());
+  must (Demi.close demi lqd)
+
+let client demi ~dst msg =
+  let ( let* ) = Result.bind in
+  let* qd = Demi.socket demi `Tcp in
+  let* () = Demi.connect demi qd ~dst in
+  let* sga = Demi.sga_alloc demi msg in
+  (match Demi.push demi qd sga with
+  | Ok tok -> ( match Demi.wait demi tok with _ -> ())
+  | Error _ -> ());
+  Demi.close demi qd
