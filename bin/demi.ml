@@ -242,6 +242,137 @@ let stats_cmd =
        ~doc:"run an echo workload and dump every datapath obs instrument")
     Term.(const stats_run $ size_arg $ rounds_arg $ stats_loss_arg $ json_arg)
 
+(* ---- faults ---- *)
+
+module Fault = Dk_fault.Fault
+
+let faults_list () =
+  Format.printf "injection sites:@.";
+  List.iter
+    (fun s ->
+      Format.printf "  %-18s %s@." (Fault.site_name s) (Fault.describe s))
+    Fault.sites;
+  Format.printf
+    "@.named plans (replay with `demi faults --plan NAME --seed N`):@.";
+  List.iter (fun (n, d) -> Format.printf "  %-15s %s@." n d) Fault.plan_names
+
+(* Run one echo phase and one storage phase under the armed plan,
+   reporting liveness (first surfaced error, if any) and the injection
+   ledger. Everything is virtual-time deterministic: same plan + seed
+   => same output, which is what makes `demi faults` a replay tool. *)
+let faults_replay name seed size rounds =
+  match Fault.named ~seed:(Int64.of_int seed) name with
+  | None ->
+      Format.eprintf "demi faults: unknown plan %S (run `demi faults` to list)@."
+        name;
+      exit 2
+  | Some plan ->
+      Dk_obs.Metrics.reset Dk_obs.Metrics.default;
+      Dk_obs.Flight.clear Dk_obs.Flight.default;
+      Fault.install Fault.default plan;
+      Fun.protect ~finally:(fun () -> Fault.clear Fault.default) @@ fun () ->
+      let duo = Setup.two_hosts () in
+      let engine = duo.Setup.engine and cost = duo.Setup.cost in
+      let block = Dk_device.Block.create ~engine ~cost () in
+      let da = Setup.demi_of_host ~engine ~cost duo.Setup.a ~block () in
+      let db = Setup.demi_of_host ~engine ~cost duo.Setup.b () in
+      ignore (Echo.start_demi_server ~demi:db ~port:7);
+      Format.printf "plan %s (seed %d): %s@." plan.Fault.plan_name seed
+        (try List.assoc name Fault.plan_names with Not_found -> "custom");
+      (* echo phase *)
+      let payload = String.make size 'f' in
+      let echo_err = ref None in
+      let ok_rounds = ref 0 in
+      (match Demi_rt.socket da `Tcp with
+      | Error e -> echo_err := Some e
+      | Ok qd -> (
+          match Demi_rt.connect da qd ~dst:(Setup.endpoint duo.Setup.b 7) with
+          | Error e -> echo_err := Some e
+          | Ok () ->
+              let i = ref 0 in
+              while !i < rounds && !echo_err = None do
+                incr i;
+                (match Demi_rt.sga_alloc da payload with
+                | Error e -> echo_err := Some e
+                | Ok sga -> (
+                    match Demi_rt.blocking_push da qd sga with
+                    | Demikernel.Types.Pushed -> (
+                        match Demi_rt.blocking_pop da qd with
+                        | Demikernel.Types.Popped reply ->
+                            incr ok_rounds;
+                            Demi_rt.sga_free da reply;
+                            Demi_rt.sga_free da sga
+                        | Demikernel.Types.Failed e -> echo_err := Some e
+                        | _ -> echo_err := Some `Not_supported)
+                    | Demikernel.Types.Failed e -> echo_err := Some e
+                    | _ -> echo_err := Some `Not_supported))
+              done;
+              ignore (Demi_rt.close da qd)));
+      Format.printf "echo   : %d/%d rounds%s@." !ok_rounds rounds
+        (match !echo_err with
+        | None -> ""
+        | Some e ->
+            Printf.sprintf " — then %s" (Demikernel.Types.error_to_string e));
+      (* storage phase *)
+      let disk_err = ref None in
+      let ok_records = ref 0 in
+      let records = 8 in
+      (match Demi_rt.fcreate da "replay.log" with
+      | Error e -> disk_err := Some e
+      | Ok fqd ->
+          let i = ref 0 in
+          while !i < records && !disk_err = None do
+            incr i;
+            match Demi_rt.sga_alloc da (Printf.sprintf "record-%03d" !i) with
+            | Error e -> disk_err := Some e
+            | Ok sga -> (
+                (match Demi_rt.blocking_push da fqd sga with
+                | Demikernel.Types.Pushed -> (
+                    match Demi_rt.blocking_pop da fqd with
+                    | Demikernel.Types.Popped r ->
+                        incr ok_records;
+                        Demi_rt.sga_free da r
+                    | Demikernel.Types.Failed e -> disk_err := Some e
+                    | _ -> disk_err := Some `Not_supported)
+                | Demikernel.Types.Failed e -> disk_err := Some e
+                | _ -> disk_err := Some `Not_supported);
+                Demi_rt.sga_free da sga)
+          done);
+      Format.printf "storage: %d/%d records%s@." !ok_records records
+        (match !disk_err with
+        | None -> ""
+        | Some e ->
+            Printf.sprintf " — then %s" (Demikernel.Types.error_to_string e));
+      (* injection ledger *)
+      Format.printf "@.injected (virtual time now %Ldns):@."
+        (Dk_sim.Engine.now engine);
+      List.iter
+        (fun s ->
+          let n = Fault.injected Fault.default s in
+          if n > 0 then Format.printf "  %-18s %d@." (Fault.site_name s) n)
+        Fault.sites;
+      if Fault.total_injected Fault.default = 0 then
+        Format.printf "  (nothing fired — window/rate injected no faults)@."
+
+let faults_run plan seed size rounds =
+  match plan with
+  | None -> faults_list ()
+  | Some name -> faults_replay name seed size rounds
+
+let faults_cmd =
+  let plan =
+    Arg.(value & opt (some string) None
+         & info [ "plan" ] ~docv:"NAME"
+             ~doc:"named fault plan to replay (omit to list sites and plans)")
+  in
+  let seed =
+    Arg.(value & opt int 7 & info [ "seed" ] ~docv:"N" ~doc:"plan RNG seed")
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:"list fault-injection sites, or deterministically replay a plan")
+    Term.(const faults_run $ plan $ seed $ size_arg $ rounds_arg)
+
 (* `demi --stats` (no subcommand) behaves like `demi stats`. *)
 let default =
   let stats_flag =
@@ -260,6 +391,6 @@ let main =
   Cmd.group ~default
     (Cmd.info "demi" ~version:"1.0"
        ~doc:"Demikernel reproduction: parameterised simulation scenarios")
-    [ rtt_cmd; kv_cmd; wakeups_cmd; loss_cmd; stats_cmd ]
+    [ rtt_cmd; kv_cmd; wakeups_cmd; loss_cmd; stats_cmd; faults_cmd ]
 
 let () = exit (Cmd.eval main)

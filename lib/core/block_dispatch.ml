@@ -1,13 +1,31 @@
 module Block = Dk_device.Block
 
+(* Retry accounting: transient device errors absorbed (or not) by the
+   dispatcher's bounded exponential backoff. *)
+let m_retries = Dk_obs.Metrics.counter "core.block.retries"
+let m_recovered = Dk_obs.Metrics.counter "core.block.recovered"
+let m_gave_up = Dk_obs.Metrics.counter "core.block.gave_up"
+
 type t = {
   block : Block.t;
+  engine : Dk_sim.Engine.t;
+  max_retries : int;
+  retry_backoff_ns : int64;
   handlers : (int, Block.completion -> unit) Hashtbl.t;
   mutable next_wr : int;
 }
 
-let create block =
-  let t = { block; handlers = Hashtbl.create 32; next_wr = 1 } in
+let create ?(max_retries = 4) ?(retry_backoff_ns = 10_000L) block =
+  let t =
+    {
+      block;
+      engine = Block.engine block;
+      max_retries;
+      retry_backoff_ns;
+      handlers = Hashtbl.create 32;
+      next_wr = 1;
+    }
+  in
   Block.set_cq_notify block (fun () ->
       let rec loop () =
         match Block.poll_cq block with
@@ -30,16 +48,59 @@ let fresh t =
   t.next_wr <- t.next_wr + 1;
   id
 
-let read t ~lba k =
+let backoff_ns t attempt =
+  Int64.mul t.retry_backoff_ns (Int64.of_int (1 lsl min attempt 16))
+
+(* Submit with retry: an [`Io_error] completion (or an SQ-full retry
+   slot) is resubmitted after an exponentially growing backoff, up to
+   [max_retries] times; only then does the error reach the caller's
+   continuation. The *first* submission keeps the historical contract —
+   [false] on a full SQ, continuation dropped — so callers' own
+   backpressure handling still works. *)
+let rec attempt_op t ~resubmit ~attempt k =
   let wr = fresh t in
-  Hashtbl.replace t.handlers wr k;
-  let ok = Block.submit_read t.block ~wr_id:wr ~lba in
-  if not ok then Hashtbl.remove t.handlers wr;
-  ok
+  let retry_later () =
+    Dk_obs.Metrics.incr m_retries;
+    ignore
+      (Dk_sim.Engine.after t.engine (backoff_ns t attempt) (fun () ->
+           ignore (attempt_op t ~resubmit ~attempt:(attempt + 1) k)))
+  in
+  let handler c =
+    match c.Block.status with
+    | `Io_error when attempt < t.max_retries -> retry_later ()
+    | `Io_error ->
+        Dk_obs.Metrics.incr m_gave_up;
+        Dk_obs.Flight.recordf Dk_obs.Flight.default
+          ~now:(Dk_sim.Engine.now t.engine) Dk_obs.Flight.Drop
+          "block wr_id %d failed after %d retries" c.Block.wr_id attempt;
+        k c
+    | `Ok | `Bad_lba ->
+        if attempt > 0 then Dk_obs.Metrics.incr m_recovered;
+        k c
+  in
+  Hashtbl.replace t.handlers wr handler;
+  let ok = resubmit wr in
+  if not ok then begin
+    Hashtbl.remove t.handlers wr;
+    if attempt = 0 then false
+    else begin
+      (* A retry must not be dropped on a momentarily full SQ. *)
+      if attempt < t.max_retries then retry_later ()
+      else begin
+        Dk_obs.Metrics.incr m_gave_up;
+        k { Block.wr_id = wr; status = `Io_error; data = None }
+      end;
+      true
+    end
+  end
+  else true
+
+let read t ~lba k =
+  attempt_op t
+    ~resubmit:(fun wr -> Block.submit_read t.block ~wr_id:wr ~lba)
+    ~attempt:0 k
 
 let write t ~lba data k =
-  let wr = fresh t in
-  Hashtbl.replace t.handlers wr k;
-  let ok = Block.submit_write t.block ~wr_id:wr ~lba data in
-  if not ok then Hashtbl.remove t.handlers wr;
-  ok
+  attempt_op t
+    ~resubmit:(fun wr -> Block.submit_write t.block ~wr_id:wr ~lba data)
+    ~attempt:0 k

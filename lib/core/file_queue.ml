@@ -93,8 +93,10 @@ and parse_payload st =
     match parse_record (Stdlib.Buffer.contents st.raw) st.parse_off with
     | None -> ()
     | Some (Error ()) ->
+        (* CRC/framing mismatch: a torn or corrupted record. Surface it
+           as an I/O error, not a polite close. *)
         st.corrupt <- true;
-        Mailbox.close st.mbox
+        Mailbox.fail st.mbox `Io_error
     | Some (Ok (payload, used)) ->
         st.parse_off <- st.parse_off + used;
         let decoder = Framing.create () in
@@ -105,7 +107,7 @@ and parse_payload st =
               (Types.Popped (Dk_mem.Sga.of_strings segments))
         | None ->
             st.corrupt <- true;
-            Mailbox.close st.mbox);
+            Mailbox.fail st.mbox `Io_error);
         parse_loop st
 
 and try_fetch st =
@@ -125,7 +127,11 @@ and try_fetch st =
             Stdlib.Buffer.add_string st.raw (String.sub data lo (hi - lo));
             st.fed <- st.fed + (hi - lo)
           end
-      | Some _ | None -> ());
+      | Some _ | None ->
+          (* The dispatcher already retried with backoff: this block is
+             unreadable. Fail waiters instead of re-fetching forever. *)
+          st.corrupt <- true;
+          Mailbox.fail st.mbox `Io_error);
       st.fetching <- false;
       parse_loop st;
       (* Keep streaming while a pop is outstanding. *)
@@ -158,21 +164,34 @@ let rec start_append st =
           let first = off / st.bs and last = (off + len - 1) / st.bs in
           let remaining = ref (last - first + 1) in
           let failed = ref false in
+          let errored = ref false in
           for idx = first to last do
             if not !failed then begin
               let start = idx * st.bs in
               let chunk_len = min st.bs (st.log_len - start) in
               let chunk = Bytes.sub_string st.shadow start chunk_len in
-              let on_written _ =
+              let on_written (c : Block.completion) =
                 decr remaining;
-                if !remaining = 0 then begin
-                  st.durable_len <- st.log_len;
-                  Token.complete st.tokens tok Types.Pushed;
-                  st.append_active <- false;
-                  (* New durable bytes may satisfy waiting pops. *)
-                  if Mailbox.waiting st.mbox > 0 then try_fetch st;
-                  start_append st
-                end
+                if c.Block.status <> `Ok then errored := true;
+                if !remaining = 0 then
+                  if !errored then begin
+                    (* The device gave up after retries: the tail never
+                       became durable. Roll the log back and surface the
+                       error — silently "succeeding" would hand a later
+                       reader a hole. *)
+                    st.log_len <- off;
+                    Token.complete st.tokens tok (Types.Failed `Io_error);
+                    st.append_active <- false;
+                    start_append st
+                  end
+                  else begin
+                    st.durable_len <- st.log_len;
+                    Token.complete st.tokens tok Types.Pushed;
+                    st.append_active <- false;
+                    (* New durable bytes may satisfy waiting pops. *)
+                    if Mailbox.waiting st.mbox > 0 then try_fetch st;
+                    start_append st
+                  end
               in
               if
                 not

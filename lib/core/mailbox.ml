@@ -2,7 +2,7 @@ type t = {
   tokens : Token.t;
   ready : Types.op_result Queue.t;
   waiters : Types.qtoken Queue.t;
-  mutable closed : bool;
+  mutable terminal : Types.error option;
   mutable on_deliver : unit -> unit;
 }
 
@@ -11,7 +11,7 @@ let create tokens =
     tokens;
     ready = Queue.create ();
     waiters = Queue.create ();
-    closed = false;
+    terminal = None;
     on_deliver = (fun () -> ());
   }
 
@@ -35,19 +35,21 @@ let pop t tok =
   | Some result ->
       Dk_obs.Metrics.gauge_add g_buffered (-1);
       Token.complete t.tokens tok result
-  | None ->
-      if t.closed then Token.complete t.tokens tok (Types.Failed `Queue_closed)
-      else Queue.add tok t.waiters
+  | None -> (
+      match t.terminal with
+      | Some err -> Token.complete t.tokens tok (Types.Failed err)
+      | None -> Queue.add tok t.waiters)
 
-let close t =
-  if not t.closed then begin
-    t.closed <- true;
+let fail t err =
+  if t.terminal = None then begin
+    t.terminal <- Some err;
     Queue.iter
-      (fun tok -> Token.complete t.tokens tok (Types.Failed `Queue_closed))
+      (fun tok -> Token.complete t.tokens tok (Types.Failed err))
       t.waiters;
     Queue.clear t.waiters
   end
 
+let close t = fail t `Queue_closed
 let buffered t = Queue.length t.ready
 let waiting t = Queue.length t.waiters
 let set_on_deliver t f = t.on_deliver <- f

@@ -18,7 +18,16 @@ val pop : t -> Types.qtoken -> unit
     [Failed `Queue_closed] once the buffer drains. *)
 
 val close : t -> unit
-(** Fail all waiting tokens; buffered elements remain poppable. *)
+(** Fail all waiting tokens; buffered elements remain poppable.
+    Equivalent to [fail t `Queue_closed]. *)
+
+val fail : t -> Types.error -> unit
+(** Terminal failure with a specific error: waiting tokens (and every
+    future pop, once the buffer drains) complete [Failed err]. The
+    first terminal error wins; later [fail]/[close] calls are no-ops.
+    Used to surface [`Conn_aborted] from a timed-out TCP connection or
+    [`Io_error] from a dead block device instead of the generic
+    [`Queue_closed]. *)
 
 val buffered : t -> int
 val waiting : t -> int

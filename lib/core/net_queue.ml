@@ -4,6 +4,10 @@ module Framing = Dk_net.Framing
 
 (* ---- TCP connection queues ---- *)
 
+(* Connections torn down by RTO exhaustion (give-up after bounded
+   exponential backoff), surfaced to waiters as [`Conn_aborted]. *)
+let m_aborted = Dk_obs.Metrics.counter "core.tcp.aborted"
+
 type conn_state = {
   tokens : Token.t;
   conn : Tcp.conn;
@@ -70,10 +74,13 @@ let of_conn ~tokens ~conn () =
         match reason with
         | `Normal -> `Queue_closed
         | `Reset -> `Refused
-        | `Timeout -> `Timeout
+        (* RTO retries exhausted (the peer is partitioned or dead):
+           ECONNABORTED, so `Demi.wait` returns instead of hanging. *)
+        | `Timeout -> `Conn_aborted
       in
+      (if err = `Conn_aborted then Dk_obs.Metrics.incr m_aborted);
       fail_tx st err;
-      Mailbox.close st.mbox);
+      Mailbox.fail st.mbox err);
   {
     Qimpl.kind = "tcp";
     push =

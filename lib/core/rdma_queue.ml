@@ -48,6 +48,7 @@ let status_to_result = function
   | `Rnr -> Types.Failed `Would_block
   | `Not_registered | `Too_long | `Rkey -> Types.Failed `Not_supported
   | `Not_connected -> Types.Failed `Queue_closed
+  | `Qp_broken -> Types.Failed `Conn_aborted
 
 let rec issue_send st sga tok =
   if st.credits > 0 then begin
@@ -63,6 +64,17 @@ and drain_send st =
     match Rdma.poll_send_cq st.qp with
     | None -> ()
     | Some { Rdma.wr_id; status; _ } ->
+        (* A broken QP is terminal: nothing queued behind this send can
+           ever complete, and no more receives will arrive. Fail the
+           lot with [`Conn_aborted] instead of letting waiters hang. *)
+        if status = `Qp_broken then begin
+          Mailbox.fail st.mbox `Conn_aborted;
+          Queue.iter
+            (fun (_, qtok) ->
+              Token.complete st.tokens qtok (Types.Failed `Conn_aborted))
+            st.pending_sends;
+          Queue.clear st.pending_sends
+        end;
         (match Hashtbl.find_opt st.inflight wr_id with
         | Some tok ->
             Hashtbl.remove st.inflight wr_id;

@@ -8,6 +8,8 @@ type error =
   | `Would_block
   | `Refused
   | `Timeout
+  | `Conn_aborted
+  | `Io_error
   | `No_memory
   | `Not_supported
   | `Deadlock ]
@@ -25,6 +27,8 @@ let error_to_string = function
   | `Would_block -> "would block"
   | `Refused -> "connection refused"
   | `Timeout -> "timeout"
+  | `Conn_aborted -> "connection aborted"
+  | `Io_error -> "device I/O error"
   | `No_memory -> "out of memory"
   | `Not_supported -> "not supported"
   | `Deadlock -> "simulation deadlock"

@@ -15,6 +15,11 @@ type error =
   | `Would_block   (** non-blocking operation found nothing *)
   | `Refused       (** connection refused (RST) *)
   | `Timeout       (** wait timeout or transport timeout *)
+  | `Conn_aborted  (** established transport gave up (ECONNABORTED):
+                       TCP exhausted its RTO retries, or an RDMA queue
+                       pair broke under an active operation *)
+  | `Io_error      (** device I/O failed after the libOS exhausted its
+                       retry budget (NVMe completion error) *)
   | `No_memory     (** memory manager exhausted *)
   | `Not_supported (** operation not valid for this queue kind *)
   | `Deadlock      (** the simulation ran out of events while waiting *)

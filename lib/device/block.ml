@@ -1,4 +1,6 @@
-type status = [ `Ok | `Bad_lba ]
+type status = [ `Ok | `Bad_lba | `Io_error ]
+
+module Fault = Dk_fault.Fault
 
 type completion = { wr_id : int; status : status; data : string option }
 
@@ -54,6 +56,7 @@ let create ~engine ~cost ?(block_size = 4096) ?(block_count = 1 lsl 20)
 
 let block_size t = t.block_size
 let block_count t = t.block_count
+let engine t = t.engine
 let programmable t = t.programmable
 
 let set_write_prog t prog =
@@ -78,6 +81,11 @@ let prog_latency t prog =
 
 let complete t delay comp =
   let submitted = Dk_sim.Engine.now t.engine in
+  (* Injected completion stall: the command sits in the device for an
+     extra magnitude before the CQ entry lands. *)
+  let delay =
+    Int64.add delay (Fault.extra_delay Fault.default Fault.Block_stall ~now:submitted)
+  in
   ignore
     (Dk_sim.Engine.after t.engine delay (fun () ->
          t.inflight <- t.inflight - 1;
@@ -111,6 +119,10 @@ let submit_read t ~wr_id ~lba =
   let make () =
     if lba < 0 || lba >= t.block_count then
       { wr_id; status = `Bad_lba; data = None }
+    else if
+      Fault.fire Fault.default Fault.Block_error
+        ~now:(Dk_sim.Engine.now t.engine)
+    then { wr_id; status = `Io_error; data = None }
     else
       let data =
         match Hashtbl.find_opt t.store lba with
@@ -142,11 +154,30 @@ let submit_write t ~wr_id ~lba data =
   let make () =
     if lba < 0 || lba >= t.block_count then
       { wr_id; status = `Bad_lba; data = None }
+    else if
+      Fault.fire Fault.default Fault.Block_error
+        ~now:(Dk_sim.Engine.now t.engine)
+    then
+      (* Media error: nothing persists. *)
+      { wr_id; status = `Io_error; data = None }
     else begin
       let data =
         match t.write_prog with
         | Some prog -> Prog.eval_map prog data
         | None -> data
+      in
+      let data =
+        (* Torn write: only a prefix reaches the media, yet the device
+           reports success — the failure mode log-structured layouts
+           defend against with per-record CRCs (§5.3). *)
+        if
+          Fault.fire Fault.default Fault.Block_torn_write
+            ~now:(Dk_sim.Engine.now t.engine)
+        then
+          String.sub data 0
+            (Fault.cut_point Fault.default Fault.Block_torn_write
+               ~len:(String.length data))
+        else data
       in
       let padded =
         if String.length data >= t.block_size then

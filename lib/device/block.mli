@@ -9,7 +9,10 @@
 
 type t
 
-type status = [ `Ok | `Bad_lba ]
+type status = [ `Ok | `Bad_lba | `Io_error ]
+(** [`Io_error] is only produced under an armed {!Dk_fault} plan
+    ([block.error] site): the media failed the command. The libOS
+    retry policy lives in [Block_dispatch], not here. *)
 
 type completion = {
   wr_id : int;
@@ -42,6 +45,10 @@ val set_read_prog : t -> Prog.map option -> (unit, [ `Not_programmable ]) result
 
 val block_size : t -> int
 val block_count : t -> int
+
+val engine : t -> Dk_sim.Engine.t
+(** The simulation engine the device schedules completions on (lets
+    dispatch layers schedule retries without threading it twice). *)
 
 val submit_read : t -> wr_id:int -> lba:int -> bool
 (** [false] when the submission queue is full. *)

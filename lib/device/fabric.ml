@@ -1,5 +1,7 @@
 type stats = { delivered : int; lost : int; unrouted : int }
 
+module Fault = Dk_fault.Fault
+
 (* Class-wide obs instruments (aggregated across fabrics). *)
 let m_delivered = Dk_obs.Metrics.counter "device.fabric.delivered"
 let m_lost = Dk_obs.Metrics.counter "device.fabric.lost"
@@ -36,45 +38,78 @@ let create ~engine ~cost ?(loss = 0.0) ?(jitter_ns = 0L) ?(seed = 0x5eedL) () =
   }
 
 let deliver t ~src ~dst ~departed nic frame =
-  let base = Dk_sim.Cost.wire_ns t.cost (String.length frame) in
-  let delay =
-    if Int64.compare t.jitter_ns 0L > 0 then
-      Int64.add base
-        (Int64.of_int
-           (Dk_sim.Rng.int t.rng (Int64.to_int t.jitter_ns + 1)))
-    else base
-  in
-  (* Absolute arrival from the departure time; clamped monotonic per
-     (src,dst) so the wire is FIFO (unless jitter deliberately reorders,
-     in which case the clamp is skipped). *)
-  let arrival = Int64.add departed delay in
-  let arrival =
-    if Int64.compare t.jitter_ns 0L > 0 then arrival
-    else begin
-      let key = (src, dst) in
-      let floor =
-        Option.value ~default:0L (Hashtbl.find_opt t.last_arrival key)
-      in
-      let a = if Int64.compare arrival floor < 0 then floor else arrival in
-      Hashtbl.replace t.last_arrival key a;
-      a
-    end
-  in
-  let arrive () =
-    if t.loss > 0.0 && Dk_sim.Rng.bool t.rng t.loss then begin
-      t.lost <- t.lost + 1;
-      Dk_obs.Metrics.incr m_lost;
-      Dk_obs.Flight.recordf Dk_obs.Flight.default
-        ~now:(Dk_sim.Engine.now t.engine) Dk_obs.Flight.Drop
-        "fabric lost frame %x->%x (%dB)" src dst (String.length frame)
-    end
-    else begin
-      t.delivered <- t.delivered + 1;
-      Dk_obs.Metrics.incr m_delivered;
-      Nic.receive nic frame
-    end
-  in
-  ignore (Dk_sim.Engine.at t.engine arrival arrive)
+  (* Injected partition: the link is down, the frame dies at the egress
+     port. Decided at departure time so the window is crisp. *)
+  if Fault.fire Fault.default Fault.Fabric_partition ~now:departed then begin
+    t.lost <- t.lost + 1;
+    Dk_obs.Metrics.incr m_lost
+  end
+  else begin
+    let base = Dk_sim.Cost.wire_ns t.cost (String.length frame) in
+    let delay =
+      if Int64.compare t.jitter_ns 0L > 0 then
+        Int64.add base
+          (Int64.of_int
+             (Dk_sim.Rng.int t.rng (Int64.to_int t.jitter_ns + 1)))
+      else base
+    in
+    (* Injected reorder: push this frame past its successors. The FIFO
+       clamp below must not see it, or successors would be pushed back
+       too and the order would be preserved after all. *)
+    let reorder =
+      Fault.extra_delay Fault.default Fault.Fabric_reorder ~now:departed
+    in
+    let delay = Int64.add delay reorder in
+    (* Absolute arrival from the departure time; clamped monotonic per
+       (src,dst) so the wire is FIFO (unless jitter or an injected
+       reorder deliberately breaks it, in which case the clamp is
+       skipped). *)
+    let arrival = Int64.add departed delay in
+    let arrival =
+      if Int64.compare t.jitter_ns 0L > 0 || Int64.compare reorder 0L > 0 then
+        arrival
+      else begin
+        let key = (src, dst) in
+        let floor =
+          Option.value ~default:0L (Hashtbl.find_opt t.last_arrival key)
+        in
+        let a = if Int64.compare arrival floor < 0 then floor else arrival in
+        Hashtbl.replace t.last_arrival key a;
+        a
+      end
+    in
+    let arrive () =
+      let now = Dk_sim.Engine.now t.engine in
+      if t.loss > 0.0 && Dk_sim.Rng.bool t.rng t.loss then begin
+        t.lost <- t.lost + 1;
+        Dk_obs.Metrics.incr m_lost;
+        Dk_obs.Flight.recordf Dk_obs.Flight.default ~now Dk_obs.Flight.Drop
+          "fabric lost frame %x->%x (%dB)" src dst (String.length frame)
+      end
+      else if Fault.fire Fault.default Fault.Fabric_drop ~now then begin
+        t.lost <- t.lost + 1;
+        Dk_obs.Metrics.incr m_lost
+      end
+      else begin
+        let frame =
+          match Fault.mangle Fault.default Fault.Fabric_corrupt ~now frame with
+          | Some corrupted -> corrupted
+          | None -> frame
+        in
+        t.delivered <- t.delivered + 1;
+        Dk_obs.Metrics.incr m_delivered;
+        Nic.receive nic frame
+      end
+    in
+    ignore (Dk_sim.Engine.at t.engine arrival arrive);
+    (* Injected duplicate: a second, independent delivery a magnitude
+       later (it runs the loss/drop/corrupt gauntlet again). *)
+    if Fault.fire Fault.default Fault.Fabric_dup ~now:departed then
+      ignore
+        (Dk_sim.Engine.at t.engine
+           (Int64.add arrival (Fault.magnitude Fault.default Fault.Fabric_dup))
+           arrive)
+  end
 
 let send t ~src ~dst ~departed frame =
   if dst = broadcast then

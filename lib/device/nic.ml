@@ -9,6 +9,8 @@ type stats = {
   rx_mapped : int;
 }
 
+module Fault = Dk_fault.Fault
+
 (* Class-wide obs instruments (aggregated across NICs); the flight
    recorder entries carry the MAC to tell instances apart. *)
 let m_tx_frames = Dk_obs.Metrics.counter "device.nic.tx_frames"
@@ -112,9 +114,16 @@ let transmit t ~dst frame =
       Dk_obs.Metrics.gauge_add g_tx_inflight (-1);
       Dk_obs.Metrics.incr m_tx_frames;
       Dk_obs.Metrics.add m_tx_bytes len;
-      match t.uplink with
-      | Some send -> send ~src:t.mac ~dst ~departed frame
-      | None -> ()
+      (* Injected tx drop: the DMA completed (the host paid for it) but
+         the frame dies at the PHY and never reaches the fabric. *)
+      if
+        Fault.fire Fault.default Fault.Nic_tx_drop
+          ~now:(Dk_sim.Engine.now t.engine)
+      then ()
+      else
+        match t.uplink with
+        | Some send -> send ~src:t.mac ~dst ~departed frame
+        | None -> ()
     in
     ignore (Dk_sim.Engine.at t.engine departed finish);
     true
@@ -142,33 +151,51 @@ let enqueue_rx t frame =
   end
 
 let receive t frame =
-  let prog_active = t.rx_filter <> None || t.rx_map <> None in
-  let process () =
-    let keep =
-      match t.rx_filter with
-      | None -> true
-      | Some p -> Prog.eval_pred p frame
+  let now = Dk_sim.Engine.now t.engine in
+  (* Fault hooks sit at the wire edge, before any on-NIC program: a
+     dropped frame never reaches the filter, a corrupted one is what
+     the filter (and the host checksum) sees. *)
+  if Fault.fire Fault.default Fault.Nic_rx_drop ~now then begin
+    t.rx_dropped <- t.rx_dropped + 1;
+    Dk_obs.Metrics.incr m_rx_dropped
+  end
+  else begin
+    let frame =
+      match Fault.mangle Fault.default Fault.Nic_rx_corrupt ~now frame with
+      | Some corrupted -> corrupted
+      | None -> frame
     in
-    if not keep then begin
-      t.rx_filtered <- t.rx_filtered + 1;
-      Dk_obs.Metrics.incr m_rx_filtered
-    end
-    else
-      let frame =
-        match t.rx_map with
-        | None -> frame
-        | Some m ->
-            t.rx_mapped <- t.rx_mapped + 1;
-            Prog.eval_map m frame
+    let copies = if Fault.fire Fault.default Fault.Nic_rx_dup ~now then 2 else 1 in
+    let prog_active = t.rx_filter <> None || t.rx_map <> None in
+    let process () =
+      let keep =
+        match t.rx_filter with
+        | None -> true
+        | Some p -> Prog.eval_pred p frame
       in
-      enqueue_rx t frame
-  in
-  if prog_active then
-    (* On-device program execution adds device latency but no CPU. *)
-    ignore
-      (Dk_sim.Engine.after t.engine t.cost.Dk_sim.Cost.device_prog_per_elem
-         process)
-  else process ()
+      if not keep then begin
+        t.rx_filtered <- t.rx_filtered + 1;
+        Dk_obs.Metrics.incr m_rx_filtered
+      end
+      else
+        let frame =
+          match t.rx_map with
+          | None -> frame
+          | Some m ->
+              t.rx_mapped <- t.rx_mapped + 1;
+              Prog.eval_map m frame
+        in
+        enqueue_rx t frame
+    in
+    for _ = 1 to copies do
+      if prog_active then
+        (* On-device program execution adds device latency but no CPU. *)
+        ignore
+          (Dk_sim.Engine.after t.engine t.cost.Dk_sim.Cost.device_prog_per_elem
+             process)
+      else process ()
+    done
+  end
 
 let poll_rx t =
   match Dk_util.Bqueue.pop t.rxq with

@@ -1,5 +1,13 @@
 type status =
-  [ `Ok | `Not_registered | `Rnr | `Too_long | `Not_connected | `Rkey ]
+  [ `Ok
+  | `Not_registered
+  | `Rnr
+  | `Too_long
+  | `Not_connected
+  | `Rkey
+  | `Qp_broken ]
+
+module Fault = Dk_fault.Fault
 
 type wc = {
   wr_id : int;
@@ -70,6 +78,16 @@ let connect a b =
   a.peer <- Some b;
   b.peer <- Some a
 
+(* Injected QP break, checked once per post: sever both ends so every
+   later post sees [`Not_connected], and fail this one [`Qp_broken]. *)
+let qp_breaks qp peer ~now =
+  if Fault.fire Fault.default Fault.Rdma_qp_break ~now then begin
+    peer.peer <- None;
+    qp.peer <- None;
+    true
+  end
+  else false
+
 let post_recv qp ~wr_id buf =
   Dk_mem.Buffer.io_hold buf;
   Queue.add (wr_id, buf) qp.recv_queue
@@ -107,7 +125,9 @@ let post_send qp ~wr_id sga =
   | None ->
       complete_send qp { wr_id; status = `Not_connected; len; buffer = None }
   | Some peer ->
-      if not (sga_registered nic sga) then begin
+      if qp_breaks qp peer ~now:(Dk_sim.Engine.now nic.engine) then
+        complete_send qp { wr_id; status = `Qp_broken; len; buffer = None }
+      else if not (sga_registered nic sga) then begin
         nic.registration_failures <- nic.registration_failures + 1;
         complete_send qp { wr_id; status = `Not_registered; len; buffer = None }
       end
@@ -182,8 +202,10 @@ let post_read qp ~wr_id ~remote_off ~len dst =
   match qp.peer with
   | None -> complete_send qp { wr_id; status = `Not_connected; len; buffer = None }
   | Some peer ->
-      if not (nic.is_registered (Dk_mem.Buffer.region_id dst))
-         || Dk_mem.Buffer.length dst < len
+      if qp_breaks qp peer ~now:(Dk_sim.Engine.now nic.engine) then
+        complete_send qp { wr_id; status = `Qp_broken; len; buffer = None }
+      else if not (nic.is_registered (Dk_mem.Buffer.region_id dst))
+              || Dk_mem.Buffer.length dst < len
       then begin
         nic.registration_failures <- nic.registration_failures + 1;
         complete_send qp { wr_id; status = `Not_registered; len; buffer = None }
@@ -215,7 +237,9 @@ let post_write qp ~wr_id ~remote_off sga =
   match qp.peer with
   | None -> complete_send qp { wr_id; status = `Not_connected; len; buffer = None }
   | Some peer ->
-      if not (sga_registered nic sga) then begin
+      if qp_breaks qp peer ~now:(Dk_sim.Engine.now nic.engine) then
+        complete_send qp { wr_id; status = `Qp_broken; len; buffer = None }
+      else if not (sga_registered nic sga) then begin
         nic.registration_failures <- nic.registration_failures + 1;
         complete_send qp { wr_id; status = `Not_registered; len; buffer = None }
       end

@@ -20,7 +20,16 @@ type t
 type qp
 
 type status =
-  [ `Ok | `Not_registered | `Rnr | `Too_long | `Not_connected | `Rkey ]
+  [ `Ok
+  | `Not_registered
+  | `Rnr
+  | `Too_long
+  | `Not_connected
+  | `Rkey
+  | `Qp_broken
+    (** the queue pair was severed by an armed {!Dk_fault} plan
+        ([rdma.qp_break]); both ends are disconnected and later posts
+        complete [`Not_connected] *) ]
 
 type wc = {
   wr_id : int;

@@ -57,10 +57,11 @@ module Table = struct
   let resolve_pending t ip mac =
     insert t ip mac;
     match Hashtbl.find_opt t.pending ip with
-    | None -> ()
+    | None -> 0
     | Some ks ->
         Hashtbl.remove t.pending ip;
-        List.iter (fun k -> k mac) (List.rev ks)
+        List.iter (fun k -> k mac) (List.rev ks);
+        List.length ks
 
   let drop_pending t ip =
     match Hashtbl.find_opt t.pending ip with

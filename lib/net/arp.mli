@@ -26,8 +26,10 @@ module Table : sig
       [true] if this is the first waiter (i.e. a request should be
       sent). *)
 
-  val resolve_pending : table -> Addr.ip -> Addr.mac -> unit
-  (** Insert the mapping and run all queued continuations. *)
+  val resolve_pending : table -> Addr.ip -> Addr.mac -> int
+  (** Insert the mapping and run all queued continuations, returning
+      how many were waiting (the sends that just recovered from a
+      stalled resolution). *)
 
   val drop_pending : table -> Addr.ip -> int
   (** Abandon a resolution attempt: discard queued continuations

@@ -18,6 +18,7 @@ let m_not_for_us = Dk_obs.Metrics.counter "net.stack.not_for_us"
 let m_arp_requests = Dk_obs.Metrics.counter "net.arp.requests"
 let m_arp_misses = Dk_obs.Metrics.counter "net.arp.misses"
 let m_arp_abandoned = Dk_obs.Metrics.counter "net.arp.abandoned"
+let m_arp_recovered = Dk_obs.Metrics.counter "net.arp.recovered"
 
 let mentions_checksum msg =
   let n = String.length msg and p = "checksum" in
@@ -266,7 +267,8 @@ let handle_arp t payload =
   | Error e -> decode_error t e
   | Ok { Arp.op; sender_mac; sender_ip; target_ip; _ } -> (
       (* Learn the sender either way. *)
-      Arp.Table.resolve_pending t.arp sender_ip sender_mac;
+      let recovered = Arp.Table.resolve_pending t.arp sender_ip sender_mac in
+      if recovered > 0 then Dk_obs.Metrics.add m_arp_recovered recovered;
       match op with
       | Arp.Request when target_ip = t.ip ->
           let reply =

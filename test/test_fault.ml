@@ -1,0 +1,436 @@
+(* Scenario suite for dk_fault: echo, KV, storage and RDMA workloads
+   under the named fault plans, asserting liveness (every run
+   terminates in bounded virtual time) and correct error surfacing
+   (`Conn_aborted and `Io_error arrive through Demi.wait; nothing
+   hangs) — plus the determinism properties that make the injector a
+   replay tool: a rate-0 plan is bit-identical to no plan, and the
+   same plan + seed replays bit-identically.
+
+   Set DK_FAULT_CI=1 (the CI fault matrix job does) to widen the
+   every-plan liveness sweep to multiple seeds. *)
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+
+module Engine = Dk_sim.Engine
+module Fault = Dk_fault.Fault
+module Setup = Dk_apps.Sim_setup
+module Echo = Dk_apps.Echo
+module Kv = Dk_apps.Kv
+module Kv_app = Dk_apps.Kv_app
+module Demi = Demikernel.Demi
+module Types = Demikernel.Types
+
+(* Any scenario that is still running after this much virtual time has
+   hung in the only way a discrete-event simulation can: by endlessly
+   rescheduling itself. Every workload below finishes well under it. *)
+let liveness_bound_ns = 60_000_000_000L (* 60 virtual seconds *)
+
+let named ~seed name =
+  match Fault.named ~seed name with
+  | Some p -> p
+  | None -> Alcotest.failf "unknown named plan %S" name
+
+(* Reset the global registries, arm [plan] (or disarm for [None]), run
+   [f], and always disarm afterwards so a failing scenario cannot
+   leak its plan into the next test. *)
+let with_plan plan f =
+  Dk_obs.Metrics.reset Dk_obs.Metrics.default;
+  Dk_obs.Flight.clear Dk_obs.Flight.default;
+  (match plan with
+  | Some p -> Fault.install Fault.default p
+  | None -> Fault.clear Fault.default);
+  Fun.protect ~finally:(fun () -> Fault.clear Fault.default) f
+
+let err_name = function
+  | None -> "none"
+  | Some e -> Demikernel.Types.error_to_string e
+
+(* ---------------- workload runners ---------------- *)
+
+type outcome = {
+  ok : int;           (* rounds / records that completed *)
+  err : Types.error option; (* first surfaced error, if any *)
+  final_ns : int64;   (* virtual clock when the run ended *)
+}
+
+let bounded (o : outcome) =
+  check_bool "bounded virtual time" true
+    (Int64.compare o.final_ns liveness_bound_ns < 0)
+
+(* Echo client against a demikernel echo server over the faulty
+   fabric; mirrors `demi faults` so CLI replays and tests agree. *)
+let run_echo ?(rounds = 40) ?(size = 256) () =
+  let duo = Setup.two_hosts () in
+  let engine = duo.Setup.engine and cost = duo.Setup.cost in
+  let da = Setup.demi_of_host ~engine ~cost duo.Setup.a () in
+  let db = Setup.demi_of_host ~engine ~cost duo.Setup.b () in
+  ignore (Echo.start_demi_server ~demi:db ~port:7);
+  let payload = String.make size 'f' in
+  let err = ref None in
+  let ok = ref 0 in
+  (match Demi.socket da `Tcp with
+  | Error e -> err := Some e
+  | Ok qd -> (
+      match Demi.connect da qd ~dst:(Setup.endpoint duo.Setup.b 7) with
+      | Error e -> err := Some e
+      | Ok () ->
+          let i = ref 0 in
+          while !i < rounds && !err = None do
+            incr i;
+            match Demi.sga_alloc da payload with
+            | Error e -> err := Some e
+            | Ok sga -> (
+                match Demi.blocking_push da qd sga with
+                | Types.Pushed -> (
+                    match Demi.blocking_pop da qd with
+                    | Types.Popped reply ->
+                        incr ok;
+                        Demi.sga_free da reply;
+                        Demi.sga_free da sga
+                    | Types.Failed e -> err := Some e
+                    | _ -> err := Some `Not_supported)
+                | Types.Failed e -> err := Some e
+                | _ -> err := Some `Not_supported)
+          done;
+          ignore (Demi.close da qd)));
+  { ok = !ok; err = !err; final_ns = Engine.now engine }
+
+(* Append [records] sealed records to a log file on a faulty block
+   device, reading each one back. *)
+let run_storage ?(records = 8) () =
+  let duo = Setup.two_hosts () in
+  let engine = duo.Setup.engine and cost = duo.Setup.cost in
+  let block = Dk_device.Block.create ~engine ~cost () in
+  let da = Setup.demi_of_host ~engine ~cost duo.Setup.a ~block () in
+  let err = ref None in
+  let ok = ref 0 in
+  (match Demi.fcreate da "fault.log" with
+  | Error e -> err := Some e
+  | Ok fqd ->
+      let i = ref 0 in
+      while !i < records && !err = None do
+        incr i;
+        match Demi.sga_alloc da (Printf.sprintf "record-%03d" !i) with
+        | Error e -> err := Some e
+        | Ok sga -> (
+            (match Demi.blocking_push da fqd sga with
+            | Types.Pushed -> (
+                match Demi.blocking_pop da fqd with
+                | Types.Popped r ->
+                    incr ok;
+                    Demi.sga_free da r
+                | Types.Failed e -> err := Some e
+                | _ -> err := Some `Not_supported)
+            | Types.Failed e -> err := Some e
+            | _ -> err := Some `Not_supported);
+            Demi.sga_free da sga)
+      done);
+  { ok = !ok; err = !err; final_ns = Engine.now engine }
+
+(* Full KV client/server exchange (the paper's headline workload). *)
+let run_kv () =
+  let duo = Setup.two_hosts () in
+  let engine = duo.Setup.engine and cost = duo.Setup.cost in
+  let da = Setup.demi_of_host ~engine ~cost duo.Setup.a () in
+  let db = Setup.demi_of_host ~engine ~cost duo.Setup.b () in
+  let kv = Kv.create (Demi.manager db) in
+  (match Kv_app.start_tcp_server ~demi:db ~port:6379 ~kv with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "kv server: %s" (Types.error_to_string e));
+  let r =
+    Kv_app.run_tcp_client ~demi:da ~dst:(Setup.endpoint duo.Setup.b 6379)
+      ~ops:200 ~keys:50 ~value_size:64 ~read_fraction:0.9 ()
+  in
+  (r, Engine.now engine)
+
+(* One RDMA push over a connected queue pair. *)
+let run_rdma () =
+  let engine = Engine.create () in
+  let cost = Dk_sim.Cost.default in
+  let rdma_a = Dk_device.Rdma.create ~engine ~cost () in
+  let rdma_b = Dk_device.Rdma.create ~engine ~cost () in
+  let da = Demi.create ~engine ~cost ~rdma:rdma_a () in
+  let db = Demi.create ~engine ~cost ~rdma:rdma_b () in
+  let qa = Dk_device.Rdma.create_qp rdma_a in
+  let qb = Dk_device.Rdma.create_qp rdma_b in
+  Dk_device.Rdma.connect qa qb;
+  let qda = Result.get_ok (Demi.rdma_endpoint da ~depth:8 qa) in
+  let qdb = Result.get_ok (Demi.rdma_endpoint db ~depth:8 qb) in
+  (engine, da, db, qda, qdb)
+
+(* ---------------- fabric scenarios ---------------- *)
+
+(* Plans the transport absorbs: the app sees every round succeed. *)
+let survives plan_name ~seed () =
+  with_plan (Some (named ~seed plan_name)) @@ fun () ->
+  let o = run_echo () in
+  bounded o;
+  check_bool
+    (Printf.sprintf "no surfaced error (got %s)" (err_name o.err))
+    true (o.err = None);
+  check_int "all rounds" 40 o.ok
+
+let loss_burst_injects () =
+  with_plan (Some (named ~seed:7L "loss-burst")) @@ fun () ->
+  let o = run_echo () in
+  bounded o;
+  check_int "all rounds" 40 o.ok;
+  check_bool "drops actually injected" true
+    (Fault.injected Fault.default Fault.Fabric_drop > 0);
+  (* surviving drops means TCP retransmitted *)
+  check_bool "tcp retransmitted" true
+    (Dk_obs.Metrics.value (Dk_obs.Metrics.counter "net.tcp.retransmits") > 0)
+
+let partition_aborts () =
+  with_plan (Some (named ~seed:7L "partition")) @@ fun () ->
+  let o = run_echo () in
+  bounded o;
+  check_bool "partition fired" true
+    (Fault.injected Fault.default Fault.Fabric_partition > 0);
+  (* RTO gives up and surfaces ECONNABORTED instead of hanging *)
+  check_bool
+    (Printf.sprintf "aborted, not hung (got %s)" (err_name o.err))
+    true (o.err = Some `Conn_aborted);
+  check_bool "some rounds before the cut" true (o.ok > 0 && o.ok < 40);
+  check_bool "abort counted" true
+    (Dk_obs.Metrics.value (Dk_obs.Metrics.counter "core.tcp.aborted") > 0)
+
+let partition_heal_recovers () =
+  with_plan (Some (named ~seed:7L "partition-heal")) @@ fun () ->
+  let o = run_echo () in
+  bounded o;
+  check_bool "partition fired" true
+    (Fault.injected Fault.default Fault.Fabric_partition > 0);
+  check_bool
+    (Printf.sprintf "healed before RTO gave up (got %s)" (err_name o.err))
+    true (o.err = None);
+  check_int "all rounds" 40 o.ok
+
+let corrupt_wire_checksummed () =
+  with_plan (Some (named ~seed:7L "corrupt-wire")) @@ fun () ->
+  let o = run_echo () in
+  bounded o;
+  check_int "all rounds" 40 o.ok;
+  check_bool "corruption injected" true
+    (Fault.injected Fault.default Fault.Fabric_corrupt > 0);
+  check_bool "no error surfaced" true (o.err = None)
+
+let dup_storm_deduplicated () =
+  with_plan (Some (named ~seed:7L "dup-storm")) @@ fun () ->
+  let o = run_echo () in
+  bounded o;
+  check_int "all rounds" 40 o.ok;
+  check_bool "duplicates injected" true
+    (Fault.injected Fault.default Fault.Fabric_dup > 0
+    && Fault.injected Fault.default Fault.Nic_rx_dup > 0);
+  check_bool "no error surfaced" true (o.err = None)
+
+let kv_under_loss () =
+  with_plan (Some (named ~seed:11L "loss-burst")) @@ fun () ->
+  match run_kv () with
+  | Error e, _ -> Alcotest.failf "kv client: %s" (Types.error_to_string e)
+  | Ok stats, now ->
+      check_bool "bounded virtual time" true
+        (Int64.compare now liveness_bound_ns < 0);
+      check_int "all ops" 200 stats.Kv_app.ops;
+      check_int "no misses" 0 stats.Kv_app.misses
+
+let kv_under_corruption () =
+  with_plan (Some (named ~seed:11L "corrupt-wire")) @@ fun () ->
+  match run_kv () with
+  | Error e, _ -> Alcotest.failf "kv client: %s" (Types.error_to_string e)
+  | Ok stats, now ->
+      check_bool "bounded virtual time" true
+        (Int64.compare now liveness_bound_ns < 0);
+      check_int "all ops" 200 stats.Kv_app.ops;
+      check_int "no misses" 0 stats.Kv_app.misses
+
+(* ---------------- block scenarios ---------------- *)
+
+let slow_disk_completes () =
+  with_plan (Some (named ~seed:7L "slow-disk")) @@ fun () ->
+  let o = run_storage () in
+  bounded o;
+  check_int "all records" 8 o.ok;
+  check_bool "stalls injected" true
+    (Fault.injected Fault.default Fault.Block_stall > 0);
+  check_bool "no error surfaced" true (o.err = None)
+
+let flaky_disk_retried () =
+  with_plan (Some (named ~seed:7L "flaky-disk")) @@ fun () ->
+  let o = run_storage () in
+  bounded o;
+  check_int "all records" 8 o.ok;
+  check_bool "errors injected" true
+    (Fault.injected Fault.default Fault.Block_error > 0);
+  check_bool "dispatcher recovered" true
+    (Dk_obs.Metrics.value (Dk_obs.Metrics.counter "core.block.recovered") > 0);
+  check_bool "no error surfaced" true (o.err = None)
+
+let broken_disk_surfaces_io_error () =
+  with_plan (Some (named ~seed:7L "broken-disk")) @@ fun () ->
+  let o = run_storage () in
+  bounded o;
+  check_bool "errors injected" true
+    (Fault.injected Fault.default Fault.Block_error > 0);
+  check_bool
+    (Printf.sprintf "EIO, not a hang (got %s)" (err_name o.err))
+    true (o.err = Some `Io_error);
+  check_bool "dispatcher gave up after retries" true
+    (Dk_obs.Metrics.value (Dk_obs.Metrics.counter "core.block.gave_up") > 0)
+
+let torn_write_detected () =
+  with_plan (Some (named ~seed:7L "torn-write")) @@ fun () ->
+  let o = run_storage () in
+  bounded o;
+  check_int "exactly one torn write" 1
+    (Fault.injected Fault.default Fault.Block_torn_write);
+  (* the CRC seal catches the truncated record on read-back *)
+  check_bool
+    (Printf.sprintf "EIO on read-back (got %s)" (err_name o.err))
+    true (o.err = Some `Io_error)
+
+(* ---------------- RDMA scenario ---------------- *)
+
+let rdma_break_aborts () =
+  with_plan (Some (named ~seed:7L "rdma-break")) @@ fun () ->
+  let engine, da, db, qda, qdb = run_rdma () in
+  let sga = Result.get_ok (Demi.sga_alloc da "doomed") in
+  (match Demi.blocking_push da qda sga with
+  | Types.Failed `Conn_aborted -> ()
+  | r -> Alcotest.failf "push: expected Conn_aborted, got %a" Types.pp_op_result r);
+  check_int "one break" 1 (Fault.injected Fault.default Fault.Rdma_qp_break);
+  (* the peer's pops must not hang on the severed pair either *)
+  (match Demi.pop db qdb with
+  | Error _ -> ()
+  | Ok tok -> (
+      match Demi.wait_timeout db tok ~timeout:10_000_000L with
+      | Types.Failed _ -> ()
+      | r -> Alcotest.failf "pop: unexpected %a" Types.pp_op_result r));
+  check_bool "bounded virtual time" true
+    (Int64.compare (Engine.now engine) liveness_bound_ns < 0)
+
+(* ---------------- the full matrix ---------------- *)
+
+(* Every named plan, echo + storage, must terminate and surface only
+   the sanctioned errors. DK_FAULT_CI=1 (the CI matrix job) widens the
+   sweep to several seeds. *)
+let every_plan_is_live () =
+  let seeds =
+    match Sys.getenv_opt "DK_FAULT_CI" with
+    | Some ("1" | "true") -> [ 3L; 7L; 13L ]
+    | _ -> [ 7L ]
+  in
+  List.iter
+    (fun (name, _) ->
+      List.iter
+        (fun seed ->
+          with_plan (Some (named ~seed name)) @@ fun () ->
+          let e = run_echo ~rounds:20 () in
+          bounded e;
+          let s = run_storage ~records:4 () in
+          bounded s;
+          List.iter
+            (fun o ->
+              match o.err with
+              | None | Some `Conn_aborted | Some `Io_error -> ()
+              | Some err ->
+                  Alcotest.failf "%s seed %Ld surfaced %s" name seed
+                    (Types.error_to_string err))
+            [ e; s ])
+        seeds)
+    Fault.plan_names
+
+(* ---------------- determinism properties ---------------- *)
+
+(* What `demi stats --json` emits: the full metrics snapshot plus the
+   flight recorder, byte for byte. *)
+let stats_json ~now =
+  Dk_obs.Export.json_lines ~now (Dk_obs.Metrics.snapshot Dk_obs.Metrics.default)
+  ^ Dk_obs.Export.json_flight Dk_obs.Flight.default
+
+let run_echo_capture plan =
+  with_plan plan @@ fun () ->
+  let o = run_echo () in
+  check_bool "clean run" true (o.err = None);
+  stats_json ~now:o.final_ns
+
+let rate_zero_plan_is_bit_identical () =
+  let baseline = run_echo_capture None in
+  let zero =
+    Fault.plan ~seed:99L ~name:"all-zero"
+      (List.map (fun s -> (s, Fault.spec ~rate:0.0 ())) Fault.sites)
+  in
+  let armed = run_echo_capture (Some zero) in
+  check Alcotest.string "rate-0 plan == no plan" baseline armed;
+  check_bool "nothing injected" true
+    (with_plan (Some zero) (fun () -> Fault.total_injected Fault.default = 0))
+
+let same_seed_replays_bit_identical () =
+  let plan () = Some (named ~seed:9L "loss-burst") in
+  let a = run_echo_capture (plan ()) in
+  let b = run_echo_capture (plan ()) in
+  check Alcotest.string "same plan+seed replays identically" a b;
+  (* and the run was not trivially fault-free *)
+  let contains hay needle =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "faults present in the capture" true
+    (contains a "fault.fabric.drop.injected")
+
+let different_seeds_diverge () =
+  (* Not a determinism requirement per se, but the property that makes
+     seeds worth varying in the CI matrix: the stream actually moves. *)
+  let a = run_echo_capture (Some (named ~seed:9L "loss-burst")) in
+  let b = run_echo_capture (Some (named ~seed:10L "loss-burst")) in
+  check_bool "seeds explore different schedules" true (a <> b)
+
+let () =
+  Alcotest.run "dk_fault"
+    [
+      ( "fabric",
+        [
+          Alcotest.test_case "loss-burst injects + survives" `Quick
+            loss_burst_injects;
+          Alcotest.test_case "partition aborts" `Quick partition_aborts;
+          Alcotest.test_case "partition-heal recovers" `Quick
+            partition_heal_recovers;
+          Alcotest.test_case "corrupt-wire checksummed" `Quick
+            corrupt_wire_checksummed;
+          Alcotest.test_case "dup-storm deduplicated" `Quick
+            dup_storm_deduplicated;
+          Alcotest.test_case "reorder survives" `Quick
+            (survives "reorder" ~seed:7L);
+          Alcotest.test_case "nic-flaky survives" `Quick
+            (survives "nic-flaky" ~seed:7L);
+        ] );
+      ( "kv",
+        [
+          Alcotest.test_case "kv under loss-burst" `Quick kv_under_loss;
+          Alcotest.test_case "kv under corrupt-wire" `Quick kv_under_corruption;
+        ] );
+      ( "block",
+        [
+          Alcotest.test_case "slow-disk completes" `Quick slow_disk_completes;
+          Alcotest.test_case "flaky-disk retried" `Quick flaky_disk_retried;
+          Alcotest.test_case "broken-disk surfaces EIO" `Quick
+            broken_disk_surfaces_io_error;
+          Alcotest.test_case "torn-write detected" `Quick torn_write_detected;
+        ] );
+      ( "rdma",
+        [ Alcotest.test_case "qp break aborts" `Quick rdma_break_aborts ] );
+      ( "matrix",
+        [ Alcotest.test_case "every plan is live" `Slow every_plan_is_live ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "rate-0 == no plan" `Quick
+            rate_zero_plan_is_bit_identical;
+          Alcotest.test_case "same seed replays" `Quick
+            same_seed_replays_bit_identical;
+          Alcotest.test_case "seeds diverge" `Quick different_seeds_diverge;
+        ] );
+    ]

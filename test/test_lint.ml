@@ -153,6 +153,33 @@ let statsy_ref_nonzero_init_ok () =
   let fs = scan ~path:"lib/net/x.ml" "let retries = ref 3\n" in
   check_int "non-zero init ok" 0 (List.length (lines_of "adhoc-counter" fs))
 
+(* ---------------- fault-site ---------------- *)
+
+let random_in_device () =
+  let fs = scan ~path:"lib/device/nic.ml" "let flip () = Random.bool ()\n" in
+  check (Alcotest.list Alcotest.string) "rule" [ "fault-site" ] (rules fs)
+
+let wallclock_in_fault () =
+  let fs = scan ~path:"lib/fault/fault.ml" "let now () = Unix.gettimeofday ()\n" in
+  check (Alcotest.list Alcotest.string) "rule" [ "fault-site" ] (rules fs)
+
+let sys_time_in_device () =
+  let fs = scan ~path:"lib/device/block.ml" "let t0 = Sys.time ()\n" in
+  check (Alcotest.list Alcotest.int) "line" [ 1 ] (lines_of "fault-site" fs)
+
+let seeded_rng_in_device_ok () =
+  (* the deterministic simulator RNG is exactly what the rule steers to *)
+  let fs =
+    scan ~path:"lib/device/fabric.ml"
+      "let jitter rng = Dk_sim.Rng.int rng 100\n"
+  in
+  check_int "Dk_sim.Rng allowed" 0 (List.length (lines_of "fault-site" fs))
+
+let random_outside_device_ok () =
+  let fs = scan ~path:"bench/harness.ml" "let r = Random.int 5\n" in
+  check_int "scoped to device/fault dirs" 0
+    (List.length (lines_of "fault-site" fs))
+
 (* ---------------- stripping / line numbers ---------------- *)
 
 let nested_comments () =
@@ -236,6 +263,15 @@ let () =
           Alcotest.test_case "bench exempt" `Quick counter_in_bench_ok;
           Alcotest.test_case "non-statsy ok" `Quick non_statsy_mutable_ok;
           Alcotest.test_case "non-zero init ok" `Quick statsy_ref_nonzero_init_ok;
+        ] );
+      ( "fault-site",
+        [
+          Alcotest.test_case "Random in lib/device" `Quick random_in_device;
+          Alcotest.test_case "wall-clock in lib/fault" `Quick wallclock_in_fault;
+          Alcotest.test_case "Sys.time in lib/device" `Quick sys_time_in_device;
+          Alcotest.test_case "Dk_sim.Rng ok" `Quick seeded_rng_in_device_ok;
+          Alcotest.test_case "scoped to device dirs" `Quick
+            random_outside_device_ok;
         ] );
       ( "stripping",
         [

@@ -1,0 +1,30 @@
+#!/bin/sh
+# Regenerate the E1-E12 bench tables and diff their headline
+# virtual-time metrics against the committed baselines in
+# tools/ci/baselines/, failing on a >25% regression (see
+# tools/ci/bench_diff.ml for the comparison rules).
+#
+# The simulation is deterministic, so an unchanged tree matches the
+# baselines exactly. After an intentional cost-model or datapath
+# change, regenerate with:
+#
+#   cd tools/ci/baselines && ../../../_build/default/bench/main.exe \
+#       e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12
+#
+# and explain the shift in the commit message.
+
+set -eu
+
+cd "$(dirname "$0")/../.."
+
+dune build bench/main.exe tools/ci/bench_diff.exe
+
+fresh="$(mktemp -d)"
+trap 'rm -rf "$fresh"' EXIT INT TERM
+
+root="$(pwd)"
+(cd "$fresh" && "$root/_build/default/bench/main.exe" \
+    e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 >/dev/null)
+
+exec "$root/_build/default/tools/ci/bench_diff.exe" \
+    tools/ci/baselines "$fresh" "${DK_BENCH_MAX_RATIO:-1.25}"

@@ -1,17 +1,27 @@
 #!/bin/sh
-# Canonical tier-1 gate. Everything a change must pass before it lands:
+# Canonical tier-1 gate. Everything a change must pass before it lands.
 #
-#   1. dune build            — the whole tree compiles (lib, bench,
-#                              examples, tools)
-#   2. dune runtest          — unit/property/integration suites, plus
-#                              @lint -> @verify (dk-lint token rules and
-#                              dk-verify typestate/dataflow analysis;
-#                              both fail on stale allowlist entries) and
-#                              the bench smoke run
-#   3. DK_SANITIZE=1 dune runtest
-#                            — the same suites under sanitizer mode
-#                              (canaries, poison-on-free, UAF/double-free
-#                              detection, leak sweeps, token audit)
+# Usage: tools/ci/check.sh [stage]
+#
+#   build     dune build — the whole tree compiles (lib, bench,
+#             examples, tools)
+#   test      dune runtest — unit/property/integration suites, plus
+#             @lint -> @verify (dk-lint token rules and dk-verify
+#             typestate/dataflow analysis; both fail on stale allowlist
+#             entries) and the bench smoke run
+#   sanitize  DK_SANITIZE=1 dune build @sanitize — exactly the suites
+#             that read DK_SANITIZE (canaries, poison-on-free,
+#             UAF/double-free detection, leak sweeps, token audit);
+#             suites that never consult the sanitizer are not re-run
+#   fault     dune build @fault — the fault-injection scenario suite,
+#             normal then sanitized; export DK_FAULT_CI=1 to widen the
+#             every-plan matrix to multiple seeds (the CI matrix job
+#             does)
+#   bench     tools/ci/bench_diff.sh — regenerate the E1-E12 bench
+#             tables and fail on >25% virtual-time regression against
+#             the committed baselines
+#   all       build + test + sanitize (the classic 3-stage gate), plus
+#             fault when DK_FAULT_CI is set
 #
 # Run from anywhere; exits nonzero on the first failure.
 
@@ -19,13 +29,51 @@ set -eu
 
 cd "$(dirname "$0")/../.."
 
-echo "== [1/3] dune build"
-dune build
+stage="${1:-all}"
 
-echo "== [2/3] dune runtest (includes @lint and @verify)"
-dune runtest
+run_build() {
+  echo "== [build] dune build"
+  dune build
+}
 
-echo "== [3/3] DK_SANITIZE=1 dune runtest"
-DK_SANITIZE=1 dune runtest --force
+run_test() {
+  echo "== [test] dune runtest (includes @lint and @verify)"
+  dune runtest
+}
 
-echo "== tier-1 gate passed"
+run_sanitize() {
+  echo "== [sanitize] DK_SANITIZE=1 dune build @sanitize"
+  DK_SANITIZE=1 dune build @sanitize --force
+}
+
+run_fault() {
+  echo "== [fault] dune build @fault (DK_FAULT_CI=${DK_FAULT_CI:-0})"
+  dune build @fault --force
+}
+
+run_bench() {
+  echo "== [bench] tools/ci/bench_diff.sh"
+  tools/ci/bench_diff.sh
+}
+
+case "$stage" in
+  build)    run_build ;;
+  test)     run_test ;;
+  sanitize) run_sanitize ;;
+  fault)    run_fault ;;
+  bench)    run_bench ;;
+  all)
+    run_build
+    run_test
+    run_sanitize
+    if [ "${DK_FAULT_CI:-}" = "1" ]; then
+      run_fault
+    fi
+    ;;
+  *)
+    echo "usage: $0 [build|test|sanitize|fault|bench|all]" >&2
+    exit 2
+    ;;
+esac
+
+echo "== check.sh: stage '$stage' passed"

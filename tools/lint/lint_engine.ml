@@ -41,6 +41,14 @@ let in_fast_path path = List.exists (fun d -> starts_with ~prefix:d path) fast_p
 let in_unsafe_scope path = List.exists (fun d -> starts_with ~prefix:d path) unsafe_op_dirs
 let in_lib path = starts_with ~prefix:"lib/" path
 
+(* Fault-site discipline: every injected misbehaviour in the device
+   layer must flow through the seeded Dk_fault hooks so that runs are
+   replayable from (plan, seed) alone. Stdlib Random and wall-clock
+   reads would make faults unreproducible. *)
+let fault_site_dirs = [ "lib/device/"; "lib/fault/" ]
+let in_fault_scope path =
+  List.exists (fun d -> starts_with ~prefix:d path) fault_site_dirs
+
 (* ---------------- comment / literal stripping ---------------- *)
 
 (* Replace comments, string literals and char literals with spaces,
@@ -262,6 +270,7 @@ let scan_tokens ~path (toks : token array) : finding list =
   let add line rule message = findings := { path; line; rule; message } :: !findings in
   let fast = in_fast_path path in
   let unsafe_scope = in_unsafe_scope path in
+  let fault_scope = in_fault_scope path in
   let lib = in_lib path in
   let bin = starts_with ~prefix:"bin/" path in
   let ntok = Array.length toks in
@@ -276,6 +285,19 @@ let scan_tokens ~path (toks : token array) : finding list =
         (Printf.sprintf
            "%s in a fast-path module: bounds-checked access is the only \
             memory safety the data path has"
+           tok);
+    (* non-deterministic fault sources in the device/fault layer *)
+    if
+      fault_scope
+      && (starts_with ~prefix:"Random." tok
+         || tok = "Unix.gettimeofday" || tok = "Unix.time" || tok = "Sys.time")
+    then
+      add line "fault-site"
+        (Printf.sprintf
+           "%s in the device/fault layer: injected misbehaviour must come \
+            from the seeded Dk_fault hooks (fire/mangle/extra_delay) so \
+            every fault replays from (plan, seed); never ad-hoc randomness \
+            or wall-clock"
            tok);
     (* printing from library code *)
     if lib && List.mem tok print_primitives then
