@@ -20,6 +20,8 @@ let experiments =
     ("e10", Exp10_storage.run);
     ("e11", Exp11_onesided.run);
     ("e12", Exp12_storage_offload.run);
+    ("e13", Exp13_batching.run);
+    ("waitsmoke", Wait_smoke.run);
     ("micro", Micro.run);
   ]
 

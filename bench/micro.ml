@@ -108,6 +108,68 @@ let tests =
       Test.make ~name:"histogram record" (histogram_record ());
     ]
 
+(* ---- wait_any scaling ----
+
+   The seed's wait_any scanned every argument token per poll iteration;
+   the readiness path (persistent wait set + ready FIFO) dequeues each
+   completion in O(1). Serve [k] completions among [n] outstanding pop
+   tokens, completions placed at the far end of the scan order — the
+   representative worst case, where the scanner walks the whole pending
+   set per event. *)
+
+let wait_scaling_case n =
+  let k = min n 500 in
+  let mk () =
+    let engine = Dk_sim.Engine.create () in
+    let demi = Demi.create ~engine ~cost:Dk_sim.Cost.default () in
+    let qds = Array.init n (fun _ -> Demi.queue demi) in
+    let toks = Array.map (fun qd -> Result.get_ok (Demi.pop demi qd)) qds in
+    let sga = Sga.of_string "x" in
+    let push i =
+      let ptok = Result.get_ok (Demi.push demi qds.(i) sga) in
+      ignore (Demi.wait demi ptok)
+    in
+    (demi, toks, push)
+  in
+  (* seed algorithm: linear redeem scan over the argument tokens *)
+  let demi, toks, push = mk () in
+  let t0 = Unix.gettimeofday () in
+  for j = 0 to k - 1 do
+    push (n - 1 - j);
+    let found = ref false in
+    let i = ref 0 in
+    while not !found do
+      (match Demi.try_wait demi toks.(!i) with
+      | Some _ -> found := true
+      | None -> ());
+      incr i
+    done
+  done;
+  let scan_s = Unix.gettimeofday () -. t0 in
+  (* readiness path: register once, dequeue completions in O(1) *)
+  let demi, toks, push = mk () in
+  let t0 = Unix.gettimeofday () in
+  let ws = Demi.waitset demi in
+  Array.iter (fun tok -> Demi.waitset_add demi ws tok) toks;
+  for j = 0 to k - 1 do
+    push (n - 1 - j);
+    match Demi.wait_next demi ws with Some _ -> () | None -> assert false
+  done;
+  let ready_s = Unix.gettimeofday () -. t0 in
+  let per ns = ns /. float_of_int k *. 1e9 in
+  (per scan_s, per ready_s)
+
+let wait_scaling () =
+  print_newline ();
+  Printf.printf "wait_any scaling (wall clock, worst-case scan order):\n";
+  Printf.printf "%-14s %14s %14s %10s\n" "outstanding" "scan ns/ev"
+    "ready ns/ev" "speedup";
+  List.iter
+    (fun n ->
+      let scan, ready = wait_scaling_case n in
+      Printf.printf "%-14d %14.0f %14.0f %9.1fx\n" n scan ready (scan /. ready))
+    [ 10; 100; 1000; 10000 ]
+
 let run () =
   Report.header ~id:"MICRO: host-execution benchmarks" ~source:"bechamel"
     ~claim:
@@ -131,4 +193,5 @@ let run () =
     results;
   List.iter
     (fun (name, est) -> Printf.printf "%-42s %12.1f ns/op\n" name est)
-    (List.sort compare !rows)
+    (List.sort compare !rows);
+  wait_scaling ()

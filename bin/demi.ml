@@ -20,7 +20,7 @@ let pp_hist label h =
 
 (* ---- rtt ---- *)
 
-let rtt_run stack size rounds =
+let rtt_run stack size rounds window =
   let h =
     match stack with
     | "kernel" ->
@@ -42,6 +42,7 @@ let rtt_run stack size rounds =
         let duo = Setup.two_hosts () in
         let da = Setup.demi_of_host ~engine:duo.Setup.engine ~cost:duo.Setup.cost duo.Setup.a () in
         let db = Setup.demi_of_host ~engine:duo.Setup.engine ~cost:duo.Setup.cost duo.Setup.b () in
+        Demi_rt.set_batch_window da window;
         ignore (Echo.start_demi_server ~demi:db ~port:7);
         Result.get_ok
           (Echo.demi_rtt ~demi:da ~dst:(Setup.endpoint duo.Setup.b 7) ~size ~rounds)
@@ -58,9 +59,15 @@ let size_arg =
 let rounds_arg =
   Arg.(value & opt int 100 & info [ "rounds" ] ~docv:"N" ~doc:"round trips")
 
+let batch_window_arg =
+  Arg.(value & opt int64 0L
+       & info [ "batch-window" ] ~docv:"NS"
+           ~doc:"tx doorbell coalescing window in virtual ns (demikernel \
+                 stack only; 0 rings the doorbell per push)")
+
 let rtt_cmd =
   Cmd.v (Cmd.info "rtt" ~doc:"echo round-trip latency on a chosen stack")
-    Term.(const rtt_run $ stack_arg $ size_arg $ rounds_arg)
+    Term.(const rtt_run $ stack_arg $ size_arg $ rounds_arg $ batch_window_arg)
 
 (* ---- kv ---- *)
 
@@ -177,7 +184,7 @@ let loss_cmd =
 
 let flight_tail = 16
 
-let stats_run size rounds loss json =
+let stats_run size rounds loss json window =
   (* A sanitizer violation mid-run dumps the flight recorder: the last
      thing the datapath did before the bug, which the kernel can no
      longer tell us (the whole point of lib/obs). *)
@@ -189,6 +196,7 @@ let stats_run size rounds loss json =
   let duo = Setup.two_hosts ~loss () in
   let da = Setup.demi_of_host ~engine:duo.Setup.engine ~cost:duo.Setup.cost duo.Setup.a () in
   let db = Setup.demi_of_host ~engine:duo.Setup.engine ~cost:duo.Setup.cost duo.Setup.b () in
+  Demi_rt.set_batch_window da window;
   ignore (Echo.start_demi_server ~demi:db ~port:7);
   let h =
     Result.get_ok
@@ -240,7 +248,9 @@ let stats_cmd =
   Cmd.v
     (Cmd.info "stats"
        ~doc:"run an echo workload and dump every datapath obs instrument")
-    Term.(const stats_run $ size_arg $ rounds_arg $ stats_loss_arg $ json_arg)
+    Term.(
+      const stats_run $ size_arg $ rounds_arg $ stats_loss_arg $ json_arg
+      $ batch_window_arg)
 
 (* ---- faults ---- *)
 
@@ -382,10 +392,11 @@ let default =
   in
   Term.(
     ret
-      (const (fun stats size rounds loss json ->
-           if stats then `Ok (stats_run size rounds loss json)
+      (const (fun stats size rounds loss json window ->
+           if stats then `Ok (stats_run size rounds loss json window)
            else `Help (`Pager, None))
-      $ stats_flag $ size_arg $ rounds_arg $ stats_loss_arg $ json_arg))
+      $ stats_flag $ size_arg $ rounds_arg $ stats_loss_arg $ json_arg
+      $ batch_window_arg))
 
 let main =
   Cmd.group ~default

@@ -131,6 +131,8 @@ let check_shutdown t =
 let m_pushes = Dk_obs.Metrics.counter "core.pushes"
 let m_pops = Dk_obs.Metrics.counter "core.pops"
 let m_poll_iters = Dk_obs.Metrics.counter "core.poll_iters"
+let m_ready_hits = Dk_obs.Metrics.counter "core.wait.ready_hits"
+let m_push_batched = Dk_obs.Metrics.counter "core.push.batched"
 
 (* Every descriptor's push/pop goes through this shim: one counter bump
    plus a flight-recorder entry per operation, no virtual time. *)
@@ -216,32 +218,50 @@ let spin_to t deadline =
 
 let wait_timeout t tok ~timeout =
   let deadline = Int64.add (Engine.now t.engine) timeout in
+  (* At expiry, completions scheduled at-or-before the deadline have
+     still happened inside the window even if the poll loop's own CPU
+     charges pushed the clock past them; run those events (late-run
+     semantics: the clock does not move) and give redemption one last
+     chance. Ties at the deadline go to the completion, never the
+     timeout. *)
+  let expire () =
+    let rec drain_due () =
+      match Engine.next_at t.engine with
+      | Some ts when Int64.compare ts deadline <= 0 ->
+          ignore (Engine.step t.engine);
+          drain_due ()
+      | Some _ | None -> ()
+    in
+    drain_due ();
+    match Token.redeem t.tokens tok with
+    | Some r -> r
+    | None -> Types.Failed `Timeout
+  in
   let rec loop () =
     match Token.redeem t.tokens tok with
     | Some r -> r
     | None ->
-        if Int64.compare (Engine.now t.engine) deadline >= 0 then
-          Types.Failed `Timeout
+        if Int64.compare (Engine.now t.engine) deadline >= 0 then expire ()
         else begin
           wait_step t;
-          if Engine.step t.engine then loop ()
-          else begin
-            spin_to t deadline;
-            Types.Failed `Timeout
-          end
+          (* Never run an event scheduled past the deadline: it is
+             outside the window, and running it would hand its
+             completion to this wait instead of a later one. *)
+          match Engine.next_at t.engine with
+          | Some ts when Int64.compare ts deadline <= 0 ->
+              ignore (Engine.step t.engine);
+              loop ()
+          | Some _ | None ->
+              spin_to t deadline;
+              expire ()
         end
   in
   loop ()
 
-let first_done t toks =
-  List.find_map
-    (fun tok ->
-      match Token.peek t.tokens tok with
-      | Some _ ->
-          let r = Option.get (Token.redeem t.tokens tok) in
-          Some (tok, r)
-      | None -> None)
-    toks
+(* wait_any / wait_all register every token into a wait set once, then
+   dequeue readiness in O(1) per completion — no rescanning of [toks]
+   per poll iteration. Any token left unredeemed is unregistered before
+   returning, so it stays redeemable by a later wait. *)
 
 let wait_any ?timeout t toks =
   let deadline = Option.map (Int64.add (Engine.now t.engine)) timeout in
@@ -250,16 +270,50 @@ let wait_any ?timeout t toks =
     | Some d -> Int64.compare (Engine.now t.engine) d >= 0
     | None -> false
   in
+  let ws = Token.waitset () in
+  let index = Hashtbl.create 16 in
+  List.iteri
+    (fun i tok ->
+      if not (Hashtbl.mem index tok) then Hashtbl.add index tok i;
+      Token.register t.tokens ws tok)
+    toks;
+  let unregister_all () = List.iter (Token.unregister t.tokens ws) toks in
+  (* Draining the whole FIFO at a poll point yields exactly the set of
+     currently-completed tokens; picking the minimum argument index
+     keeps selection identical to the seed's left-to-right scan when
+     several tokens completed in the same step. *)
+  let idx tok =
+    match Hashtbl.find_opt index tok with Some i -> i | None -> max_int
+  in
+  let rec drain best =
+    match Token.take_ready t.tokens ws with
+    | None -> best
+    | Some tok ->
+        let best =
+          match best with
+          | Some b when idx b <= idx tok -> Some b
+          | Some _ | None -> Some tok
+        in
+        drain best
+  in
   let rec loop () =
-    match first_done t toks with
-    | Some hit -> Some hit
+    match drain None with
+    | Some tok ->
+        unregister_all ();
+        Dk_obs.Metrics.incr m_ready_hits;
+        let r = Option.get (Token.redeem t.tokens tok) in
+        Some (tok, r)
     | None ->
-        if expired () then None
+        if expired () then begin
+          unregister_all ();
+          None
+        end
         else begin
           wait_step t;
           if Engine.step t.engine then loop ()
           else begin
             Option.iter (spin_to t) deadline;
+            unregister_all ();
             None
           end
         end
@@ -273,29 +327,121 @@ let wait_all ?timeout t toks =
     | Some d -> Int64.compare (Engine.now t.engine) d >= 0
     | None -> false
   in
-  let all_done () =
-    List.for_all (fun tok -> Token.peek t.tokens tok <> None) toks
+  let ws = Token.waitset () in
+  List.iter (Token.register t.tokens ws) toks;
+  let unregister_all () = List.iter (Token.unregister t.tokens ws) toks in
+  (* Completion target: distinct tokens (registering a duplicate moves
+     it, so its completion is enqueued once). Nothing is redeemed until
+     every token is done — a partial set must stay waitable after a
+     timeout. *)
+  let seen = Hashtbl.create 16 in
+  let n =
+    List.fold_left
+      (fun acc tok ->
+        if Hashtbl.mem seen tok then acc
+        else begin
+          Hashtbl.add seen tok ();
+          acc + 1
+        end)
+      0 toks
+  in
+  Hashtbl.reset seen;
+  let done_count = ref 0 in
+  let drain () =
+    let rec go () =
+      match Token.take_ready t.tokens ws with
+      | None -> ()
+      | Some tok ->
+          if not (Hashtbl.mem seen tok) then begin
+            Hashtbl.add seen tok ();
+            incr done_count
+          end;
+          go ()
+    in
+    go ()
   in
   let rec loop () =
-    if all_done () then
+    drain ();
+    if !done_count >= n then begin
+      unregister_all ();
+      Dk_obs.Metrics.add m_ready_hits n;
       Some
         (List.map
            (fun tok -> (tok, Option.get (Token.redeem t.tokens tok)))
            toks)
-    else if expired () then None
+    end
+    else if expired () then begin
+      unregister_all ();
+      None
+    end
     else begin
       wait_step t;
       if Engine.step t.engine then loop ()
       else begin
         Option.iter (spin_to t) deadline;
+        unregister_all ();
         None
       end
     end
   in
   loop ()
 
+(* ---- persistent wait sets (epoll-style registration, exactly-once
+   delivery): register once, then drain completions in O(1) per event.
+   This is what a server with thousands of outstanding ops should use;
+   wait_any builds and tears down the registration per call. *)
+
+type waitset = Token.waitset
+
+let waitset (_ : t) = Token.waitset ()
+let waitset_add t ws tok = Token.register t.tokens ws tok
+
+let wait_next ?timeout t ws =
+  let deadline = Option.map (Int64.add (Engine.now t.engine)) timeout in
+  let expired () =
+    match deadline with
+    | Some d -> Int64.compare (Engine.now t.engine) d >= 0
+    | None -> false
+  in
+  let rec loop () =
+    match Token.take_ready t.tokens ws with
+    | Some tok ->
+        Dk_obs.Metrics.incr m_ready_hits;
+        let r = Option.get (Token.redeem t.tokens tok) in
+        Some (tok, r)
+    | None ->
+        if expired () then None
+        else begin
+          wait_step t;
+          if Engine.step t.engine then loop ()
+          else begin
+            Option.iter (spin_to t) deadline;
+            None
+          end
+        end
+  in
+  loop ()
+
 let try_wait t tok = Token.redeem t.tokens tok
 let watch t tok k = Token.watch t.tokens tok k
+
+(* ---- batching knobs ---- *)
+
+(* One window for every attached device's submission stage. 0 (the
+   default) rings per operation — the bit-identical unbatched path. *)
+let set_batch_window t ns =
+  (match t.stack with
+  | Some stack -> Dk_device.Nic.set_tx_window (Stack.nic stack) ns
+  | None -> ());
+  (match t.rdma with
+  | Some dev -> Dk_device.Rdma.set_tx_window dev ns
+  | None -> ());
+  match t.disp with
+  | Some disp -> Dk_device.Block.set_sq_window (Block_dispatch.block disp) ns
+  | None -> ()
+
+let set_rx_pooling t ?class_capacity enabled =
+  Dk_mem.Manager.set_rx_pooling t.manager ?class_capacity enabled
 
 (* ---- data path ---- *)
 
@@ -306,6 +452,22 @@ let push t qd sga =
       let tok = Token.fresh t.tokens in
       impl.Qimpl.push sga tok;
       Ok tok
+
+(* Batched submission: one descriptor-table lookup, one token minted
+   per sga, and — when the device's tx window is open — one doorbell
+   for the whole batch instead of one per element. *)
+let push_batch t qd sgas =
+  match lookup t qd with
+  | None -> Error `Bad_qd
+  | Some impl ->
+      Ok
+        (List.map
+           (fun sga ->
+             let tok = Token.fresh t.tokens in
+             Dk_obs.Metrics.incr m_push_batched;
+             impl.Qimpl.push sga tok;
+             tok)
+           sgas)
 
 let pop t qd =
   match lookup t qd with
@@ -344,7 +506,7 @@ let bind_udp t qd meta port =
   match t.stack with
   | None -> Error `Not_supported
   | Some stack -> (
-      match Net_queue.udp ~tokens:t.tokens ~stack ~port ~peer:meta.peer with
+      match Net_queue.udp ~tokens:t.tokens ~manager:t.manager ~stack ~port ~peer:meta.peer () with
       | Error `In_use -> Error `Not_supported
       | Ok impl ->
           meta.port <- Some port;
@@ -370,7 +532,7 @@ let listen t qd =
       match (meta.proto, meta.port, t.stack, t.posix) with
       | `Tcp, Some port, Some stack, _ -> (
           let register impl = install t impl in
-          match Net_queue.listener ~tokens:t.tokens ~stack ~port ~register with
+          match Net_queue.listener ~tokens:t.tokens ~manager:t.manager ~stack ~port ~register () with
           | Error `In_use -> Error `Not_supported
           | Ok impl ->
               Hashtbl.replace t.qds qd impl;
@@ -452,7 +614,7 @@ let connect t qd ~dst =
               | Some `Timeout -> `Timeout
               | Some `Normal | None -> `Queue_closed)
           else begin
-            let impl = Net_queue.of_conn ~tokens:t.tokens ~conn () in
+            let impl = Net_queue.of_conn ~tokens:t.tokens ~manager:t.manager ~conn () in
             Hashtbl.replace t.qds qd impl;
             Ok ()
           end)

@@ -152,6 +152,14 @@ val filter_offloaded : t -> Types.qd -> bool
 (** {2 Data path} *)
 
 val push : t -> Types.qd -> Dk_mem.Sga.t -> (Types.qtoken, Types.error) result
+
+val push_batch :
+  t -> Types.qd -> Dk_mem.Sga.t list -> (Types.qtoken list, Types.error) result
+(** Submit several sgas to one queue, in order, minting one token per
+    sga. When the device's tx batch window is open (see
+    {!set_batch_window}), the whole batch rings the doorbell once; with
+    a zero window it behaves exactly like [push] per element. *)
+
 val pop : t -> Types.qd -> (Types.qtoken, Types.error) result
 
 val wait : t -> Types.qtoken -> Types.op_result
@@ -177,11 +185,48 @@ val wait_all :
 val try_wait : t -> Types.qtoken -> Types.op_result option
 (** Non-blocking poll of one token. *)
 
+(** {2 Persistent wait sets}
+
+    [wait_any] registers and tears down its token list on every call;
+    a server with thousands of outstanding operations should instead
+    register each token once and drain completions in O(1) per event —
+    the readiness path the paper's single-digit-µs budget demands. *)
+
+type waitset
+
+val waitset : t -> waitset
+(** A fresh, empty wait set. *)
+
+val waitset_add : t -> waitset -> Types.qtoken -> unit
+(** Route the token's completion to the wait set. An
+    already-completed token becomes ready immediately. A token is in at
+    most one wait set (latest registration wins). *)
+
+val wait_next :
+  ?timeout:int64 -> t -> waitset -> (Types.qtoken * Types.op_result) option
+(** Next completion from the wait set, driving the simulation while it
+    is empty ([None] on timeout/deadlock). Each completion is delivered
+    exactly once; completion order, not registration order. *)
+
 val watch : t -> Types.qtoken -> (Types.op_result -> unit) -> unit
 (** Scheduler integration (§4.4): run the callback when the token
     completes (immediately if it already did), redeeming it. Used by
     [Dk_sched.Fiber] to suspend lightweight threads on qtokens; a
     watched token must not also be passed to [wait_*]. *)
+
+val set_batch_window : t -> int64 -> unit
+(** Tx doorbell coalescing window for every attached device (NIC, RDMA
+    NIC, block SQ). [0] — the default, from [Cost.tx_batch_window] —
+    rings the doorbell per operation, bit-identically to the unbatched
+    path; [w > 0] lets submissions landing within [w] ns share one
+    ring. *)
+
+val set_rx_pooling : t -> ?class_capacity:int -> bool -> unit
+(** Serve device receive allocations (NIC rx delivery, RDMA receive
+    ring refill) from size-classed free lists in front of the memory
+    manager's arenas ({!Dk_mem.Manager.set_rx_pooling}) — the
+    [mem.pool.fastpath_hits] counter tracks hits. Off by default; when
+    off the rx path is bit-identical to the unpooled allocator. *)
 
 val blocking_push : t -> Types.qd -> Dk_mem.Sga.t -> Types.op_result
 (** push + wait (Figure 3 line 8). *)

@@ -2,6 +2,44 @@ module Tcp = Dk_net.Tcp
 module Stack = Dk_net.Stack
 module Framing = Dk_net.Framing
 
+(* Build the sga delivered to a popper. With a pooling manager
+   attached, each segment's storage comes from the rx size-class pools
+   (an O(1) free-list pop on the hit path); otherwise — no manager, or
+   pooling off — the unmanaged [Sga.of_string] path is byte-for-byte
+   the historical behaviour, so existing stats stay untouched. *)
+let rx_buffer manager s =
+  let len = String.length s in
+  if len = 0 then None
+  else
+    match manager with
+    | Some m when Dk_mem.Manager.rx_pooling m -> (
+        match Dk_mem.Manager.alloc_rx m len with
+        | Some b ->
+            Dk_mem.Buffer.blit_from_string s 0 b 0 len;
+            Some b
+        | None -> None)
+    | Some _ | None -> None
+
+let rx_sga manager segments =
+  let pooled =
+    List.map
+      (fun s ->
+        match rx_buffer manager s with
+        | Some b -> Ok b
+        | None -> Error s)
+      segments
+  in
+  if List.for_all (function Ok _ -> true | Error _ -> false) pooled then
+    Dk_mem.Sga.of_buffers
+      (List.filter_map (function Ok b -> Some b | Error _ -> None) pooled)
+  else begin
+    (* Mixed or miss: release any pooled segments and fall back whole. *)
+    List.iter
+      (function Ok b -> Dk_mem.Buffer.free b | Error _ -> ())
+      pooled;
+    Dk_mem.Sga.of_strings segments
+  end
+
 (* ---- TCP connection queues ---- *)
 
 (* Connections torn down by RTO exhaustion (give-up after bounded
@@ -10,6 +48,7 @@ let m_aborted = Dk_obs.Metrics.counter "core.tcp.aborted"
 
 type conn_state = {
   tokens : Token.t;
+  manager : Dk_mem.Manager.t option;
   conn : Tcp.conn;
   mbox : Mailbox.t;
   decoder : Framing.decoder;
@@ -42,7 +81,7 @@ let pump_rx st =
     let rec drain () =
       match Framing.next st.decoder with
       | Some segments ->
-          let sga = Dk_mem.Sga.of_strings segments in
+          let sga = rx_sga st.manager segments in
           Mailbox.deliver st.mbox (Types.Popped sga);
           drain ()
       | None -> ()
@@ -56,10 +95,11 @@ let fail_tx st err =
     st.txq;
   Queue.clear st.txq
 
-let of_conn ~tokens ~conn () =
+let of_conn ~tokens ?manager ~conn () =
   let st =
     {
       tokens;
+      manager;
       conn;
       mbox = Mailbox.create tokens;
       decoder = Framing.create ();
@@ -96,11 +136,11 @@ let of_conn ~tokens ~conn () =
 
 (* ---- listeners ---- *)
 
-let listener ~tokens ~stack ~port ~register =
+let listener ~tokens ?manager ~stack ~port ~register () =
   let mbox = Mailbox.create tokens in
   match
     Stack.tcp_listen stack ~port ~on_accept:(fun conn ->
-        let impl = of_conn ~tokens ~conn () in
+        let impl = of_conn ~tokens ?manager ~conn () in
         let qd = register impl in
         Mailbox.deliver mbox (Types.Accepted qd))
   with
@@ -120,11 +160,11 @@ let listener ~tokens ~stack ~port ~register =
 
 (* ---- UDP datagram queues ---- *)
 
-let udp ~tokens ~stack ~port ~peer =
+let udp ~tokens ?manager ~stack ~port ~peer () =
   let mbox = Mailbox.create tokens in
   match
     Stack.udp_bind stack ~port ~recv:(fun ~src:_ payload ->
-        Mailbox.deliver mbox (Types.Popped (Dk_mem.Sga.of_string payload)))
+        Mailbox.deliver mbox (Types.Popped (rx_sga manager [ payload ])))
   with
   | Error `In_use -> Error `In_use
   | Ok () ->

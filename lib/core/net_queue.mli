@@ -10,25 +10,38 @@
       needed.
 
     No data copies are charged anywhere on these paths: sgas flow to
-    the NIC by (simulated) DMA — the zero-copy interface of §4.5. *)
+    the NIC by (simulated) DMA — the zero-copy interface of §4.5.
+
+    When [manager] is given and its rx pooling is on
+    ({!Dk_mem.Manager.set_rx_pooling}), received message storage comes
+    from the manager's size-class pools; otherwise delivery uses plain
+    unmanaged sgas, byte-identical to the historical path. *)
 
 val of_conn :
-  tokens:Token.t -> conn:Dk_net.Tcp.conn -> unit -> Qimpl.t
+  tokens:Token.t ->
+  ?manager:Dk_mem.Manager.t ->
+  conn:Dk_net.Tcp.conn ->
+  unit ->
+  Qimpl.t
 
 val listener :
   tokens:Token.t ->
+  ?manager:Dk_mem.Manager.t ->
   stack:Dk_net.Stack.t ->
   port:int ->
   register:(Qimpl.t -> Types.qd) ->
+  unit ->
   (Qimpl.t, [ `In_use ]) result
 (** [register] installs a new connection queue in the runtime's
     descriptor table and returns its qd. *)
 
 val udp :
   tokens:Token.t ->
+  ?manager:Dk_mem.Manager.t ->
   stack:Dk_net.Stack.t ->
   port:int ->
   peer:Dk_net.Addr.endpoint option ref ->
+  unit ->
   (Qimpl.t, [ `In_use ]) result
 (** A datagram queue bound to [port]. Pushes go to [!peer] (set by the
     runtime's [connect]); pops yield one sga per datagram. *)

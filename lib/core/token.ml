@@ -1,8 +1,16 @@
 module Dk_check = Dk_mem.Dk_check
 
+(* A wait set is the readiness FIFO for one waiter: completions of
+   registered tokens enqueue the token here, so the waiter learns about
+   readiness in O(1) per completion instead of rescanning its whole
+   token list each poll iteration. The wakeup still targets exactly the
+   registered waiter (§4.4) — a token is in at most one wait set. *)
+type waitset = { ready : Types.qtoken Queue.t }
+
 type state =
   | Pending
   | Watched of (Types.op_result -> unit)
+  | Queued of waitset
   | Done of Types.op_result
 
 type audit_report = {
@@ -87,6 +95,11 @@ let complete t tok result =
       if t.audit then Hashtbl.replace t.consumed tok ();
       record_completion t tok;
       k result
+  | Some (Queued ws) ->
+      Hashtbl.replace t.table tok (Done result);
+      t.pending <- t.pending - 1;
+      record_completion t tok;
+      Queue.add tok ws.ready
   | Some (Done _) -> double_complete t tok
   | None ->
       if t.audit && Hashtbl.mem t.consumed tok then double_complete t tok
@@ -94,14 +107,14 @@ let complete t tok result =
 
 let status t tok =
   match Hashtbl.find_opt t.table tok with
-  | Some (Pending | Watched _) -> `Pending
+  | Some (Pending | Watched _ | Queued _) -> `Pending
   | Some (Done _) -> `Done
   | None -> `Unknown
 
 let peek t tok =
   match Hashtbl.find_opt t.table tok with
   | Some (Done r) -> Some r
-  | Some (Pending | Watched _) | None -> None
+  | Some (Pending | Watched _ | Queued _) | None -> None
 
 (* A watched token is auto-redeemed by its callback; redeeming it by
    hand would double-deliver the completion (§4.4: exactly one wakeup
@@ -128,14 +141,17 @@ let redeem t tok =
       Dk_obs.Metrics.incr m_redeemed;
       Some r
   | Some (Watched _) -> redeem_watched t tok
-  | Some Pending -> None
+  | Some (Pending | Queued _) -> None
   | None ->
       if t.audit && Hashtbl.mem t.consumed tok then redeem_watched t tok
       else None
 
 let watch t tok k =
   match Hashtbl.find_opt t.table tok with
-  | Some Pending -> Hashtbl.replace t.table tok (Watched k)
+  (* A queued token may still be watched: the wait set simply never
+     hears about it, exactly as a scanning waiter never saw a watched
+     token's completion. *)
+  | Some (Pending | Queued _) -> Hashtbl.replace t.table tok (Watched k)
   | Some (Done r) ->
       Hashtbl.remove t.table tok;
       if t.audit then Hashtbl.replace t.consumed tok ();
@@ -145,11 +161,40 @@ let watch t tok k =
 
 let outstanding t = t.pending
 
+let waitset () = { ready = Queue.create () }
+
+let register t ws tok =
+  match Hashtbl.find_opt t.table tok with
+  | Some (Pending | Queued _) -> Hashtbl.replace t.table tok (Queued ws)
+  | Some (Done _) -> Queue.add tok ws.ready
+  (* Watched or unknown tokens never become ready: the waiter keeps
+     polling without a hit, matching the scanning implementation where
+     [peek] never returned their result either. *)
+  | Some (Watched _) | None -> ()
+
+let unregister t ws tok =
+  match Hashtbl.find_opt t.table tok with
+  | Some (Queued ws') when ws' == ws -> Hashtbl.replace t.table tok Pending
+  | _ -> ()
+
+let rec take_ready t ws =
+  match Queue.take_opt ws.ready with
+  | None -> None
+  | Some tok -> (
+      (* Skip stale entries: a token already redeemed (or re-minted
+         state changes) since it was enqueued must not produce a second
+         wakeup. *)
+      match Hashtbl.find_opt t.table tok with
+      | Some (Done _) -> Some tok
+      | _ -> take_ready t ws)
+
 let audit t =
   let dangling =
     Hashtbl.fold
       (fun tok state acc ->
-        match state with Pending | Watched _ -> tok :: acc | Done _ -> acc)
+        match state with
+        | Pending | Watched _ | Queued _ -> tok :: acc
+        | Done _ -> acc)
       t.table []
     |> List.sort compare
   in

@@ -15,6 +15,14 @@
 
 type t
 
+type waitset
+(** Readiness FIFO for one waiter. Tokens {!register}ed into a wait set
+    are enqueued on it when they complete, so the waiter dequeues
+    readiness in O(1) per completion ({!take_ready}) instead of
+    rescanning its token list. A token belongs to at most one wait set
+    (latest registration wins), preserving the exactly-one-wakeup
+    contract. *)
+
 type audit_report = {
   dangling : Types.qtoken list;
       (** minted, never completed nor redeemed — lost wakeups *)
@@ -58,6 +66,27 @@ val watch : t -> Types.qtoken -> (Types.op_result -> unit) -> unit
 
 val outstanding : t -> int
 (** Pending (unredeemed, uncompleted) tokens. *)
+
+val waitset : unit -> waitset
+(** A fresh, empty wait set. *)
+
+val register : t -> waitset -> Types.qtoken -> unit
+(** Route [tok]'s completion to the wait set's ready FIFO. An
+    already-completed token is enqueued immediately; a watched or
+    unknown token is ignored (it can never become ready for a waiter,
+    exactly as under the scanning implementation). Registering a token
+    that is already in a wait set moves it — latest registration
+    wins. *)
+
+val unregister : t -> waitset -> Types.qtoken -> unit
+(** Detach [tok] from this wait set (back to plain pending). No-op if
+    the token is not currently registered with [ws] — in particular a
+    completed-but-unredeemed token stays redeemable. *)
+
+val take_ready : t -> waitset -> Types.qtoken option
+(** Dequeue the next ready (completed, still unredeemed) token.
+    Entries whose token was redeemed since being enqueued are skipped:
+    a completion produces at most one wakeup. *)
 
 val audit : t -> audit_report
 (** Snapshot of the exactly-once bookkeeping: tokens still dangling

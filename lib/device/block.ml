@@ -17,6 +17,7 @@ let h_latency = Dk_obs.Metrics.hist "device.block.sq_latency"
 type t = {
   engine : Dk_sim.Engine.t;
   cost : Dk_sim.Cost.t;
+  db : Doorbell.t;
   block_size : int;
   block_count : int;
   sq_depth : int;
@@ -39,6 +40,7 @@ let create ~engine ~cost ?(block_size = 4096) ?(block_count = 1 lsl 20)
   {
     engine;
     cost;
+    db = Doorbell.create ~engine ~cost ~name:"block.sq.doorbells" ();
     block_size;
     block_count;
     sq_depth;
@@ -108,10 +110,10 @@ let submit t make_completion latency =
     false
   end
   else begin
-    Dk_sim.Engine.consume t.engine t.cost.Dk_sim.Cost.pcie_doorbell;
-    t.inflight <- t.inflight + 1;
-    Dk_obs.Metrics.gauge_add g_inflight 1;
-    complete t latency (make_completion ());
+    Doorbell.submit t.db (fun () ->
+        t.inflight <- t.inflight + 1;
+        Dk_obs.Metrics.gauge_add g_inflight 1;
+        complete t latency (make_completion ()));
     true
   end
 
@@ -199,6 +201,26 @@ let submit_write t ~wr_id ~lba data =
     Dk_obs.Metrics.incr m_writes
   end;
   ok
+
+type op =
+  | Read of { wr_id : int; lba : int }
+  | Write of { wr_id : int; lba : int; data : string }
+
+let submit_many t ops =
+  Doorbell.group t.db (fun () ->
+      List.fold_left
+        (fun acc op ->
+          let ok =
+            match op with
+            | Read { wr_id; lba } -> submit_read t ~wr_id ~lba
+            | Write { wr_id; lba; data } -> submit_write t ~wr_id ~lba data
+          in
+          if ok then acc + 1 else acc)
+        0 ops)
+
+let grouped t f = Doorbell.group t.db f
+let set_sq_window t ns = Doorbell.set_window t.db ns
+let sq_doorbells t = Doorbell.rings t.db
 
 let poll_cq t = Queue.take_opt t.cq
 let cq_pending t = Queue.length t.cq

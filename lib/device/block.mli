@@ -57,6 +57,26 @@ val submit_write : t -> wr_id:int -> lba:int -> string -> bool
 (** Data longer than a block is rejected with [Invalid_argument];
     shorter data is zero-padded. [false] when the SQ is full. *)
 
+type op =
+  | Read of { wr_id : int; lba : int }
+  | Write of { wr_id : int; lba : int; data : string }
+
+val submit_many : t -> op list -> int
+(** Submit several commands under one SQ doorbell ring
+    ({!Doorbell.group}); returns how many the SQ accepted. *)
+
+val grouped : t -> (unit -> 'a) -> 'a
+(** Run [f]; submissions it makes share one SQ doorbell ring. Lets
+    dispatch layers batch without giving up their per-operation
+    bookkeeping (see [Block_dispatch.write_many]). *)
+
+val set_sq_window : t -> int64 -> unit
+(** SQ doorbell coalescing window; [0] rings per command (the
+    unbatched path). *)
+
+val sq_doorbells : t -> int
+(** Doorbell rings so far on this device. *)
+
 val poll_cq : t -> completion option
 val cq_pending : t -> int
 val outstanding : t -> int

@@ -1,0 +1,88 @@
+(* The datapath's single MMIO chokepoint. Every tx/submission path
+   (NIC tx ring, RDMA work queues, NVMe SQ) rings its doorbell through
+   one of these, and nowhere else — the dk-lint `doorbell-site` rule
+   rejects any other consumer of [Cost.pcie_doorbell].
+
+   Coalescing contract: with [window = 0] (the default), [submit] rings
+   and then runs the device work immediately — the virtual-time
+   sequence is bit-identical to the historical ring-per-op path. With
+   [window > 0], submissions stage and one flush event at
+   [now + window] rings once for everything staged — the descriptor
+   writes are plain cached stores; only the MMIO ring is deferred. *)
+
+type t = {
+  engine : Dk_sim.Engine.t;
+  cost : Dk_sim.Cost.t;
+  counter : Dk_obs.Metrics.counter;
+  mutable window : int64;
+  staged : (unit -> unit) Queue.t;
+  mutable flush_pending : bool;
+  mutable grouping : bool;
+  mutable rings : int;
+}
+
+let create ~engine ~cost ~name () =
+  {
+    engine;
+    cost;
+    counter = Dk_obs.Metrics.counter name;
+    window = cost.Dk_sim.Cost.tx_batch_window;
+    staged = Queue.create ();
+    flush_pending = false;
+    grouping = false;
+    rings = 0;
+  }
+
+let set_window t ns = t.window <- (if Int64.compare ns 0L < 0 then 0L else ns)
+let window t = t.window
+let rings t = t.rings
+
+let ring t =
+  Dk_sim.Engine.consume t.engine t.cost.Dk_sim.Cost.pcie_doorbell;
+  t.rings <- t.rings + 1;
+  Dk_obs.Metrics.incr t.counter
+
+let run_staged t =
+  let rec go () =
+    match Queue.take_opt t.staged with
+    | Some thunk ->
+        thunk ();
+        go ()
+    | None -> ()
+  in
+  go ()
+
+(* An empty stage never rings: a window in which nothing was submitted
+   costs nothing. *)
+let flush t =
+  t.flush_pending <- false;
+  if not (Queue.is_empty t.staged) then begin
+    ring t;
+    run_staged t
+  end
+
+let submit t thunk =
+  if t.grouping then Queue.add thunk t.staged
+  else if Int64.compare t.window 0L <= 0 then begin
+    ring t;
+    thunk ()
+  end
+  else begin
+    Queue.add thunk t.staged;
+    if not t.flush_pending then begin
+      t.flush_pending <- true;
+      ignore (Dk_sim.Engine.after t.engine t.window (fun () -> flush t))
+    end
+  end
+
+(* Explicit batch (the submit_many entry points): even at window 0 the
+   group's submissions share one ring, flushed synchronously before
+   [group] returns. At window > 0 the open window already coalesces. *)
+let group t f =
+  if Int64.compare t.window 0L > 0 then f ()
+  else begin
+    t.grouping <- true;
+    let result = Fun.protect ~finally:(fun () -> t.grouping <- false) f in
+    flush t;
+    result
+  end

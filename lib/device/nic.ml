@@ -28,6 +28,7 @@ type t = {
   cost : Dk_sim.Cost.t;
   mac : int;
   programmable : bool;
+  db : Doorbell.t;
   rxq : string Dk_util.Bqueue.t;
   tx_capacity : int;
   mutable tx_inflight : int;
@@ -52,6 +53,7 @@ let create ~engine ~cost ~mac ?(rx_capacity = 1024) ?(tx_capacity = 1024)
     cost;
     mac;
     programmable;
+    db = Doorbell.create ~engine ~cost ~name:"nic.tx.doorbells" ();
     rxq = Dk_util.Bqueue.create rx_capacity;
     tx_capacity;
     tx_inflight = 0;
@@ -96,38 +98,50 @@ let transmit t ~dst frame =
     false
   end
   else begin
-    (* The CPU pays only for the doorbell; the DMA engine does the rest.
-       The departure time is fixed now (absolute), so that late event
-       execution — the clock having been consumed past this point —
-       cannot reorder frames on the wire. *)
-    Dk_sim.Engine.consume t.engine t.cost.Dk_sim.Cost.pcie_doorbell;
-    t.tx_inflight <- t.tx_inflight + 1;
-    Dk_obs.Metrics.gauge_add g_tx_inflight 1;
-    let len = String.length frame in
-    let departed =
-      Int64.add (Dk_sim.Engine.now t.engine) (Dk_sim.Cost.dma_ns t.cost len)
-    in
-    let finish () =
-      t.tx_inflight <- t.tx_inflight - 1;
-      t.tx_frames <- t.tx_frames + 1;
-      t.tx_bytes <- t.tx_bytes + len;
-      Dk_obs.Metrics.gauge_add g_tx_inflight (-1);
-      Dk_obs.Metrics.incr m_tx_frames;
-      Dk_obs.Metrics.add m_tx_bytes len;
-      (* Injected tx drop: the DMA completed (the host paid for it) but
-         the frame dies at the PHY and never reaches the fabric. *)
-      if
-        Fault.fire Fault.default Fault.Nic_tx_drop
-          ~now:(Dk_sim.Engine.now t.engine)
-      then ()
-      else
-        match t.uplink with
-        | Some send -> send ~src:t.mac ~dst ~departed frame
-        | None -> ()
-    in
-    ignore (Dk_sim.Engine.at t.engine departed finish);
+    (* The CPU pays only for the doorbell (via the coalescing stage);
+       the DMA engine does the rest. The departure time is fixed when
+       the doorbell fires (absolute), so that late event execution —
+       the clock having been consumed past this point — cannot reorder
+       frames on the wire. Under a coalescing window the ring-capacity
+       check above sees the pre-flush inflight count. *)
+    Doorbell.submit t.db (fun () ->
+        t.tx_inflight <- t.tx_inflight + 1;
+        Dk_obs.Metrics.gauge_add g_tx_inflight 1;
+        let len = String.length frame in
+        let departed =
+          Int64.add (Dk_sim.Engine.now t.engine) (Dk_sim.Cost.dma_ns t.cost len)
+        in
+        let finish () =
+          t.tx_inflight <- t.tx_inflight - 1;
+          t.tx_frames <- t.tx_frames + 1;
+          t.tx_bytes <- t.tx_bytes + len;
+          Dk_obs.Metrics.gauge_add g_tx_inflight (-1);
+          Dk_obs.Metrics.incr m_tx_frames;
+          Dk_obs.Metrics.add m_tx_bytes len;
+          (* Injected tx drop: the DMA completed (the host paid for it)
+             but the frame dies at the PHY and never reaches the
+             fabric. *)
+          if
+            Fault.fire Fault.default Fault.Nic_tx_drop
+              ~now:(Dk_sim.Engine.now t.engine)
+          then ()
+          else
+            match t.uplink with
+            | Some send -> send ~src:t.mac ~dst ~departed frame
+            | None -> ()
+        in
+        ignore (Dk_sim.Engine.at t.engine departed finish));
     true
   end
+
+let transmit_many t ~dst frames =
+  Doorbell.group t.db (fun () ->
+      List.fold_left
+        (fun acc frame -> if transmit t ~dst frame then acc + 1 else acc)
+        0 frames)
+
+let set_tx_window t ns = Doorbell.set_window t.db ns
+let tx_doorbells t = Doorbell.rings t.db
 
 let enqueue_rx t frame =
   if Dk_util.Bqueue.push t.rxq frame then begin

@@ -39,7 +39,20 @@ val set_rx_filter : t -> Prog.filter option -> (unit, [ `Not_programmable ]) res
 val set_rx_map : t -> Prog.map option -> (unit, [ `Not_programmable ]) result
 
 val transmit : t -> dst:int -> string -> bool
-(** Charge a doorbell and start DMA; [false] if the TX ring is full. *)
+(** Charge a doorbell (through the coalescing stage — see
+    {!Doorbell}) and start DMA; [false] if the TX ring is full. *)
+
+val transmit_many : t -> dst:int -> string list -> int
+(** Submit several frames under one doorbell ring ({!Doorbell.group});
+    returns how many the TX ring accepted. *)
+
+val set_tx_window : t -> int64 -> unit
+(** Tx doorbell coalescing window; [0] (the default from
+    [Cost.tx_batch_window]) rings per frame, bit-identically to the
+    unbatched path. *)
+
+val tx_doorbells : t -> int
+(** Doorbell rings so far on this NIC. *)
 
 val poll_rx : t -> string option
 (** Take the next received frame, if any (free — the poll-loop cost is

@@ -39,6 +39,7 @@ type qp = {
 and t = {
   engine : Dk_sim.Engine.t;
   cost : Dk_sim.Cost.t;
+  db : Doorbell.t;
   mutable is_registered : int option -> bool;
   mutable sends : int;
   mutable recvs : int;
@@ -50,12 +51,16 @@ let create ~engine ~cost ?(is_registered = fun _ -> false) () =
   {
     engine;
     cost;
+    db = Doorbell.create ~engine ~cost ~name:"rdma.tx.doorbells" ();
     is_registered;
     sends = 0;
     recvs = 0;
     rnr_events = 0;
     registration_failures = 0;
   }
+
+let set_tx_window t ns = Doorbell.set_window t.db ns
+let tx_doorbells t = Doorbell.rings t.db
 
 let set_mr_check t f = t.is_registered <- f
 
@@ -131,8 +136,11 @@ let post_send qp ~wr_id sga =
         nic.registration_failures <- nic.registration_failures + 1;
         complete_send qp { wr_id; status = `Not_registered; len; buffer = None }
       end
-      else begin
-        Dk_sim.Engine.consume nic.engine nic.cost.Dk_sim.Cost.pcie_doorbell;
+      else
+        (* Validation already passed at post time; everything from the
+           doorbell on — hold, serialisation, per-QP in-order arrival —
+           runs when the (possibly coalesced) ring fires. *)
+        Doorbell.submit nic.db (fun () ->
         Dk_mem.Sga.io_hold sga;
         nic.sends <- nic.sends + 1;
         let payload = Dk_mem.Sga.to_string sga in
@@ -176,8 +184,11 @@ let post_send qp ~wr_id sga =
                        complete_send qp { wr_id; status = `Ok; len; buffer = None }))
               end
         in
-        ignore (Dk_sim.Engine.at nic.engine (arrival_time qp ~len) deliver)
-      end
+        ignore (Dk_sim.Engine.at nic.engine (arrival_time qp ~len) deliver))
+
+let post_send_many qp sends =
+  Doorbell.group qp.nic.db (fun () ->
+      List.iter (fun (wr_id, sga) -> post_send qp ~wr_id sga) sends)
 
 (* ---- one-sided operations (§5.1) ---- *)
 
@@ -210,26 +221,25 @@ let post_read qp ~wr_id ~remote_off ~len dst =
         nic.registration_failures <- nic.registration_failures + 1;
         complete_send qp { wr_id; status = `Not_registered; len; buffer = None }
       end
-      else begin
-        Dk_sim.Engine.consume nic.engine nic.cost.Dk_sim.Cost.pcie_doorbell;
-        Dk_mem.Buffer.io_hold dst;
-        nic.sends <- nic.sends + 1;
-        (* request travels to the peer NIC, data comes back: one RTT of
-           wire plus remote NIC processing — and zero remote CPU. *)
-        let rtt =
-          Int64.add (transit_ns nic 16) (transit_ns nic len)
-        in
-        ignore
-          (Dk_sim.Engine.after nic.engine rtt (fun () ->
-               (match window_range peer ~remote_off ~len with
-               | Some w ->
-                   Dk_mem.Buffer.blit w remote_off dst 0 len;
-                   Dk_mem.Buffer.io_release dst;
-                   complete_send qp { wr_id; status = `Ok; len; buffer = None }
-               | None ->
-                   Dk_mem.Buffer.io_release dst;
-                   complete_send qp { wr_id; status = `Rkey; len; buffer = None })))
-      end
+      else
+        Doorbell.submit nic.db (fun () ->
+            Dk_mem.Buffer.io_hold dst;
+            nic.sends <- nic.sends + 1;
+            (* request travels to the peer NIC, data comes back: one RTT
+               of wire plus remote NIC processing — and zero remote
+               CPU. *)
+            let rtt = Int64.add (transit_ns nic 16) (transit_ns nic len) in
+            ignore
+              (Dk_sim.Engine.after nic.engine rtt (fun () ->
+                   match window_range peer ~remote_off ~len with
+                   | Some w ->
+                       Dk_mem.Buffer.blit w remote_off dst 0 len;
+                       Dk_mem.Buffer.io_release dst;
+                       complete_send qp { wr_id; status = `Ok; len; buffer = None }
+                   | None ->
+                       Dk_mem.Buffer.io_release dst;
+                       complete_send qp
+                         { wr_id; status = `Rkey; len; buffer = None })))
 
 let post_write qp ~wr_id ~remote_off sga =
   let nic = qp.nic in
@@ -243,28 +253,29 @@ let post_write qp ~wr_id ~remote_off sga =
         nic.registration_failures <- nic.registration_failures + 1;
         complete_send qp { wr_id; status = `Not_registered; len; buffer = None }
       end
-      else begin
-        Dk_sim.Engine.consume nic.engine nic.cost.Dk_sim.Cost.pcie_doorbell;
-        Dk_mem.Sga.io_hold sga;
-        nic.sends <- nic.sends + 1;
-        let payload = Dk_mem.Sga.to_string sga in
-        let when_ = arrival_time qp ~len in
-        ignore
-          (Dk_sim.Engine.at nic.engine when_ (fun () ->
-               Dk_mem.Sga.io_release sga;
-               match window_range peer ~remote_off ~len with
-               | Some w ->
-                   Dk_mem.Buffer.blit_from_string payload 0 w remote_off len;
-                   let ack = transit_ns nic 0 in
-                   ignore
-                     (Dk_sim.Engine.after nic.engine ack (fun () ->
-                          complete_send qp { wr_id; status = `Ok; len; buffer = None }))
-               | None ->
-                   let back = transit_ns nic 0 in
-                   ignore
-                     (Dk_sim.Engine.after nic.engine back (fun () ->
-                          complete_send qp { wr_id; status = `Rkey; len; buffer = None }))))
-      end
+      else
+        Doorbell.submit nic.db (fun () ->
+            Dk_mem.Sga.io_hold sga;
+            nic.sends <- nic.sends + 1;
+            let payload = Dk_mem.Sga.to_string sga in
+            let when_ = arrival_time qp ~len in
+            ignore
+              (Dk_sim.Engine.at nic.engine when_ (fun () ->
+                   Dk_mem.Sga.io_release sga;
+                   match window_range peer ~remote_off ~len with
+                   | Some w ->
+                       Dk_mem.Buffer.blit_from_string payload 0 w remote_off len;
+                       let ack = transit_ns nic 0 in
+                       ignore
+                         (Dk_sim.Engine.after nic.engine ack (fun () ->
+                              complete_send qp
+                                { wr_id; status = `Ok; len; buffer = None }))
+                   | None ->
+                       let back = transit_ns nic 0 in
+                       ignore
+                         (Dk_sim.Engine.after nic.engine back (fun () ->
+                              complete_send qp
+                                { wr_id; status = `Rkey; len; buffer = None })))))
 
 let poll_send_cq qp = Queue.take_opt qp.send_cq
 let poll_recv_cq qp = Queue.take_opt qp.recv_cq

@@ -67,7 +67,22 @@ val post_recv : qp -> wr_id:int -> Dk_mem.Buffer.t -> unit
 
 val post_send : qp -> wr_id:int -> Dk_mem.Sga.t -> unit
 (** Transmit the sga as one message; completion appears on the send CQ.
-    Takes I/O holds for the duration of the DMA (free-protection). *)
+    Takes I/O holds for the duration of the DMA (free-protection). The
+    doorbell is charged through the NIC's coalescing stage
+    ({!Doorbell}); validation errors complete immediately without a
+    doorbell, as before. *)
+
+val post_send_many : qp -> (int * Dk_mem.Sga.t) list -> unit
+(** Post several (wr_id, sga) sends under one doorbell ring
+    ({!Doorbell.group}); per-message validation and completions are
+    unchanged. *)
+
+val set_tx_window : t -> int64 -> unit
+(** Tx doorbell coalescing window for all work posted on this NIC;
+    [0] rings per post (the unbatched path). *)
+
+val tx_doorbells : t -> int
+(** Doorbell rings so far on this NIC. *)
 
 (** {2 One-sided operations (§5.1)}
 

@@ -1,6 +1,7 @@
 type t = {
   size : int;
   capacity : int;
+  sanitize : bool;
   mutable free : Buffer.t list;
   mutable free_count : int;
 }
@@ -10,7 +11,7 @@ let m_hits = Dk_obs.Metrics.counter "mem.pool.hits"
 let m_misses = Dk_obs.Metrics.counter "mem.pool.misses"
 let m_puts = Dk_obs.Metrics.counter "mem.pool.puts"
 
-let create ~alloc ~size ~count =
+let create ?(sanitize = Dk_check.enabled_from_env ()) ~alloc ~size ~count () =
   if size <= 0 || count <= 0 then invalid_arg "Pool.create";
   let rec loop n acc =
     if n = 0 then Some acc
@@ -25,7 +26,7 @@ let create ~alloc ~size ~count =
   in
   match loop count [] with
   | None -> None
-  | Some free -> Some { size; capacity = count; free; free_count = count }
+  | Some free -> Some { size; capacity = count; sanitize; free; free_count = count }
 
 let buffer_size t = t.size
 let available t = t.free_count
@@ -43,7 +44,26 @@ let get t =
       Some b
 
 let put t b =
-  if t.free_count >= t.capacity then invalid_arg "Pool.put: pool full";
-  Dk_obs.Metrics.incr m_puts;
-  t.free <- b :: t.free;
-  t.free_count <- t.free_count + 1
+  (* Sanitizer mode: a buffer returned twice would be handed to two
+     different receive operations, each DMA-ing over the other. The
+     scan is O(capacity) and only runs when sanitizing — the fast path
+     keeps its O(1) put. It runs before the capacity guard so a double
+     put into a full pool is diagnosed as the double free it is. *)
+  if t.sanitize && List.exists (fun b' -> b' == b) t.free then
+    Dk_check.report Dk_check.Double_free
+      (Printf.sprintf
+         "Pool.put: buffer returned to the pool twice (size class %d); two \
+          receive paths would share the same storage"
+         t.size)
+  else begin
+    if t.free_count >= t.capacity then invalid_arg "Pool.put: pool full";
+    Dk_obs.Metrics.incr m_puts;
+    t.free <- b :: t.free;
+    t.free_count <- t.free_count + 1
+  end
+
+let take_all t =
+  let bufs = t.free in
+  t.free <- [];
+  t.free_count <- 0;
+  bufs

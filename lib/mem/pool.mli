@@ -6,10 +6,18 @@
 
 type t
 
-val create : alloc:(unit -> Buffer.t option) -> size:int -> count:int -> t option
-(** [create ~alloc ~size ~count] pre-allocates [count] buffers using
+val create :
+  ?sanitize:bool ->
+  alloc:(unit -> Buffer.t option) ->
+  size:int ->
+  count:int ->
+  unit ->
+  t option
+(** [create ~alloc ~size ~count ()] pre-allocates [count] buffers using
     [alloc] (each must return a buffer of length [size]); [None] if any
-    allocation fails. *)
+    allocation fails. With [sanitize] (default:
+    {!Dk_check.enabled_from_env}), {!put} detects a buffer returned
+    twice and reports [Double_free] through {!Dk_check}. *)
 
 val buffer_size : t -> int
 val available : t -> int
@@ -20,4 +28,10 @@ val get : t -> Buffer.t option
 
 val put : t -> Buffer.t -> unit
 (** Return a buffer previously obtained from {!get}.
-    @raise Invalid_argument if the pool is already full. *)
+    @raise Invalid_argument if the pool is already full. In sanitizer
+    mode a double put is reported through {!Dk_check} ([Double_free])
+    and ignored. *)
+
+val take_all : t -> Buffer.t list
+(** Empty the free list without counting hits (used by the manager's
+    drain/leak sweep, not by the datapath). *)

@@ -11,6 +11,7 @@ type t = {
   user_net_per_pkt : int64;
   mtcp_batch_delay : int64;
   pcie_doorbell : int64;
+  tx_batch_window : int64;
   dma_base : int64;
   dma_per_byte : float;
   wire_latency : int64;
@@ -43,6 +44,7 @@ let default =
     user_net_per_pkt = 250L;
     mtcp_batch_delay = 15000L; (* one event-loop batching quantum *)
     pcie_doorbell = 120L;
+    tx_batch_window = 0L; (* 0 = ring per submission, bit-identical *)
     dma_base = 180L;
     dma_per_byte = 0.02;
     wire_latency = 600L;
@@ -78,13 +80,15 @@ let pp ppf t =
     "@[<v>cpu_ghz=%.1f syscall=%Ldns ctx_switch=%Ldns copy=%Ld+%.3fns/B@ \
      malloc=%Ldns free=%Ldns kernel_net=%Ldns/pkt sock_demux=%Ldns \
      user_net=%Ldns/pkt mtcp_batch=%Ldns@ \
-     pcie=%Ldns dma=%Ld+%.3fns/B wire=%Ld+%.3fns/B rdma_nic=%Ldns@ \
+     pcie=%Ldns tx_batch=%Ldns dma=%Ld+%.3fns/B wire=%Ld+%.3fns/B \
+     rdma_nic=%Ldns@ \
      nvme_r=%Ldns nvme_w=%Ldns nvme=%.2fns/B vfs=%Ldns@ \
      reg_region=%Ldns pin_page=%Ldns poll=%Ldns filter_cpu=%Ld+%.3fns/B \
      dev_prog=%Ldns app_req=%Ldns@]"
     t.cpu_ghz t.syscall t.context_switch t.copy_base t.copy_per_byte
     t.malloc t.free t.kernel_net_per_pkt t.kernel_sock_demux
-    t.user_net_per_pkt t.mtcp_batch_delay t.pcie_doorbell t.dma_base
+    t.user_net_per_pkt t.mtcp_batch_delay t.pcie_doorbell t.tx_batch_window
+    t.dma_base
     t.dma_per_byte t.wire_latency t.wire_per_byte t.rdma_nic_proc
     t.nvme_read t.nvme_write t.nvme_per_byte t.vfs_overhead
     t.register_region t.pin_per_page t.poll_iter t.filter_cpu_base

@@ -29,6 +29,9 @@ type t = {
   user_net_per_pkt : int64;   (** user-level (libOS) stack, per segment *)
   mtcp_batch_delay : int64;   (** added latency of batched user TCP *)
   pcie_doorbell : int64;    (** MMIO doorbell write *)
+  tx_batch_window : int64;  (** tx doorbell coalescing quantum; [0] rings
+                                per submission (the unbatched path,
+                                bit-identical to no coalescing stage) *)
   dma_base : int64;         (** DMA engine setup *)
   dma_per_byte : float;     (** DMA transfer, ns per byte *)
   wire_latency : int64;     (** propagation, NIC-to-NIC in-rack *)

@@ -42,6 +42,10 @@ let rec drop_cancelled t =
       drop_cancelled t
   | Some _ | None -> ()
 
+let next_at t =
+  drop_cancelled t;
+  Dk_util.Heap.min_key t.queue
+
 let step t =
   let rec loop () =
     match Dk_util.Heap.pop t.queue with

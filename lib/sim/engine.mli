@@ -37,6 +37,13 @@ val cancel : timer -> unit
 val pending : t -> int
 (** Number of scheduled (uncancelled) events. *)
 
+val next_at : t -> int64 option
+(** Timestamp of the earliest live (uncancelled) event, without running
+    it. [None] when nothing is scheduled. Lets poll loops with a
+    deadline decide whether an event due at-or-before the deadline is
+    still outstanding (see [Demi.wait_timeout]: completions landing
+    exactly on the deadline must win the tie). *)
+
 val step : t -> bool
 (** Run the earliest event, advancing the clock to its timestamp.
     Returns [false] if no events are pending. *)

@@ -163,6 +163,32 @@ let wait_timeout_keeps_token () =
   check_str "second wait succeeds" "finally"
     (expect_popped (Demi.wait demi tok))
 
+(* Regression: a completion whose event lands exactly on the deadline
+   is inside the window — redemption wins the tie, never the timeout —
+   even though the poll loop's own CPU charges may have pushed the
+   clock past the event before it ran. *)
+let wait_timeout_deadline_tie () =
+  let engine, demi = solo_demi () in
+  let q = Demi.queue demi in
+  let tok = Result.get_ok (Demi.pop demi q) in
+  ignore
+    (Engine.after engine 500L (fun () ->
+         ignore (Demi.push demi q (sga_str "on the wire"))));
+  check_str "tie goes to the completion" "on the wire"
+    (expect_popped (Demi.wait_timeout demi tok ~timeout:500L))
+
+let wait_timeout_just_late () =
+  let engine, demi = solo_demi () in
+  let q = Demi.queue demi in
+  let tok = Result.get_ok (Demi.pop demi q) in
+  ignore
+    (Engine.after engine 501L (fun () ->
+         ignore (Demi.push demi q (sga_str "late"))));
+  check_bool "one past the deadline times out" true
+    (Demi.wait_timeout demi tok ~timeout:500L = Types.Failed `Timeout);
+  check_str "token survives to a later wait" "late"
+    (expect_popped (Demi.wait demi tok))
+
 (* ---------------- TCP queues over two runtimes ---------------- *)
 
 let demi_pair () =
@@ -992,6 +1018,8 @@ let () =
           Alcotest.test_case "wait_any timeout" `Quick wait_any_timeout;
           Alcotest.test_case "wait_all collects" `Quick wait_all_collects;
           Alcotest.test_case "timeout keeps token" `Quick wait_timeout_keeps_token;
+          Alcotest.test_case "deadline tie redeems" `Quick wait_timeout_deadline_tie;
+          Alcotest.test_case "just-late times out" `Quick wait_timeout_just_late;
           Alcotest.test_case "wait_all partial timeout" `Quick wait_all_partial_timeout;
         ] );
       ( "tcp-queues",

@@ -146,6 +146,42 @@ let nic_tx_ring_full () =
   Engine.run engine;
   check_bool "ring drained" true (Nic.transmit a ~dst:2 "z")
 
+let nic_transmit_many_one_ring () =
+  let engine, fabric, a, b = two_nics () in
+  let rings0 = Nic.tx_doorbells a in
+  let accepted = Nic.transmit_many a ~dst:2 [ "m1"; "m2"; "m3" ] in
+  check_int "all accepted" 3 accepted;
+  Engine.run engine;
+  check_int "one ring" 1 (Nic.tx_doorbells a - rings0);
+  check_int "delivered" 3 (Fabric.stats fabric).Fabric.delivered;
+  List.iter
+    (fun expect ->
+      match Nic.poll_rx b with
+      | Some f -> check_str "frame order" expect f
+      | None -> Alcotest.fail "missing frame")
+    [ "m1"; "m2"; "m3" ]
+
+let nic_window_coalesces_rings () =
+  let engine, fabric, a, b = two_nics () in
+  Nic.set_tx_window a 500L;
+  let rings0 = Nic.tx_doorbells a in
+  for i = 1 to 4 do
+    check_bool "accepted" true (Nic.transmit a ~dst:2 (Printf.sprintf "w%d" i))
+  done;
+  Engine.run engine;
+  check_int "one coalesced ring" 1 (Nic.tx_doorbells a - rings0);
+  check_int "all delivered" 4 (Fabric.stats fabric).Fabric.delivered;
+  List.iter
+    (fun i ->
+      match Nic.poll_rx b with
+      | Some f -> check_str "frame order" (Printf.sprintf "w%d" i) f
+      | None -> Alcotest.fail "missing frame")
+    [ 1; 2; 3; 4 ];
+  (* back to window 0: the very next transmit rings immediately *)
+  Nic.set_tx_window a 0L;
+  ignore (Nic.transmit a ~dst:2 "solo");
+  check_int "per-frame ring" 2 (Nic.tx_doorbells a - rings0)
+
 let fabric_loss () =
   let engine = Engine.create () in
   let fabric = Fabric.create ~engine ~cost ~loss:1.0 () in
@@ -433,6 +469,29 @@ let rdma_ordering () =
     | _ -> Alcotest.fail "missing completion"
   done
 
+let rdma_post_send_many_one_ring () =
+  let engine, nic, qa, qb = rdma_pair () in
+  for i = 1 to 3 do
+    Rdma.post_recv qb ~wr_id:i (Dk_mem.Manager.alloc_exn mgr 64)
+  done;
+  let rings0 = Rdma.tx_doorbells nic in
+  Rdma.post_send_many qa
+    (List.init 3 (fun i ->
+         (i + 1, Dk_mem.Sga.of_string (Printf.sprintf "batch%d" (i + 1)))));
+  Engine.run engine;
+  check_int "one ring" 1 (Rdma.tx_doorbells nic - rings0);
+  for i = 1 to 3 do
+    (match Rdma.poll_recv_cq qb with
+    | Some { Rdma.status = `Ok; len; buffer = Some b; _ } ->
+        check_str "content order"
+          (Printf.sprintf "batch%d" i)
+          (Bytes.sub_string (Dk_mem.Buffer.store b) (Dk_mem.Buffer.off b) len)
+    | _ -> Alcotest.fail "missing recv completion");
+    match Rdma.poll_send_cq qa with
+    | Some { Rdma.wr_id; status = `Ok; _ } -> check_int "send wr order" i wr_id
+    | _ -> Alcotest.fail "missing send completion"
+  done
+
 (* ---- one-sided operations ---- *)
 
 let rdma_one_sided_read () =
@@ -534,6 +593,10 @@ let () =
           Alcotest.test_case "broadcast" `Quick nic_broadcast;
           Alcotest.test_case "rx overflow" `Quick nic_rx_overflow;
           Alcotest.test_case "tx ring full" `Quick nic_tx_ring_full;
+          Alcotest.test_case "transmit_many one ring" `Quick
+            nic_transmit_many_one_ring;
+          Alcotest.test_case "tx window coalesces" `Quick
+            nic_window_coalesces_rings;
           Alcotest.test_case "rx notify" `Quick nic_rx_notify;
           Alcotest.test_case "programmable filter" `Quick nic_programmable_filter;
           Alcotest.test_case "programmable map" `Quick nic_programmable_map;
@@ -565,6 +628,8 @@ let () =
           Alcotest.test_case "not connected" `Quick rdma_not_connected;
           Alcotest.test_case "free-protection" `Quick rdma_free_protection;
           Alcotest.test_case "ordering" `Quick rdma_ordering;
+          Alcotest.test_case "post_send_many one ring" `Quick
+            rdma_post_send_many_one_ring;
           Alcotest.test_case "one-sided read" `Quick rdma_one_sided_read;
           Alcotest.test_case "one-sided write" `Quick rdma_one_sided_write;
           Alcotest.test_case "read without window" `Quick rdma_one_sided_no_window;

@@ -180,6 +180,41 @@ let random_outside_device_ok () =
   check_int "scoped to device/fault dirs" 0
     (List.length (lines_of "fault-site" fs))
 
+(* ---------------- doorbell-site ---------------- *)
+
+let doorbell_in_device () =
+  let fs =
+    scan ~path:"lib/device/nic.ml"
+      "let ring t = Dk_sim.Engine.consume t.engine t.cost.Dk_sim.Cost.pcie_doorbell\n"
+  in
+  check (Alcotest.list Alcotest.string) "rule" [ "doorbell-site" ] (rules fs)
+
+let doorbell_in_core () =
+  let fs =
+    scan ~path:"lib/core/demi.ml"
+      "let f t = Engine.consume t.engine t.cost.Cost.pcie_doorbell\n"
+  in
+  check (Alcotest.list Alcotest.int) "line" [ 1 ] (lines_of "doorbell-site" fs)
+
+let doorbell_module_exempt () =
+  (* the submission stage itself is the one legitimate consumer *)
+  let fs =
+    scan ~path:"lib/device/doorbell.ml"
+      "let ring t = Dk_sim.Engine.consume t.engine t.cost.Dk_sim.Cost.pcie_doorbell\n"
+  in
+  check_int "Doorbell exempt" 0 (List.length (lines_of "doorbell-site" fs))
+
+let doorbell_cost_def_exempt () =
+  (* the cost model defines the constant; lib/sim is out of scope *)
+  let fs = scan ~path:"lib/sim/cost.ml" "let f t = t.pcie_doorbell\n" in
+  check_int "lib/sim exempt" 0 (List.length (lines_of "doorbell-site" fs))
+
+let doorbell_outside_lib_ok () =
+  let fs =
+    scan ~path:"test/test_device.ml" "let c = cost.Cost.pcie_doorbell\n"
+  in
+  check_int "tests exempt" 0 (List.length (lines_of "doorbell-site" fs))
+
 (* ---------------- stripping / line numbers ---------------- *)
 
 let nested_comments () =
@@ -272,6 +307,15 @@ let () =
           Alcotest.test_case "Dk_sim.Rng ok" `Quick seeded_rng_in_device_ok;
           Alcotest.test_case "scoped to device dirs" `Quick
             random_outside_device_ok;
+        ] );
+      ( "doorbell-site",
+        [
+          Alcotest.test_case "in lib/device" `Quick doorbell_in_device;
+          Alcotest.test_case "in lib/core" `Quick doorbell_in_core;
+          Alcotest.test_case "Doorbell module exempt" `Quick
+            doorbell_module_exempt;
+          Alcotest.test_case "lib/sim exempt" `Quick doorbell_cost_def_exempt;
+          Alcotest.test_case "outside lib ok" `Quick doorbell_outside_lib_ok;
         ] );
       ( "stripping",
         [

@@ -246,7 +246,7 @@ let sga_roundtrip_prop =
 let pool_basic () =
   let mgr = Manager.create () in
   let pool =
-    Pool.create ~alloc:(fun () -> Manager.alloc mgr 2048) ~size:2048 ~count:4
+    Pool.create ~alloc:(fun () -> Manager.alloc mgr 2048) ~size:2048 ~count:4 ()
   in
   match pool with
   | None -> Alcotest.fail "pool creation failed"
@@ -260,7 +260,7 @@ let pool_basic () =
 
 let pool_exhaustion () =
   let mgr = Manager.create () in
-  match Pool.create ~alloc:(fun () -> Manager.alloc mgr 128) ~size:128 ~count:2 with
+  match Pool.create ~alloc:(fun () -> Manager.alloc mgr 128) ~size:128 ~count:2 () with
   | None -> Alcotest.fail "pool creation failed"
   | Some p ->
       let a = Pool.get p and b = Pool.get p in

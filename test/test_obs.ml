@@ -423,6 +423,11 @@ let stats_json_lines_parse_and_name () =
       "net.tcp.segs_sent";
       "net.tcp.segs_received";
       "net.tcp.retransmits";
+      (* the batching/readiness fast paths export their hit rates *)
+      "core.wait.ready_hits";
+      "core.push.batched";
+      "nic.tx.doorbells";
+      "mem.pool.fastpath_hits";
     ]
 
 let stats_json_counter_values_sane () =
@@ -442,10 +447,16 @@ let stats_json_counter_values_sane () =
   (match value_of "core.token.minted" with
   | Some v -> Alcotest.(check bool) "tokens were minted" true (v > 0.)
   | None -> Alcotest.fail "core.token.minted has no value");
-  match (value_of "core.token.minted", value_of "core.token.completed") with
+  (match (value_of "core.token.minted", value_of "core.token.completed") with
   | Some m, Some c ->
       Alcotest.(check bool) "completed <= minted" true (c <= m)
-  | _ -> Alcotest.fail "token counters missing"
+  | _ -> Alcotest.fail "token counters missing");
+  (* the echo workload transmits frames, so its doorbells were rung and
+     counted (the ready-FIFO hit accounting is exercised end-to-end by
+     bench waitsmoke, which asserts the exact count) *)
+  match value_of "nic.tx.doorbells" with
+  | Some v -> Alcotest.(check bool) "doorbells rang" true (v > 0.)
+  | None -> Alcotest.fail "nic.tx.doorbells has no value"
 
 let () =
   Alcotest.run "dk_obs"

@@ -299,6 +299,18 @@ let scan_tokens ~path (toks : token array) : finding list =
             every fault replays from (plan, seed); never ad-hoc randomness \
             or wall-clock"
            tok);
+    (* doorbell writes outside the device-layer submission stage *)
+    if
+      lib
+      && (not (starts_with ~prefix:"lib/sim/" path))
+      && path <> "lib/device/doorbell.ml"
+      && (tok = "pcie_doorbell" || ends_with ~suffix:".pcie_doorbell" tok)
+    then
+      add line "doorbell-site"
+        "pcie_doorbell charged outside Dk_device.Doorbell: every tx doorbell \
+         must go through the device-layer submission stage (Doorbell.submit / \
+         Doorbell.group) so coalescing windows and the *.doorbells counters \
+         see it";
     (* printing from library code *)
     if lib && List.mem tok print_primitives then
       add line "print-in-lib"
