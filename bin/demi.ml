@@ -383,6 +383,39 @@ let faults_cmd =
        ~doc:"list fault-injection sites, or deterministically replay a plan")
     Term.(const faults_run $ plan $ seed $ size_arg $ rounds_arg)
 
+(* ---- shardcheck ---- *)
+
+let shardcheck_run json dirs =
+  let dirs = if dirs = [] then [ "lib" ] else dirs in
+  let prog, files = Shard_engine.analyze_dirs dirs in
+  let inv = Shard_engine.inventory prog in
+  if json then print_string (Shard_engine.inventory_json inv)
+  else begin
+    print_string (Shard_engine.inventory_table inv);
+    Printf.printf
+      "\n%d source file(s), %d module-level global(s), %d raw finding(s)\n\
+       (`dune build @shard` applies tools/shard/allowlist.txt and gates CI)\n"
+      files (List.length inv)
+      (List.length (Shard_engine.findings prog))
+  end
+
+let shardcheck_cmd =
+  let json =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"emit the shared-state inventory as JSON instead of a table")
+  in
+  let dirs =
+    Arg.(value & pos_all dir []
+         & info [] ~docv:"DIR"
+             ~doc:"directories to analyze (default: lib)")
+  in
+  Cmd.v
+    (Cmd.info "shardcheck"
+       ~doc:"dk-shard shared-state inventory: every module-level global, its \
+             kind, and its shard classification")
+    Term.(const shardcheck_run $ json $ dirs)
+
 (* `demi --stats` (no subcommand) behaves like `demi stats`. *)
 let default =
   let stats_flag =
@@ -402,6 +435,9 @@ let main =
   Cmd.group ~default
     (Cmd.info "demi" ~version:"1.0"
        ~doc:"Demikernel reproduction: parameterised simulation scenarios")
-    [ rtt_cmd; kv_cmd; wakeups_cmd; loss_cmd; stats_cmd; faults_cmd ]
+    [
+      rtt_cmd; kv_cmd; wakeups_cmd; loss_cmd; stats_cmd; faults_cmd;
+      shardcheck_cmd;
+    ]
 
 let () = exit (Cmd.eval main)

@@ -190,13 +190,13 @@ let rec take_ready t ws =
 
 let audit t =
   let dangling =
-    Hashtbl.fold
+    Dk_util.Det.fold_sorted ~compare
       (fun tok state acc ->
         match state with
         | Pending | Watched _ | Queued _ -> tok :: acc
         | Done _ -> acc)
       t.table []
-    |> List.sort compare
+    |> List.rev
   in
   {
     dangling;

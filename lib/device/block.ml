@@ -17,6 +17,7 @@ let h_latency = Dk_obs.Metrics.hist "device.block.sq_latency"
 type t = {
   engine : Dk_sim.Engine.t;
   cost : Dk_sim.Cost.t;
+  fault : Fault.t;
   db : Doorbell.t;
   block_size : int;
   block_count : int;
@@ -33,13 +34,14 @@ type t = {
   mutable rejected : int;
 }
 
-let create ~engine ~cost ?(block_size = 4096) ?(block_count = 1 lsl 20)
-    ?(sq_depth = 256) ?(programmable = false) () =
+let create ~engine ~cost ?(fault = Fault.default) ?(block_size = 4096)
+    ?(block_count = 1 lsl 20) ?(sq_depth = 256) ?(programmable = false) () =
   if block_size <= 0 || block_count <= 0 || sq_depth <= 0 then
     invalid_arg "Block.create";
   {
     engine;
     cost;
+    fault;
     db = Doorbell.create ~engine ~cost ~name:"block.sq.doorbells" ();
     block_size;
     block_count;
@@ -86,7 +88,7 @@ let complete t delay comp =
   (* Injected completion stall: the command sits in the device for an
      extra magnitude before the CQ entry lands. *)
   let delay =
-    Int64.add delay (Fault.extra_delay Fault.default Fault.Block_stall ~now:submitted)
+    Int64.add delay (Fault.extra_delay t.fault Fault.Block_stall ~now:submitted)
   in
   ignore
     (Dk_sim.Engine.after t.engine delay (fun () ->
@@ -122,7 +124,7 @@ let submit_read t ~wr_id ~lba =
     if lba < 0 || lba >= t.block_count then
       { wr_id; status = `Bad_lba; data = None }
     else if
-      Fault.fire Fault.default Fault.Block_error
+      Fault.fire t.fault Fault.Block_error
         ~now:(Dk_sim.Engine.now t.engine)
     then { wr_id; status = `Io_error; data = None }
     else
@@ -157,7 +159,7 @@ let submit_write t ~wr_id ~lba data =
     if lba < 0 || lba >= t.block_count then
       { wr_id; status = `Bad_lba; data = None }
     else if
-      Fault.fire Fault.default Fault.Block_error
+      Fault.fire t.fault Fault.Block_error
         ~now:(Dk_sim.Engine.now t.engine)
     then
       (* Media error: nothing persists. *)
@@ -173,11 +175,11 @@ let submit_write t ~wr_id ~lba data =
            reports success — the failure mode log-structured layouts
            defend against with per-record CRCs (§5.3). *)
         if
-          Fault.fire Fault.default Fault.Block_torn_write
+          Fault.fire t.fault Fault.Block_torn_write
             ~now:(Dk_sim.Engine.now t.engine)
         then
           String.sub data 0
-            (Fault.cut_point Fault.default Fault.Block_torn_write
+            (Fault.cut_point t.fault Fault.Block_torn_write
                ~len:(String.length data))
         else data
       in

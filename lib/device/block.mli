@@ -25,6 +25,7 @@ type stats = { reads : int; writes : int; rejected : int }
 val create :
   engine:Dk_sim.Engine.t ->
   cost:Dk_sim.Cost.t ->
+  ?fault:Dk_fault.Fault.t ->
   ?block_size:int ->
   ?block_count:int ->
   ?sq_depth:int ->

@@ -12,6 +12,7 @@ let broadcast = 0xffffffffffff
 type t = {
   engine : Dk_sim.Engine.t;
   cost : Dk_sim.Cost.t;
+  fault : Fault.t;
   mutable loss : float;
   jitter_ns : int64;
   rng : Dk_sim.Rng.t;
@@ -23,10 +24,12 @@ type t = {
   mutable unrouted : int;
 }
 
-let create ~engine ~cost ?(loss = 0.0) ?(jitter_ns = 0L) ?(seed = 0x5eedL) () =
+let create ~engine ~cost ?(fault = Fault.default) ?(loss = 0.0)
+    ?(jitter_ns = 0L) ?(seed = 0x5eedL) () =
   {
     engine;
     cost;
+    fault;
     loss;
     jitter_ns;
     rng = Dk_sim.Rng.create seed;
@@ -40,7 +43,7 @@ let create ~engine ~cost ?(loss = 0.0) ?(jitter_ns = 0L) ?(seed = 0x5eedL) () =
 let deliver t ~src ~dst ~departed nic frame =
   (* Injected partition: the link is down, the frame dies at the egress
      port. Decided at departure time so the window is crisp. *)
-  if Fault.fire Fault.default Fault.Fabric_partition ~now:departed then begin
+  if Fault.fire t.fault Fault.Fabric_partition ~now:departed then begin
     t.lost <- t.lost + 1;
     Dk_obs.Metrics.incr m_lost
   end
@@ -57,7 +60,7 @@ let deliver t ~src ~dst ~departed nic frame =
        clamp below must not see it, or successors would be pushed back
        too and the order would be preserved after all. *)
     let reorder =
-      Fault.extra_delay Fault.default Fault.Fabric_reorder ~now:departed
+      Fault.extra_delay t.fault Fault.Fabric_reorder ~now:departed
     in
     let delay = Int64.add delay reorder in
     (* Absolute arrival from the departure time; clamped monotonic per
@@ -86,13 +89,13 @@ let deliver t ~src ~dst ~departed nic frame =
         Dk_obs.Flight.recordf Dk_obs.Flight.default ~now Dk_obs.Flight.Drop
           "fabric lost frame %x->%x (%dB)" src dst (String.length frame)
       end
-      else if Fault.fire Fault.default Fault.Fabric_drop ~now then begin
+      else if Fault.fire t.fault Fault.Fabric_drop ~now then begin
         t.lost <- t.lost + 1;
         Dk_obs.Metrics.incr m_lost
       end
       else begin
         let frame =
-          match Fault.mangle Fault.default Fault.Fabric_corrupt ~now frame with
+          match Fault.mangle t.fault Fault.Fabric_corrupt ~now frame with
           | Some corrupted -> corrupted
           | None -> frame
         in
@@ -104,16 +107,18 @@ let deliver t ~src ~dst ~departed nic frame =
     ignore (Dk_sim.Engine.at t.engine arrival arrive);
     (* Injected duplicate: a second, independent delivery a magnitude
        later (it runs the loss/drop/corrupt gauntlet again). *)
-    if Fault.fire Fault.default Fault.Fabric_dup ~now:departed then
+    if Fault.fire t.fault Fault.Fabric_dup ~now:departed then
       ignore
         (Dk_sim.Engine.at t.engine
-           (Int64.add arrival (Fault.magnitude Fault.default Fault.Fabric_dup))
+           (Int64.add arrival (Fault.magnitude t.fault Fault.Fabric_dup))
            arrive)
   end
 
 let send t ~src ~dst ~departed frame =
   if dst = broadcast then
-    Hashtbl.iter
+    (* Sorted by MAC: each delivery schedules engine events, so
+       hash-order fan-out would perturb the event schedule run to run. *)
+    Dk_util.Det.iter_sorted ~compare:Int.compare
       (fun mac nic ->
         if mac <> src then deliver t ~src ~dst:mac ~departed nic frame)
       t.nics

@@ -17,12 +17,17 @@ val broadcast : int
 val create :
   engine:Dk_sim.Engine.t ->
   cost:Dk_sim.Cost.t ->
+  ?fault:Dk_fault.Fault.t ->
   ?loss:float ->
   ?jitter_ns:int64 ->
   ?seed:int64 ->
   unit ->
   t
-(** [jitter_ns] adds a uniform random 0..jitter extra delay per frame;
+(** [fault] selects the fault-injection domain (defaults to the
+    process-wide {!Dk_fault.Fault.default}); per-shard fabrics pass
+    their own so injected faults stay within the shard.
+
+    [jitter_ns] adds a uniform random 0..jitter extra delay per frame;
     jitter larger than the inter-frame gap reorders deliveries, which
     exercises receivers' reassembly paths. *)
 

@@ -26,6 +26,7 @@ let g_tx_inflight = Dk_obs.Metrics.gauge "device.nic.tx_inflight"
 type t = {
   engine : Dk_sim.Engine.t;
   cost : Dk_sim.Cost.t;
+  fault : Fault.t;
   mac : int;
   programmable : bool;
   db : Doorbell.t;
@@ -46,11 +47,12 @@ type t = {
   mutable rx_mapped : int;
 }
 
-let create ~engine ~cost ~mac ?(rx_capacity = 1024) ?(tx_capacity = 1024)
-    ?(programmable = false) () =
+let create ~engine ~cost ?(fault = Fault.default) ~mac ?(rx_capacity = 1024)
+    ?(tx_capacity = 1024) ?(programmable = false) () =
   {
     engine;
     cost;
+    fault;
     mac;
     programmable;
     db = Doorbell.create ~engine ~cost ~name:"nic.tx.doorbells" ();
@@ -122,7 +124,7 @@ let transmit t ~dst frame =
              but the frame dies at the PHY and never reaches the
              fabric. *)
           if
-            Fault.fire Fault.default Fault.Nic_tx_drop
+            Fault.fire t.fault Fault.Nic_tx_drop
               ~now:(Dk_sim.Engine.now t.engine)
           then ()
           else
@@ -169,17 +171,17 @@ let receive t frame =
   (* Fault hooks sit at the wire edge, before any on-NIC program: a
      dropped frame never reaches the filter, a corrupted one is what
      the filter (and the host checksum) sees. *)
-  if Fault.fire Fault.default Fault.Nic_rx_drop ~now then begin
+  if Fault.fire t.fault Fault.Nic_rx_drop ~now then begin
     t.rx_dropped <- t.rx_dropped + 1;
     Dk_obs.Metrics.incr m_rx_dropped
   end
   else begin
     let frame =
-      match Fault.mangle Fault.default Fault.Nic_rx_corrupt ~now frame with
+      match Fault.mangle t.fault Fault.Nic_rx_corrupt ~now frame with
       | Some corrupted -> corrupted
       | None -> frame
     in
-    let copies = if Fault.fire Fault.default Fault.Nic_rx_dup ~now then 2 else 1 in
+    let copies = if Fault.fire t.fault Fault.Nic_rx_dup ~now then 2 else 1 in
     let prog_active = t.rx_filter <> None || t.rx_map <> None in
     let process () =
       let keep =

@@ -25,6 +25,7 @@ type stats = {
 val create :
   engine:Dk_sim.Engine.t ->
   cost:Dk_sim.Cost.t ->
+  ?fault:Dk_fault.Fault.t ->
   mac:int ->
   ?rx_capacity:int ->
   ?tx_capacity:int ->

@@ -39,6 +39,7 @@ type qp = {
 and t = {
   engine : Dk_sim.Engine.t;
   cost : Dk_sim.Cost.t;
+  fault : Fault.t;
   db : Doorbell.t;
   mutable is_registered : int option -> bool;
   mutable sends : int;
@@ -47,10 +48,12 @@ and t = {
   mutable registration_failures : int;
 }
 
-let create ~engine ~cost ?(is_registered = fun _ -> false) () =
+let create ~engine ~cost ?(fault = Fault.default) ?(is_registered = fun _ -> false)
+    () =
   {
     engine;
     cost;
+    fault;
     db = Doorbell.create ~engine ~cost ~name:"rdma.tx.doorbells" ();
     is_registered;
     sends = 0;
@@ -86,7 +89,7 @@ let connect a b =
 (* Injected QP break, checked once per post: sever both ends so every
    later post sees [`Not_connected], and fail this one [`Qp_broken]. *)
 let qp_breaks qp peer ~now =
-  if Fault.fire Fault.default Fault.Rdma_qp_break ~now then begin
+  if Fault.fire qp.nic.fault Fault.Rdma_qp_break ~now then begin
     peer.peer <- None;
     qp.peer <- None;
     true

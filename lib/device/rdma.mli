@@ -48,6 +48,7 @@ type stats = {
 val create :
   engine:Dk_sim.Engine.t ->
   cost:Dk_sim.Cost.t ->
+  ?fault:Dk_fault.Fault.t ->
   ?is_registered:(int option -> bool) ->
   unit ->
   t

@@ -153,6 +153,9 @@ let injected_counter site =
   Dk_obs.Metrics.counter ("fault." ^ site_name site ^ ".injected")
 
 let all_counters = Array.of_list (List.map injected_counter sites)
+[@@shard.immutable
+  "array of obs counter handles, filled once at module init and only read \
+   afterwards"]
 
 type armed = {
   aspec : spec;
@@ -167,6 +170,9 @@ type t = {
 
 let create () = { current = None; slots = Array.make n_sites None }
 let default = create ()
+[@@shard.per_shard
+  "process-wide fallback fault domain; the device constructors take ?fault \
+   so each shard can run its own isolated fault plan"]
 
 (* Per-site RNG stream: seed ⊕ a site-specific odd constant, mixed by
    the Rng itself. Streams are independent across sites, so arming one

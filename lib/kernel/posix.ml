@@ -97,7 +97,9 @@ let collect_ready t epfd max =
   | Some (Epoll interests) ->
       let ready = ref [] in
       let count = ref 0 in
-      Hashtbl.iter
+      (* Sorted by fd: [max] truncates, so hash-order iteration would
+         make *which* fds get reported depend on the hash seed. *)
+      Dk_util.Det.iter_sorted ~compare:Int.compare
         (fun fd events ->
           List.iter
             (fun ev ->

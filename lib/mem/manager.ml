@@ -303,7 +303,7 @@ let alloc_rx t len =
 
 let drain_rx_pools t =
   t.draining <- true;
-  Hashtbl.iter
+  Dk_util.Det.iter_sorted ~compare:Int.compare
     (fun _ pool -> List.iter Buffer.free (Pool.take_all pool))
     t.rx_pools;
   Hashtbl.reset t.rx_pools;
@@ -357,11 +357,11 @@ let check_leaks t =
      application actually holds are reported. *)
   drain_rx_pools t;
   let leaks =
-    Hashtbl.fold
+    Dk_util.Det.fold_sorted ~compare
       (fun (leak_region, leak_off) leak_len acc ->
         { leak_region; leak_off; leak_len } :: acc)
       t.live_allocs []
-    |> List.sort compare
+    |> List.rev
   in
   List.iter
     (fun l ->

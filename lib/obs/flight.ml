@@ -73,6 +73,9 @@ let create ?(capacity = 64 * 1024) () =
   }
 
 let default = create ()
+[@@shard.per_shard
+  "process-wide default flight recorder; shard-local code passes its own \
+   recorder so entries stay within the shard"]
 
 let enabled t = t.on
 let set_enabled t on = t.on <- on

@@ -18,6 +18,9 @@ let create () =
   }
 
 let default = create ()
+[@@shard.per_shard
+  "process-wide default instrument registry; shard-local code passes its \
+   own ~reg so counters stay within the shard"]
 
 let get_or_create table name make =
   match Hashtbl.find_opt table name with
@@ -57,13 +60,14 @@ let hist_data h = h.h_data
 let hist_name h = h.h_name
 
 let reset t =
-  Hashtbl.iter (fun _ c -> c.c_value <- 0) t.counters;
-  Hashtbl.iter
+  let iter f tbl = Dk_util.Det.iter_sorted ~compare:String.compare f tbl in
+  iter (fun _ c -> c.c_value <- 0) t.counters;
+  iter
     (fun _ g ->
       g.g_value <- 0;
       g.g_hwm <- 0)
     t.gauges;
-  Hashtbl.iter (fun _ h -> Dk_sim.Histogram.clear h.h_data) t.hists
+  iter (fun _ h -> Dk_sim.Histogram.clear h.h_data) t.hists
 
 type hist_summary = {
   hs_count : int;
@@ -81,8 +85,10 @@ type snapshot = {
 }
 
 let sorted_bindings table f =
-  Hashtbl.fold (fun name v acc -> (name, f v) :: acc) table []
-  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  Dk_util.Det.fold_sorted ~compare:String.compare
+    (fun name v acc -> (name, f v) :: acc)
+    table []
+  |> List.rev
 
 let summarize (h : Dk_sim.Histogram.t) =
   {

@@ -6,13 +6,18 @@
 #   build     dune build — the whole tree compiles (lib, bench,
 #             examples, tools)
 #   test      dune runtest — unit/property/integration suites, plus
-#             @lint -> @verify (dk-lint token rules and dk-verify
-#             typestate/dataflow analysis; both fail on stale allowlist
-#             entries) and the bench smoke run
+#             @lint -> @verify -> @shard (dk-lint token rules,
+#             dk-verify typestate/dataflow analysis, dk-shard
+#             shard-safety/determinism analysis; all fail on stale
+#             allowlist entries) and the bench smoke run
 #   sanitize  DK_SANITIZE=1 dune build @sanitize — exactly the suites
 #             that read DK_SANITIZE (canaries, poison-on-free,
 #             UAF/double-free detection, leak sweeps, token audit);
 #             suites that never consult the sanitizer are not re-run
+#   shard     dune build @shard — the dk-shard interprocedural
+#             shard-safety & determinism analysis over lib/ on its own
+#             (it also runs as part of 'test' via the @verify alias);
+#             the multi-shard datapath is gated on this staying clean
 #   fault     dune build @fault — the fault-injection scenario suite,
 #             normal then sanitized; export DK_FAULT_CI=1 to widen the
 #             every-plan matrix to multiple seeds (the CI matrix job
@@ -20,8 +25,8 @@
 #   bench     tools/ci/bench_diff.sh — regenerate the E1-E13 bench
 #             tables and fail on >25% virtual-time regression against
 #             the committed baselines
-#   all       build + test + sanitize (the classic 3-stage gate), plus
-#             fault when DK_FAULT_CI is set
+#   all       build + test + shard + sanitize, plus fault when
+#             DK_FAULT_CI is set
 #
 # Run from anywhere; exits nonzero on the first failure.
 
@@ -46,6 +51,11 @@ run_sanitize() {
   DK_SANITIZE=1 dune build @sanitize --force
 }
 
+run_shard() {
+  echo "== [shard] dune build @shard"
+  dune build @shard --force
+}
+
 run_fault() {
   echo "== [fault] dune build @fault (DK_FAULT_CI=${DK_FAULT_CI:-0})"
   dune build @fault --force
@@ -60,18 +70,20 @@ case "$stage" in
   build)    run_build ;;
   test)     run_test ;;
   sanitize) run_sanitize ;;
+  shard)    run_shard ;;
   fault)    run_fault ;;
   bench)    run_bench ;;
   all)
     run_build
     run_test
+    run_shard
     run_sanitize
     if [ "${DK_FAULT_CI:-}" = "1" ]; then
       run_fault
     fi
     ;;
   *)
-    echo "usage: $0 [build|test|sanitize|fault|bench|all]" >&2
+    echo "usage: $0 [build|test|sanitize|shard|fault|bench|all]" >&2
     exit 2
     ;;
 esac

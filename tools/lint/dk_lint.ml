@@ -1,55 +1,10 @@
 (* dk-lint driver: scan source directories, subtract the allowlist,
-   print file:line diagnostics, exit nonzero on any finding. *)
-
-let usage = "dk_lint [--root DIR] [--allowlist FILE] [DIR ...]"
+   print file:line diagnostics, exit nonzero on any finding or stale
+   allowlist entry. All the plumbing lives in Tool_common. *)
 
 let () =
-  let root = ref None in
-  let allowlist = ref "tools/lint/allowlist.txt" in
-  let dirs = ref [] in
-  let rec parse = function
-    | [] -> ()
-    | "--root" :: d :: rest ->
-        root := Some d;
-        parse rest
-    | "--allowlist" :: f :: rest ->
-        allowlist := f;
-        parse rest
-    | ("--help" | "-h") :: _ ->
-        print_endline usage;
-        exit 0
-    | arg :: _ when String.length arg > 0 && arg.[0] = '-' ->
-        Printf.eprintf "dk-lint: unknown option %s\nusage: %s\n" arg usage;
-        exit 2
-    | dir :: rest ->
-        dirs := dir :: !dirs;
-        parse rest
-  in
-  parse (List.tl (Array.to_list Sys.argv));
-  (match !root with Some d -> Sys.chdir d | None -> ());
-  let dirs =
-    match List.rev !dirs with [] -> [ "lib"; "bench"; "examples" ] | ds -> ds
-  in
-  (* a typo'd directory must not silently lint nothing *)
-  List.iter
-    (fun d ->
-      if not (Sys.file_exists d && Sys.is_directory d) then begin
-        Printf.eprintf "dk-lint: no such directory: %s\n" d;
-        exit 2
-      end)
-    dirs;
-  let findings, scanned = Lint_engine.scan_dirs dirs in
-  let allow = Lint_engine.load_allowlist !allowlist in
-  let kept, stale = Lint_engine.apply_allowlist allow findings in
-  List.iter (fun f -> print_endline (Lint_engine.pp_finding f)) kept;
-  List.iter
-    (fun e ->
-      Printf.eprintf
-        "dk-lint: stale allowlist entry (no longer matches): %s %s\n"
-        e.Lint_engine.a_rule e.Lint_engine.a_path)
-    stale;
-  Printf.printf "dk-lint: %d source file(s), %d finding(s), %d allowlisted\n"
-    scanned (List.length kept)
-    (List.length allow - List.length stale);
-  (* stale entries fail too: the allowlist may only shrink *)
-  if kept <> [] || stale <> [] then exit 1
+  Tool_common.run_driver ~tool:"dk-lint"
+    ~usage:"dk_lint [--root DIR] [--allowlist FILE] [DIR ...]"
+    ~default_allowlist:"tools/lint/allowlist.txt"
+    ~default_dirs:[ "lib"; "bench"; "examples" ]
+    ~scan:Lint_engine.scan_dirs ()

@@ -5,30 +5,25 @@
    comment/string-safe. False positives are silenced through the
    checked-in allowlist rather than by weakening a rule. *)
 
-type finding = { path : string; line : int; rule : string; message : string }
+(* Finding type and allowlist semantics are shared across the dk-*
+   tools through Tool_common; the re-exports keep existing callers
+   ([Lint_engine.finding], [Lint_engine.load_allowlist]) compiling. *)
 
-let compare_finding a b =
-  match String.compare a.path b.path with
-  | 0 -> ( match compare a.line b.line with 0 -> String.compare a.rule b.rule | c -> c)
-  | c -> c
+type finding = Tool_common.finding = {
+  path : string;
+  line : int;
+  rule : string;
+  message : string;
+}
 
-let pp_finding f = Printf.sprintf "%s:%d: [%s] %s" f.path f.line f.rule f.message
+let compare_finding = Tool_common.compare_finding
+let pp_finding = Tool_common.pp_finding
 
 (* ---------------- path classification ---------------- *)
 
-let normalize path =
-  let path = String.map (fun c -> if c = '\\' then '/' else c) path in
-  if String.length path > 2 && String.sub path 0 2 = "./" then
-    String.sub path 2 (String.length path - 2)
-  else path
-
-let starts_with ~prefix s =
-  String.length s >= String.length prefix
-  && String.sub s 0 (String.length prefix) = prefix
-
-let ends_with ~suffix s =
-  let ls = String.length suffix and l = String.length s in
-  l >= ls && String.sub s (l - ls) ls = suffix
+let normalize = Tool_common.normalize
+let starts_with = Tool_common.starts_with
+let ends_with = Tool_common.ends_with
 
 (* Fast-path modules: the zero-copy data path where a stray polymorphic
    compare or unsafe access defeats the safety argument of §4.5. The
@@ -397,22 +392,7 @@ let scan_source ~path (src : string) : finding list =
 
 (* ---------------- filesystem walking ---------------- *)
 
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
-
-let rec walk dir acc =
-  if not (Sys.file_exists dir && Sys.is_directory dir) then acc
-  else
-    Array.fold_left
-      (fun acc entry ->
-        if entry = "" || entry.[0] = '.' || entry = "_build" then acc
-        else
-          let path = Filename.concat dir entry in
-          if Sys.is_directory path then walk path acc else path :: acc)
-      acc (Sys.readdir dir)
+let read_file = Tool_common.read_file
 
 let missing_mli ~files : finding list =
   let set = List.fold_left (fun s f -> (f, ()) :: s) [] files in
@@ -434,7 +414,7 @@ let missing_mli ~files : finding list =
 
 let scan_dirs (dirs : string list) : finding list * int =
   let files =
-    List.concat_map (fun d -> walk (normalize d) []) dirs
+    List.concat_map (fun d -> Tool_common.walk (normalize d) []) dirs
     |> List.map normalize |> List.sort_uniq String.compare
   in
   let sources = List.filter (ends_with ~suffix:".ml") files in
@@ -444,42 +424,13 @@ let scan_dirs (dirs : string list) : finding list * int =
   in
   (List.sort compare_finding findings, List.length sources)
 
-(* ---------------- allowlist ---------------- *)
+(* ---------------- allowlist (shared semantics) ---------------- *)
 
-type allow_entry = { a_rule : string; a_path : string; mutable used : bool }
+type allow_entry = Tool_common.allow_entry = {
+  a_rule : string;
+  a_path : string;
+  mutable used : bool;
+}
 
-let load_allowlist path : allow_entry list =
-  if not (Sys.file_exists path) then []
-  else
-    read_file path |> String.split_on_char '\n'
-    |> List.filter_map (fun line ->
-           let line = String.trim line in
-           if line = "" || line.[0] = '#' then None
-           else
-             match
-               String.split_on_char ' ' line
-               |> List.filter (fun s -> s <> "")
-             with
-             | [ a_rule; a_path ] ->
-                 Some { a_rule; a_path = normalize a_path; used = false }
-             | _ ->
-                 Printf.eprintf "dk-lint: malformed allowlist line: %s\n" line;
-                 None)
-
-let apply_allowlist (allow : allow_entry list) (findings : finding list) :
-    finding list * allow_entry list =
-  let kept =
-    List.filter
-      (fun f ->
-        match
-          List.find_opt
-            (fun e -> e.a_rule = f.rule && e.a_path = f.path)
-            allow
-        with
-        | Some e ->
-            e.used <- true;
-            false
-        | None -> true)
-      findings
-  in
-  (kept, List.filter (fun e -> not e.used) allow)
+let load_allowlist = Tool_common.load_allowlist
+let apply_allowlist = Tool_common.apply_allowlist

@@ -18,7 +18,14 @@
     False positives are suppressed through the allowlist, one
     [rule path] pair per line. *)
 
-type finding = { path : string; line : int; rule : string; message : string }
+type finding = Tool_common.finding = {
+  path : string;
+  line : int;
+  rule : string;
+  message : string;
+}
+
+val compare_finding : finding -> finding -> int
 
 val pp_finding : finding -> string
 (** ["path:line: [rule] message"]. *)
@@ -32,11 +39,16 @@ val scan_dirs : string list -> finding list * int
     presence for [lib/]. Returns sorted findings and the number of
     sources scanned. *)
 
-type allow_entry = { a_rule : string; a_path : string; mutable used : bool }
+type allow_entry = Tool_common.allow_entry = {
+  a_rule : string;
+  a_path : string;
+  mutable used : bool;
+}
 
 val load_allowlist : string -> allow_entry list
-(** Empty when the file does not exist; malformed lines are reported on
-    stderr and skipped. *)
+(** Shared with dk-verify and dk-shard via {!Tool_common}: empty when
+    the file does not exist; malformed lines are reported on stderr and
+    skipped. *)
 
 val apply_allowlist :
   allow_entry list -> finding list -> finding list * allow_entry list

@@ -1,0 +1,10 @@
+(* Hiding the clock behind a module alias must not defeat the
+   analysis: [module U = Unix] resolves back to [Unix] before the
+   intrinsic check. *)
+
+module U = Unix
+
+let helper () = U.gettimeofday ()
+
+let deadline_ns () = int_of_float (helper () *. 1e9) (* FLAG det-source *)
+[@@shard.entry]

@@ -1,0 +1,10 @@
+(* The nondeterminism is two calls away from the entry point: only the
+   interprocedural pass can see it. The finding lands on the entry's
+   definition, with the chain in the message. *)
+
+let pick_backoff () = Random.int 100
+
+let jittered_delay base = base + pick_backoff ()
+
+let submit ~base = jittered_delay base (* FLAG det-source *)
+[@@shard.entry]

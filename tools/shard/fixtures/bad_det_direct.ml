@@ -1,0 +1,6 @@
+(* A shard entry point reading the wall clock directly: the result
+   depends on when the run happens, not on the inputs, so replay
+   diverges. Reported at the entry's definition. *)
+
+let stamp () = Unix.gettimeofday () (* FLAG det-source *)
+[@@shard.entry]

@@ -1,0 +1,14 @@
+(* Unclassified module-level mutable state: every binding here is
+   visible to all shards at once and carries no [@@shard.*] attribute,
+   so each declaration is a shard-state finding. *)
+
+let hits = ref 0 (* FLAG shard-state *)
+
+let sessions : (int, string) Hashtbl.t = Hashtbl.create 16 (* FLAG shard-state *)
+
+let backlog = Queue.create () (* FLAG shard-state *)
+
+let bump () =
+  incr hits;
+  Queue.add !hits backlog;
+  Hashtbl.replace sessions !hits "session"

@@ -1,0 +1,7 @@
+(* Cross-module mutation of state the owner classified
+   [@@shard.immutable]: the write invalidates the classification that
+   lets every shard read the table without coordination. Reported at
+   the mutation site. *)
+
+let rename op name =
+  Hashtbl.replace Good_mut_decl.opcode_names op name (* FLAG shard-state *)

@@ -1,0 +1,12 @@
+(* A classified shared table: immutable after module initialization,
+   so every shard may read it concurrently. The declaration itself is
+   clean — [bad_mut_use.ml] supplies the illegal write. *)
+
+let opcode_names : (int, string) Hashtbl.t = Hashtbl.create 8
+[@@shard.immutable "opcode decode table, filled below at module init only"]
+
+let () =
+  Hashtbl.replace opcode_names 0 "push";
+  Hashtbl.replace opcode_names 1 "pop"
+
+let name_of op = Hashtbl.find_opt opcode_names op

@@ -1,0 +1,31 @@
+(* A clean shard: state lives in a constructor-built record, randomness
+   comes from the seeded simulation Rng, table iteration goes through
+   the sorted Det wrappers, and registered callbacks complete without
+   re-entering the engine. Nothing here may be flagged. *)
+
+type t = {
+  rng : Dk_sim.Rng.t;
+  flows : (int, int) Hashtbl.t;
+  mutable serviced : int;
+}
+
+let create seed =
+  { rng = Dk_sim.Rng.create seed; flows = Hashtbl.create 16; serviced = 0 }
+
+let m_serviced = Dk_obs.Metrics.counter "good_shard.serviced"
+
+let jitter t bound = Dk_sim.Rng.int t.rng bound
+
+let snapshot t =
+  Dk_util.Det.fold_sorted ~compare:Int.compare
+    (fun flow bytes acc -> (flow, bytes) :: acc)
+    t.flows []
+
+let service t flow =
+  t.serviced <- t.serviced + 1;
+  Dk_obs.Metrics.incr m_serviced;
+  Hashtbl.replace t.flows flow (jitter t 64)
+
+let arm t engine flow =
+  ignore (Dk_sim.Engine.at engine 10L (fun () -> service t flow))
+[@@shard.entry]

@@ -1,0 +1,93 @@
+(** dk-shard: interprocedural shard-safety and determinism analysis.
+
+    Pass 1 computes a per-function effect summary for every [.ml] it is
+    given (parsed with compiler-libs, no typechecking); pass 2
+    propagates the summaries over an approximated call graph so
+    violations are reported at the shard-boundary entry points with the
+    offending call chain in the diagnostic.
+
+    Rule families:
+    - [shard-state]: module-level mutable bindings must be classified
+      [[@@shard.per_shard "why"]] or [[@@shard.immutable "why"]] (obs
+      instrument handles are recognized automatically), and
+      immutable-classified state must never be mutated.
+    - [det-source]: no wall-clock read, non-{!Dk_sim.Rng} randomness,
+      or hash-order-dependent iteration may be reachable from a
+      datapath entry point.
+    - [poll-blocking]: nothing reachable from an engine poll callback
+      or fiber body may block outside the virtual clock.
+
+    Entry points (roots): the toplevel functions of module [Demi] and
+    anything marked [[@@shard.entry]] (Api); callbacks registered via
+    [Engine.at]/[Engine.after]/[Demi.watch]/[Token.watch] (Poll); and
+    [Fiber.spawn] bodies (Fiber). [det-source] applies to all roots,
+    [poll-blocking] to Poll and Fiber roots. *)
+
+type finding = Tool_common.finding
+
+type effect_kind = Clock | Random | HashOrder | Blocking | MutGlobal
+
+type effect_site = { via : string; at : int }
+
+type root_kind = Api | Poll | Fiber
+
+type summary = {
+  key : string;
+  s_path : string;
+  def_line : int;
+  mutable intrinsic : (effect_kind * effect_site) list;
+  mutable calls : string list;
+  mutable unknown : bool;
+  mutable root : root_kind option;
+}
+(** One function's effect summary. [key] is ["Module.fn"] for toplevel
+    functions, ["Module.fn.local"] for let-bound local functions and
+    ["Module.fn.<cb@N>"] for a callback closure registered on line
+    [N]. [unknown] is set when the body calls through a value the
+    analysis cannot resolve (a parameter, a stored closure, a record
+    field); it is tracked for honesty but deliberately not reported —
+    flagging every [t.on_event ()] callback would drown the signal. *)
+
+type classification =
+  | Per_shard of string  (** mutable by design, one instance per shard *)
+  | Immutable of string  (** written only during module initialization *)
+  | Obs_handle  (** Metrics counter/gauge/hist registration *)
+  | Unclassified
+
+type g_kind = GRef | GHashtbl | GContainer | GConstructed
+
+type global = {
+  g_module : string;
+  g_name : string;
+  g_path : string;
+  g_line : int;
+  g_kind : g_kind;
+  g_class : classification;
+}
+
+type program
+
+val analyze_files : (string * string) list -> program
+(** [(path, source)] pairs, analyzed together as one program — edges
+    may cross files. *)
+
+val analyze_dirs : string list -> program * int
+(** Walk directories (via {!Tool_common.ml_files}), analyze every
+    [.ml]; also returns the number of files read. *)
+
+val findings : program -> finding list
+(** All three rule families plus [parse-error], sorted and deduplicated
+    by (path, line, rule). *)
+
+val scan_dirs : string list -> finding list * int
+(** [analyze_dirs] followed by [findings]; the driver entry point. *)
+
+val summary_of : program -> string -> summary option
+(** Look up one function's summary by key (for tests and debugging). *)
+
+val inventory : program -> global list
+(** The shared-state inventory: every module-level global found,
+    sorted by module then name. *)
+
+val inventory_json : global list -> string
+val inventory_table : global list -> string

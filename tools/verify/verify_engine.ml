@@ -1006,49 +1006,11 @@ let scan_source ~path (src : string) : finding list =
 
 (* ---------------- filesystem walking ---------------- *)
 
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
-
-let normalize path =
-  let path = String.map (fun c -> if c = '\\' then '/' else c) path in
-  if String.length path > 2 && String.sub path 0 2 = "./" then
-    String.sub path 2 (String.length path - 2)
-  else path
-
-let rec walk dir acc =
-  if not (Sys.file_exists dir && Sys.is_directory dir) then acc
-  else
-    Array.fold_left
-      (fun acc entry ->
-        if entry = "" || entry.[0] = '.' || entry = "_build" then acc
-        else
-          let path = Filename.concat dir entry in
-          if Sys.is_directory path then walk path acc else path :: acc)
-      acc (Sys.readdir dir)
-
-let ends_with ~suffix s =
-  let ls = String.length suffix and l = String.length s in
-  l >= ls && String.sub s (l - ls) ls = suffix
-
 let scan_dirs (dirs : string list) : finding list * int =
-  let files =
-    List.concat_map (fun d -> walk (normalize d) []) dirs
-    |> List.map normalize
-    |> List.sort_uniq String.compare
-    |> List.filter (ends_with ~suffix:".ml")
-  in
+  let files = Tool_common.ml_files dirs in
   let findings =
-    List.concat_map (fun f -> scan_source ~path:f (read_file f)) files
+    List.concat_map
+      (fun f -> scan_source ~path:f (Tool_common.read_file f))
+      files
   in
-  let compare_f (a : finding) (b : finding) =
-    match String.compare a.Lint_engine.path b.Lint_engine.path with
-    | 0 -> (
-        match compare a.Lint_engine.line b.Lint_engine.line with
-        | 0 -> String.compare a.Lint_engine.rule b.Lint_engine.rule
-        | c -> c)
-    | c -> c
-  in
-  (List.sort compare_f findings, List.length files)
+  (List.sort Tool_common.compare_finding findings, List.length files)
