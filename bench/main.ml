@@ -21,6 +21,7 @@ let experiments =
     ("e11", Exp11_onesided.run);
     ("e12", Exp12_storage_offload.run);
     ("e13", Exp13_batching.run);
+    ("e14", Exp14_shards.run);
     ("waitsmoke", Wait_smoke.run);
     ("micro", Micro.run);
   ]

@@ -12,15 +12,69 @@ module Setup = Dk_apps.Sim_setup
 module Echo = Dk_apps.Echo
 module Demi_rt = Demikernel.Demi
 module H = Dk_sim.Histogram
+module Runtime = Dk_shard_rt.Runtime
 open Cmdliner
 
 let pp_hist label h =
   Format.printf "%s: n=%d p50=%Ldns p99=%Ldns mean=%.0fns max=%Ldns@." label
     (H.count h) (H.quantile h 0.5) (H.quantile h 0.99) (H.mean h) (H.max h)
 
+(* ---- multi-shard helpers (--shards N) ---- *)
+
+let shards_arg =
+  Arg.(value & opt int 1
+       & info [ "shards" ] ~docv:"N"
+           ~doc:"run the workload across N shared-nothing per-core shards \
+                 (demikernel stack only; 1 = the classic single-engine path)")
+
+let xfrac_arg =
+  Arg.(value & opt float 0.0
+       & info [ "xshard-frac" ] ~docv:"FRAC"
+           ~doc:"fraction of requests whose home is another shard, served \
+                 through the cross-shard mailbox (requires --shards > 1)")
+
+let flows_per_shard = 4
+
+let merged_latency (s : Runtime.stats) =
+  Array.fold_left
+    (fun acc p -> H.merge acc p.Runtime.latency)
+    (H.create ()) s.Runtime.per_shard
+
+let pp_shard_table (s : Runtime.stats) =
+  Array.iter
+    (fun p ->
+      Format.printf
+        "  shard%-2d flows=%-3d ops=%-6d remote=%-5d p50=%Ldns p99=%Ldns \
+         p99.9=%Ldns@."
+        p.Runtime.shard p.Runtime.flow_count p.Runtime.op_count
+        p.Runtime.remote_count
+        (H.quantile p.Runtime.latency 0.5)
+        (H.quantile p.Runtime.latency 0.99)
+        (H.quantile p.Runtime.latency 0.999))
+    s.Runtime.per_shard;
+  Format.printf "total: %d ops (%d remote) in %Ldns — %.1f kops/s@."
+    s.Runtime.total_ops s.Runtime.total_remote s.Runtime.wall_ns
+    (float_of_int s.Runtime.total_ops
+    /. (Int64.to_float s.Runtime.wall_ns /. 1e9)
+    /. 1000.)
+
 (* ---- rtt ---- *)
 
-let rtt_run stack size rounds window =
+let rtt_run stack size rounds window shards xfrac =
+  if shards > 1 then begin
+    if not (String.equal stack "demikernel") then begin
+      prerr_endline "demi rtt: --shards > 1 requires --stack demikernel";
+      exit 2
+    end;
+    let t = Runtime.create ~n:shards ~xfrac ~seed:42L () in
+    let s = Runtime.run_echo t ~flows:(flows_per_shard * shards) ~size ~rounds in
+    pp_hist
+      (Printf.sprintf "%s echo %dB over %d shards (xfrac %.0f%%)" stack size
+         shards (xfrac *. 100.))
+      (merged_latency s);
+    pp_shard_table s
+  end
+  else
   let h =
     match stack with
     | "kernel" ->
@@ -67,11 +121,33 @@ let batch_window_arg =
 
 let rtt_cmd =
   Cmd.v (Cmd.info "rtt" ~doc:"echo round-trip latency on a chosen stack")
-    Term.(const rtt_run $ stack_arg $ size_arg $ rounds_arg $ batch_window_arg)
+    Term.(
+      const rtt_run $ stack_arg $ size_arg $ rounds_arg $ batch_window_arg
+      $ shards_arg $ xfrac_arg)
 
 (* ---- kv ---- *)
 
-let kv_run iface ops keys value reads =
+let kv_run iface ops keys value reads shards xfrac =
+  if shards > 1 then begin
+    if not (String.equal iface "demikernel") then begin
+      prerr_endline "demi kv: --shards > 1 requires --iface demikernel";
+      exit 2
+    end;
+    let t = Runtime.create ~n:shards ~xfrac ~seed:42L () in
+    let flows = flows_per_shard * shards in
+    let s =
+      Runtime.run_kv t ~flows
+        ~ops_per_flow:(max 1 (ops / flows))
+        ~keys_per_shard:(max 1 (keys / shards))
+        ~value_size:value ~read_fraction:reads
+    in
+    pp_hist
+      (Printf.sprintf "demikernel kv over %d shards (xfrac %.0f%%)" shards
+         (xfrac *. 100.))
+      (merged_latency s);
+    pp_shard_table s
+  end
+  else
   match iface with
   | "posix" ->
       let duo = Setup.two_hosts ~kernel_stack:true () in
@@ -124,7 +200,9 @@ let kv_cmd =
     Arg.(value & opt float 0.9 & info [ "reads" ] ~docv:"FRAC" ~doc:"GET fraction")
   in
   Cmd.v (Cmd.info "kv" ~doc:"key-value workload on a chosen interface")
-    Term.(const kv_run $ iface $ ops $ keys $ value $ reads)
+    Term.(
+      const kv_run $ iface $ ops $ keys $ value $ reads $ shards_arg
+      $ xfrac_arg)
 
 (* ---- wakeups ---- *)
 
@@ -184,29 +262,7 @@ let loss_cmd =
 
 let flight_tail = 16
 
-let stats_run size rounds loss json window =
-  (* A sanitizer violation mid-run dumps the flight recorder: the last
-     thing the datapath did before the bug, which the kernel can no
-     longer tell us (the whole point of lib/obs). *)
-  Dk_mem.Dk_check.set_sink (fun _ _ ->
-      Format.eprintf "flight recorder at violation:@.%a" Dk_obs.Flight.pp
-        Dk_obs.Flight.default);
-  Dk_obs.Metrics.reset Dk_obs.Metrics.default;
-  Dk_obs.Flight.clear Dk_obs.Flight.default;
-  let duo = Setup.two_hosts ~loss () in
-  let da = Setup.demi_of_host ~engine:duo.Setup.engine ~cost:duo.Setup.cost duo.Setup.a () in
-  let db = Setup.demi_of_host ~engine:duo.Setup.engine ~cost:duo.Setup.cost duo.Setup.b () in
-  Demi_rt.set_batch_window da window;
-  ignore (Echo.start_demi_server ~demi:db ~port:7);
-  let h =
-    Result.get_ok
-      (Echo.demi_rtt ~demi:da ~dst:(Setup.endpoint duo.Setup.b 7) ~size ~rounds)
-  in
-  Format.printf "echo workload: %d rounds of %dB over a %.1f%%-lossy fabric@."
-    rounds size (loss *. 100.);
-  pp_hist "round-trip latency" h;
-  let now = Dk_sim.Engine.now duo.Setup.engine in
-  let snap = Dk_obs.Metrics.snapshot Dk_obs.Metrics.default in
+let print_obs_and_flight ~now snap json =
   Format.printf "@.%a" Dk_obs.Export.pp_table snap;
   let fl = Dk_obs.Flight.default in
   let entries = Dk_obs.Flight.entries fl in
@@ -225,14 +281,60 @@ let stats_run size rounds loss json window =
         (Dk_obs.Flight.kind_name e.Dk_obs.Flight.kind)
         e.Dk_obs.Flight.what)
     tail;
-  (match json with
+  match json with
   | None -> ()
   | Some file ->
       let oc = open_out file in
       output_string oc (Dk_obs.Export.json_lines ~now snap);
       output_string oc (Dk_obs.Export.json_flight fl);
       close_out oc;
-      Format.printf "@.wrote %s@." file);
+      Format.printf "@.wrote %s@." file
+
+let stats_run size rounds loss json window shards xfrac =
+  (* A sanitizer violation mid-run dumps the flight recorder: the last
+     thing the datapath did before the bug, which the kernel can no
+     longer tell us (the whole point of lib/obs). *)
+  Dk_mem.Dk_check.set_sink (fun _ _ ->
+      Format.eprintf "flight recorder at violation:@.%a" Dk_obs.Flight.pp
+        Dk_obs.Flight.default);
+  Dk_obs.Metrics.reset Dk_obs.Metrics.default;
+  Dk_obs.Flight.clear Dk_obs.Flight.default;
+  if shards > 1 then begin
+    (* Multi-shard echo: per-shard shard<i>.* instruments plus the
+       folded shards.agg.* view in the table and the JSON export. *)
+    let t = Runtime.create ~n:shards ~xfrac ~seed:42L () in
+    let s = Runtime.run_echo t ~flows:(flows_per_shard * shards) ~size ~rounds in
+    Format.printf
+      "echo workload: %d rounds of %dB per flow across %d shards (xfrac \
+       %.0f%%)@."
+      rounds size shards (xfrac *. 100.);
+    pp_hist "round-trip latency (merged)" (merged_latency s);
+    pp_shard_table s;
+    let now =
+      Array.fold_left
+        (fun a e -> let n = Dk_sim.Engine.now e in if Int64.compare n a > 0 then n else a)
+        0L (Runtime.engines t)
+    in
+    let snap = Dk_obs.Metrics.snapshot_with_shard_agg Dk_obs.Metrics.default in
+    print_obs_and_flight ~now snap json
+  end
+  else begin
+    let duo = Setup.two_hosts ~loss () in
+    let da = Setup.demi_of_host ~engine:duo.Setup.engine ~cost:duo.Setup.cost duo.Setup.a () in
+    let db = Setup.demi_of_host ~engine:duo.Setup.engine ~cost:duo.Setup.cost duo.Setup.b () in
+    Demi_rt.set_batch_window da window;
+    ignore (Echo.start_demi_server ~demi:db ~port:7);
+    let h =
+      Result.get_ok
+        (Echo.demi_rtt ~demi:da ~dst:(Setup.endpoint duo.Setup.b 7) ~size ~rounds)
+    in
+    Format.printf "echo workload: %d rounds of %dB over a %.1f%%-lossy fabric@."
+      rounds size (loss *. 100.);
+    pp_hist "round-trip latency" h;
+    let now = Dk_sim.Engine.now duo.Setup.engine in
+    let snap = Dk_obs.Metrics.snapshot Dk_obs.Metrics.default in
+    print_obs_and_flight ~now snap json
+  end;
   Dk_mem.Dk_check.clear_sink ()
 
 let stats_loss_arg =
@@ -250,7 +352,7 @@ let stats_cmd =
        ~doc:"run an echo workload and dump every datapath obs instrument")
     Term.(
       const stats_run $ size_arg $ rounds_arg $ stats_loss_arg $ json_arg
-      $ batch_window_arg)
+      $ batch_window_arg $ shards_arg $ xfrac_arg)
 
 (* ---- faults ---- *)
 
@@ -392,10 +494,21 @@ let shardcheck_run json dirs =
   if json then print_string (Shard_engine.inventory_json inv)
   else begin
     print_string (Shard_engine.inventory_table inv);
+    let unclassified =
+      List.length
+        (List.filter
+           (fun g ->
+             match g.Shard_engine.g_class with
+             | Shard_engine.Unclassified -> true
+             | Shard_engine.Per_shard _ | Shard_engine.Immutable _
+             | Shard_engine.Obs_handle | Shard_engine.Tooling _ -> false)
+           inv)
+    in
     Printf.printf
-      "\n%d source file(s), %d module-level global(s), %d raw finding(s)\n\
+      "\n%d source file(s), %d module-level global(s), %d unclassified, %d \
+       raw finding(s)\n\
        (`dune build @shard` applies tools/shard/allowlist.txt and gates CI)\n"
-      files (List.length inv)
+      files (List.length inv) unclassified
       (List.length (Shard_engine.findings prog))
   end
 
@@ -425,11 +538,11 @@ let default =
   in
   Term.(
     ret
-      (const (fun stats size rounds loss json window ->
-           if stats then `Ok (stats_run size rounds loss json window)
+      (const (fun stats size rounds loss json window shards xfrac ->
+           if stats then `Ok (stats_run size rounds loss json window shards xfrac)
            else `Help (`Pager, None))
       $ stats_flag $ size_arg $ rounds_arg $ stats_loss_arg $ json_arg
-      $ batch_window_arg))
+      $ batch_window_arg $ shards_arg $ xfrac_arg))
 
 let main =
   Cmd.group ~default

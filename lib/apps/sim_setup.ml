@@ -7,15 +7,16 @@ module Stack = Dk_net.Stack
 
 type host = { nic : Nic.t; stack : Stack.t; ip : Addr.ip }
 
-let make_engine ?loss ?(cost = Cost.default) () =
+let make_engine ?fault ?loss ?(cost = Cost.default) () =
   let engine = Engine.create () in
-  let fabric = Fabric.create ~engine ~cost ?loss () in
+  let fabric = Fabric.create ~engine ~cost ?fault ?loss () in
   (engine, fabric, cost)
 
-let add_host ~engine ~cost ~fabric ~index ~ip ?(programmable = false)
+let add_host ~engine ~cost ~fabric ~index ~ip ?fault ?(programmable = false)
     ?(kernel_stack = false) () =
   let nic =
-    Nic.create ~engine ~cost ~mac:(Addr.mac_of_index index) ~programmable ()
+    Nic.create ~engine ~cost ?fault ~mac:(Addr.mac_of_index index)
+      ~programmable ()
   in
   Fabric.attach fabric nic;
   let addr = Addr.ip_of_string ip in
@@ -42,14 +43,15 @@ type duo = {
   b : host;
 }
 
-let two_hosts ?loss ?cost ?(programmable = false) ?(kernel_stack = false) () =
-  let engine, fabric, cost = make_engine ?loss ?cost () in
+let two_hosts ?fault ?loss ?cost ?(programmable = false)
+    ?(kernel_stack = false) () =
+  let engine, fabric, cost = make_engine ?fault ?loss ?cost () in
   let a =
-    add_host ~engine ~cost ~fabric ~index:1 ~ip:"10.0.0.1" ~programmable
+    add_host ~engine ~cost ~fabric ~index:1 ~ip:"10.0.0.1" ?fault ~programmable
       ~kernel_stack ()
   in
   let b =
-    add_host ~engine ~cost ~fabric ~index:2 ~ip:"10.0.0.2" ~programmable
+    add_host ~engine ~cost ~fabric ~index:2 ~ip:"10.0.0.2" ?fault ~programmable
       ~kernel_stack ()
   in
   { engine; fabric; cost; a; b }

@@ -9,8 +9,12 @@ type host = {
   ip : Dk_net.Addr.ip;
 }
 
-val make_engine : ?loss:float -> ?cost:Dk_sim.Cost.t -> unit ->
+val make_engine :
+  ?fault:Dk_fault.Fault.t -> ?loss:float -> ?cost:Dk_sim.Cost.t -> unit ->
   Dk_sim.Engine.t * Dk_device.Fabric.t * Dk_sim.Cost.t
+(** [fault] scopes the fabric to its own fault domain (defaults to the
+    process-wide [Dk_fault.Fault.default]); a multi-shard run passes a
+    per-shard domain so injected faults stay within one shard. *)
 
 val add_host :
   engine:Dk_sim.Engine.t ->
@@ -18,12 +22,14 @@ val add_host :
   fabric:Dk_device.Fabric.t ->
   index:int ->
   ip:string ->
+  ?fault:Dk_fault.Fault.t ->
   ?programmable:bool ->
   ?kernel_stack:bool ->
   unit ->
   host
 (** [kernel_stack] makes the host's stack charge the in-kernel
-    per-packet cost (for POSIX baseline hosts). *)
+    per-packet cost (for POSIX baseline hosts). [fault] scopes the
+    host's NIC to a per-shard fault domain. *)
 
 val demi_of_host :
   engine:Dk_sim.Engine.t ->
@@ -51,7 +57,7 @@ type duo = {
 }
 
 val two_hosts :
-  ?loss:float -> ?cost:Dk_sim.Cost.t -> ?programmable:bool ->
-  ?kernel_stack:bool -> unit -> duo
+  ?fault:Dk_fault.Fault.t -> ?loss:float -> ?cost:Dk_sim.Cost.t ->
+  ?programmable:bool -> ?kernel_stack:bool -> unit -> duo
 
 val endpoint : host -> int -> Dk_net.Addr.endpoint

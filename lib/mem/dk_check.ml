@@ -31,7 +31,15 @@ let enabled_from_env () =
 
 (* Capture frames stack so sanitizer tests can nest. *)
 let captures : (kind * string) list ref list ref = ref []
+[@@shard.tooling
+  "sanitizer capture stack: lets DK_SANITIZE=1 tests intercept \
+   violation reports process-wide; empty outside tests and never read \
+   on the datapath"]
+
 let sink : (kind -> string -> unit) option ref = ref None
+[@@shard.tooling
+  "sanitizer report tap for test harnesses; None outside tests and \
+   never read on the datapath"]
 
 let set_sink f = sink := Some f
 let clear_sink () = sink := None

@@ -108,3 +108,88 @@ let snapshot (t : t) : snapshot =
       |> List.map (fun (n, (v, h)) -> (n, v, h)));
     hists = sorted_bindings t.hists (fun h -> summarize h.h_data);
   }
+
+(* ---- multi-shard aggregation ----
+
+   The multi-shard datapath namespaces every per-shard instrument as
+   shard<i>.<layer>.<component>.<event>. The aggregated view folds
+   those back into one shards.agg.<layer>.<component>.<event> entry
+   per metric — the operator's "whole box" view next to the per-core
+   ones — without touching the underlying instruments. *)
+
+let agg_prefix = "shards.agg."
+
+(* "shard<digits>.<rest>" -> Some rest *)
+let shard_rest name =
+  let n = String.length name in
+  if n < 7 || not (String.equal (String.sub name 0 5) "shard") then None
+  else begin
+    let i = ref 5 in
+    while !i < n && name.[!i] >= '0' && name.[!i] <= '9' do
+      i := !i + 1
+    done;
+    if !i > 5 && !i < n - 1 && name.[!i] = '.' then
+      Some (String.sub name (!i + 1) (n - !i - 1))
+    else None
+  end
+
+let by_name_fst a b = String.compare (fst a) (fst b)
+let by_name_3 (a, _, _) (b, _, _) = String.compare a b
+
+let snapshot_with_shard_agg (t : t) : snapshot =
+  let base = snapshot t in
+  let csum = Hashtbl.create 16 in
+  List.iter
+    (fun (name, v) ->
+      match shard_rest name with
+      | None -> ()
+      | Some rest ->
+          let prev =
+            match Hashtbl.find_opt csum rest with Some p -> p | None -> 0
+          in
+          Hashtbl.replace csum rest (prev + v))
+    base.counters;
+  let gsum = Hashtbl.create 16 in
+  List.iter
+    (fun (name, v, hwm) ->
+      match shard_rest name with
+      | None -> ()
+      | Some rest ->
+          let pv, ph =
+            match Hashtbl.find_opt gsum rest with
+            | Some p -> p
+            | None -> (0, 0)
+          in
+          (* Aggregate level sums across shards; the high-water of the
+             sum is unknowable after the fact, so report the worst
+             single shard's. *)
+          Hashtbl.replace gsum rest (pv + v, Stdlib.max ph hwm))
+    base.gauges;
+  let hmerge = Hashtbl.create 16 in
+  Dk_util.Det.iter_sorted ~compare:String.compare
+    (fun name h ->
+      match shard_rest name with
+      | None -> ()
+      | Some rest ->
+          let merged =
+            match Hashtbl.find_opt hmerge rest with
+            | Some prev -> Dk_sim.Histogram.merge prev h.h_data
+            | None -> Dk_sim.Histogram.merge (Dk_sim.Histogram.create ()) h.h_data
+          in
+          Hashtbl.replace hmerge rest merged)
+    t.hists;
+  let folded tbl f =
+    Dk_util.Det.fold_sorted ~compare:String.compare
+      (fun rest v acc -> f (agg_prefix ^ rest) v :: acc)
+      tbl []
+  in
+  {
+    counters =
+      List.sort by_name_fst (base.counters @ folded csum (fun n v -> (n, v)));
+    gauges =
+      List.sort by_name_3
+        (base.gauges @ folded gsum (fun n (v, hwm) -> (n, v, hwm)));
+    hists =
+      List.sort by_name_fst
+        (base.hists @ folded hmerge (fun n h -> (n, summarize h)));
+  }

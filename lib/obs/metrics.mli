@@ -95,3 +95,11 @@ type snapshot = {
 val snapshot : t -> snapshot
 (** A consistent, name-sorted view; independent of creation order so
     exports are deterministic. *)
+
+val snapshot_with_shard_agg : t -> snapshot
+(** {!snapshot} plus one synthesized [shards.agg.<rest>] entry for
+    every metric that appears as [shard<i>.<rest>] (the multi-shard
+    namespacing): counters sum across shards, gauges sum their levels
+    (high-water = worst single shard), histograms merge before
+    summarizing. A registry with no [shard<i>.*] instruments
+    snapshots unchanged. *)

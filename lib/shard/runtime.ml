@@ -1,0 +1,558 @@
+(* The multi-shard run: N shards, RSS flow steering, a full mailbox
+   mesh, and the two closed-loop workloads (echo, KV) the evaluation
+   drives through it.
+
+   Scheduling: every shard's engine advances independently; the group
+   scheduler ([Engine.run_group]) always fires the globally earliest
+   event, tie-broken to the lowest shard id. With N=1 that IS the
+   plain single-engine loop, which is what makes a one-shard run
+   bit-identical to the pre-shard engine.
+
+   Cross-shard traffic: a request arriving at shard [i] whose home is
+   shard [j] (first payload byte for echo, key ownership [idx mod n]
+   for KV) is forwarded over the [i]->[j] mailbox; the owner applies
+   it against its own state and sends the reply back over [j]->[i];
+   only then does [i] answer its client. Nothing else crosses shard
+   boundaries — values travel as copies inside mailbox messages, never
+   as another shard's buffers. *)
+
+module Engine = Dk_sim.Engine
+module Cost = Dk_sim.Cost
+module Rng = Dk_sim.Rng
+module Fault = Dk_fault.Fault
+module Metrics = Dk_obs.Metrics
+module Histogram = Dk_sim.Histogram
+module Rss = Dk_device.Rss
+module Addr = Dk_net.Addr
+module Demi = Demikernel.Demi
+module Types = Demikernel.Types
+module Proto = Dk_apps.Proto
+module Kv = Dk_apps.Kv
+
+type msg =
+  | Probe of string (* echo: touch the owner shard's state *)
+  | Probe_ack of string
+  | Kv_req of Proto.request
+  | Kv_resp of Proto.response
+
+type envelope = { req_id : int; origin : int; payload : msg }
+
+type t = {
+  n : int;
+  seed : int64;
+  xfrac : float;
+  shards : Shard.t array;
+  engines : Engine.t array;
+  (* [mailboxes.(src).(dst)]: None on the diagonal. *)
+  mailboxes : envelope Xmailbox.t option array array;
+  rss : Rss.t;
+  (* Continuations for requests this shard forwarded to an owner. *)
+  pending : (int, msg -> unit) Hashtbl.t array;
+  mutable next_req_id : int;
+}
+
+let mailbox t ~src ~dst =
+  match t.mailboxes.(src).(dst) with
+  | Some mb -> mb
+  | None -> invalid_arg "Runtime: no self-mailbox"
+
+(* ---- construction ---- *)
+
+let rec create ~n ?(xfrac = 0.0) ?(seed = 42L) ?fault ?cost
+    ?(mailbox_capacity = 4096) ?(hop_ns = 500L) ?(rss_table_size = 128) () =
+  if n <= 0 then invalid_arg "Runtime.create: n must be positive";
+  if xfrac < 0.0 || xfrac > 1.0 then
+    invalid_arg "Runtime.create: xfrac outside [0,1]";
+  let shards =
+    Array.init n (fun id ->
+        let fault_plan =
+          match fault with
+          | None -> None
+          | Some (plan_name, fseed) -> (
+              (* Same named plan in every shard's domain, seed offset by
+                 shard id: correlated failure mode, independent draws. *)
+              match
+                Fault.named ~seed:(Int64.add fseed (Int64.of_int id)) plan_name
+              with
+              | Some p -> Some p
+              | None ->
+                  invalid_arg
+                    (Printf.sprintf "Runtime.create: unknown fault plan %s"
+                       plan_name))
+        in
+        Shard.create ~id ?cost ?fault_plan ~seed ())
+  in
+  let engines = Array.map Shard.engine shards in
+  let mailboxes =
+    Array.init n (fun src ->
+        Array.init n (fun dst ->
+            if src = dst then None
+            else
+              Some
+                (Xmailbox.create ~src ~dst ~src_engine:engines.(src)
+                   ~dst_engine:engines.(dst) ~capacity:mailbox_capacity
+                   ~hop_ns ())))
+  in
+  let t =
+    {
+      n;
+      seed;
+      xfrac;
+      shards;
+      engines;
+      mailboxes;
+      rss = Rss.create ~queues:n ~table_size:rss_table_size ();
+      pending = Array.init n (fun _ -> Hashtbl.create 64);
+      next_req_id = 0;
+    }
+  in
+  (* Wire every shard's receive side once, up front. *)
+  for src = 0 to n - 1 do
+    for dst = 0 to n - 1 do
+      match t.mailboxes.(src).(dst) with
+      | None -> ()
+      | Some mb -> Xmailbox.set_on_recv mb (fun env -> handle_msg t dst env)
+    done
+  done;
+  t
+
+(* ---- cross-shard request/reply ---- *)
+
+and send_retrying t ~src ~dst env =
+  (* The ring being full is backpressure, not loss: park the message on
+     the sender's clock and retry after a hop. Terminates because the
+     destination drains its ring as its engine runs. *)
+  let mb = mailbox t ~src ~dst in
+  if not (Xmailbox.try_send mb env) then
+    let (_ : Engine.timer) =
+      Engine.after t.engines.(src) 500L (fun () ->
+          send_retrying t ~src ~dst env)
+    in
+    ()
+
+and request t ~src ~dst payload k =
+  let req_id = t.next_req_id in
+  t.next_req_id <- req_id + 1;
+  Hashtbl.replace t.pending.(src) req_id k;
+  send_retrying t ~src ~dst { req_id; origin = src; payload }
+
+and handle_msg t self env =
+  match env.payload with
+  | Probe body ->
+      (* We own the state the probe touches: charge the app cost on OUR
+         clock, then ack back to the origin. *)
+      Engine.consume t.engines.(self) (Shard.cost t.shards.(self)).Cost.app_request;
+      send_retrying t ~src:self ~dst:env.origin
+        { env with origin = self; payload = Probe_ack body }
+  | Kv_req req ->
+      Engine.consume t.engines.(self) (Shard.cost t.shards.(self)).Cost.app_request;
+      (* Copy semantics ([Kv.apply], not the zero-copy path): the value
+         crosses a shard boundary, so it must leave our pools. *)
+      let resp = Kv.apply (Shard.kv t.shards.(self)) req in
+      send_retrying t ~src:self ~dst:env.origin
+        { env with origin = self; payload = Kv_resp resp }
+  | Probe_ack _ | Kv_resp _ -> (
+      match Hashtbl.find_opt t.pending.(self) env.req_id with
+      | None -> ()
+      | Some k ->
+          Hashtbl.remove t.pending.(self) env.req_id;
+          k env.payload)
+
+(* ---- RSS flow placement ---- *)
+
+(* Synthetic admission-time 5-tuples for [flows] client connections:
+   the NIC hashes each into the indirection table to pick the owning
+   shard, then (rebalanced, the `ethtool -X` move) the table is
+   repointed so per-queue load equalises. The simulation then
+   instantiates each flow on the client host of the shard RSS steered
+   it to — the core the NIC delivers the flow's frames to is the core
+   that runs it. *)
+let flow_tuple c ~dst_port =
+  let src_ip = Addr.ip_of_string "10.200.0.0" + c in
+  let src_port = 40000 + (c land 0x3fff) in
+  let dst_ip = Addr.ip_of_string "10.255.0.100" in
+  (src_ip, src_port, dst_ip, dst_port, 6)
+
+let place_flows t ~flows ~dst_port =
+  let tuples = Array.init flows (fun c -> flow_tuple c ~dst_port) in
+  let weights = Array.make (Rss.table_size t.rss) 0 in
+  Array.iter
+    (fun (src_ip, src_port, dst_ip, dst_port, proto) ->
+      let b =
+        Rss.hash_flow ~src_ip ~src_port ~dst_ip ~dst_port ~proto
+        mod Rss.table_size t.rss
+      in
+      weights.(b) <- weights.(b) + 1)
+    tuples;
+  Rss.rebalance t.rss weights;
+  Array.map
+    (fun (src_ip, src_port, dst_ip, dst_port, proto) ->
+      let owner = Rss.select t.rss ~src_ip ~src_port ~dst_ip ~dst_port ~proto in
+      Metrics.incr (Shard.flows_counter t.shards.(owner));
+      owner)
+    tuples
+
+(* ---- per-run bookkeeping ---- *)
+
+type shard_stats = {
+  shard : int;
+  flow_count : int;
+  op_count : int;
+  remote_count : int;
+  elapsed_ns : int64;
+  latency : Histogram.t;
+}
+
+type stats = {
+  per_shard : shard_stats array;
+  total_ops : int;
+  total_remote : int;
+  wall_ns : int64;
+}
+
+type tally = {
+  mutable t_flows : int;
+  mutable t_ops : int;
+  mutable t_remote : int;
+  t_lat : Histogram.t;
+}
+
+let finish_stats t tallies starts =
+  let per_shard =
+    Array.init t.n (fun i ->
+        {
+          shard = i;
+          flow_count = tallies.(i).t_flows;
+          op_count = tallies.(i).t_ops;
+          remote_count = tallies.(i).t_remote;
+          elapsed_ns = Int64.sub (Engine.now t.engines.(i)) starts.(i);
+          latency = tallies.(i).t_lat;
+        })
+  in
+  let total_ops = Array.fold_left (fun a s -> a + s.op_count) 0 per_shard in
+  let total_remote =
+    Array.fold_left (fun a s -> a + s.remote_count) 0 per_shard
+  in
+  let wall_ns =
+    Array.fold_left
+      (fun a s -> if Int64.compare s.elapsed_ns a > 0 then s.elapsed_ns else a)
+      0L per_shard
+  in
+  { per_shard; total_ops; total_remote; wall_ns }
+
+(* Draw the home shard for one request: local, or (with probability
+   [xfrac]) uniform over the other shards. *)
+let draw_home t i =
+  if t.n = 1 then i
+  else if Rng.bool (Shard.rng t.shards.(i)) t.xfrac then begin
+    let k = Rng.int (Shard.rng t.shards.(i)) (t.n - 1) in
+    if k >= i then k + 1 else k
+  end
+  else i
+
+let record_op t i tally dt ~remote =
+  let sh = t.shards.(i) in
+  Histogram.record tally.t_lat dt;
+  Metrics.observe (Shard.rtt_hist sh) dt;
+  Metrics.incr (Shard.ops_counter sh);
+  tally.t_ops <- tally.t_ops + 1;
+  if remote then begin
+    Metrics.incr (Shard.remote_counter sh);
+    tally.t_remote <- tally.t_remote + 1
+  end
+
+(* ---- echo workload ---- *)
+
+let echo_port = 7
+
+(* Server side: echo, except a payload whose first byte names another
+   shard models state owned elsewhere — the touch is forwarded over
+   the mailbox and the echo reply waits for the owner's ack. *)
+let rec serve_echo_conn t i qd =
+  let demi = Shard.demi_server t.shards.(i) in
+  match Demi.pop demi qd with
+  | Error _ -> ()
+  | Ok tok ->
+      Demi.watch demi tok (function
+        | Types.Popped sga ->
+            let body = Dk_mem.Sga.to_string sga in
+            let home =
+              if String.length body = 0 then i
+              else
+                let h = Char.code body.[0] in
+                if h < t.n then h else i
+            in
+            if home = i then (
+              match Demi.push demi qd sga with
+              | Ok ptok -> Demi.watch demi ptok (fun _ -> ())
+              | Error _ -> ())
+            else begin
+              Demi.sga_free demi sga;
+              request t ~src:i ~dst:home (Probe body) (fun reply ->
+                  let out =
+                    match reply with Probe_ack s -> s | _ -> body
+                  in
+                  match Demi.sga_alloc demi out with
+                  | Error _ -> ()
+                  | Ok sga' -> (
+                      match Demi.push demi qd sga' with
+                      | Ok ptok -> Demi.watch demi ptok (fun _ -> ())
+                      | Error _ -> ()))
+            end;
+            serve_echo_conn t i qd
+        | Types.Failed _ -> (
+            match Demi.close demi qd with Ok () | Error _ -> ())
+        | Types.Pushed | Types.Accepted _ -> ())
+
+let rec accept_loop t i lqd serve =
+  let demi = Shard.demi_server t.shards.(i) in
+  match Demi.accept_async demi lqd with
+  | Error _ -> ()
+  | Ok tok ->
+      Demi.watch demi tok (function
+        | Types.Accepted qd ->
+            serve t i qd;
+            accept_loop t i lqd serve
+        | Types.Failed _ -> ()
+        | Types.Pushed | Types.Popped _ -> ())
+
+let start_server t i ~port serve =
+  let demi = Shard.demi_server t.shards.(i) in
+  let ( let* ) = Result.bind in
+  let* lqd = Demi.socket demi `Tcp in
+  let* () = Demi.bind demi lqd ~port in
+  let* () = Demi.listen demi lqd in
+  accept_loop t i lqd serve;
+  Ok ()
+
+let connect_client t i ~port =
+  let demi = Shard.demi_client t.shards.(i) in
+  let ( let* ) = Result.bind in
+  let* qd = Demi.socket demi `Tcp in
+  let* () = Demi.connect demi qd ~dst:(Shard.server_endpoint t.shards.(i) port) in
+  Ok qd
+
+let echo_payload ~home ~size =
+  let b = Bytes.make (max 1 size) 'e' in
+  Bytes.set b 0 (Char.chr (home land 0xff));
+  Bytes.to_string b
+
+(* Client side: closed-loop ping over one connection, event-driven so
+   the group scheduler interleaves shards fairly. *)
+let rec echo_flow_round t i tally qd ~size ~rounds_left =
+  let sh = t.shards.(i) in
+  let demi = Shard.demi_client sh in
+  if rounds_left <= 0 then (
+    match Demi.close demi qd with Ok () | Error _ -> ())
+  else
+    let home = draw_home t i in
+    match Demi.sga_alloc demi (echo_payload ~home ~size) with
+    | Error _ -> ()
+    | Ok sga -> (
+        let t0 = Engine.now (Shard.engine sh) in
+        (match Demi.push demi qd sga with
+        | Ok ptok -> Demi.watch demi ptok (fun _ -> ())
+        | Error _ -> ());
+        match Demi.pop demi qd with
+        | Error _ -> ()
+        | Ok tok ->
+            Demi.watch demi tok (function
+              | Types.Popped reply ->
+                  record_op t i tally
+                    (Int64.sub (Engine.now (Shard.engine sh)) t0)
+                    ~remote:(home <> i);
+                  Demi.sga_free demi reply;
+                  Demi.sga_free demi sga;
+                  echo_flow_round t i tally qd ~size
+                    ~rounds_left:(rounds_left - 1)
+              | Types.Failed _ -> (
+                  match Demi.close demi qd with Ok () | Error _ -> ())
+              | Types.Pushed | Types.Accepted _ -> ()))
+
+let run_echo ?drive t ~flows ~size ~rounds =
+  let owners = place_flows t ~flows ~dst_port:echo_port in
+  let tallies =
+    Array.init t.n (fun _ ->
+        { t_flows = 0; t_ops = 0; t_remote = 0; t_lat = Histogram.create () })
+  in
+  for i = 0 to t.n - 1 do
+    match start_server t i ~port:echo_port serve_echo_conn with
+    | Ok () -> ()
+    | Error _ -> invalid_arg "Runtime.run_echo: server start failed"
+  done;
+  (* Connection setup is blocking and runs only the owner's engine;
+     shards do not interact yet, so doing it in flow order is
+     deterministic. *)
+  let conns =
+    Array.map
+      (fun owner ->
+        tallies.(owner).t_flows <- tallies.(owner).t_flows + 1;
+        match connect_client t owner ~port:echo_port with
+        | Ok qd -> (owner, qd)
+        | Error _ -> invalid_arg "Runtime.run_echo: connect failed")
+      owners
+  in
+  let starts = Array.map Engine.now t.engines in
+  Array.iter
+    (fun (owner, qd) ->
+      echo_flow_round t owner tallies.(owner) qd ~size ~rounds_left:rounds)
+    conns;
+  (match drive with
+  | Some f -> f t.engines
+  | None -> Engine.run_group t.engines);
+  finish_stats t tallies starts
+
+(* ---- KV workload ---- *)
+
+let kv_port = 6379
+
+(* Global key space striped across shards: key index k lives on shard
+   [k mod n]. *)
+let key_home t key =
+  (* Workload.key_name format: "key-%08d". *)
+  if String.length key < 5 then 0
+  else
+    match int_of_string_opt (String.sub key 4 (String.length key - 4)) with
+    | Some idx when idx >= 0 -> idx mod t.n
+    | Some _ | None -> 0
+
+let kv_answer t i qd sga =
+  let sh = t.shards.(i) in
+  let demi = Shard.demi_server sh in
+  Engine.consume (Shard.engine sh) (Shard.cost sh).Cost.app_request;
+  (match Proto.request_of_sga sga with
+  | None -> ()
+  | Some req ->
+      let key =
+        match req with
+        | Proto.Get k | Proto.Del k -> k
+        | Proto.Set (k, _) -> k
+      in
+      let home = key_home t key in
+      if home = i then (
+        let resp = Kv.apply_zero_copy (Shard.kv sh) req in
+        match Demi.push demi qd resp with
+        | Ok ptok -> Demi.watch demi ptok (fun _ -> ())
+        | Error _ -> ())
+      else
+        request t ~src:i ~dst:home (Kv_req req) (fun reply ->
+            let resp =
+              match reply with Kv_resp r -> r | _ -> Proto.Not_found
+            in
+            match Demi.push demi qd (Proto.response_sga resp) with
+            | Ok ptok -> Demi.watch demi ptok (fun _ -> ())
+            | Error _ -> ()));
+  Dk_mem.Sga.free sga
+
+let rec serve_kv_conn t i qd =
+  let demi = Shard.demi_server t.shards.(i) in
+  match Demi.pop demi qd with
+  | Error _ -> ()
+  | Ok tok ->
+      Demi.watch demi tok (function
+        | Types.Popped sga ->
+            kv_answer t i qd sga;
+            serve_kv_conn t i qd
+        | Types.Failed _ -> (
+            match Demi.close demi qd with Ok () | Error _ -> ())
+        | Types.Pushed | Types.Accepted _ -> ())
+
+let kv_request t i ~keys_per_shard ~value_size ~read_fraction =
+  let sh = t.shards.(i) in
+  let home = draw_home t i in
+  let local = Rng.int (Shard.rng sh) keys_per_shard in
+  let key = Dk_apps.Workload.key_name (home + (t.n * local)) in
+  let req =
+    if Rng.bool (Shard.rng sh) read_fraction then Proto.Get key
+    else Proto.Set (key, String.make value_size 'v')
+  in
+  (req, home)
+
+let rec kv_flow_round t i tally qd ~keys_per_shard ~value_size ~read_fraction
+    ~ops_left =
+  let sh = t.shards.(i) in
+  let demi = Shard.demi_client sh in
+  if ops_left <= 0 then (
+    match Demi.close demi qd with Ok () | Error _ -> ())
+  else
+    let req, home =
+      kv_request t i ~keys_per_shard ~value_size ~read_fraction
+    in
+    let sga = Proto.request_sga req in
+    let t0 = Engine.now (Shard.engine sh) in
+    (match Demi.push demi qd sga with
+    | Ok ptok -> Demi.watch demi ptok (fun _ -> ())
+    | Error _ -> ());
+    match Demi.pop demi qd with
+    | Error _ -> ()
+    | Ok tok ->
+        Demi.watch demi tok (function
+          | Types.Popped reply ->
+              record_op t i tally
+                (Int64.sub (Engine.now (Shard.engine sh)) t0)
+                ~remote:(home <> i);
+              Dk_mem.Sga.free reply;
+              kv_flow_round t i tally qd ~keys_per_shard ~value_size
+                ~read_fraction ~ops_left:(ops_left - 1)
+          | Types.Failed _ -> (
+              match Demi.close demi qd with Ok () | Error _ -> ())
+          | Types.Pushed | Types.Accepted _ -> ())
+
+let preload_kv t ~keys_per_shard ~value_size =
+  (* Warm every shard's store directly (no network): key k lives on
+     shard [k mod n]. *)
+  for i = 0 to t.n - 1 do
+    for local = 0 to keys_per_shard - 1 do
+      let key = Dk_apps.Workload.key_name (i + (t.n * local)) in
+      let (_ : bool) =
+        Kv.set (Shard.kv t.shards.(i)) key (String.make value_size 'v')
+      in
+      ()
+    done
+  done
+
+let run_kv ?drive t ~flows ~ops_per_flow ~keys_per_shard ~value_size
+    ~read_fraction =
+  if keys_per_shard <= 0 then invalid_arg "Runtime.run_kv: keys_per_shard";
+  let owners = place_flows t ~flows ~dst_port:kv_port in
+  let tallies =
+    Array.init t.n (fun _ ->
+        { t_flows = 0; t_ops = 0; t_remote = 0; t_lat = Histogram.create () })
+  in
+  preload_kv t ~keys_per_shard ~value_size;
+  for i = 0 to t.n - 1 do
+    match start_server t i ~port:kv_port serve_kv_conn with
+    | Ok () -> ()
+    | Error _ -> invalid_arg "Runtime.run_kv: server start failed"
+  done;
+  let conns =
+    Array.map
+      (fun owner ->
+        tallies.(owner).t_flows <- tallies.(owner).t_flows + 1;
+        match connect_client t owner ~port:kv_port with
+        | Ok qd -> (owner, qd)
+        | Error _ -> invalid_arg "Runtime.run_kv: connect failed")
+      owners
+  in
+  let starts = Array.map Engine.now t.engines in
+  Array.iter
+    (fun (owner, qd) ->
+      kv_flow_round t owner tallies.(owner) qd ~keys_per_shard ~value_size
+        ~read_fraction ~ops_left:ops_per_flow)
+    conns;
+  (match drive with
+  | Some f -> f t.engines
+  | None -> Engine.run_group t.engines);
+  finish_stats t tallies starts
+
+(* ---- accessors ---- *)
+
+let shard_count t = t.n
+
+let pending_count t =
+  Array.fold_left (fun a tbl -> a + Hashtbl.length tbl) 0 t.pending
+let shards t = t.shards
+let engines t = t.engines
+let rss t = t.rss
+let xfrac t = t.xfrac
+let seed t = t.seed

@@ -1,0 +1,49 @@
+(** One shared-nothing shard of the multi-shard datapath.
+
+    A shard is a virtual core: its own engine (clock), fabric, client
+    and server hosts, Demikernel instances — and with them qd tables,
+    token waitsets, ready FIFOs, memory/rx pools, TCP state and
+    doorbell windows — a KV store, an isolated fault domain, a
+    workload RNG, and [shard<i>.*]-namespaced observability
+    instruments. Cross-shard communication happens only through
+    {!Xmailbox}. *)
+
+type t
+
+val create :
+  id:int ->
+  ?cost:Dk_sim.Cost.t ->
+  ?fault_plan:Dk_fault.Fault.plan ->
+  seed:int64 ->
+  unit ->
+  t
+(** Build the shard's whole world. [fault_plan], when given, is
+    installed into the shard's private {!Dk_fault.Fault.t} domain —
+    faults never leak across shards. The shard's RNG stream is derived
+    from [seed] and [id], so it is independent of other shards'
+    draw counts. *)
+
+val id : t -> int
+val engine : t -> Dk_sim.Engine.t
+val fabric : t -> Dk_device.Fabric.t
+val client_host : t -> Dk_apps.Sim_setup.host
+val server_host : t -> Dk_apps.Sim_setup.host
+val cost : t -> Dk_sim.Cost.t
+val fault : t -> Dk_fault.Fault.t
+val demi_client : t -> Demikernel.Demi.t
+val demi_server : t -> Demikernel.Demi.t
+val kv : t -> Dk_apps.Kv.t
+val rng : t -> Dk_sim.Rng.t
+val server_endpoint : t -> int -> Dk_net.Addr.endpoint
+
+(** Per-shard instruments (in the default registry, names
+    [shard<i>.<layer>.<component>.<event>]): *)
+
+val rtt_hist : t -> Dk_obs.Metrics.hist
+val ops_counter : t -> Dk_obs.Metrics.counter
+val remote_counter : t -> Dk_obs.Metrics.counter
+val flows_counter : t -> Dk_obs.Metrics.counter
+
+val obs_name : int -> string -> string
+(** [obs_name i rest] is ["shard<i>.<rest>"] — the naming scheme every
+    per-shard instrument follows. *)

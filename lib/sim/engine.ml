@@ -73,6 +73,33 @@ let run_until t pred =
   in
   loop ()
 
+(* ---- multi-clock scheduling ----
+   A group of engines models per-core shards, each with its own virtual
+   clock. Advancing whichever engine has the globally earliest pending
+   event (ties to the lowest index) keeps cross-engine causality: an
+   event scheduled from engine A onto engine B at a timestamp >= A's
+   now can never be overtaken by B running ahead of it. *)
+
+let group_next engines =
+  let best = ref None in
+  Array.iteri
+    (fun i e ->
+      match next_at e with
+      | None -> ()
+      | Some ts -> (
+          match !best with
+          | Some (_, bts) when Int64.compare bts ts <= 0 -> ()
+          | Some _ | None -> best := Some (i, ts)))
+    engines;
+  !best
+
+let step_group engines =
+  match group_next engines with
+  | None -> false
+  | Some (i, _) -> step engines.(i)
+
+let run_group engines = while step_group engines do () done
+
 let run_for t ns =
   let deadline = Int64.add t.clock (max 0L ns) in
   let rec loop () =

@@ -58,3 +58,27 @@ val run_until : t -> (unit -> bool) -> bool
 val run_for : t -> int64 -> unit
 (** Process all events with timestamps within [ns] of the current time,
     leaving the clock at the end of the window. *)
+
+(** {2 Multi-clock scheduling}
+
+    A group of engines models per-core shards, each owning an
+    independent virtual clock (the multi-shard datapath in
+    [Dk_shard_rt]). The group scheduler always advances the engine
+    holding the globally earliest pending event, breaking timestamp
+    ties toward the lowest array index — a total, deterministic order,
+    so a fixed (seed, N) replays byte-identically. With a single
+    engine, [step_group [| e |]] is exactly [step e], which is what
+    makes an N=1 shard run bit-identical to a plain single-engine
+    run. *)
+
+val group_next : t array -> (int * int64) option
+(** Index and timestamp of the engine owning the earliest live event
+    across the group (tie broken to the lowest index); [None] when
+    every engine is drained. *)
+
+val step_group : t array -> bool
+(** Run the single earliest event in the group. Returns [false] when no
+    engine has pending events. *)
+
+val run_group : t array -> unit
+(** Step the group until every engine is drained. *)

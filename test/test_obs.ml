@@ -120,6 +120,85 @@ let snapshot_deterministic () =
   check Alcotest.bool "identical snapshots" true (s1 = s2);
   check_int "three names" 3 (List.length s1.M.counters)
 
+(* ---- multi-shard aggregation ---- *)
+
+let shard_agg_folds () =
+  (* shard<i>.<layer>.<component>.<event> names fold into one
+     shards.agg.<rest> entry; everything else passes through. *)
+  let reg = M.create () in
+  M.add (M.counter ~reg "shard0.app.client.ops") 3;
+  M.add (M.counter ~reg "shard1.app.client.ops") 4;
+  M.add (M.counter ~reg "net.tcp.segs_sent") 9;
+  M.gauge_add (M.gauge ~reg "shard0.core.mailbox.inflight") 2;
+  M.gauge_add (M.gauge ~reg "shard1.core.mailbox.inflight") 5;
+  M.observe (M.hist ~reg "shard0.app.client.rtt") 10L;
+  M.observe (M.hist ~reg "shard1.app.client.rtt") 1000L;
+  let s = M.snapshot_with_shard_agg reg in
+  check_int "agg counter sums shards"
+    7
+    (List.assoc "shards.agg.app.client.ops" s.M.counters);
+  check_int "per-shard counters survive" 3
+    (List.assoc "shard0.app.client.ops" s.M.counters);
+  check_int "non-shard counter untouched" 9
+    (List.assoc "net.tcp.segs_sent" s.M.counters);
+  (match
+     List.find_opt
+       (fun (n, _, _) -> n = "shards.agg.core.mailbox.inflight")
+       s.M.gauges
+   with
+  | Some (_, v, hwm) ->
+      check_int "agg gauge sums levels" 7 v;
+      check_int "agg gauge hwm = worst shard" 5 hwm
+  | None -> Alcotest.fail "aggregated gauge missing");
+  (match List.assoc_opt "shards.agg.app.client.rtt" s.M.hists with
+  | Some hs ->
+      check_int "agg hist merges counts" 2 hs.M.hs_count;
+      check Alcotest.bool "agg hist keeps the worst sample" true
+        (hs.M.hs_max >= 1000L)
+  | None -> Alcotest.fail "aggregated hist missing");
+  let sorted l = List.sort compare l = l in
+  check Alcotest.bool "counters stay sorted" true
+    (sorted (List.map fst s.M.counters));
+  check Alcotest.bool "hists stay sorted" true
+    (sorted (List.map fst s.M.hists))
+
+let shard_runtime_names () =
+  (* The multi-shard runtime registers every per-shard instrument under
+     shard<i>.<layer>.<component>.<event> on the default registry; the
+     aggregated view then carries one shards.agg.* entry per family. *)
+  let module Runtime = Dk_shard_rt.Runtime in
+  M.reset M.default;
+  let t = Runtime.create ~n:2 ~seed:7L () in
+  let _stats = Runtime.run_echo t ~flows:2 ~size:64 ~rounds:3 in
+  let s = M.snapshot_with_shard_agg M.default in
+  let cnames = List.map fst s.M.counters in
+  let hnames = List.map fst s.M.hists in
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (n ^ " present") true (List.mem n cnames))
+    [
+      "shard0.app.client.ops";
+      "shard1.app.client.ops";
+      "shard0.device.rss.flows";
+      "shard0.core.mailbox.sent";
+      "shard1.core.mailbox.delivered";
+      "shards.agg.app.client.ops";
+      "shards.agg.core.mailbox.sent";
+    ];
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (n ^ " present") true (List.mem n hnames))
+    [ "shard0.app.client.rtt"; "shard1.app.client.rtt"; "shards.agg.app.client.rtt" ];
+  M.reset M.default
+
+let shard_agg_noop_without_shards () =
+  let reg = M.create () in
+  M.add (M.counter ~reg "net.tcp.segs_sent") 1;
+  M.add (M.counter ~reg "shardless.name") 2;
+  M.add (M.counter ~reg "shard.nodigits") 3;
+  check Alcotest.bool "no shard names => plain snapshot" true
+    (M.snapshot_with_shard_agg reg = M.snapshot reg)
+
 (* ---- exporters ---- *)
 
 let export_table_mentions_all () =
@@ -476,6 +555,15 @@ let () =
           Alcotest.test_case "deterministic" `Quick snapshot_deterministic;
           Alcotest.test_case "table export" `Quick export_table_mentions_all;
           Alcotest.test_case "json escaping" `Quick export_json_escapes;
+        ] );
+      ( "shard aggregation",
+        [
+          Alcotest.test_case "shard names fold into shards.agg" `Quick
+            shard_agg_folds;
+          Alcotest.test_case "runtime instrument naming scheme" `Quick
+            shard_runtime_names;
+          Alcotest.test_case "no shard names is a no-op" `Quick
+            shard_agg_noop_without_shards;
         ] );
       ( "flight",
         [

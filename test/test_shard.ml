@@ -181,6 +181,25 @@ let inventory_classifies () =
   Alcotest.(check bool) "json carries the classification" true
     (contains ~sub:"\"shared-immutable\"" (Shard_engine.inventory_json inv))
 
+let tooling_classified_and_exempt () =
+  let prog =
+    analyze "tool.ml"
+      "let sink = ref None [@@shard.tooling \"test tap\"]\n\
+       let fire () = sink := Some 1\n"
+  in
+  let inv = Shard_engine.inventory prog in
+  (match
+     (List.find (fun g -> g.Shard_engine.g_name = "sink") inv)
+       .Shard_engine.g_class
+   with
+  | Shard_engine.Tooling why ->
+      Alcotest.(check string) "reason kept" "test tap" why
+  | _ -> Alcotest.fail "sink should classify Tooling");
+  Alcotest.(check int) "tooling state raises no finding" 0
+    (List.length (Shard_engine.findings prog));
+  Alcotest.(check bool) "json carries the tooling class" true
+    (contains ~sub:"\"tooling\"" (Shard_engine.inventory_json inv))
+
 let parse_error_reported () =
   let fs = Shard_engine.findings (analyze "broken.ml" "let f = (\n") in
   Alcotest.(check (list string)) "parse-error finding" [ "parse-error" ]
@@ -262,6 +281,8 @@ let () =
           Alcotest.test_case "unknown call taints quietly" `Quick
             unknown_call_taints_but_stays_quiet;
           Alcotest.test_case "inventory classifies" `Quick inventory_classifies;
+          Alcotest.test_case "tooling classified and exempt" `Quick
+            tooling_classified_and_exempt;
           Alcotest.test_case "parse error reported" `Quick parse_error_reported;
           Alcotest.test_case "scan_dirs walks fixtures" `Quick
             scan_dirs_walks_fixtures;

@@ -1,0 +1,277 @@
+(* Multi-shard datapath runtime tests.
+
+   The invariants pinned here are the ones the tentpole promises:
+   - N=1 under the group scheduler is bit-identical to the plain
+     single-engine loop (same workload, same metrics snapshot).
+   - A fixed (seed, N, xfrac) replays byte-identically.
+   - The cross-shard mailbox is FIFO, bounded (backpressure, never
+     loss), and never drops or duplicates — including under every
+     named fault plan, because faults live inside a shard's domain
+     while the mailbox rides the virtual clock directly. *)
+
+module Engine = Dk_sim.Engine
+module Histogram = Dk_sim.Histogram
+module Metrics = Dk_obs.Metrics
+module Fault = Dk_fault.Fault
+module Xmailbox = Dk_shard_rt.Xmailbox
+module Runtime = Dk_shard_rt.Runtime
+module Shard = Dk_shard_rt.Shard
+
+let hist_sig h =
+  ( Histogram.count h,
+    Histogram.mean h,
+    Histogram.min h,
+    Histogram.max h,
+    List.map (Histogram.quantile h) [ 0.5; 0.9; 0.99; 0.999 ] )
+
+let stats_sig (s : Runtime.stats) =
+  ( s.Runtime.total_ops,
+    s.Runtime.total_remote,
+    s.Runtime.wall_ns,
+    Array.to_list
+      (Array.map
+         (fun p ->
+           ( p.Runtime.shard,
+             p.Runtime.flow_count,
+             p.Runtime.op_count,
+             p.Runtime.remote_count,
+             p.Runtime.elapsed_ns,
+             hist_sig p.Runtime.latency ))
+         s.Runtime.per_shard) )
+
+(* Full observable state of a run: the workload stats plus the whole
+   default-registry snapshot (counters, gauges, hist summaries). *)
+let run_echo_observed ?drive ~n ~xfrac ~seed ~flows ~rounds () =
+  Metrics.reset Metrics.default;
+  let t = Runtime.create ~n ~xfrac ~seed () in
+  let stats = Runtime.run_echo ?drive t ~flows ~size:64 ~rounds in
+  let snap = Metrics.snapshot Metrics.default in
+  (stats_sig stats, snap.Metrics.counters, snap.Metrics.gauges,
+   List.map
+     (fun (name, hs) ->
+       ( name,
+         hs.Metrics.hs_count,
+         hs.Metrics.hs_mean,
+         hs.Metrics.hs_p50,
+         hs.Metrics.hs_p99,
+         hs.Metrics.hs_max ))
+     snap.Metrics.hists)
+
+(* ---- N=1 group scheduler == plain single-engine loop ---- *)
+
+let test_n1_identity () =
+  let grouped = run_echo_observed ~n:1 ~xfrac:0.0 ~seed:7L ~flows:4 ~rounds:32 () in
+  let plain =
+    run_echo_observed
+      ~drive:(fun es -> Engine.run es.(0))
+      ~n:1 ~xfrac:0.0 ~seed:7L ~flows:4 ~rounds:32 ()
+  in
+  Alcotest.(check bool) "group N=1 identical to Engine.run" true (grouped = plain)
+
+(* ---- same (seed, N) replays byte-identically ---- *)
+
+let test_replay_identity_n4 () =
+  let a = run_echo_observed ~n:4 ~xfrac:0.2 ~seed:99L ~flows:12 ~rounds:24 () in
+  let b = run_echo_observed ~n:4 ~xfrac:0.2 ~seed:99L ~flows:12 ~rounds:24 () in
+  Alcotest.(check bool) "N=4 replay identical" true (a = b)
+
+let test_seed_changes_schedule () =
+  let a = run_echo_observed ~n:4 ~xfrac:0.5 ~seed:1L ~flows:8 ~rounds:16 () in
+  let b = run_echo_observed ~n:4 ~xfrac:0.5 ~seed:2L ~flows:8 ~rounds:16 () in
+  Alcotest.(check bool) "different seeds diverge" false (a = b)
+
+(* ---- kv workload: correctness of cross-shard ownership ---- *)
+
+let test_kv_cross_shard () =
+  Metrics.reset Metrics.default;
+  let t = Runtime.create ~n:4 ~xfrac:0.3 ~seed:5L () in
+  let stats =
+    Runtime.run_kv t ~flows:8 ~ops_per_flow:25 ~keys_per_shard:32
+      ~value_size:64 ~read_fraction:0.9
+  in
+  Alcotest.(check int) "all ops completed" (8 * 25) stats.Runtime.total_ops;
+  Alcotest.(check bool) "some ops were remote" true (stats.Runtime.total_remote > 0);
+  Alcotest.(check int) "no dangling cross-shard requests" 0
+    (Runtime.pending_count t);
+  (* GETs against a preloaded striped store must hit: no misses means
+     requests reached the key's owner shard. *)
+  let snap = Metrics.snapshot Metrics.default in
+  let sent =
+    List.fold_left
+      (fun a (name, v) ->
+        if Filename.check_suffix name ".core.mailbox.sent" then a + v else a)
+      0 snap.Metrics.counters
+  in
+  let delivered =
+    List.fold_left
+      (fun a (name, v) ->
+        if Filename.check_suffix name ".core.mailbox.delivered" then a + v
+        else a)
+      0 snap.Metrics.counters
+  in
+  Alcotest.(check int) "mailbox: delivered everything sent" sent delivered
+
+let test_key_home () =
+  let t = Runtime.create ~n:4 () in
+  Alcotest.(check int) "key 0 on shard 0" 0
+    (Runtime.key_home t (Dk_apps.Workload.key_name 0));
+  Alcotest.(check int) "key 7 on shard 3" 3
+    (Runtime.key_home t (Dk_apps.Workload.key_name 7))
+
+(* ---- mailbox properties ---- *)
+
+let mk_pair () =
+  let a = Engine.create () and b = Engine.create () in
+  (a, b)
+
+let test_mailbox_fifo () =
+  let src_engine, dst_engine = mk_pair () in
+  let mb =
+    Xmailbox.create ~src:0 ~dst:1 ~src_engine ~dst_engine ~capacity:64 ()
+  in
+  let got = ref [] in
+  Xmailbox.set_on_recv mb (fun v -> got := v :: !got);
+  let sent = List.init 40 (fun i -> i) in
+  List.iter
+    (fun i ->
+      Alcotest.(check bool) "send accepted" true (Xmailbox.try_send mb i);
+      (* interleave: drain some deliveries mid-stream *)
+      if i mod 7 = 0 then Engine.run_group [| src_engine; dst_engine |])
+    sent;
+  Engine.run_group [| src_engine; dst_engine |];
+  Alcotest.(check (list int)) "FIFO order preserved" sent (List.rev !got)
+
+let test_mailbox_backpressure () =
+  let src_engine, dst_engine = mk_pair () in
+  let mb =
+    Xmailbox.create ~src:0 ~dst:1 ~src_engine ~dst_engine ~capacity:4 ()
+  in
+  let got = ref [] in
+  Xmailbox.set_on_recv mb (fun v -> got := v :: !got);
+  for i = 1 to 4 do
+    Alcotest.(check bool) "fits" true (Xmailbox.try_send mb i)
+  done;
+  Alcotest.(check bool) "5th rejected" false (Xmailbox.try_send mb 5);
+  Alcotest.(check int) "ring full" 4 (Xmailbox.in_flight mb);
+  Engine.run_group [| src_engine; dst_engine |];
+  Alcotest.(check int) "drained" 0 (Xmailbox.in_flight mb);
+  Alcotest.(check bool) "accepts again after drain" true
+    (Xmailbox.try_send mb 6);
+  Engine.run_group [| src_engine; dst_engine |];
+  (* rejected message 5 was never enqueued: no loss, no duplication *)
+  Alcotest.(check (list int)) "exactly the accepted messages, in order"
+    [ 1; 2; 3; 4; 6 ] (List.rev !got)
+
+let test_mailbox_no_lost_dup () =
+  let src_engine, dst_engine = mk_pair () in
+  let mb =
+    Xmailbox.create ~src:0 ~dst:1 ~src_engine ~dst_engine ~capacity:8 ()
+  in
+  let got = ref [] in
+  Xmailbox.set_on_recv mb (fun v -> got := v :: !got);
+  let accepted = ref [] in
+  (* Offered load exceeds capacity; sender retries rejected sends after
+     draining, so everything accepted arrives exactly once. *)
+  for i = 0 to 99 do
+    if Xmailbox.try_send mb i then accepted := i :: !accepted
+    else begin
+      Engine.run_group [| src_engine; dst_engine |];
+      Alcotest.(check bool) "retry after drain succeeds" true
+        (Xmailbox.try_send mb i);
+      accepted := i :: !accepted
+    end
+  done;
+  Engine.run_group [| src_engine; dst_engine |];
+  Alcotest.(check (list int)) "no lost, no duplicated, in order"
+    (List.rev !accepted) (List.rev !got)
+
+let test_mailbox_clock_monotonic () =
+  (* A message from a shard whose clock is BEHIND the destination's
+     must not drag the destination backwards: delivery lands at
+     dst.now, not src.now + hop. *)
+  let src_engine, dst_engine = mk_pair () in
+  let (_ : Engine.timer) = Engine.at dst_engine 10_000L (fun () -> ()) in
+  Engine.run dst_engine;
+  let mb =
+    Xmailbox.create ~src:0 ~dst:1 ~src_engine ~dst_engine ~capacity:4 ()
+  in
+  let at = ref (-1L) in
+  Xmailbox.set_on_recv mb (fun () -> at := Engine.now dst_engine);
+  Alcotest.(check bool) "sent" true (Xmailbox.try_send mb ());
+  Engine.run_group [| src_engine; dst_engine |];
+  Alcotest.(check int64) "delivered at dst clock, not in its past" 10_000L !at
+
+(* ---- mailbox + runtime invariants under every named fault plan ---- *)
+
+let fault_plan_case plan_name =
+  let run () =
+    Metrics.reset Metrics.default;
+    let t =
+      Runtime.create ~n:4 ~xfrac:0.5 ~seed:17L ~fault:(plan_name, 23L) ()
+    in
+    let stats = Runtime.run_echo t ~flows:8 ~size:64 ~rounds:12 in
+    (* Faults may abort connections (fewer ops), but the mailbox never
+       loses or duplicates: everything sent is delivered once the run
+       drains, and every forwarded request got its reply. *)
+    let snap = Metrics.snapshot Metrics.default in
+    let sum suffix =
+      List.fold_left
+        (fun a (name, v) ->
+          if Filename.check_suffix name suffix then a + v else a)
+        0 snap.Metrics.counters
+    in
+    Alcotest.(check int)
+      (plan_name ^ ": delivered = sent")
+      (sum ".core.mailbox.sent")
+      (sum ".core.mailbox.delivered");
+    Alcotest.(check int)
+      (plan_name ^ ": no dangling requests")
+      0 (Runtime.pending_count t);
+    Alcotest.(check bool)
+      (plan_name ^ ": made progress")
+      true
+      (stats.Runtime.total_ops > 0)
+  in
+  Alcotest.test_case plan_name `Quick run
+
+let fault_cases = List.map (fun (n, _) -> fault_plan_case n) Fault.plan_names
+
+(* ---- RSS placement ---- *)
+
+let test_rss_rebalanced_spread () =
+  let t = Runtime.create ~n:8 ~seed:3L () in
+  let stats = Runtime.run_echo t ~flows:64 ~size:32 ~rounds:2 in
+  Array.iter
+    (fun p ->
+      Alcotest.(check bool)
+        (Printf.sprintf "shard %d within 1 of even split" p.Runtime.shard)
+        true
+        (abs (p.Runtime.flow_count - 8) <= 1))
+    stats.Runtime.per_shard
+
+let () =
+  Alcotest.run "shard-rt"
+    [
+      ( "determinism",
+        [
+          Alcotest.test_case "n1-identity" `Quick test_n1_identity;
+          Alcotest.test_case "replay-n4" `Quick test_replay_identity_n4;
+          Alcotest.test_case "seed-diverges" `Quick test_seed_changes_schedule;
+        ] );
+      ( "kv",
+        [
+          Alcotest.test_case "cross-shard" `Quick test_kv_cross_shard;
+          Alcotest.test_case "key-home" `Quick test_key_home;
+        ] );
+      ( "mailbox",
+        [
+          Alcotest.test_case "fifo" `Quick test_mailbox_fifo;
+          Alcotest.test_case "backpressure" `Quick test_mailbox_backpressure;
+          Alcotest.test_case "no-lost-dup" `Quick test_mailbox_no_lost_dup;
+          Alcotest.test_case "clock-monotonic" `Quick
+            test_mailbox_clock_monotonic;
+        ] );
+      ("mailbox-under-faults", fault_cases);
+      ( "rss",
+        [ Alcotest.test_case "rebalanced-spread" `Quick test_rss_rebalanced_spread ] );
+    ]

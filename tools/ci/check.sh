@@ -22,7 +22,7 @@
 #             normal then sanitized; export DK_FAULT_CI=1 to widen the
 #             every-plan matrix to multiple seeds (the CI matrix job
 #             does)
-#   bench     tools/ci/bench_diff.sh — regenerate the E1-E13 bench
+#   bench     tools/ci/bench_diff.sh — regenerate the E1-E14 bench
 #             tables and fail on >25% virtual-time regression against
 #             the committed baselines
 #   all       build + test + shard + sanitize, plus fault when

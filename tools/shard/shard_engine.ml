@@ -55,6 +55,7 @@ type classification =
   | Per_shard of string
   | Immutable of string
   | Obs_handle
+  | Tooling of string
   | Unclassified
 
 type g_kind = GRef | GHashtbl | GContainer | GConstructed
@@ -140,6 +141,7 @@ let classification_of_attrs attrs =
       match a.attr_name.txt with
       | "shard.per_shard" -> Some (Per_shard (attr_string a))
       | "shard.immutable" -> Some (Immutable (attr_string a))
+      | "shard.tooling" -> Some (Tooling (attr_string a))
       | _ -> None)
     attrs
 
@@ -680,10 +682,11 @@ let class_name = function
   | Per_shard _ -> "per-shard"
   | Immutable _ -> "shared-immutable"
   | Obs_handle -> "obs-handle"
+  | Tooling _ -> "tooling"
   | Unclassified -> "UNCLASSIFIED"
 
 let class_reason = function
-  | Per_shard r | Immutable r -> r
+  | Per_shard r | Immutable r | Tooling r -> r
   | Obs_handle | Unclassified -> ""
 
 let state_findings prog : finding list =

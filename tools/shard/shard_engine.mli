@@ -52,6 +52,9 @@ type classification =
   | Per_shard of string  (** mutable by design, one instance per shard *)
   | Immutable of string  (** written only during module initialization *)
   | Obs_handle  (** Metrics counter/gauge/hist registration *)
+  | Tooling of string
+      (** sanitizer/debug capture channel — analysis and test plumbing,
+          not datapath state; never consulted on the packet path *)
   | Unclassified
 
 type g_kind = GRef | GHashtbl | GContainer | GConstructed
