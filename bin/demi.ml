@@ -290,6 +290,20 @@ let print_obs_and_flight ~now snap json =
       close_out oc;
       Format.printf "@.wrote %s@." file
 
+(* Host-allocation meter: the OCaml GC's minor-words delta across the
+   workload, absolute and per completed echo round. The sim's mem.*
+   instruments count simulated pool traffic; this pair counts real
+   heap churn on the host running the datapath — the meter dk-hot's
+   allocation fixes move. Same binary + same workload = same delta,
+   so the determinism double-run diff stays byte-identical. *)
+let g_minor_words = Dk_obs.Metrics.gauge "host.gc.minor_words"
+let g_minor_per_op = Dk_obs.Metrics.gauge "host.gc.minor_words_per_op"
+
+let meter_host_alloc ~since ~ops =
+  let dw = int_of_float (Gc.minor_words () -. since) in
+  Dk_obs.Metrics.set g_minor_words dw;
+  Dk_obs.Metrics.set g_minor_per_op (dw / max 1 ops)
+
 let stats_run size rounds loss json window shards xfrac =
   (* A sanitizer violation mid-run dumps the flight recorder: the last
      thing the datapath did before the bug, which the kernel can no
@@ -299,11 +313,13 @@ let stats_run size rounds loss json window shards xfrac =
         Dk_obs.Flight.default);
   Dk_obs.Metrics.reset Dk_obs.Metrics.default;
   Dk_obs.Flight.clear Dk_obs.Flight.default;
+  let mw0 = Gc.minor_words () in
   if shards > 1 then begin
     (* Multi-shard echo: per-shard shard<i>.* instruments plus the
        folded shards.agg.* view in the table and the JSON export. *)
     let t = Runtime.create ~n:shards ~xfrac ~seed:42L () in
     let s = Runtime.run_echo t ~flows:(flows_per_shard * shards) ~size ~rounds in
+    meter_host_alloc ~since:mw0 ~ops:(flows_per_shard * shards * rounds);
     Format.printf
       "echo workload: %d rounds of %dB per flow across %d shards (xfrac \
        %.0f%%)@."
@@ -328,6 +344,7 @@ let stats_run size rounds loss json window shards xfrac =
       Result.get_ok
         (Echo.demi_rtt ~demi:da ~dst:(Setup.endpoint duo.Setup.b 7) ~size ~rounds)
     in
+    meter_host_alloc ~since:mw0 ~ops:rounds;
     Format.printf "echo workload: %d rounds of %dB over a %.1f%%-lossy fabric@."
       rounds size (loss *. 100.);
     pp_hist "round-trip latency" h;
@@ -529,6 +546,45 @@ let shardcheck_cmd =
              kind, and its shard classification")
     Term.(const shardcheck_run $ json $ dirs)
 
+(* ---- hotcheck ---- *)
+
+let hotcheck_run json dirs =
+  let dirs = if dirs = [] then [ "lib" ] else dirs in
+  let prog, files = Hot_engine.analyze_dirs dirs in
+  let inv = Hot_engine.inventory prog in
+  if json then print_string (Hot_engine.inventory_json inv)
+  else begin
+    print_string (Hot_engine.inventory_table inv);
+    let fs = Hot_engine.findings prog in
+    let count rule =
+      List.length (List.filter (fun f -> f.Tool_common.rule = rule) fs)
+    in
+    Printf.printf
+      "\n%d source file(s), %d hot root(s); raw findings: %d hot-alloc, %d \
+       hot-complexity, %d hot-poly, %d hot-annotation\n\
+       (`dune build @hot` applies tools/hot/allowlist.txt and gates CI)\n"
+      files (List.length inv) (count "hot-alloc") (count "hot-complexity")
+      (count "hot-poly") (count "hot-annotation")
+  end
+
+let hotcheck_cmd =
+  let json =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"emit the hot-root inventory as JSON instead of a table")
+  in
+  let dirs =
+    Arg.(value & pos_all dir []
+         & info [] ~docv:"DIR"
+             ~doc:"directories to analyze (default: lib)")
+  in
+  Cmd.v
+    (Cmd.info "hotcheck"
+       ~doc:"dk-hot hot-root inventory: every per-op entry point, its kind, \
+             its reachable call-graph footprint, and the per-rule raw \
+             finding counts against the ~1000-cycle datapath budget")
+    Term.(const hotcheck_run $ json $ dirs)
+
 (* `demi --stats` (no subcommand) behaves like `demi stats`. *)
 let default =
   let stats_flag =
@@ -550,7 +606,7 @@ let main =
        ~doc:"Demikernel reproduction: parameterised simulation scenarios")
     [
       rtt_cmd; kv_cmd; wakeups_cmd; loss_cmd; stats_cmd; faults_cmd;
-      shardcheck_cmd;
+      shardcheck_cmd; hotcheck_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -396,31 +396,40 @@ type waitset = Token.waitset
 let waitset (_ : t) = Token.waitset ()
 let waitset_add t ws tok = Token.register t.tokens ws tok
 
-let wait_next ?timeout t ws =
-  let deadline = Option.map (Int64.add (Engine.now t.engine)) timeout in
-  let expired () =
-    match deadline with
-    | Some d -> Int64.compare (Engine.now t.engine) d >= 0
-    | None -> false
-  in
-  let rec loop () =
-    match Token.take_ready t.tokens ws with
-    | Some tok ->
-        Dk_obs.Metrics.incr m_ready_hits;
-        let r = Option.get (Token.redeem t.tokens tok) in
-        Some (tok, r)
-    | None ->
-        if expired () then None
+(* The drain loop lives at toplevel with its state in parameters: the
+   old local [expired]/[loop] closure pair and the [Option.map] deadline
+   allocated on every call to the hottest wait entry point. *)
+let rec wait_next_loop t ws deadline =
+  match Token.take_ready t.tokens ws with
+  | Some tok ->
+      Dk_obs.Metrics.incr m_ready_hits;
+      let r = Option.get (Token.redeem t.tokens tok) in
+      Some (tok, r)
+  | None ->
+      let expired =
+        match deadline with
+        | Some d -> Int64.compare (Engine.now t.engine) d >= 0
+        | None -> false
+      in
+      if expired then None
+      else begin
+        wait_step t;
+        if Engine.step t.engine then wait_next_loop t ws deadline
         else begin
-          wait_step t;
-          if Engine.step t.engine then loop ()
-          else begin
-            Option.iter (spin_to t) deadline;
-            None
-          end
+          Option.iter (spin_to t) deadline;
+          None
         end
+      end
+  [@@hot.alloc
+    "the (token, result) completion pair is the wait API's return surface"]
+
+let wait_next ?timeout t ws =
+  let deadline =
+    match timeout with
+    | Some ns -> Some (Int64.add (Engine.now t.engine) ns)
+    | None -> None
   in
-  loop ()
+  wait_next_loop t ws deadline
 
 let try_wait t tok = Token.redeem t.tokens tok
 let watch t tok k = Token.watch t.tokens tok k
@@ -456,18 +465,19 @@ let push t qd sga =
 (* Batched submission: one descriptor-table lookup, one token minted
    per sga, and — when the device's tx window is open — one doorbell
    for the whole batch instead of one per element. *)
+let rec push_tokens t impl = function
+  | [] -> []
+  | sga :: rest ->
+      let tok = Token.fresh t.tokens in
+      Dk_obs.Metrics.incr m_push_batched;
+      impl.Qimpl.push sga tok;
+      tok :: push_tokens t impl rest
+  [@@hot.alloc "the batch API returns one fresh token list per call"]
+
 let push_batch t qd sgas =
   match lookup t qd with
   | None -> Error `Bad_qd
-  | Some impl ->
-      Ok
-        (List.map
-           (fun sga ->
-             let tok = Token.fresh t.tokens in
-             Dk_obs.Metrics.incr m_push_batched;
-             impl.Qimpl.push sga tok;
-             tok)
-           sgas)
+  | Some impl -> Ok (push_tokens t impl sgas)
 
 let pop t qd =
   match lookup t qd with

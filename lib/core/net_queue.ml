@@ -20,25 +20,32 @@ let rx_buffer manager s =
         | None -> None)
     | Some _ | None -> None
 
+(* All-or-nothing pooling in one pass: [Some bufs] when every segment
+   got a pooled buffer; on the first miss, release what was pooled on
+   the way back up and answer [None]. The old List.map / for_all /
+   filter_map chain built two intermediate result lists per delivered
+   sga and kept pooling past a miss it would then undo. *)
+let rec pool_segs manager = function
+  | [] -> Some []
+  | s :: rest -> (
+      match rx_buffer manager s with
+      | None -> None
+      | Some b -> (
+          match pool_segs manager rest with
+          | Some bs -> Some (b :: bs)
+          | None ->
+              Dk_mem.Buffer.free b;
+              None))
+  [@@hot.alloc "the pooled-buffer list is the delivered sga's segment spine"]
+
 let rx_sga manager segments =
-  let pooled =
-    List.map
-      (fun s ->
-        match rx_buffer manager s with
-        | Some b -> Ok b
-        | None -> Error s)
-      segments
-  in
-  if List.for_all (function Ok _ -> true | Error _ -> false) pooled then
-    Dk_mem.Sga.of_buffers
-      (List.filter_map (function Ok b -> Some b | Error _ -> None) pooled)
-  else begin
-    (* Mixed or miss: release any pooled segments and fall back whole. *)
-    List.iter
-      (function Ok b -> Dk_mem.Buffer.free b | Error _ -> ())
-      pooled;
-    Dk_mem.Sga.of_strings segments
-  end
+  match pool_segs manager segments with
+  | Some bufs -> Dk_mem.Sga.of_buffers bufs
+  | None ->
+      (* Miss (pooling off, zero-length segment, or pool exhausted):
+         the unmanaged path is byte-for-byte the historical one. *)
+      Dk_mem.Sga.of_strings segments
+  [@@hot]
 
 (* ---- TCP connection queues ---- *)
 
@@ -56,38 +63,40 @@ type conn_state = {
   txq : (string ref * Types.qtoken) Queue.t;
 }
 
-let pump_tx st =
-  let progress = ref true in
-  while !progress do
-    progress := false;
-    match Queue.peek_opt st.txq with
-    | None -> ()
-    | Some (remaining, tok) ->
-        let n = Tcp.send st.conn !remaining in
-        if n > 0 then begin
-          remaining := String.sub !remaining n (String.length !remaining - n);
-          if String.length !remaining = 0 then begin
-            ignore (Queue.pop st.txq);
-            Token.complete st.tokens tok Types.Pushed;
-            progress := true
-          end
+(* Directly recursive drain (no progress ref, no inner loop): recurse
+   to the next staged push only after the head buffer fully drains —
+   exactly when the old flag went true. *)
+let rec pump_tx st =
+  match Queue.peek_opt st.txq with
+  | None -> ()
+  | Some (remaining, tok) ->
+      let n = Tcp.send st.conn !remaining in
+      if n > 0 then begin
+        remaining := String.sub !remaining n (String.length !remaining - n);
+        if String.length !remaining = 0 then begin
+          ignore (Queue.pop st.txq);
+          Token.complete st.tokens tok Types.Pushed;
+          pump_tx st
         end
-  done
+      end
+  [@@hot]
+  [@@hot.alloc "a partial send re-slices the staged tx string"]
+
+let rec drain_rx st =
+  match Framing.next st.decoder with
+  | Some segments ->
+      let sga = rx_sga st.manager segments in
+      Mailbox.deliver st.mbox (Types.Popped sga);
+      drain_rx st
+  | None -> ()
 
 let pump_rx st =
   let avail = Tcp.recv_ready st.conn in
   if avail > 0 then begin
     Framing.feed st.decoder (Tcp.recv st.conn avail);
-    let rec drain () =
-      match Framing.next st.decoder with
-      | Some segments ->
-          let sga = rx_sga st.manager segments in
-          Mailbox.deliver st.mbox (Types.Popped sga);
-          drain ()
-      | None -> ()
-    in
-    drain ()
+    drain_rx st
   end
+  [@@hot]
 
 let fail_tx st err =
   Queue.iter

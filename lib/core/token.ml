@@ -82,6 +82,7 @@ let double_complete t tok =
          tok)
   end
   else invalid_arg "Token.complete: token already completed"
+  [@@hot.alloc "the double-complete diagnostic formats only on a misuse"]
 
 let complete t tok result =
   match Hashtbl.find_opt t.table tok with
@@ -133,6 +134,7 @@ let redeem_watched t tok =
     invalid_arg
       "Token.redeem: token is watched; a watched token cannot also be waited \
        on"
+  [@@hot.alloc "the redeem-after-watch diagnostic formats only on a misuse"]
 
 let redeem t tok =
   match Hashtbl.find_opt t.table tok with

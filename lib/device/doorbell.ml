@@ -42,15 +42,15 @@ let ring t =
   t.rings <- t.rings + 1;
   Dk_obs.Metrics.incr t.counter
 
-let run_staged t =
-  let rec go () =
-    match Queue.take_opt t.staged with
-    | Some thunk ->
-        thunk ();
-        go ()
-    | None -> ()
-  in
-  go ()
+(* Directly recursive: the drain runs once per flush on the MMIO
+   chokepoint, so the old inner closure was a per-flush allocation
+   (dk-hot: hot-alloc). *)
+let rec run_staged t =
+  match Queue.take_opt t.staged with
+  | Some thunk ->
+      thunk ();
+      run_staged t
+  | None -> ()
 
 (* An empty stage never rings: a window in which nothing was submitted
    costs nothing. *)
@@ -74,15 +74,26 @@ let submit t thunk =
       ignore (Dk_sim.Engine.after t.engine t.window (fun () -> flush t))
     end
   end
+  [@@hot.alloc
+    "one flush-event closure per open window (first submission only), \
+     amortized across everything the window coalesces"]
 
 (* Explicit batch (the submit_many entry points): even at window 0 the
    group's submissions share one ring, flushed synchronously before
-   [group] returns. At window > 0 the open window already coalesces. *)
+   [group] returns. At window > 0 the open window already coalesces.
+   The grouping flag is reset by hand on both exits rather than via
+   [Fun.protect], whose [~finally] closure would be a per-batch
+   allocation. *)
 let group t f =
   if Int64.compare t.window 0L > 0 then f ()
   else begin
     t.grouping <- true;
-    let result = Fun.protect ~finally:(fun () -> t.grouping <- false) f in
-    flush t;
-    result
+    match f () with
+    | result ->
+        t.grouping <- false;
+        flush t;
+        result
+    | exception e ->
+        t.grouping <- false;
+        raise e
   end

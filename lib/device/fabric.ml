@@ -17,8 +17,17 @@ type t = {
   jitter_ns : int64;
   rng : Dk_sim.Rng.t;
   nics : (int, Nic.t) Hashtbl.t;
-  (* per (src,dst) last scheduled arrival: wire FIFO *)
-  last_arrival : (int * int, int64) Hashtbl.t;
+  (* Per (src,dst) last scheduled arrival: wire FIFO. Two levels of
+     int-keyed tables rather than one keyed by the (src,dst) pair:
+     tuple keys allocate on every lookup and hash polymorphically
+     (dk-hot: hot-poly), and two 48-bit MACs don't pack into one
+     immediate int. *)
+  last_arrival : (int, (int, int64) Hashtbl.t) Hashtbl.t;
+  (* MAC-sorted snapshot of [nics], rebuilt on attach: broadcast fan-out
+     must not sort the live table once per frame (dk-hot:
+     hot-complexity), and hash-order fan-out would perturb the event
+     schedule run to run. *)
+  mutable order : (int * Nic.t) array;
   mutable delivered : int;
   mutable lost : int;
   mutable unrouted : int;
@@ -35,6 +44,7 @@ let create ~engine ~cost ?(fault = Fault.default) ?(loss = 0.0)
     rng = Dk_sim.Rng.create seed;
     nics = Hashtbl.create 8;
     last_arrival = Hashtbl.create 16;
+    order = [||];
     delivered = 0;
     lost = 0;
     unrouted = 0;
@@ -72,12 +82,19 @@ let deliver t ~src ~dst ~departed nic frame =
       if Int64.compare t.jitter_ns 0L > 0 || Int64.compare reorder 0L > 0 then
         arrival
       else begin
-        let key = (src, dst) in
+        let by_dst =
+          match Hashtbl.find_opt t.last_arrival src with
+          | Some h -> h
+          | None ->
+              let h = Hashtbl.create 8 in
+              Hashtbl.add t.last_arrival src h;
+              h
+        in
         let floor =
-          Option.value ~default:0L (Hashtbl.find_opt t.last_arrival key)
+          match Hashtbl.find_opt by_dst dst with Some f -> f | None -> 0L
         in
         let a = if Int64.compare arrival floor < 0 then floor else arrival in
-        Hashtbl.replace t.last_arrival key a;
+        Hashtbl.replace by_dst dst a;
         a
       end
     in
@@ -113,26 +130,35 @@ let deliver t ~src ~dst ~departed nic frame =
            (Int64.add arrival (Fault.magnitude t.fault Fault.Fabric_dup))
            arrive)
   end
+  [@@hot] [@@hot.alloc
+    "the per-frame arrival closure is the sim's wire: it carries the \
+     frame across virtual time to the destination NIC"]
+
+(* Index walk over the attach-time sorted snapshot: per-frame fan-out
+   touches no list and sorts nothing. *)
+let rec bcast t ~src ~departed frame i =
+  if i < Array.length t.order then begin
+    (let mac, nic = t.order.(i) in
+     if mac <> src then deliver t ~src ~dst:mac ~departed nic frame);
+    bcast t ~src ~departed frame (i + 1)
+  end
 
 let send t ~src ~dst ~departed frame =
-  if dst = broadcast then
-    (* Sorted by MAC: each delivery schedules engine events, so
-       hash-order fan-out would perturb the event schedule run to run. *)
-    Dk_util.Det.iter_sorted ~compare:Int.compare
-      (fun mac nic ->
-        if mac <> src then deliver t ~src ~dst:mac ~departed nic frame)
-      t.nics
+  if dst = broadcast then bcast t ~src ~departed frame 0
   else
     match Hashtbl.find_opt t.nics dst with
     | Some nic -> deliver t ~src ~dst ~departed nic frame
     | None ->
         t.unrouted <- t.unrouted + 1;
         Dk_obs.Metrics.incr m_unrouted
+  [@@hot]
 
 let attach t nic =
   let mac = Nic.mac nic in
   if Hashtbl.mem t.nics mac then invalid_arg "Fabric.attach: duplicate MAC";
   Hashtbl.replace t.nics mac nic;
+  t.order <-
+    Array.of_list (Dk_util.Det.bindings_sorted ~compare:Int.compare t.nics);
   Nic.set_uplink nic (fun ~src ~dst ~departed frame ->
       send t ~src ~dst ~departed frame)
 

@@ -135,12 +135,19 @@ let transmit t ~dst frame =
         ignore (Dk_sim.Engine.at t.engine departed finish));
     true
   end
+  [@@hot.alloc
+    "the staged tx thunk and its DMA-completion event are the sim's \
+     stand-in for descriptor writes; the host CPU pays only the doorbell"]
+
+let rec transmit_count t ~dst frames acc =
+  match frames with
+  | [] -> acc
+  | frame :: rest ->
+      transmit_count t ~dst rest (if transmit t ~dst frame then acc + 1 else acc)
 
 let transmit_many t ~dst frames =
-  Doorbell.group t.db (fun () ->
-      List.fold_left
-        (fun acc frame -> if transmit t ~dst frame then acc + 1 else acc)
-        0 frames)
+  Doorbell.group t.db (fun () -> transmit_count t ~dst frames 0)
+  [@@hot.alloc "one group thunk per batch, amortized across its frames"]
 
 let set_tx_window t ns = Doorbell.set_window t.db ns
 let tx_doorbells t = Doorbell.rings t.db
@@ -166,6 +173,29 @@ let enqueue_rx t frame =
       "nic %x rx ring full, frame dropped (%dB)" t.mac (String.length frame)
   end
 
+(* Toplevel (not a local closure inside [receive]): the filter/map
+   stage runs once per delivered frame, and the plain path — no program
+   loaded — must stay allocation-free. *)
+let process_rx t frame =
+  let keep =
+    match t.rx_filter with
+    | None -> true
+    | Some p -> Prog.eval_pred p frame
+  in
+  if not keep then begin
+    t.rx_filtered <- t.rx_filtered + 1;
+    Dk_obs.Metrics.incr m_rx_filtered
+  end
+  else
+    let frame =
+      match t.rx_map with
+      | None -> frame
+      | Some m ->
+          t.rx_mapped <- t.rx_mapped + 1;
+          Prog.eval_map m frame
+    in
+    enqueue_rx t frame
+
 let receive t frame =
   let now = Dk_sim.Engine.now t.engine in
   (* Fault hooks sit at the wire edge, before any on-NIC program: a
@@ -182,36 +212,22 @@ let receive t frame =
       | None -> frame
     in
     let copies = if Fault.fire t.fault Fault.Nic_rx_dup ~now then 2 else 1 in
-    let prog_active = t.rx_filter <> None || t.rx_map <> None in
-    let process () =
-      let keep =
-        match t.rx_filter with
-        | None -> true
-        | Some p -> Prog.eval_pred p frame
-      in
-      if not keep then begin
-        t.rx_filtered <- t.rx_filtered + 1;
-        Dk_obs.Metrics.incr m_rx_filtered
-      end
-      else
-        let frame =
-          match t.rx_map with
-          | None -> frame
-          | Some m ->
-              t.rx_mapped <- t.rx_mapped + 1;
-              Prog.eval_map m frame
-        in
-        enqueue_rx t frame
+    let prog_active =
+      (match t.rx_filter with Some _ -> true | None -> false)
+      || match t.rx_map with Some _ -> true | None -> false
     in
     for _ = 1 to copies do
       if prog_active then
         (* On-device program execution adds device latency but no CPU. *)
         ignore
           (Dk_sim.Engine.after t.engine t.cost.Dk_sim.Cost.device_prog_per_elem
-             process)
-      else process ()
+             (fun () -> process_rx t frame))
+      else process_rx t frame
     done
   end
+  [@@hot.alloc
+    "the deferral thunk exists only when an on-NIC program is loaded; \
+     the plain rx path is closure-free"]
 
 let poll_rx t =
   match Dk_util.Bqueue.pop t.rxq with

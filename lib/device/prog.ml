@@ -21,15 +21,28 @@ type map =
   | Truncate of int
   | Chain of map list
 
-let fnv1a s off len =
-  let h = ref 0xcbf29ce484222325L in
-  let stop = min (String.length s) (off + len) in
-  for i = max 0 off to stop - 1 do
-    h := Int64.logxor !h (Int64.of_int (Char.code s.[i]));
-    h := Int64.mul !h 0x100000001b3L
-  done;
-  !h
+(* The hash state threads through parameters — an on-NIC program runs
+   once per delivered frame, so a ref cell here would be a per-frame
+   allocation (dk-hot: hot-alloc). *)
+let rec fnv1a_loop s i stop h =
+  if i >= stop then h
+  else
+    fnv1a_loop s (i + 1) stop
+      (Int64.mul (Int64.logxor h (Int64.of_int (Char.code s.[i]))) 0x100000001b3L)
 
+let fnv1a s off len =
+  let stop = min (String.length s) (off + len) in
+  fnv1a_loop s (max 0 off) stop 0xcbf29ce484222325L
+
+(* Byte-by-byte prefix test: [String.sub] would copy the prefix out of
+   the frame on every evaluation. *)
+let rec prefix_from p s i =
+  i >= String.length p || (p.[i] = s.[i] && prefix_from p s (i + 1))
+
+(* [All]/[Any]/[Chain] recurse through dedicated mutually-recursive
+   walkers rather than [List.for_all]/[exists]/[fold_left]: the
+   combinator form closes over the frame, allocating one closure per
+   node per frame on the rx path. *)
 let rec eval_pred p s =
   match p with
   | True -> true
@@ -39,18 +52,22 @@ let rec eval_pred p s =
   | Byte_eq (off, c) -> off >= 0 && off < String.length s && s.[off] = c
   | Byte_in (off, lo, hi) ->
       off >= 0 && off < String.length s && s.[off] >= lo && s.[off] <= hi
-  | Prefix p ->
-      String.length s >= String.length p
-      && String.equal (String.sub s 0 (String.length p)) p
+  | Prefix p -> String.length s >= String.length p && prefix_from p s 0
   | Hash_mod (off, len, modulo, target) ->
       if modulo <= 0 then false
       else
         let h = fnv1a s off len in
         Int64.to_int (Int64.rem (Int64.logand h Int64.max_int) (Int64.of_int modulo))
         = target
-  | All ps -> List.for_all (fun p -> eval_pred p s) ps
-  | Any ps -> List.exists (fun p -> eval_pred p s) ps
+  | All ps -> eval_all ps s
+  | Any ps -> eval_any ps s
   | Not p -> not (eval_pred p s)
+
+and eval_all ps s =
+  match ps with [] -> true | p :: rest -> eval_pred p s && eval_all rest s
+
+and eval_any ps s =
+  match ps with [] -> false | p :: rest -> eval_pred p s || eval_any rest s
 
 let rec eval_map m s =
   match m with
@@ -60,7 +77,11 @@ let rec eval_map m s =
   | Xor_mask k ->
       String.map (fun c -> Char.chr (Char.code c lxor (k land 0xff))) s
   | Truncate n -> if String.length s <= n then s else String.sub s 0 n
-  | Chain ms -> List.fold_left (fun acc m -> eval_map m acc) s ms
+  | Chain ms -> eval_chain ms s
+  [@@hot.alloc "an on-NIC map program materializes the rewritten frame"]
+
+and eval_chain ms s =
+  match ms with [] -> s | m :: rest -> eval_chain rest (eval_map m s)
 
 let rec filter_footprint = function
   | True | False | Len_ge _ | Len_lt _ -> 0

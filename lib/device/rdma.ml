@@ -99,11 +99,16 @@ let qp_breaks qp peer ~now =
 let post_recv qp ~wr_id buf =
   Dk_mem.Buffer.io_hold buf;
   Queue.add (wr_id, buf) qp.recv_queue
+  [@@hot.alloc "the (wr_id, buffer) pair is the posted-receive ring entry"]
 
-let sga_registered nic sga =
-  List.for_all
-    (fun b -> nic.is_registered (Dk_mem.Buffer.region_id b))
-    (Dk_mem.Sga.segments sga)
+(* Direct recursion over the segment list: [List.for_all] would close
+   over the NIC once per registration check, i.e. once per post. *)
+let rec segs_registered nic = function
+  | [] -> true
+  | b :: rest ->
+      nic.is_registered (Dk_mem.Buffer.region_id b) && segs_registered nic rest
+
+let sga_registered nic sga = segs_registered nic (Dk_mem.Sga.segments sga)
 
 (* One round-trip-ish device+wire delay for a message of [len] bytes. *)
 let transit_ns nic len =
@@ -147,7 +152,9 @@ let post_send qp ~wr_id sga =
         Dk_mem.Sga.io_hold sga;
         nic.sends <- nic.sends + 1;
         let payload = Dk_mem.Sga.to_string sga in
-        let deliver () =
+        let[@hot.alloc
+             "completion events and RNR/ACK bounce closures are the \
+              sim's wire"] deliver () =
           Dk_mem.Sga.io_release sga;
           match Queue.take_opt peer.recv_queue with
           | None ->
@@ -188,10 +195,19 @@ let post_send qp ~wr_id sga =
               end
         in
         ignore (Dk_sim.Engine.at nic.engine (arrival_time qp ~len) deliver))
+  [@@hot.alloc
+    "work-completion records are the verbs API's return surface; the \
+     staged thunk and arrival events are the sim's wire"]
+
+let rec post_each qp = function
+  | [] -> ()
+  | (wr_id, sga) :: rest ->
+      post_send qp ~wr_id sga;
+      post_each qp rest
 
 let post_send_many qp sends =
-  Doorbell.group qp.nic.db (fun () ->
-      List.iter (fun (wr_id, sga) -> post_send qp ~wr_id sga) sends)
+  Doorbell.group qp.nic.db (fun () -> post_each qp sends)
+  [@@hot.alloc "one group thunk per batch, amortized across its work requests"]
 
 (* ---- one-sided operations (§5.1) ---- *)
 
@@ -243,6 +259,9 @@ let post_read qp ~wr_id ~remote_off ~len dst =
                        Dk_mem.Buffer.io_release dst;
                        complete_send qp
                          { wr_id; status = `Rkey; len; buffer = None })))
+  [@@hot.alloc
+    "work-completion records are the verbs API's return surface; the \
+     staged thunk and RTT event are the sim's wire"]
 
 let post_write qp ~wr_id ~remote_off sga =
   let nic = qp.nic in
@@ -279,6 +298,9 @@ let post_write qp ~wr_id ~remote_off sga =
                          (Dk_sim.Engine.after nic.engine back (fun () ->
                               complete_send qp
                                 { wr_id; status = `Rkey; len; buffer = None })))))
+  [@@hot.alloc
+    "work-completion records are the verbs API's return surface; the \
+     staged thunk and arrival events are the sim's wire"]
 
 let poll_send_cq qp = Queue.take_opt qp.send_cq
 let poll_recv_cq qp = Queue.take_opt qp.recv_cq

@@ -62,12 +62,14 @@ let describe = function
   | Block_torn_write -> "write persists a prefix only, yet reports `Ok"
   | Rdma_qp_break -> "queue pair is severed; the post completes `Qp_broken"
 
-let site_index s =
-  let rec find i = function
-    | [] -> 0
-    | x :: rest -> if x = s then i else find (i + 1) rest
-  in
-  find 0 sites
+(* Toplevel, state in parameters: [site_index] runs on every fault
+   check, i.e. on every frame touching an instrumented edge, so the old
+   local closure was a per-check allocation. *)
+let rec site_find s i = function
+  | [] -> 0
+  | x :: rest -> if x = s then i else site_find s (i + 1) rest
+
+let site_index s = site_find s 0 sites
 
 let n_sites = List.length sites
 
@@ -251,6 +253,9 @@ let mangle t site ~now frame =
     Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl (bit mod 8))));
     Some (Bytes.to_string b)
   end
+  [@@hot.alloc
+    "fault injection materializes the corrupted frame copy — only when \
+     the site actually fires"]
 
 let extra_delay t site ~now =
   if not (fire t site ~now) then 0L

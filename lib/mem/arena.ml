@@ -12,9 +12,8 @@ type t = {
 
 let is_pow2 n = n > 0 && n land (n - 1) = 0
 
-let log2 n =
-  let rec loop v acc = if v <= 1 then acc else loop (v lsr 1) (acc + 1) in
-  loop n 0
+let rec log2_loop v acc = if v <= 1 then acc else log2_loop (v lsr 1) (acc + 1)
+let log2 n = log2_loop n 0
 
 let create ?(min_block = 64) reg =
   let total = Region.size reg in
@@ -26,17 +25,23 @@ let create ?(min_block = 64) reg =
   let free_lists = Array.make levels [] in
   free_lists.(0) <- [ 0 ];
   { reg; total; min_block; levels; free_lists; allocated = Hashtbl.create 64; live = 0 }
+  [@@hot.alloc
+    "the per-level free lists and bookkeeping table are built once per \
+     region, when it is mapped"]
 
 let region t = t.reg
 let block_size t level = t.total lsr level
 
-(* Smallest level (largest index) whose block size still fits [n]. *)
+(* Smallest level (largest index) whose block size still fits [n].
+   The descent is a toplevel recursion so it does not close over the
+   request size. *)
+let rec level_descend t n level =
+  if level + 1 < t.levels && block_size t (level + 1) >= n then
+    level_descend t n (level + 1)
+  else level
+
 let level_for t n =
-  let rec loop level =
-    if level + 1 < t.levels && block_size t (level + 1) >= n then loop (level + 1)
-    else level
-  in
-  if n > t.total then None else Some (loop 0)
+  if n > t.total then None else Some (level_descend t n 0)
 
 let take_free t level =
   match t.free_lists.(level) with
@@ -59,6 +64,7 @@ let rec obtain t level =
             let half = block_size t level in
             t.free_lists.(level) <- (off + half) :: t.free_lists.(level);
             Some off)
+  [@@hot.alloc "splitting a block conses the freed high half onto its level"]
 
 let alloc t n =
   if n < 1 then invalid_arg "Arena.alloc: size must be >= 1";
@@ -72,16 +78,35 @@ let alloc t n =
           Hashtbl.replace t.allocated offset level;
           t.live <- t.live + size;
           Some { offset; size; level })
+  [@@hot.alloc
+    "the block descriptor is the buddy allocator's return surface, paid \
+     on the slow path behind the rx pools"]
+
+(* One fused membership-test-and-remove pass over a level's free list
+   (the old [List.mem] + [List.filter] walked it twice and closed over
+   the buddy offset). [None] means the buddy is not free at this
+   level. *)
+let rec take_buddy buddy = function
+  | [] -> None
+  | o :: rest ->
+      if o = buddy then Some rest
+      else (
+        match take_buddy buddy rest with
+        | Some rest' -> Some (o :: rest')
+        | None -> None)
+  [@@hot.alloc
+    "rebuilds the level's free-list spine only when the buddy is found \
+     and the blocks coalesce"]
 
 let rec insert_or_merge t level offset =
   let size = block_size t level in
   let buddy = offset lxor size in
-  if level > 0 && List.mem buddy t.free_lists.(level) then begin
-    t.free_lists.(level) <-
-      List.filter (fun o -> o <> buddy) t.free_lists.(level);
-    insert_or_merge t (level - 1) (min offset buddy)
-  end
-  else t.free_lists.(level) <- offset :: t.free_lists.(level)
+  match if level > 0 then take_buddy buddy t.free_lists.(level) else None with
+  | Some rest ->
+      t.free_lists.(level) <- rest;
+      insert_or_merge t (level - 1) (min offset buddy)
+  | None -> t.free_lists.(level) <- offset :: t.free_lists.(level)
+  [@@hot.alloc "buddy coalescing conses the merged block back onto its level"]
 
 let free t b =
   (match Hashtbl.find_opt t.allocated b.offset with

@@ -26,6 +26,9 @@ let of_string s =
     sanitize = false;
     live = true;
   }
+  [@@hot.alloc
+    "wrapping a string copies it into a fresh unmanaged store; on the \
+     rx path this is the pool-miss fallback, not the fast path"]
 
 let unmanaged n =
   if n < 0 then invalid_arg "Buffer.unmanaged";
@@ -54,11 +57,17 @@ let make_managed ?(sanitize = false) ~store ~off ~len ~region_id ~release () =
     sanitize;
     live = true;
   }
+  [@@hot.alloc
+    "a managed allocation's refcount cell and descriptor, built once \
+     per buddy allocation and recycled by the rx pools"]
 
 let describe t =
   Printf.sprintf "allocation (region %s, off %d, len %d)"
     (match t.region_id with Some id -> string_of_int id | None -> "-")
     t.off t.len
+  [@@hot.alloc
+    "the identity label formats only when a sanitizer or misuse \
+     diagnostic actually fires"]
 
 (* Sanitizer guard on every data access: a freed view or a released
    allocation must not be read or written — with kernel-bypass the
@@ -74,6 +83,8 @@ let check_access t op =
       Dk_check.report Dk_check.Use_after_free
         (Printf.sprintf "Buffer.%s on freed view of %s" op (describe t))
   end
+  [@@hot.alloc
+    "use-after-free diagnostics format only on a sanitizer hit"]
 
 let store t = t.store
 let off t = t.off
@@ -95,10 +106,14 @@ let sub t pos len =
   if pos < 0 || len < 0 || pos + len > t.len then invalid_arg "Buffer.sub";
   retain t;
   { t with off = t.off + pos; len; live = true }
+  [@@hot.alloc
+    "a sliced view is a fresh descriptor over the same backing store; \
+     no bytes are copied"]
 
 let dup t =
   retain t;
   { t with live = true }
+  [@@hot.alloc "a duplicated view is a fresh descriptor, not a byte copy"]
 
 let check_bounds t pos len name =
   if pos < 0 || len < 0 || pos + len > t.len then invalid_arg name
@@ -137,6 +152,7 @@ let fill t c =
 let to_string t =
   check_access t "to_string";
   Bytes.sub_string t.store t.off t.len
+  [@@hot.alloc "serialization copies the view's bytes out of the store"]
 
 let maybe_release c =
   if (not c.released) && c.app_refs = 0 && c.io_refs = 0 then begin
@@ -163,6 +179,7 @@ let free t =
         if c.app_refs = 0 && c.io_refs > 0 then c.deferred <- true;
         maybe_release c
   end
+  [@@hot.alloc "the double-free diagnostic formats only on a misuse"]
 
 let io_hold t =
   match t.cell with
@@ -175,6 +192,8 @@ let io_hold t =
                              memory)" (describe t))
         else invalid_arg "Buffer.io_hold: buffer already released"
       else c.io_refs <- c.io_refs + 1
+  [@@hot.alloc
+    "the use-after-free diagnostic formats only on a sanitizer hit"]
 
 let io_release t =
   match t.cell with

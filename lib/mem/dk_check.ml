@@ -49,6 +49,9 @@ let report k detail =
   match !captures with
   | acc :: _ -> acc := (k, detail) :: !acc
   | [] -> raise (Violation (k, detail))
+  [@@hot.alloc
+    "a sanitizer violation report allocates only when a violation \
+     actually fires"]
 
 let capture f =
   let acc = ref [] in

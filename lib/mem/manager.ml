@@ -14,9 +14,12 @@ type t = {
   max_total_bytes : int;
   on_new_region : Region.t -> unit;
   sanitize : bool;
-  (* live allocations, for the shutdown leak sweep: (region, block
-     offset) -> payload length. Only populated when sanitizing. *)
-  live_allocs : (int * int, int) Hashtbl.t;
+  (* live allocations, for the shutdown leak sweep: packed
+     (region lsl 32 | block offset) -> payload length. One immediate
+     int key, not a (region, offset) tuple — a tuple key would
+     allocate and hash polymorphically on every sanitized alloc and
+     free (dk-hot: hot-poly). Only populated when sanitizing. *)
+  live_allocs : (int, int) Hashtbl.t;
   (* rx fast path: size-classed free lists (power-of-two classes) in
      front of the buddy arenas. Off by default. *)
   rx_pools : (int, Pool.t) Hashtbl.t;
@@ -77,9 +80,9 @@ let create ?(initial_region_size = 1 lsl 20) ?(max_total_bytes = 1 lsl 28)
 
 let sanitized t = t.sanitize
 
-let next_pow2 n =
-  let rec loop v = if v >= n then v else loop (v * 2) in
-  loop 1
+(* Toplevel so the doubling walk does not close over the target. *)
+let rec pow2_above n v = if v >= n then v else pow2_above n (v * 2)
+let next_pow2 n = pow2_above n 1
 
 let grow t want =
   let size = max t.initial_region_size (next_pow2 want) in
@@ -95,17 +98,22 @@ let grow t want =
     t.arenas <- t.arenas @ [ arena ];
     Some arena
   end
+  [@@hot.alloc
+    "mapping and pinning a new region happens once per growth step, \
+     amortized over every allocation the region then serves"]
+
+(* Toplevel so the guard-byte walk does not close over the store. *)
+let rec count_smashed store i stop n =
+  if i >= stop then n
+  else
+    count_smashed store (i + 1) stop
+      (if Bytes.get store i <> canary_byte then n + 1 else n)
 
 let check_canaries store ~region_id ~block_off ~data_off ~len =
-  let count_smashed from =
-    let n = ref 0 in
-    for i = from to from + canary_len - 1 do
-      if Bytes.get store i <> canary_byte then incr n
-    done;
-    !n
+  let below = count_smashed store block_off (block_off + canary_len) 0 in
+  let above =
+    count_smashed store (data_off + len) (data_off + len + canary_len) 0
   in
-  let below = count_smashed block_off in
-  let above = count_smashed (data_off + len) in
   if below > 0 || above > 0 then
     Dk_check.report Dk_check.Canary_smash
       (Printf.sprintf
@@ -113,6 +121,14 @@ let check_canaries store ~region_id ~block_off ~data_off ~len =
           guard byte(s) below, %d above — out-of-bounds write on the data \
           path"
          region_id data_off len below above)
+  [@@hot.alloc
+    "the smash report formats only when guard bytes were actually \
+     overwritten"]
+
+(* Block offsets sit well inside 32 bits (regions are megabytes), so
+   the pair packs losslessly; packed keys sort exactly like the
+   (region, offset) pairs did, which keeps the leak sweep's order. *)
+let live_key ~region_id ~off = (region_id lsl 32) lor (off land 0xffffffff)
 
 let wrap t arena (block : Arena.block) len =
   let reg = Arena.region arena in
@@ -124,7 +140,9 @@ let wrap t arena (block : Arena.block) len =
   if t.sanitize then begin
     Bytes.fill store block.Arena.offset canary_len canary_byte;
     Bytes.fill store (data_off + len) canary_len canary_byte;
-    Hashtbl.replace t.live_allocs (region_id, block.Arena.offset) len
+    Hashtbl.replace t.live_allocs
+      (live_key ~region_id ~off:block.Arena.offset)
+      len
   end;
   (* [release] runs strictly after [buf] exists, so it can consult the
      buffer's deferral flag through this knot. *)
@@ -139,7 +157,7 @@ let wrap t arena (block : Arena.block) len =
         Dk_obs.Metrics.incr m_deferred
     | Some _ | None -> ());
     if t.sanitize then begin
-      Hashtbl.remove t.live_allocs (region_id, block.Arena.offset);
+      Hashtbl.remove t.live_allocs (live_key ~region_id ~off:block.Arena.offset);
       check_canaries store ~region_id ~block_off:block.Arena.offset ~data_off
         ~len;
       (* Poison the whole block: stale reads through raw store access
@@ -154,16 +172,22 @@ let wrap t arena (block : Arena.block) len =
   in
   buf_ref := Some buf;
   buf
+  [@@hot.alloc
+    "the release closure and its back-reference knot are the managed \
+     allocation's teardown machinery, built once per buddy allocation"]
 
-let try_arenas t len =
-  let rec loop = function
-    | [] -> None
-    | arena :: rest -> (
-        match Arena.alloc arena len with
-        | Some block -> Some (arena, block)
-        | None -> loop rest)
-  in
-  loop t.arenas
+(* Toplevel so the first-fit walk does not close over the length. *)
+let rec arenas_alloc len = function
+  | [] -> None
+  | arena :: rest -> (
+      match Arena.alloc arena len with
+      | Some block -> Some (arena, block)
+      | None -> arenas_alloc len rest)
+  [@@hot.alloc
+    "the (arena, block) pair is the buddy allocator's internal return \
+     surface, paid on the slow path behind the rx pools"]
+
+let try_arenas t len = arenas_alloc len t.arenas
 
 let alloc_raw t want =
   match try_arenas t want with
@@ -175,6 +199,9 @@ let alloc_raw t want =
           match Arena.alloc arena want with
           | Some block -> Some (arena, block)
           | None -> None))
+  [@@hot.alloc
+    "the (arena, block) pair is the buddy allocator's internal return \
+     surface, paid on the slow path behind the rx pools"]
 
 let alloc t len =
   if len <= 0 then invalid_arg "Manager.alloc: size must be positive";
@@ -213,7 +240,9 @@ let rec make_pooled t arena (block : Arena.block) size cls =
   if t.sanitize then begin
     Bytes.fill store block.Arena.offset canary_len canary_byte;
     Bytes.fill store (data_off + size) canary_len canary_byte;
-    Hashtbl.replace t.live_allocs (region_id, block.Arena.offset) size
+    Hashtbl.replace t.live_allocs
+      (live_key ~region_id ~off:block.Arena.offset)
+      size
   end;
   let buf_ref = ref None in
   let release () =
@@ -226,7 +255,7 @@ let rec make_pooled t arena (block : Arena.block) size cls =
         Dk_obs.Metrics.incr m_deferred
     | Some _ | None -> ());
     if t.sanitize then begin
-      Hashtbl.remove t.live_allocs (region_id, block.Arena.offset);
+      Hashtbl.remove t.live_allocs (live_key ~region_id ~off:block.Arena.offset);
       check_canaries store ~region_id ~block_off:block.Arena.offset ~data_off
         ~len:size;
       Bytes.fill store block.Arena.offset block.Arena.size poison_byte
@@ -248,6 +277,10 @@ let rec make_pooled t arena (block : Arena.block) size cls =
   in
   buf_ref := Some buf;
   buf
+  [@@hot.alloc
+    "recycling re-wraps the same (arena, block) into a fresh one-shot \
+     handle; the descriptor is the price of the one-shot lifecycle, the \
+     storage itself never touches the buddy allocator"]
 
 (* Seeding counts as allocator work but leaves the in-flight gauge
    alone: the buffers are idle in the pool, not in any hand. The gauge
@@ -300,6 +333,9 @@ let alloc_rx t len =
               Buffer.free b;
               Some v
             end)
+  [@@hot.alloc
+    "the exact-length view descriptor over a pooled class block is the \
+     rx fast path's return surface; the bytes themselves are recycled"]
 
 let drain_rx_pools t =
   t.draining <- true;
@@ -357,9 +393,14 @@ let check_leaks t =
      application actually holds are reported. *)
   drain_rx_pools t;
   let leaks =
-    Dk_util.Det.fold_sorted ~compare
-      (fun (leak_region, leak_off) leak_len acc ->
-        { leak_region; leak_off; leak_len } :: acc)
+    Dk_util.Det.fold_sorted ~compare:Int.compare
+      (fun key leak_len acc ->
+        {
+          leak_region = key lsr 32;
+          leak_off = key land 0xffffffff;
+          leak_len;
+        }
+        :: acc)
       t.live_allocs []
     |> List.rev
   in

@@ -11,22 +11,32 @@ let m_hits = Dk_obs.Metrics.counter "mem.pool.hits"
 let m_misses = Dk_obs.Metrics.counter "mem.pool.misses"
 let m_puts = Dk_obs.Metrics.counter "mem.pool.puts"
 
+let rec free_all = function
+  | [] -> ()
+  | b :: rest ->
+      Buffer.free b;
+      free_all rest
+
+let rec seed alloc size n acc =
+  if n = 0 then Some acc
+  else
+    match alloc () with
+    | None ->
+        free_all acc;
+        None
+    | Some b ->
+        if Buffer.length b < size then invalid_arg "Pool.create: short buffer";
+        seed alloc size (n - 1) (b :: acc)
+  [@@hot.alloc
+    "one-time pool seeding, reached lazily on the first rx of a size \
+     class; every later hit is a free-list pop"]
+
 let create ?(sanitize = Dk_check.enabled_from_env ()) ~alloc ~size ~count () =
   if size <= 0 || count <= 0 then invalid_arg "Pool.create";
-  let rec loop n acc =
-    if n = 0 then Some acc
-    else
-      match alloc () with
-      | None ->
-          List.iter Buffer.free acc;
-          None
-      | Some b ->
-          if Buffer.length b < size then invalid_arg "Pool.create: short buffer";
-          loop (n - 1) (b :: acc)
-  in
-  match loop count [] with
+  match seed alloc size count [] with
   | None -> None
   | Some free -> Some { size; capacity = count; sanitize; free; free_count = count }
+  [@@hot.alloc "the pool record itself; built once per size class"]
 
 let buffer_size t = t.size
 let available t = t.free_count
@@ -43,13 +53,17 @@ let get t =
       t.free_count <- t.free_count - 1;
       Some b
 
+let rec mem_phys b = function
+  | [] -> false
+  | b' :: rest -> b' == b || mem_phys b rest
+
 let put t b =
   (* Sanitizer mode: a buffer returned twice would be handed to two
      different receive operations, each DMA-ing over the other. The
      scan is O(capacity) and only runs when sanitizing — the fast path
      keeps its O(1) put. It runs before the capacity guard so a double
      put into a full pool is diagnosed as the double free it is. *)
-  if t.sanitize && List.exists (fun b' -> b' == b) t.free then
+  if t.sanitize && mem_phys b t.free then
     Dk_check.report Dk_check.Double_free
       (Printf.sprintf
          "Pool.put: buffer returned to the pool twice (size class %d); two \
@@ -61,6 +75,9 @@ let put t b =
     t.free <- b :: t.free;
     t.free_count <- t.free_count + 1
   end
+  [@@hot.alloc
+    "the free-list cons is the pool's O(1) put; the diagnostic formats \
+     only on a sanitizer hit"]
 
 let take_all t =
   let bufs = t.free in

@@ -5,6 +5,9 @@ type t = { id : int; store : bytes; mutable pinned : bool }
 let create ~id ~size =
   if size <= 0 then invalid_arg "Region.create";
   { id; store = Bytes.create size; pinned = false }
+  [@@hot.alloc
+    "mapping a region's backing store happens once per region, then \
+     every allocation carves views out of it"]
 
 let id t = t.id
 let size t = Bytes.length t.store

@@ -2,12 +2,26 @@ type t = { segs : Buffer.t list; total : int }
 
 let empty = { segs = []; total = 0 }
 
-let of_buffers segs =
-  let total = List.fold_left (fun acc b -> acc + Buffer.length b) 0 segs in
-  { segs; total }
+(* The segment walks below recurse directly instead of going through
+   List combinators: an sga's segment list is short and per-op, and
+   the closure a combinator would build is itself a per-op
+   allocation. *)
+let rec sum_lengths = function
+  | [] -> 0
+  | b :: rest -> Buffer.length b + sum_lengths rest
+
+let of_buffers segs = { segs; total = sum_lengths segs }
+  [@@hot.alloc "the sga record is the API's scatter-gather descriptor"]
 
 let of_string s = of_buffers [ Buffer.of_string s ]
-let of_strings ss = of_buffers (List.map Buffer.of_string ss)
+  [@@hot.alloc "unmanaged fallback: wraps the string in a one-segment sga"]
+
+let rec wrap_strings = function
+  | [] -> []
+  | s :: rest -> Buffer.of_string s :: wrap_strings rest
+  [@@hot.alloc "unmanaged fallback: one buffer view per source string"]
+
+let of_strings ss = of_buffers (wrap_strings ss)
 
 let segments t = t.segs
 let segment_count t = List.length t.segs
@@ -18,21 +32,23 @@ let append t b =
 
 let concat a b = { segs = a.segs @ b.segs; total = a.total + b.total }
 
+let rec copy_segs segs dst pos =
+  match segs with
+  | [] -> pos
+  | b :: rest ->
+      Buffer.blit_to_bytes b 0 dst pos (Buffer.length b);
+      copy_segs rest dst (pos + Buffer.length b)
+
 let copy_into t dst off =
   if off < 0 || off + t.total > Bytes.length dst then
     invalid_arg "Sga.copy_into: destination too small";
-  let pos = ref off in
-  let copy_seg b =
-    Buffer.blit_to_bytes b 0 dst !pos (Buffer.length b);
-    pos := !pos + Buffer.length b
-  in
-  List.iter copy_seg t.segs;
-  !pos - off
+  copy_segs t.segs dst off - off
 
 let to_string t =
   let dst = Bytes.create t.total in
   ignore (copy_into t dst 0);
   Bytes.unsafe_to_string dst
+  [@@hot.alloc "serialization materializes the contiguous wire payload"]
 
 let sub_string t pos len =
   if pos < 0 || len < 0 || pos + len > t.total then
@@ -56,9 +72,29 @@ let sub_string t pos len =
 
 let equal a b = a.total = b.total && String.equal (to_string a) (to_string b)
 
-let free t = List.iter Buffer.free t.segs
-let io_hold t = List.iter Buffer.io_hold t.segs
-let io_release t = List.iter Buffer.io_release t.segs
+let rec free_segs = function
+  | [] -> ()
+  | b :: rest ->
+      Buffer.free b;
+      free_segs rest
+
+let free t = free_segs t.segs
+
+let rec hold_segs = function
+  | [] -> ()
+  | b :: rest ->
+      Buffer.io_hold b;
+      hold_segs rest
+
+let io_hold t = hold_segs t.segs
+
+let rec release_segs = function
+  | [] -> ()
+  | b :: rest ->
+      Buffer.io_release b;
+      release_segs rest
+
+let io_release t = release_segs t.segs
 
 let pp ppf t =
   Format.fprintf ppf "sga[%d segs, %d bytes]" (segment_count t) t.total

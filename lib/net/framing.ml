@@ -21,8 +21,30 @@ type decoder = {
 let create () = { pending = "" }
 
 let feed t s = if String.length s > 0 then t.pending <- t.pending ^ s
+  [@@hot.alloc
+    "the decoder carries the undecoded stream tail as one string; \
+     feeding appends to it"]
 
 let buffered t = String.length t.pending
+
+(* Decode [nsegs] segment lengths starting at [off]; toplevel so the
+   per-message call allocates no closure environment. *)
+let rec read_lengths b nsegs i off acc =
+  if i = nsegs then Some (List.rev acc, off)
+  else
+    match Dk_util.Varint.read b off with
+    | None -> None
+    | Some (len, used) ->
+        if len < 0 then failwith "framing: bad segment length"
+        else read_lengths b nsegs (i + 1) (off + used) (len :: acc)
+  [@@hot.alloc "the decoded segment-length list is the frame header"]
+
+let rec sum_lens = function [] -> 0 | n :: rest -> n + sum_lens rest
+
+let rec cut_segs pending pos = function
+  | [] -> []
+  | len :: rest -> String.sub pending pos len :: cut_segs pending (pos + len) rest
+  [@@hot.alloc "decoding materializes each delivered segment"]
 
 (* Try to decode one message from the head of [pending]. *)
 let next t =
@@ -32,33 +54,17 @@ let next t =
   | Some (nsegs, used0) ->
       if nsegs < 0 || nsegs > 1 lsl 16 then failwith "framing: bad segment count"
       else begin
-        (* Decode all segment lengths. *)
-        let rec lengths i off acc =
-          if i = nsegs then Some (List.rev acc, off)
-          else
-            match Dk_util.Varint.read b off with
-            | None -> None
-            | Some (len, used) ->
-                if len < 0 then failwith "framing: bad segment length"
-                else lengths (i + 1) (off + used) (len :: acc)
-        in
-        match lengths 0 used0 [] with
+        match read_lengths b nsegs 0 used0 [] with
         | None -> None
         | Some (lens, header) ->
-            let total = List.fold_left ( + ) 0 lens in
+            let total = sum_lens lens in
             if String.length t.pending < header + total then None
             else begin
-              let pos = ref header in
-              let segs =
-                List.map
-                  (fun len ->
-                    let s = String.sub t.pending !pos len in
-                    pos := !pos + len;
-                    s)
-                  lens
-              in
+              let segs = cut_segs t.pending header lens in
+              let tail_at = header + total in
               t.pending <-
-                String.sub t.pending !pos (String.length t.pending - !pos);
+                String.sub t.pending tail_at (String.length t.pending - tail_at);
               Some segs
             end
       end
+  [@@hot.alloc "the remaining stream tail is re-sliced after each message"]

@@ -36,8 +36,14 @@ type t = {
   arp : Arp.Table.table;
   udp_ports : (int, src:Addr.endpoint -> string -> unit) Hashtbl.t;
   listeners : (int, listener) Hashtbl.t;
-  (* (local_port, remote_ip, remote_port) -> conn *)
-  conns : (int * Addr.ip * int, Tcp.conn) Hashtbl.t;
+  (* TCP demux, two levels of int-keyed tables: packed
+     (local_port, remote_port) -> remote_ip -> conn. A single table
+     keyed by the (local_port, remote_ip, remote_port) triple would
+     allocate the key tuple and hash it polymorphically on every
+     delivered segment (dk-hot: hot-poly). Ports are 16-bit so the pair
+     packs into one immediate int; the remote IP keys the inner
+     table. *)
+  conns : (int, (Addr.ip, Tcp.conn) Hashtbl.t) Hashtbl.t;
   mutable next_ephemeral : int;
   mutable next_ident : int;
   mutable iss_counter : int;
@@ -54,7 +60,9 @@ let ip t = t.ip
 let mac t = Dk_device.Nic.mac t.nic
 let nic t = t.nic
 let tcp_config t = t.tcp_config
-let connections t = Hashtbl.length t.conns
+
+let connections t =
+  Hashtbl.fold (fun _ by_ip acc -> acc + Hashtbl.length by_ip) t.conns 0
 
 let stats t =
   {
@@ -169,12 +177,28 @@ let next_iss t =
   t.iss_counter <- (t.iss_counter + 64007) land 0xffffffff;
   t.iss_counter
 
-let conn_key ~local_port ~remote = (local_port, remote.Addr.ip, remote.Addr.port)
+let port_key ~local_port ~remote_port = (local_port lsl 16) lor remote_port
+
+let find_conn t ~local_port ~remote_ip ~remote_port =
+  match Hashtbl.find_opt t.conns (port_key ~local_port ~remote_port) with
+  | Some by_ip -> Hashtbl.find_opt by_ip remote_ip
+  | None -> None
 
 let register_conn t ~local_port ~remote conn =
-  let key = conn_key ~local_port ~remote in
-  Hashtbl.replace t.conns key conn;
-  Tcp.set_internal_teardown conn (fun _ -> Hashtbl.remove t.conns key)
+  let pk = port_key ~local_port ~remote_port:remote.Addr.port in
+  let by_ip =
+    match Hashtbl.find_opt t.conns pk with
+    | Some h -> h
+    | None ->
+        let h = Hashtbl.create 4 in
+        Hashtbl.add t.conns pk h;
+        h
+  in
+  Hashtbl.replace by_ip remote.Addr.ip conn;
+  Tcp.set_internal_teardown conn (fun _ ->
+      match Hashtbl.find_opt t.conns pk with
+      | Some h -> Hashtbl.remove h remote.Addr.ip
+      | None -> ())
 
 let tcp_emit t ~remote_ip seg =
   let payload = Tcp_wire.encode ~src_ip:t.ip ~dst_ip:remote_ip seg in
@@ -238,8 +262,10 @@ let handle_tcp t ~src_ip segment =
   | Ok seg ->
       let local_port = seg.Tcp_wire.dst_port in
       let remote = Addr.endpoint src_ip seg.Tcp_wire.src_port in
-      let key = conn_key ~local_port ~remote in
-      (match Hashtbl.find_opt t.conns key with
+      (match
+         find_conn t ~local_port ~remote_ip:src_ip
+           ~remote_port:seg.Tcp_wire.src_port
+       with
       | Some conn -> Tcp.segment_arrives conn seg
       | None -> (
           match Hashtbl.find_opt t.listeners local_port with

@@ -161,6 +161,9 @@ let emit_seg t ?(payload = "") flags =
       window = min 0xffff (recv_window t);
       payload;
     }
+  [@@hot.alloc
+    "the segment record is the wire representation handed to the \
+     stack's emit"]
 
 (* Emit a segment whose SEQ is not snd_nxt (retransmission). *)
 let emit_at t ~seq ?(payload = "") flags =
@@ -176,6 +179,9 @@ let emit_at t ~seq ?(payload = "") flags =
       window = min 0xffff (recv_window t);
       payload;
     }
+  [@@hot.alloc
+    "the segment record is the wire representation handed to the \
+     stack's emit"]
 
 let ack_flags = { Tcp_wire.no_flags with ack = true }
 
@@ -209,6 +215,9 @@ let rec arm_rtx t =
   cancel_rtx t;
   if unacked t > 0 || (t.fin_sent && seq_lt t.snd_una t.snd_nxt) then
     t.rtx_timer <- Some (Dk_sim.Engine.after t.engine t.rto (fun () -> on_rto t))
+  [@@hot.alloc
+    "the RTO thunk arms go-back-N retransmission: one per outstanding \
+     window, not per segment"]
 
 and on_rto t =
   t.rtx_timer <- None;
@@ -256,6 +265,9 @@ and retransmit_head t =
       end
       else if t.fin_sent then
         emit_at t ~seq:t.fin_seq { ack_flags with fin = true }
+  [@@hot.alloc
+    "loss recovery materializes the resent segment's flags and payload; \
+     it runs on RTO or triple-dup-ACK, not per delivered segment"]
 
 (* How many new payload bytes we may put on the wire right now. *)
 let send_allowance t =
@@ -269,32 +281,33 @@ let can_carry_data t =
   | Closed | Listen | Syn_sent | Syn_rcvd | Fin_wait_2 | Last_ack | Time_wait ->
       false
 
+(* One MSS-or-less segment per round, budget threaded through the
+   parameter: the old budget/progress ref pair allocated two cells on
+   every output attempt. *)
+let rec output_rounds t budget =
+  let avail = unsent t in
+  let n = min (min avail t.config.mss) budget in
+  if n > 0 then begin
+    let buf = Bytes.create n in
+    (* The bytes to send start [unacked t] into the ring. *)
+    let skip = unacked t in
+    let tmp = Bytes.create (skip + n) in
+    let got = Dk_util.Ring.peek t.send_ring tmp 0 (skip + n) in
+    if got = skip + n then begin
+      Bytes.blit tmp skip buf 0 n;
+      let payload = Bytes.unsafe_to_string buf in
+      emit_seg t ~payload ack_flags;
+      t.snd_nxt <- seq_add t.snd_nxt n;
+      output_rounds t (budget - n)
+    end
+  end
+  [@@hot.alloc "each emitted segment materializes its payload from the ring"]
+
 (* Transmit as much queued data as windows allow, then the FIN if it is
    due. *)
 let rec try_output t =
   if can_carry_data t || t.st = Fin_wait_1 || t.st = Last_ack then begin
-    let budget = ref (send_allowance t) in
-    let progress = ref true in
-    while !progress do
-      progress := false;
-      let avail = unsent t in
-      let n = min (min avail t.config.mss) !budget in
-      if n > 0 then begin
-        let buf = Bytes.create n in
-        (* The bytes to send start [unacked t] into the ring. *)
-        let skip = unacked t in
-        let tmp = Bytes.create (skip + n) in
-        let got = Dk_util.Ring.peek t.send_ring tmp 0 (skip + n) in
-        if got = skip + n then begin
-          Bytes.blit tmp skip buf 0 n;
-          let payload = Bytes.unsafe_to_string buf in
-          emit_seg t ~payload ack_flags;
-          t.snd_nxt <- seq_add t.snd_nxt n;
-          budget := !budget - n;
-          progress := true
-        end
-      end
-    done;
+    output_rounds t (send_allowance t);
     maybe_send_fin t;
     if t.rtx_timer = None then arm_rtx t
   end
@@ -307,6 +320,7 @@ and maybe_send_fin t =
     t.snd_nxt <- seq_add t.snd_nxt 1;
     arm_rtx t
   end
+  [@@hot.alloc "the FIN flag record is built at half-close, once per side"]
 
 let make ~engine ~config ~local ~remote ~iss ~emit st =
   {
@@ -389,6 +403,7 @@ let recv t len =
   let buf = Bytes.create len in
   let n = recv_into t buf 0 len in
   Bytes.sub_string buf 0 n
+  [@@hot.alloc "recv materializes the requested bytes out of the recv ring"]
 
 let close t =
   match t.st with

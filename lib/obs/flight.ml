@@ -89,6 +89,8 @@ let evict_one t =
     t.count <- t.count - 1;
     t.dropped <- t.dropped + 1
   end
+  [@@hot.alloc
+    "a fixed-size header scratch when the ring wraps and must evict"]
 
 let record t ~now kind what =
   if t.on then begin
@@ -112,10 +114,16 @@ let record t ~now kind what =
     t.count <- t.count + 1;
     t.total <- t.total + 1
   end
+  [@@hot.alloc
+    "one bounded scratch buffer per recorded entry; the ring itself is \
+     preallocated"]
 
 let recordf t ~now kind fmt =
   if t.on then Format.kasprintf (fun s -> record t ~now kind s) fmt
   else Format.ikfprintf ignore Format.str_formatter fmt
+  [@@hot.alloc
+    "formatting the flight-recorder label allocates; recording is \
+     opt-in observability, not datapath payload"]
 
 let entries t =
   let len = Dk_util.Ring.length t.ring in

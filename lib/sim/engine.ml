@@ -20,6 +20,9 @@ let at t time thunk =
   Dk_util.Heap.push t.queue time ev;
   t.live <- t.live + 1;
   { ev; owner = t }
+  [@@hot.alloc
+    "the event and timer records are the scheduler's unit of pending \
+     work — scheduling is what this sim allocates for"]
 
 let after t ns thunk = at t (Int64.add t.clock (max 0L ns)) thunk
 
@@ -46,22 +49,22 @@ let next_at t =
   drop_cancelled t;
   Dk_util.Heap.min_key t.queue
 
-let step t =
-  let rec loop () =
-    match Dk_util.Heap.pop t.queue with
-    | None -> false
-    | Some (time, ev) ->
-        if ev.cancelled then loop ()
-        else begin
-          t.live <- t.live - 1;
-          (* Mark fired so a later [cancel] on this timer is a no-op. *)
-          ev.cancelled <- true;
-          if Int64.compare time t.clock > 0 then t.clock <- time;
-          ev.thunk ();
-          true
-        end
-  in
-  loop ()
+(* Directly recursive (no inner loop closure): [step] runs once per
+   simulated event, so a per-call closure would be heap churn on the
+   hottest loop in the tree (dk-hot: hot-alloc). *)
+let rec step t =
+  match Dk_util.Heap.pop t.queue with
+  | None -> false
+  | Some (time, ev) ->
+      if ev.cancelled then step t
+      else begin
+        t.live <- t.live - 1;
+        (* Mark fired so a later [cancel] on this timer is a no-op. *)
+        ev.cancelled <- true;
+        if Int64.compare time t.clock > 0 then t.clock <- time;
+        ev.thunk ();
+        true
+      end
 
 let run t = while step t do () done
 
@@ -80,18 +83,21 @@ let run_until t pred =
    event scheduled from engine A onto engine B at a timestamp >= A's
    now can never be overtaken by B running ahead of it. *)
 
-let group_next engines =
-  let best = ref None in
-  Array.iteri
-    (fun i e ->
-      match next_at e with
-      | None -> ()
-      | Some ts -> (
-          match !best with
-          | Some (_, bts) when Int64.compare bts ts <= 0 -> ()
-          | Some _ | None -> best := Some (i, ts)))
-    engines;
-  !best
+(* Scan by index with everything in parameters: the old
+   ref-accumulator + [Array.iteri] closure pair allocated twice per
+   group step. Ties go to the lowest index (strict [<] keeps the
+   first minimum). *)
+let rec group_scan engines i best_i best_ts =
+  if i >= Array.length engines then
+    if best_i < 0 then None else Some (best_i, best_ts)
+  else
+    match next_at engines.(i) with
+    | Some ts when best_i < 0 || Int64.compare ts best_ts < 0 ->
+        group_scan engines (i + 1) i ts
+    | Some _ | None -> group_scan engines (i + 1) best_i best_ts
+  [@@hot.alloc "the (engine, timestamp) pick is the scheduler's return pair"]
+
+let group_next engines = group_scan engines 0 (-1) 0L
 
 let step_group engines =
   match group_next engines with

@@ -24,6 +24,7 @@ let grow t =
   let arr = Array.make (2 * Array.length t.arr) None in
   Array.blit t.arr 0 arr 0 t.size;
   t.arr <- arr
+  [@@hot.alloc "amortized doubling of the preallocated event slab"]
 
 let rec sift_up t i =
   if i > 0 then begin
@@ -36,16 +37,19 @@ let rec sift_up t i =
     end
   end
 
+(* The smallest-of-three pick threads through plain lets: a ref here
+   would allocate once per sift level on every event pop (dk-hot). *)
 let rec sift_down t i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
-  let smallest = ref i in
-  if l < t.size && entry_lt (get t l) (get t !smallest) then smallest := l;
-  if r < t.size && entry_lt (get t r) (get t !smallest) then smallest := r;
-  if !smallest <> i then begin
+  let smallest = if l < t.size && entry_lt (get t l) (get t i) then l else i in
+  let smallest =
+    if r < t.size && entry_lt (get t r) (get t smallest) then r else smallest
+  in
+  if smallest <> i then begin
     let tmp = t.arr.(i) in
-    t.arr.(i) <- t.arr.(!smallest);
-    t.arr.(!smallest) <- tmp;
-    sift_down t !smallest
+    t.arr.(i) <- t.arr.(smallest);
+    t.arr.(smallest) <- tmp;
+    sift_down t smallest
   end
 
 let push t key value =
@@ -54,6 +58,7 @@ let push t key value =
   t.next_seq <- t.next_seq + 1;
   t.size <- t.size + 1;
   sift_up t (t.size - 1)
+  [@@hot.alloc "heap entries are boxed (key, seq, value) records in the slab"]
 
 let min_key t = if t.size = 0 then None else Some (get t 0).key
 
@@ -62,6 +67,7 @@ let min t =
   else
     let e = get t 0 in
     Some (e.key, e.value)
+  [@@hot.alloc "the (key, value) option pair is the peek API's return surface"]
 
 let pop t =
   if t.size = 0 then None
@@ -73,6 +79,7 @@ let pop t =
     if t.size > 0 then sift_down t 0;
     Some (top.key, top.value)
   end
+  [@@hot.alloc "the (key, value) option pair is the pop API's return surface"]
 
 let clear t =
   Array.fill t.arr 0 (Array.length t.arr) None;

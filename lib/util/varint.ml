@@ -14,14 +14,16 @@ let write buf v =
   in
   loop v
 
+(* Toplevel so the per-call decode does not close over the buffer. *)
+let rec read_loop buf len off i shift acc =
+  if i >= len || shift > 56 then None
+  else
+    let b = Char.code (Bytes.get buf i) in
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if b < 0x80 then Some (acc, i - off + 1)
+    else read_loop buf len off (i + 1) (shift + 7) acc
+  [@@hot.alloc "the decoded (value, width) pair is the codec's return surface"]
+
 let read buf off =
   let len = Bytes.length buf in
-  let rec loop i shift acc =
-    if i >= len || shift > 56 then None
-    else
-      let b = Char.code (Bytes.get buf i) in
-      let acc = acc lor ((b land 0x7f) lsl shift) in
-      if b < 0x80 then Some (acc, i - off + 1)
-      else loop (i + 1) (shift + 7) acc
-  in
-  if off < 0 || off >= len then None else loop off 0 0
+  if off < 0 || off >= len then None else read_loop buf len off off 0 0

@@ -6,10 +6,11 @@
 #   build     dune build — the whole tree compiles (lib, bench,
 #             examples, tools)
 #   test      dune runtest — unit/property/integration suites, plus
-#             @lint -> @verify -> @shard (dk-lint token rules,
+#             @lint -> @verify -> @shard -> @hot (dk-lint token rules,
 #             dk-verify typestate/dataflow analysis, dk-shard
-#             shard-safety/determinism analysis; all fail on stale
-#             allowlist entries) and the bench smoke run
+#             shard-safety/determinism analysis, dk-hot hot-path cost
+#             analysis; all fail on stale allowlist entries) and the
+#             bench smoke run
 #   sanitize  DK_SANITIZE=1 dune build @sanitize — exactly the suites
 #             that read DK_SANITIZE (canaries, poison-on-free,
 #             UAF/double-free detection, leak sweeps, token audit);
@@ -18,6 +19,11 @@
 #             shard-safety & determinism analysis over lib/ on its own
 #             (it also runs as part of 'test' via the @verify alias);
 #             the multi-shard datapath is gated on this staying clean
+#   hot       dune build @hot — the dk-hot interprocedural hot-path
+#             cost analysis (per-op allocation, complexity, poly
+#             compare/hash) over lib/ on its own (it also runs as
+#             part of 'test' via the @shard alias); the ~1000-cycle
+#             datapath budget is gated on this staying clean
 #   fault     dune build @fault — the fault-injection scenario suite,
 #             normal then sanitized; export DK_FAULT_CI=1 to widen the
 #             every-plan matrix to multiple seeds (the CI matrix job
@@ -25,7 +31,7 @@
 #   bench     tools/ci/bench_diff.sh — regenerate the E1-E14 bench
 #             tables and fail on >25% virtual-time regression against
 #             the committed baselines
-#   all       build + test + shard + sanitize, plus fault when
+#   all       build + test + shard + hot + sanitize, plus fault when
 #             DK_FAULT_CI is set
 #
 # Run from anywhere; exits nonzero on the first failure.
@@ -56,6 +62,11 @@ run_shard() {
   dune build @shard --force
 }
 
+run_hot() {
+  echo "== [hot] dune build @hot"
+  dune build @hot --force
+}
+
 run_fault() {
   echo "== [fault] dune build @fault (DK_FAULT_CI=${DK_FAULT_CI:-0})"
   dune build @fault --force
@@ -71,19 +82,21 @@ case "$stage" in
   test)     run_test ;;
   sanitize) run_sanitize ;;
   shard)    run_shard ;;
+  hot)      run_hot ;;
   fault)    run_fault ;;
   bench)    run_bench ;;
   all)
     run_build
     run_test
     run_shard
+    run_hot
     run_sanitize
     if [ "${DK_FAULT_CI:-}" = "1" ]; then
       run_fault
     fi
     ;;
   *)
-    echo "usage: $0 [build|test|sanitize|shard|fault|bench|all]" >&2
+    echo "usage: $0 [build|test|sanitize|shard|hot|fault|bench|all]" >&2
     exit 2
     ;;
 esac

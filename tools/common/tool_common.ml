@@ -110,6 +110,50 @@ let apply_allowlist (allow : allow_entry list) (findings : finding list) :
   in
   (kept, List.filter (fun e -> not e.used) allow)
 
+(* ---------------- JSON ---------------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* Machine-readable run report, shared by every dk-* driver's [--json]
+   mode: the same facts the text output prints, one schema for all
+   four tools so CI consumers parse one format. *)
+let findings_json ~tool ~files ~(kept : finding list)
+    ~(stale : allow_entry list) ~allowlisted : string =
+  let finding f =
+    Printf.sprintf
+      "    {\"path\": \"%s\", \"line\": %d, \"rule\": \"%s\", \"message\": \
+       \"%s\"}"
+      (json_escape f.path) f.line (json_escape f.rule)
+      (json_escape f.message)
+  in
+  let stale_entry e =
+    Printf.sprintf "    {\"rule\": \"%s\", \"path\": \"%s\"}"
+      (json_escape e.a_rule) (json_escape e.a_path)
+  in
+  Printf.sprintf
+    "{\n\
+    \  \"tool\": \"%s\",\n\
+    \  \"files\": %d,\n\
+    \  \"allowlisted\": %d,\n\
+    \  \"findings\": [\n%s\n  ],\n\
+    \  \"stale\": [\n%s\n  ]\n\
+     }\n"
+    (json_escape tool) files allowlisted
+    (String.concat ",\n" (List.map finding kept))
+    (String.concat ",\n" (List.map stale_entry stale))
+
 (* ---------------- the shared driver main loop ---------------- *)
 
 (* Every dk-* driver is the same program: parse --root/--allowlist/DIRs,
@@ -124,6 +168,7 @@ let run_driver ~tool ~usage ~default_allowlist ~default_dirs
   let root = ref None in
   let allowlist = ref default_allowlist in
   let dirs = ref [] in
+  let json = ref false in
   let rec parse = function
     | [] -> ()
     | args -> (
@@ -137,6 +182,9 @@ let run_driver ~tool ~usage ~default_allowlist ~default_dirs
                 parse rest
             | "--allowlist" :: f :: rest ->
                 allowlist := f;
+                parse rest
+            | "--json" :: rest ->
+                json := true;
                 parse rest
             | ("--help" | "-h") :: _ ->
                 print_endline usage;
@@ -162,13 +210,19 @@ let run_driver ~tool ~usage ~default_allowlist ~default_dirs
   let findings, scanned = scan dirs in
   let allow = load_allowlist !allowlist in
   let kept, stale = apply_allowlist allow findings in
-  List.iter (fun f -> print_endline (pp_finding f)) kept;
-  List.iter
-    (fun e ->
-      Printf.eprintf "%s: stale allowlist entry (no longer matches): %s %s\n"
-        tool e.a_rule e.a_path)
-    stale;
-  Printf.printf "%s: %d source file(s), %d finding(s), %d allowlisted\n" tool
-    scanned (List.length kept)
-    (List.length allow - List.length stale);
+  let allowlisted = List.length allow - List.length stale in
+  if !json then
+    print_string
+      (findings_json ~tool ~files:scanned ~kept ~stale ~allowlisted)
+  else begin
+    List.iter (fun f -> print_endline (pp_finding f)) kept;
+    List.iter
+      (fun e ->
+        Printf.eprintf
+          "%s: stale allowlist entry (no longer matches): %s %s\n" tool
+          e.a_rule e.a_path)
+      stale;
+    Printf.printf "%s: %d source file(s), %d finding(s), %d allowlisted\n"
+      tool scanned (List.length kept) allowlisted
+  end;
   if kept <> [] || stale <> [] then exit 1

@@ -47,6 +47,20 @@ val apply_allowlist :
 (** Returns the findings not covered by the allowlist, plus the unused
     (stale) allowlist entries. *)
 
+val json_escape : string -> string
+(** Escape for inclusion inside a JSON string literal. *)
+
+val findings_json :
+  tool:string ->
+  files:int ->
+  kept:finding list ->
+  stale:allow_entry list ->
+  allowlisted:int ->
+  string
+(** The machine-readable run report every driver's [--json] mode
+    emits: tool name, file count, post-allowlist findings, stale
+    allowlist entries — one schema for all four tools. *)
+
 val run_driver :
   tool:string ->
   usage:string ->
@@ -56,9 +70,10 @@ val run_driver :
   scan:(string list -> finding list * int) ->
   unit ->
   unit
-(** The common driver: parse [--root]/[--allowlist]/DIR arguments
-    (refusing directories that do not exist), run [scan], subtract the
-    allowlist, print findings and stale entries, and exit nonzero on
-    either. [extra_arg] lets a tool consume its own flags first —
-    return [Some rest] after eating one or more arguments, [None] to
-    fall through to the common parser. *)
+(** The common driver: parse [--root]/[--allowlist]/[--json]/DIR
+    arguments (refusing directories that do not exist), run [scan],
+    subtract the allowlist, print findings and stale entries (as text,
+    or as one {!findings_json} report under [--json]), and exit
+    nonzero on either. [extra_arg] lets a tool consume its own flags
+    first — return [Some rest] after eating one or more arguments,
+    [None] to fall through to the common parser. *)

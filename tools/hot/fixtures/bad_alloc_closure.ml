@@ -1,0 +1,12 @@
+(* A hot root must not build a capturing closure per operation: the
+   environment is a fresh heap block on every call. A capture-free
+   lambda would be a static closure and stay unflagged. *)
+
+let sink : (unit -> unit) ref = ref (fun () -> ())
+let register cb = sink := cb
+
+let transmit t frame =                                (* FLAG hot-alloc *)
+  register (fun () ->
+      ignore t;
+      ignore frame)
+  [@@hot]

@@ -1,0 +1,11 @@
+(* Annotations must stay honest, root or not: a why-less
+   [@@hot.alloc] and one that exempts no tracked allocation both
+   fail. *)
+
+let wrap x =                                          (* FLAG hot-annotation *)
+  [ x ]
+  [@@hot.alloc ""]
+
+let bump r =                                          (* FLAG hot-annotation *)
+  incr r
+  [@@hot.alloc "claims an allocation that is not there"]

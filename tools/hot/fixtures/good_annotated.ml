@@ -1,0 +1,9 @@
+(* A callee's classified allocation does not taint the root: the
+   (token, result) pair is the API's return surface, by design, and
+   the [@@hot.alloc] on the allocating function says so. *)
+
+let completion tok res = (tok, res)
+  [@@hot.alloc "the (token, result) pair is the wait API's return surface"]
+
+let wait_for tok = completion tok 0
+  [@@hot]

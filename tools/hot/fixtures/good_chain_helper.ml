@@ -1,0 +1,5 @@
+(* Not a root and never [@@hot]: its own lines stay clean. The string
+   append is charged at whichever hot root reaches it (see
+   bad_alloc_chain.ml). *)
+
+let render seq = string_of_int seq ^ "-frame"

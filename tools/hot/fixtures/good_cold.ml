@@ -1,0 +1,5 @@
+(* No hot root anywhere: the control plane may allocate freely — the
+   budget binds the datapath, not setup and reporting. *)
+
+let report stats = String.concat ", " (List.map string_of_int stats)
+let banner n = Printf.sprintf "cold path %d" n

@@ -1,0 +1,13 @@
+(* The pooled fast path mutates preallocated storage: no fresh heap
+   blocks, no walks, no structural hashing — nothing to flag. *)
+
+type ring = { mutable head : int; mutable used : int; slots : bytes }
+
+let stage t b off len =
+  Bytes.blit b off t.slots t.head len;
+  t.head <- t.head + len;
+  t.used <- t.used + 1
+  [@@hot]
+
+let ack t n = t.used <- t.used - n
+  [@@hot]

@@ -1,54 +1,43 @@
-(* dk-shard engine: a two-pass interprocedural shard-safety and
-   determinism analysis over the whole lib/ source set.
+(* dk-shard: interprocedural shard-safety and determinism analysis
+   over the whole lib/ source set.
 
-   Pass 1 parses every file with compiler-libs and computes a summary
-   per function: which intrinsic effects its body performs (wall-clock
-   reads, non-simulated randomness, hash-order-dependent iteration,
-   blocking on the engine), which functions it may call, whether it
-   mutates module-level state, and whether it calls through values the
-   analysis cannot resolve (the [unknown] taint). Module-level mutable
-   bindings are collected into the shared-state inventory, classified
-   by [[@@shard.per_shard]] / [[@@shard.immutable]] attributes (obs
-   instrument handles are recognized automatically).
+   The two-pass machinery — per-function effect summaries, the
+   approximated call graph with alias/closure resolution, callback
+   carving, and the BFS that reports violations at entry points with
+   the offending call chain — lives in {!Interproc} and is shared with
+   dk-hot. This module supplies the shard-specific content:
 
-   Pass 2 propagates the summaries over the approximated call graph,
-   starting from the shard-boundary entry points: the [Demi] API
-   surface and [[@@shard.entry]] functions (Api roots), callbacks
-   registered with [Engine.at]/[Engine.after]/[Demi.watch]/
-   [Token.watch] (Poll roots), and [Fiber.spawn] bodies (Fiber roots).
-   Violations are reported at the root's definition with the offending
-   call chain in the message.
+   - the intrinsic effect sources (wall-clock reads, non-simulated
+     randomness, hash-order-dependent iteration, blocking on the
+     engine) and the registration surface that makes a callback a root
+     ([Engine.at]/[Engine.after]/[Demi.watch]/[Token.watch] = Poll,
+     [Fiber.spawn] = Fiber, the [Demi] API and [[@@shard.entry]] = Api);
+   - the module-level mutable-state inventory, classified by
+     [[@@shard.per_shard]] / [[@@shard.immutable]] / [[@@shard.tooling]]
+     attributes (obs instrument handles are recognized automatically),
+     with mutations of immutable-classified state reported at the write.
 
    Rule families:
      shard-state    unclassified module-level mutable state, and any
                     mutation of [[@@shard.immutable]]-classified state
      det-source     Clock / Random / HashOrder reachable from any root
-     poll-blocking  Blocking reachable from a Poll or Fiber root
-
-   Like dk-verify, this parses only (no typechecking): module
-   resolution is by the last two path components plus per-file
-   [module X = Y] aliases, so [Dk_sim.Engine.at], [Engine.at] and an
-   aliased [E.at] all resolve to [Engine.at]. *)
+     poll-blocking  Blocking reachable from a Poll or Fiber root *)
 
 open Parsetree
 
 type finding = Tool_common.finding
 
-type effect_kind = Clock | Random | HashOrder | Blocking | MutGlobal
+type effect_site = Interproc.effect_site = { via : string; at : int }
 
-type effect_site = { via : string; at : int }
-(** what was called ([via], display form) and on which line *)
-
-type root_kind = Api | Poll | Fiber
-
-type summary = {
-  key : string; (* "Module.fn", "Module.fn.local", "Module.fn.<cb@N>" *)
+type summary = Interproc.summary = {
+  key : string;
   s_path : string;
   def_line : int;
-  mutable intrinsic : (effect_kind * effect_site) list; (* first per kind *)
-  mutable calls : string list; (* candidate callee keys *)
-  mutable unknown : bool; (* called through something unresolvable *)
-  mutable root : root_kind option;
+  attrs : attributes;
+  mutable intrinsic : (string * effect_site) list;
+  mutable calls : string list;
+  mutable unknown : bool;
+  mutable root : string option;
 }
 
 type classification =
@@ -78,76 +67,44 @@ type mutation = {
 }
 
 type program = {
-  summaries : (string, summary) Hashtbl.t;
-  mutable globals : global list;
-  mutable mutations : mutation list;
-  mutable parse_failures : finding list;
+  ip : Interproc.program;
+  globals : global list;
+  mutations : mutation list;
 }
 
-(* ---------------- small helpers ---------------- *)
+(* ---------------- effect and root kinds (string-keyed) ---------------- *)
 
-let line_of (loc : Location.t) = loc.Location.loc_start.Lexing.pos_lnum
+let k_clock = "clock"
+let k_random = "random"
+let k_hash_order = "hash-order"
+let k_blocking = "blocking"
+let r_api = "api"
+let r_poll = "poll"
+let r_fiber = "fiber"
 
-let last_two (l : Longident.t) =
-  let rec components acc = function
-    | Longident.Lident s -> s :: acc
-    | Longident.Ldot (l, s) -> components (s :: acc) l
-    | Longident.Lapply (_, l) -> components acc l
-  in
-  match List.rev (components [] l) with
-  | f :: m :: _ -> Some (m, f)
-  | [ f ] -> Some ("", f)
-  | [] -> None
+let kind_noun = function
+  | "clock" -> "wall-clock read"
+  | "random" -> "non-simulated randomness"
+  | "hash-order" -> "hash-order-dependent iteration"
+  | "blocking" -> "blocking call"
+  | k -> k
 
-let rec strip (e : expression) =
-  match e.pexp_desc with
-  | Pexp_constraint (e, _) -> strip e
-  | Pexp_open (_, e) -> strip e
-  | _ -> e
-
-let rec strip_pat (p : pattern) =
-  match p.ppat_desc with
-  | Ppat_constraint (p, _) | Ppat_open (_, p) -> strip_pat p
-  | _ -> p
-
-let is_fun (e : expression) =
-  match (strip e).pexp_desc with
-  | Pexp_fun _ | Pexp_function _ | Pexp_newtype _ -> true
-  | _ -> false
-
-let module_of_path path =
-  String.capitalize_ascii
-    (Filename.remove_extension (Filename.basename path))
+let root_noun = function
+  | "api" -> "API entry"
+  | "poll" -> "poll callback"
+  | "fiber" -> "fiber body"
+  | r -> r
 
 (* ---------------- attributes ---------------- *)
-
-let attr_string (a : attribute) =
-  match a.attr_payload with
-  | PStr
-      [
-        {
-          pstr_desc =
-            Pstr_eval
-              ({ pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }, _);
-          _;
-        };
-      ] ->
-      s
-  | _ -> ""
 
 let classification_of_attrs attrs =
   List.find_map
     (fun (a : attribute) ->
       match a.attr_name.txt with
-      | "shard.per_shard" -> Some (Per_shard (attr_string a))
-      | "shard.immutable" -> Some (Immutable (attr_string a))
-      | "shard.tooling" -> Some (Tooling (attr_string a))
+      | "shard.per_shard" -> Some (Per_shard (Interproc.attr_string a))
+      | "shard.immutable" -> Some (Immutable (Interproc.attr_string a))
+      | "shard.tooling" -> Some (Tooling (Interproc.attr_string a))
       | _ -> None)
-    attrs
-
-let has_entry_attr attrs =
-  List.exists
-    (fun (a : attribute) -> a.attr_name.txt = "shard.entry")
     attrs
 
 (* ---------------- intrinsic effect sources ---------------- *)
@@ -155,42 +112,44 @@ let has_entry_attr attrs =
 (* [Det] (lib/util/det.ml) is the sanctioned sorted-iteration wrapper:
    its internal Hashtbl.fold is what makes everyone else's iteration
    deterministic, so it is exempt from the HashOrder intrinsic. *)
-let intrinsic_of ~cur_module (m, f) : (effect_kind * string) option =
+let intrinsic_of ~cur_module ~call:_ (m, f) : (string * string) option =
   match (m, f) with
   | "Unix", ("gettimeofday" | "time" | "localtime" | "gmtime" | "times") ->
-      Some (Clock, "Unix." ^ f)
-  | "Sys", "time" -> Some (Clock, "Sys.time")
-  | "Random", _ -> Some (Random, "Random." ^ f)
+      Some (k_clock, "Unix." ^ f)
+  | "Sys", "time" -> Some (k_clock, "Sys.time")
+  | "Random", _ -> Some (k_random, "Random." ^ f)
   | "Hashtbl", ("iter" | "fold" | "to_seq" | "to_seq_keys" | "to_seq_values")
     when cur_module <> "Det" ->
-      Some (HashOrder, "Hashtbl." ^ f)
-  | "Unix", ("sleep" | "sleepf" | "select") -> Some (Blocking, "Unix." ^ f)
-  | "Thread", "delay" -> Some (Blocking, "Thread.delay")
+      Some (k_hash_order, "Hashtbl." ^ f)
+  | "Unix", ("sleep" | "sleepf" | "select") -> Some (k_blocking, "Unix." ^ f)
+  | "Thread", "delay" -> Some (k_blocking, "Thread.delay")
   | "Engine", ("step" | "run_until" | "run_for" | "run")
     when cur_module <> "Engine" ->
-      Some (Blocking, "Engine." ^ f)
+      Some (k_blocking, "Engine." ^ f)
   | ( "Demi",
       ( "wait" | "wait_timeout" | "wait_any" | "wait_all" | "wait_next"
       | "blocking_push" | "blocking_pop" ) )
     when cur_module <> "Demi" ->
-      Some (Blocking, "Demi." ^ f)
+      Some (k_blocking, "Demi." ^ f)
   | _ -> None
 
 (* Callback-registration surface: (module, fn), index of the callback
    among positional args, and what kind of root the callback becomes. *)
-let registration_of (m, f) : (int * root_kind) option =
+let registration_of (m, f) : (int * string) option =
   match (m, f) with
-  | "Engine", ("at" | "after") -> Some (2, Poll)
-  | ("Demi" | "Token"), "watch" -> Some (2, Poll)
-  | "Fiber", "spawn" -> Some (1, Fiber)
+  | "Engine", ("at" | "after") -> Some (2, r_poll)
+  | ("Demi" | "Token"), "watch" -> Some (2, r_poll)
+  | "Fiber", "spawn" -> Some (1, r_fiber)
   | _ -> None
 
 (* Container-mutating operations: (module, fn) whose first argument is
    the mutated structure. *)
 let mutator_of (m, f) : bool =
   match (m, f) with
-  | "Hashtbl", ("add" | "replace" | "remove" | "reset" | "clear"
-               | "filter_map_inplace") -> true
+  | ( "Hashtbl",
+      ("add" | "replace" | "remove" | "reset" | "clear" | "filter_map_inplace")
+    ) ->
+      true
   | "Queue", ("add" | "push" | "pop" | "take" | "clear" | "transfer") -> true
   | "Buffer", ("clear" | "reset") -> true
   | "Buffer", f when String.length f >= 4 && String.sub f 0 4 = "add_" -> true
@@ -203,11 +162,11 @@ let mutator_of (m, f) : bool =
 (* ---------------- global (module-level state) detection ---------------- *)
 
 let global_kind_of_rhs (e : expression) : [ `Obs | `Kind of g_kind ] option =
-  match (strip e).pexp_desc with
+  match (Interproc.strip e).pexp_desc with
   | Pexp_apply (fn, _) -> (
-      match (strip fn).pexp_desc with
+      match (Interproc.strip fn).pexp_desc with
       | Pexp_ident { txt; _ } -> (
-          match last_two txt with
+          match Interproc.last_two txt with
           | Some ("", "ref") -> Some (`Kind GRef)
           | Some ("Metrics", ("counter" | "gauge" | "hist")) -> Some `Obs
           | Some ("Hashtbl", "create") -> Some (`Kind GHashtbl)
@@ -220,457 +179,107 @@ let global_kind_of_rhs (e : expression) : [ `Obs | `Kind of g_kind ] option =
       | _ -> None)
   | _ -> None
 
-(* ---------------- per-file analysis (pass 1) ---------------- *)
+(* ---------------- the hooks wiring ---------------- *)
 
-type fctx = {
-  prog : program;
-  path : string;
-  cur_module : string;
-  aliases : (string * string) list; (* module alias -> target last comp. *)
-  toplevel : (string, unit) Hashtbl.t; (* toplevel value names of file *)
-  top_globals : (string, unit) Hashtbl.t; (* toplevel global names *)
-  mutable pending_roots : (string * root_kind) list;
-}
-
-let resolve_mod fc m =
-  match List.assoc_opt m fc.aliases with Some m' -> m' | None -> m
-
-let new_summary fc key line =
-  let s =
-    {
-      key;
-      s_path = fc.path;
-      def_line = line;
-      intrinsic = [];
-      calls = [];
-      unknown = false;
-      root = None;
-    }
-  in
-  Hashtbl.replace fc.prog.summaries key s;
-  s
-
-let add_effect (s : summary) kind via line =
-  if not (List.mem_assoc kind s.intrinsic) then
-    s.intrinsic <- (kind, { via; at = line }) :: s.intrinsic
-
-let add_call (s : summary) callee =
-  if not (List.mem callee s.calls) then s.calls <- callee :: s.calls
-
-let record_mutation fc node ~m ~name ~line ~how =
-  fc.prog.mutations <-
-    { m_module = m; m_name = name; m_path = fc.path; m_line = line; m_how = how }
-    :: fc.prog.mutations;
-  add_effect node MutGlobal (m ^ "." ^ name) line
-
-(* Resolve an identifier occurrence. [locals] maps locally let-bound
-   function names to their summary keys. [call] is true when the ident
-   sits in call position, where an unresolvable name taints the
-   summary (a parameter or stored closure: we cannot see its body). *)
-(* Operators ([+], [@@], [|>], ...) appear as bare idents in call
-   position in every arithmetic expression; they carry none of the
-   effects we track and must not taint the summary. *)
-let is_operator x =
-  x <> ""
-  &&
-  match x.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' -> false | _ -> true
-
-let note_ident fc (node : summary) locals ~call ~line (txt : Longident.t) =
-  match txt with
-  | Longident.Lident x -> (
-      match List.assoc_opt x locals with
-      | Some key -> add_call node key
-      | None ->
-          if Hashtbl.mem fc.toplevel x then
-            add_call node (fc.cur_module ^ "." ^ x)
-          else if call && not (is_operator x) then node.unknown <- true)
-  | _ -> (
-      match last_two txt with
-      | Some (m, f) -> (
-          let m = resolve_mod fc m in
-          match intrinsic_of ~cur_module:fc.cur_module (m, f) with
-          | Some (kind, via) -> add_effect node kind via line
-          | None -> add_call node (m ^ "." ^ f))
-      | None -> ())
-
-(* The single target of a mutation-shaped expression, when it is a
-   named module-level binding: [Some (module, name)]. *)
-let global_target fc locals (e : expression) =
-  match (strip e).pexp_desc with
-  | Pexp_ident { txt = Longident.Lident x; _ } ->
-      if
-        Hashtbl.mem fc.top_globals x
-        && not (List.mem_assoc x locals)
-      then Some (fc.cur_module, x)
-      else None
-  | Pexp_ident { txt; _ } -> (
-      match last_two txt with
-      | Some (m, f) when m <> "" -> Some (resolve_mod fc m, f)
-      | _ -> None)
-  | _ -> None
-
-let rec walk fc (node : summary) locals (e : expression) : unit =
-  match e.pexp_desc with
-  | Pexp_ident { txt; _ } ->
-      note_ident fc node locals ~call:false ~line:(line_of e.pexp_loc) txt
-  | Pexp_let (rf, vbs, body) ->
-      let locals' =
-        List.fold_left
-          (fun locals' vb ->
-            match (strip_pat vb.pvb_pat).ppat_desc with
-            | Ppat_var { txt = name; _ } when is_fun vb.pvb_expr ->
-                let key = node.key ^ "." ^ name in
-                let child = new_summary fc key (line_of vb.pvb_loc) in
-                let inner =
-                  (* recursive locals see themselves *)
-                  if rf = Asttypes.Recursive then (name, key) :: locals'
-                  else locals'
+let hooks_for ~globals ~mutations : Interproc.hooks =
+  {
+    (Interproc.default_hooks ~tool:"dk-shard") with
+    intrinsic_of;
+    registration_of;
+    binding_root =
+      (fun ~cur_module ~name:_ attrs ->
+        if cur_module = "Demi" || Interproc.has_attr "shard.entry" attrs then
+          Some r_api
+        else None);
+    merge_root =
+      (fun ~existing kind -> if existing = r_api then kind else existing);
+    global_rhs = (fun e -> global_kind_of_rhs e <> None);
+    mutator_of;
+    on_toplevel =
+      (fun ~cur_module ~path vb ->
+        match (Interproc.strip_pat vb.pvb_pat).ppat_desc with
+        | Ppat_var { txt = name; _ } -> (
+            let line = Interproc.line_of vb.pvb_loc in
+            match global_kind_of_rhs vb.pvb_expr with
+            | Some `Obs ->
+                globals :=
+                  {
+                    g_module = cur_module;
+                    g_name = name;
+                    g_path = path;
+                    g_line = line;
+                    g_kind = GConstructed;
+                    g_class = Obs_handle;
+                  }
+                  :: !globals
+            | Some (`Kind k) ->
+                let cls =
+                  match classification_of_attrs vb.pvb_attributes with
+                  | Some c -> c
+                  | None -> Unclassified
                 in
-                walk fc child inner vb.pvb_expr;
-                (name, key) :: locals'
-            | _ ->
-                walk fc node locals' vb.pvb_expr;
-                locals')
-          locals vbs
-      in
-      walk fc node locals' body
-  | Pexp_apply (fn, args) -> walk_apply fc node locals e fn args
-  | Pexp_setfield (target, _, value) ->
-      (match global_target fc locals target with
-      | Some (m, name) ->
-          record_mutation fc node ~m ~name ~line:(line_of e.pexp_loc)
-            ~how:"field write"
-      | None -> walk fc node locals target);
-      walk fc node locals value
-  | Pexp_fun (_, default, _, body) ->
-      Option.iter (walk fc node locals) default;
-      walk fc node locals body
-  | Pexp_function cases ->
-      List.iter
-        (fun c ->
-          Option.iter (walk fc node locals) c.pc_guard;
-          walk fc node locals c.pc_rhs)
-        cases
-  | Pexp_newtype (_, body) -> walk fc node locals body
-  | _ -> iter_children fc node locals e
+                globals :=
+                  {
+                    g_module = cur_module;
+                    g_name = name;
+                    g_path = path;
+                    g_line = line;
+                    g_kind = k;
+                    g_class = cls;
+                  }
+                  :: !globals
+            | None -> ())
+        | _ -> ());
+    on_mutation =
+      (fun ~key:_ ~target:(m, name) ~path ~line ~how ->
+        mutations :=
+          { m_module = m; m_name = name; m_path = path; m_line = line;
+            m_how = how }
+          :: !mutations);
+  }
 
-and iter_children fc node locals (e : expression) =
-  let it =
-    {
-      Ast_iterator.default_iterator with
-      expr = (fun _ c -> walk fc node locals c);
-    }
-  in
-  Ast_iterator.default_iterator.expr it e
+(* ---------------- pass 2: findings ---------------- *)
 
-(* An expression passed where a callback is expected: either a literal
-   closure (which becomes its own synthetic summary) or the name of a
-   function (marked as a root after all files are read). *)
-and handle_callback fc (node : summary) locals kind (arg : expression) =
-  let arg = strip arg in
-  match arg.pexp_desc with
-  | Pexp_fun _ | Pexp_function _ | Pexp_newtype _ ->
-      let line = line_of arg.pexp_loc in
-      let key = Printf.sprintf "%s.<cb@%d>" node.key line in
-      let cb = new_summary fc key line in
-      cb.root <- Some kind;
-      walk fc cb locals arg
-  | Pexp_ident { txt = Longident.Lident x; _ } -> (
-      match List.assoc_opt x locals with
-      | Some key -> fc.pending_roots <- (key, kind) :: fc.pending_roots
-      | None ->
-          if Hashtbl.mem fc.toplevel x then
-            fc.pending_roots <-
-              (fc.cur_module ^ "." ^ x, kind) :: fc.pending_roots
-          else node.unknown <- true)
-  | Pexp_ident { txt; _ } -> (
-      match last_two txt with
-      | Some (m, f) ->
-          fc.pending_roots <-
-            (resolve_mod fc m ^ "." ^ f, kind) :: fc.pending_roots
-      | None -> ())
-  | _ ->
-      (* computed callback: analyze it in place, taint the caller *)
-      node.unknown <- true;
-      walk fc node locals arg
-
-and walk_apply fc node locals (e : expression) fn args =
-  let line = line_of e.pexp_loc in
-  let positional =
-    List.filter_map
-      (fun (lbl, a) ->
-        match lbl with Asttypes.Nolabel -> Some a | _ -> None)
-      args
-  in
-  let fn_path =
-    match (strip fn).pexp_desc with
-    | Pexp_ident { txt; _ } -> (
-        match last_two txt with
-        | Some (m, f) -> Some (resolve_mod fc m, f)
-        | None -> None)
-    | _ -> None
-  in
-  (* the callee itself *)
-  (match (strip fn).pexp_desc with
-  | Pexp_ident { txt; _ } -> note_ident fc node locals ~call:true ~line txt
-  | Pexp_fun _ | Pexp_function _ ->
-      (* immediately-applied closure: effects are the caller's *)
-      walk fc node locals fn
-  | _ ->
-      (* call through a field / array slot / computed expr *)
-      node.unknown <- true;
-      walk fc node locals fn);
-  (* mutation shapes *)
-  (match fn_path with
-  | Some ("", (":=" | "incr" | "decr")) -> (
-      match positional with
-      | target :: _ -> (
-          match global_target fc locals target with
-          | Some (m, name) ->
-              record_mutation fc node ~m ~name ~line ~how:":="
-          | None -> ())
-      | [] -> ())
-  | Some (m, f) when mutator_of (m, f) -> (
-      match positional with
-      | target :: _ -> (
-          match global_target fc locals target with
-          | Some (gm, name) ->
-              record_mutation fc node ~m:gm ~name ~line ~how:(m ^ "." ^ f)
-          | None -> ())
-      | [] -> ())
-  | _ -> ());
-  (* the arguments; a registered callback is carved out as a root *)
-  let cb_index =
-    match fn_path with
-    | Some p -> (
-        match registration_of p with
-        | Some (idx, kind) -> Some (idx, kind)
-        | None -> None)
-    | None -> None
-  in
-  let pos = ref (-1) in
-  List.iter
-    (fun (lbl, a) ->
-      (match lbl with Asttypes.Nolabel -> incr pos | _ -> ());
-      match cb_index with
-      | Some (idx, kind) when lbl = Asttypes.Nolabel && !pos = idx ->
-          handle_callback fc node locals kind a
-      | _ -> walk fc node locals a)
-    args
-
-(* ---------------- file-level collection ---------------- *)
-
-let collect_aliases (str : structure) =
-  List.filter_map
-    (fun si ->
-      match si.pstr_desc with
-      | Pstr_module
-          {
-            pmb_name = { txt = Some name; _ };
-            pmb_expr = { pmod_desc = Pmod_ident { txt; _ }; _ };
-            _;
-          } -> (
-          match last_two txt with
-          | Some (_, last) -> Some (name, last)
-          | None -> None)
-      | _ -> None)
-    str
-
-let rec toplevel_bindings (str : structure) : value_binding list =
-  List.concat_map
-    (fun si ->
-      match si.pstr_desc with
-      | Pstr_value (_, vbs) -> vbs
-      | Pstr_module
-          { pmb_expr = { pmod_desc = Pmod_structure sub; _ }; _ } ->
-          toplevel_bindings sub
-      | _ -> [])
-    str
-
-let analyze_file prog ~path (src : string) : unit =
-  let cur_module = module_of_path path in
-  match
-    let lexbuf = Lexing.from_string src in
-    Lexing.set_filename lexbuf path;
-    Parse.implementation lexbuf
-  with
-  | exception exn ->
-      let line =
-        match exn with
-        | Syntaxerr.Error err -> line_of (Syntaxerr.location_of_error err)
-        | _ -> 1
-      in
-      prog.parse_failures <-
-        {
-          Tool_common.path;
-          line;
-          rule = "parse-error";
-          message =
-            "source does not parse as OCaml: dk-shard needs real syntax (is \
-             this file generated or preprocessed?)";
-        }
-        :: prog.parse_failures
-  | str ->
-      let bindings = toplevel_bindings str in
-      let toplevel = Hashtbl.create 64 in
-      let top_globals = Hashtbl.create 8 in
-      (* names first: bodies may forward-reference later bindings *)
-      List.iter
-        (fun vb ->
-          match (strip_pat vb.pvb_pat).ppat_desc with
-          | Ppat_var { txt = name; _ } ->
-              Hashtbl.replace toplevel name ();
-              if
-                (not (is_fun vb.pvb_expr))
-                && global_kind_of_rhs vb.pvb_expr <> None
-              then Hashtbl.replace top_globals name ()
-          | _ -> ())
-        bindings;
-      let fc =
-        {
-          prog;
-          path;
-          cur_module;
-          aliases = collect_aliases str;
-          toplevel;
-          top_globals;
-          pending_roots = [];
-        }
-      in
-      List.iter
-        (fun vb ->
-          match (strip_pat vb.pvb_pat).ppat_desc with
-          | Ppat_var { txt = name; _ } when is_fun vb.pvb_expr ->
-              let key = cur_module ^ "." ^ name in
-              let s = new_summary fc key (line_of vb.pvb_loc) in
-              if cur_module = "Demi" || has_entry_attr vb.pvb_attributes then
-                s.root <- Some Api;
-              walk fc s [ (name, key) ] vb.pvb_expr
-          | Ppat_var { txt = name; _ } -> (
-              match global_kind_of_rhs vb.pvb_expr with
-              | Some `Obs ->
-                  prog.globals <-
-                    {
-                      g_module = cur_module;
-                      g_name = name;
-                      g_path = path;
-                      g_line = line_of vb.pvb_loc;
-                      g_kind = GConstructed;
-                      g_class = Obs_handle;
-                    }
-                    :: prog.globals
-              | Some (`Kind k) ->
-                  let cls =
-                    match classification_of_attrs vb.pvb_attributes with
-                    | Some c -> c
-                    | None -> Unclassified
-                  in
-                  prog.globals <-
-                    {
-                      g_module = cur_module;
-                      g_name = name;
-                      g_path = path;
-                      g_line = line_of vb.pvb_loc;
-                      g_kind = k;
-                      g_class = cls;
-                    }
-                    :: prog.globals
-              | None -> ())
-          | _ -> ())
-        bindings;
-      (* roots named (rather than written inline) at registration sites *)
-      List.iter
-        (fun (key, kind) ->
-          match Hashtbl.find_opt prog.summaries key with
-          | Some s -> (
-              match (s.root, kind) with
-              | None, _ | Some Api, (Poll | Fiber) -> s.root <- Some kind
-              | Some _, _ -> ())
-          | None -> ())
-        fc.pending_roots
-
-(* ---------------- pass 2: propagation ---------------- *)
-
-let kind_noun = function
-  | Clock -> "wall-clock read"
-  | Random -> "non-simulated randomness"
-  | HashOrder -> "hash-order-dependent iteration"
-  | Blocking -> "blocking call"
-  | MutGlobal -> "module-state mutation"
-
-let root_noun = function
-  | Api -> "API entry"
-  | Poll -> "poll callback"
-  | Fiber -> "fiber body"
-
-(* BFS from [root]; report the first chain to each offending effect
-   kind. Shortest chains first, so diagnostics name the most direct
-   witness. *)
 let propagate_root prog (root : summary) : finding list =
-  let det_wanted = [ Clock; Random; HashOrder ] in
   let blocking_wanted =
-    match root.root with Some (Poll | Fiber) -> true | _ -> false
+    match root.root with
+    | Some k -> k = r_poll || k = r_fiber
+    | None -> false
   in
-  let visited = Hashtbl.create 64 in
-  let parent = Hashtbl.create 64 in
-  let queue = Queue.create () in
-  Hashtbl.replace visited root.key ();
-  Queue.add root.key queue;
-  let chain_to key =
-    let rec up acc key =
-      match Hashtbl.find_opt parent key with
-      | Some p -> up (key :: acc) p
-      | None -> key :: acc
-    in
-    String.concat " -> " (up [] key)
+  let hits = Interproc.reach prog.ip root in
+  let det_hit =
+    List.find_opt
+      (fun (h : Interproc.hit) ->
+        List.mem h.h_kind [ k_clock; k_random; k_hash_order ])
+      hits
   in
-  let det_hit = ref None and blk_hit = ref None in
-  while not (Queue.is_empty queue) do
-    let key = Queue.take queue in
-    match Hashtbl.find_opt prog.summaries key with
-    | None -> ()
-    | Some s ->
-        List.iter
-          (fun (kind, (site : effect_site)) ->
-            if List.mem kind det_wanted && !det_hit = None then
-              det_hit := Some (kind, s, site);
-            if kind = Blocking && blocking_wanted && !blk_hit = None then
-              blk_hit := Some (kind, s, site))
-          (List.rev s.intrinsic);
-        List.iter
-          (fun callee ->
-            if not (Hashtbl.mem visited callee) then begin
-              Hashtbl.replace visited callee ();
-              Hashtbl.replace parent callee key;
-              Queue.add callee queue
-            end)
-          (List.rev s.calls)
-  done;
-  let mk rule (kind, (s : summary), (site : effect_site)) =
+  let blk_hit =
+    if blocking_wanted then
+      List.find_opt (fun (h : Interproc.hit) -> h.h_kind = k_blocking) hits
+    else None
+  in
+  let mk rule (h : Interproc.hit) =
     {
       Tool_common.path = root.s_path;
       line = root.def_line;
       rule;
       message =
-        Printf.sprintf
-          "%s reachable from %s %s: %s -> %s (%s:%d)%s"
-          (kind_noun kind)
-          (root_noun (Option.value root.root ~default:Api))
-          root.key (chain_to s.key) site.via s.s_path site.at
-          (match kind with
-          | Blocking ->
-              " — an engine poll iteration must not block outside the \
-               virtual clock"
-          | _ -> " — shard replay requires identical output for identical \
-                  inputs");
+        Printf.sprintf "%s reachable from %s %s: %s -> %s (%s:%d)%s"
+          (kind_noun h.h_kind)
+          (root_noun (Option.value root.root ~default:r_api))
+          root.key h.h_chain h.h_site.via h.h_sum.s_path h.h_site.at
+          (if h.h_kind = k_blocking then
+             " — an engine poll iteration must not block outside the \
+              virtual clock"
+           else
+             " — shard replay requires identical output for identical \
+              inputs");
     }
   in
   List.filter_map
     (fun x -> x)
-    [
-      Option.map (mk "det-source") !det_hit;
-      Option.map (mk "poll-blocking") !blk_hit;
-    ]
+    [ Option.map (mk "det-source") det_hit;
+      Option.map (mk "poll-blocking") blk_hit ]
 
 let g_kind_name = function
   | GRef -> "ref"
@@ -712,9 +321,7 @@ let state_findings prog : finding list =
         | _ -> None)
       prog.globals
   in
-  let immutable g =
-    match g.g_class with Immutable _ -> true | _ -> false
-  in
+  let immutable g = match g.g_class with Immutable _ -> true | _ -> false in
   let mut_findings =
     List.filter_map
       (fun m ->
@@ -744,29 +351,18 @@ let state_findings prog : finding list =
 (* ---------------- public interface ---------------- *)
 
 let analyze_files (files : (string * string) list) : program =
-  let prog =
-    {
-      summaries = Hashtbl.create 512;
-      globals = [];
-      mutations = [];
-      parse_failures = [];
-    }
-  in
-  List.iter (fun (path, src) -> analyze_file prog ~path src) files;
-  prog
+  let globals = ref [] and mutations = ref [] in
+  let hooks = hooks_for ~globals ~mutations in
+  let ip = Interproc.analyze_files hooks files in
+  { ip; globals = !globals; mutations = !mutations }
 
 let findings (prog : program) : finding list =
-  let roots =
-    Hashtbl.fold
-      (fun _ s acc -> if s.root <> None then s :: acc else acc)
-      prog.summaries []
-    |> List.sort (fun a b -> String.compare a.key b.key)
-  in
+  let roots = Interproc.roots prog.ip in
   let propagated = List.concat_map (propagate_root prog) roots in
-  prog.parse_failures @ state_findings prog @ propagated
+  prog.ip.parse_failures @ state_findings prog @ propagated
   |> List.sort_uniq Tool_common.compare_finding
 
-let summary_of (prog : program) key = Hashtbl.find_opt prog.summaries key
+let summary_of (prog : program) key = Interproc.summary_of prog.ip key
 
 let inventory (prog : program) : global list =
   List.sort
@@ -776,30 +372,17 @@ let inventory (prog : program) : global list =
       | c -> c)
     prog.globals
 
-let json_escape s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
-
 let inventory_json (globals : global list) : string =
+  let esc = Tool_common.json_escape in
   let entry g =
     Printf.sprintf
       "    {\"module\": \"%s\", \"name\": \"%s\", \"path\": \"%s\", \
        \"line\": %d, \"kind\": \"%s\", \"class\": \"%s\", \"reason\": \
        \"%s\"}"
-      (json_escape g.g_module) (json_escape g.g_name) (json_escape g.g_path)
-      g.g_line (g_kind_name g.g_kind)
-      (json_escape (class_name g.g_class))
-      (json_escape (class_reason g.g_class))
+      (esc g.g_module) (esc g.g_name) (esc g.g_path) g.g_line
+      (g_kind_name g.g_kind)
+      (esc (class_name g.g_class))
+      (esc (class_reason g.g_class))
   in
   Printf.sprintf "{\n  \"inventory\": [\n%s\n  ]\n}"
     (String.concat ",\n" (List.map entry globals))
@@ -824,8 +407,7 @@ let inventory_table (globals : global list) : string =
 let analyze_dirs (dirs : string list) : program * int =
   let files = Tool_common.ml_files dirs in
   let prog =
-    analyze_files
-      (List.map (fun f -> (f, Tool_common.read_file f)) files)
+    analyze_files (List.map (fun f -> (f, Tool_common.read_file f)) files)
   in
   (prog, List.length files)
 

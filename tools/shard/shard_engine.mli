@@ -1,10 +1,9 @@
 (** dk-shard: interprocedural shard-safety and determinism analysis.
 
-    Pass 1 computes a per-function effect summary for every [.ml] it is
-    given (parsed with compiler-libs, no typechecking); pass 2
-    propagates the summaries over an approximated call graph so
-    violations are reported at the shard-boundary entry points with the
-    offending call chain in the diagnostic.
+    The two-pass propagation machinery (per-function effect summaries,
+    call-graph BFS, callback carving, alias resolution) is
+    {!Interproc}, shared with dk-hot; this module supplies the
+    shard-specific rules and the shared-state inventory.
 
     Rule families:
     - [shard-state]: module-level mutable bindings must be classified
@@ -17,36 +16,30 @@
     - [poll-blocking]: nothing reachable from an engine poll callback
       or fiber body may block outside the virtual clock.
 
-    Entry points (roots): the toplevel functions of module [Demi] and
-    anything marked [[@@shard.entry]] (Api); callbacks registered via
-    [Engine.at]/[Engine.after]/[Demi.watch]/[Token.watch] (Poll); and
-    [Fiber.spawn] bodies (Fiber). [det-source] applies to all roots,
-    [poll-blocking] to Poll and Fiber roots. *)
+    Entry points (roots, as {!Interproc.summary} root kinds): the
+    toplevel functions of module [Demi] and anything marked
+    [[@@shard.entry]] (["api"]); callbacks registered via
+    [Engine.at]/[Engine.after]/[Demi.watch]/[Token.watch] (["poll"]);
+    and [Fiber.spawn] bodies (["fiber"]). [det-source] applies to all
+    roots, [poll-blocking] to poll and fiber roots. *)
 
 type finding = Tool_common.finding
 
-type effect_kind = Clock | Random | HashOrder | Blocking | MutGlobal
+type effect_site = Interproc.effect_site = { via : string; at : int }
 
-type effect_site = { via : string; at : int }
-
-type root_kind = Api | Poll | Fiber
-
-type summary = {
+type summary = Interproc.summary = {
   key : string;
   s_path : string;
   def_line : int;
-  mutable intrinsic : (effect_kind * effect_site) list;
+  attrs : Parsetree.attributes;
+  mutable intrinsic : (string * effect_site) list;
   mutable calls : string list;
   mutable unknown : bool;
-  mutable root : root_kind option;
+  mutable root : string option;
 }
-(** One function's effect summary. [key] is ["Module.fn"] for toplevel
-    functions, ["Module.fn.local"] for let-bound local functions and
-    ["Module.fn.<cb@N>"] for a callback closure registered on line
-    [N]. [unknown] is set when the body calls through a value the
-    analysis cannot resolve (a parameter, a stored closure, a record
-    field); it is tracked for honesty but deliberately not reported —
-    flagging every [t.on_event ()] callback would drown the signal. *)
+(** Re-exported from {!Interproc}; effect kinds here are ["clock"],
+    ["random"], ["hash-order"], ["blocking"], ["mut-global"], root
+    kinds ["api"], ["poll"], ["fiber"]. *)
 
 type classification =
   | Per_shard of string  (** mutable by design, one instance per shard *)
