@@ -1,0 +1,110 @@
+(* E15 — million-connection open-loop scenarios. The paper's argument
+   is about what the OS layer must provide *under real load*: heavy
+   tails, churn, fan-in, saturation — not closed-loop ping-pong. The
+   loadgen layer models 10^5 connections as RSS-steered ids whose
+   requests are multiplexed over real Demikernel trunks on N shards,
+   with open-loop (Poisson / self-similar on-off) arrivals at a rate
+   set relative to the world's calibrated capacity. Results are
+   SLO-style: p50/p99/p99.9 of born-to-completion latency, explicit
+   shed counts, and a goodput-vs-offered curve whose knee is the
+   saturation point. The p99/p99.9 columns here are gated in CI
+   against a committed baseline (tools/ci/bench_diff). *)
+
+module Loadgen = Dk_loadgen.Loadgen
+module Scenario = Dk_loadgen.Scenario
+module H = Dk_sim.Histogram
+
+let shards = 4
+let seed = 42L
+let sweep_mults = [ 0.5; 0.8; 0.95; 1.1; 1.4 ]
+let sweep_duration_ms = 15
+
+let kops v = Printf.sprintf "%.0f" (v /. 1e3)
+
+let scenario_widths = [ 14; 7; 6; 9; 9; 8; 8; 12; 8; 8; 9; 6 ]
+
+let scenario_row (s : Loadgen.stats) =
+  [
+    s.Loadgen.l_scenario;
+    string_of_int s.Loadgen.l_conns;
+    string_of_int s.Loadgen.l_shards;
+    kops s.Loadgen.l_offered_rate;
+    string_of_int s.Loadgen.l_offered;
+    string_of_int s.Loadgen.l_shed;
+    string_of_int s.Loadgen.l_churn;
+    kops s.Loadgen.l_goodput;
+    Report.ns (H.quantile s.Loadgen.l_lat 0.5);
+    Report.ns (H.quantile s.Loadgen.l_lat 0.99);
+    Report.ns (H.quantile s.Loadgen.l_lat 0.999);
+    string_of_int
+      (Array.fold_left
+         (fun a p -> max a p.Loadgen.ls_qdepth_hwm)
+         0 s.Loadgen.l_per_shard);
+  ]
+
+let scenario_rows () =
+  List.map
+    (fun scn -> scenario_row (Loadgen.run ~scn ~shards ~seed ()))
+    Scenario.all
+
+let sweep_widths = [ 5; 9; 9; 8; 12; 8; 8; 9 ]
+
+let sweep_rows () =
+  (* One calibration, shared across the sweep, so the x-axis is a clean
+     multiple of a single capacity number. *)
+  let scn =
+    match Scenario.find "poisson-steady" with
+    | Some s -> { s with Scenario.duration_ms = sweep_duration_ms }
+    | None -> invalid_arg "E15: poisson-steady missing"
+  in
+  let capacity = Loadgen.calibrate ~scn ~shards ~seed in
+  List.map
+    (fun mult ->
+      let s =
+        Loadgen.run ~offered_rate:(capacity *. mult) ~scn ~shards ~seed ()
+      in
+      [
+        Printf.sprintf "%.2f" mult;
+        kops s.Loadgen.l_offered_rate;
+        string_of_int s.Loadgen.l_offered;
+        string_of_int s.Loadgen.l_shed;
+        kops s.Loadgen.l_goodput;
+        Report.ns (H.quantile s.Loadgen.l_lat 0.5);
+        Report.ns (H.quantile s.Loadgen.l_lat 0.99);
+        Report.ns (H.quantile s.Loadgen.l_lat 0.999);
+      ])
+    sweep_mults
+
+let run () =
+  Report.header ~id:"E15: open-loop scenario harness"
+    ~source:"design: open-loop load, SLO tails (PAPERS.md \u{00b5}s-scale survey)"
+    ~claim:
+      "Open-loop load at 10^5 modeled connections over the real sharded \
+       datapath: tails (p99/p99.9) and shed counts are first-class results, \
+       and the goodput-vs-offered curve makes the saturation knee explicit \
+       instead of letting a closed loop hide it.";
+  print_endline "";
+  Printf.printf "named scenarios (%d shards, seed %Ld, rate = mult x calibrated capacity):\n"
+    shards seed;
+  Report.table scenario_widths
+    [
+      "scenario"; "conns"; "shards"; "off(kops)"; "offered"; "dropped";
+      "churned"; "goodput(kops)"; "p50(ns)"; "p99(ns)"; "p99.9(ns)"; "qhwm";
+    ]
+    (scenario_rows ());
+  print_endline "";
+  print_endline "goodput vs offered rate (poisson-steady shape, shared calibration):";
+  Report.table sweep_widths
+    [
+      "mult"; "off(kops)"; "offered"; "dropped"; "goodput(kops)"; "p50(ns)";
+      "p99(ns)"; "p99.9(ns)";
+    ]
+    (sweep_rows ());
+  Report.footnote
+    "Open loop: arrivals are decided by seeded RNG streams alone, so offered \
+     load never slows down when the datapath saturates — beyond the knee, \
+     goodput flattens at capacity, the bounded per-shard queues shed \
+     (dropped), and p99/p99.9 jump by orders of magnitude while p50 barely \
+     moves. Each modeled connection is an RSS-steered id multiplexed over \
+     real per-shard Demikernel trunks; churn re-steers flows mid-run and \
+     incast lands fan-in bursts on one shard.\n"

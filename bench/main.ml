@@ -22,6 +22,7 @@ let experiments =
     ("e12", Exp12_storage_offload.run);
     ("e13", Exp13_batching.run);
     ("e14", Exp14_shards.run);
+    ("e15", Exp15_scenario.run);
     ("waitsmoke", Wait_smoke.run);
     ("micro", Micro.run);
   ]

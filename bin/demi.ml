@@ -371,6 +371,113 @@ let stats_cmd =
       const stats_run $ size_arg $ rounds_arg $ stats_loss_arg $ json_arg
       $ batch_window_arg $ shards_arg $ xfrac_arg)
 
+(* ---- scenario ---- *)
+
+module Loadgen = Dk_loadgen.Loadgen
+module Scen = Dk_loadgen.Scenario
+
+let scenario_list () =
+  Format.printf "named scenarios (run with `demi scenario NAME`):@.";
+  List.iter
+    (fun (s : Scen.t) ->
+      Format.printf "  %-15s %s@." s.Scen.name s.Scen.summary)
+    Scen.all
+
+let pp_scenario_stats (s : Loadgen.stats) =
+  Format.printf
+    "%s: %d conns over %d shard(s), %.0f kops/s offered for %Ldms@."
+    s.Loadgen.l_scenario s.Loadgen.l_conns s.Loadgen.l_shards
+    (s.Loadgen.l_offered_rate /. 1e3)
+    (Int64.div s.Loadgen.l_duration_ns 1_000_000L);
+  if s.Loadgen.l_capacity > 0.0 then
+    Format.printf "  calibrated capacity: %.0f kops/s@."
+      (s.Loadgen.l_capacity /. 1e3);
+  Format.printf
+    "  offered=%d admitted=%d dropped=%d completed=%d churned=%d@."
+    s.Loadgen.l_offered s.Loadgen.l_admitted s.Loadgen.l_shed s.Loadgen.l_done
+    s.Loadgen.l_churn;
+  let h = s.Loadgen.l_lat in
+  Format.printf
+    "  goodput %.1f kops/s; latency p50=%Ldns p99=%Ldns p99.9=%Ldns max=%Ldns@."
+    (s.Loadgen.l_goodput /. 1e3)
+    (H.quantile h 0.5) (H.quantile h 0.99) (H.quantile h 0.999) (H.max h);
+  Array.iter
+    (fun (p : Loadgen.shard_stats) ->
+      Format.printf
+        "  shard%-2d conns=%-6d offered=%-7d dropped=%-5d done=%-7d \
+         qhwm=%-5d p99=%Ldns@."
+        p.Loadgen.ls_shard p.Loadgen.ls_conns p.Loadgen.ls_offered
+        p.Loadgen.ls_shed p.Loadgen.ls_done p.Loadgen.ls_qdepth_hwm
+        (H.quantile p.Loadgen.ls_lat 0.99))
+    s.Loadgen.l_per_shard;
+  Format.printf "  digest 0x%016Lx@." s.Loadgen.l_digest
+
+let scenario_run name all smoke shards offered_rate seed json =
+  let picked =
+    if all then Scen.all
+    else
+      match name with
+      | None -> []
+      | Some n -> (
+          match Scen.find n with
+          | Some s -> [ s ]
+          | None ->
+              Format.eprintf
+                "demi scenario: unknown scenario %S (run `demi scenario` to \
+                 list)@."
+                n;
+              exit 2)
+  in
+  if picked = [] then scenario_list ()
+  else
+    List.iter
+      (fun scn ->
+        let scn = if smoke then Scen.smoke scn else scn in
+        let s = Loadgen.run ?offered_rate ~scn ~shards ~seed () in
+        if json then print_endline (Loadgen.stats_json s)
+        else pp_scenario_stats s)
+      picked
+
+let scenario_cmd =
+  let scn_name =
+    Arg.(value & pos 0 (some string) None
+         & info [] ~docv:"NAME"
+             ~doc:"scenario to run (omit to list the catalogue)")
+  in
+  let all =
+    Arg.(value & flag
+         & info [ "all" ] ~doc:"run every scenario in the catalogue")
+  in
+  let smoke =
+    Arg.(value & flag
+         & info [ "smoke" ]
+             ~doc:"CI scale: 10^4 connections and a short window")
+  in
+  let offered_rate =
+    Arg.(value & opt (some float) None
+         & info [ "offered-rate" ] ~docv:"OPS_S"
+             ~doc:"absolute offered rate in ops/s (skips capacity \
+                   calibration; default derives the rate from the \
+                   scenario's offered_mult x calibrated capacity)")
+  in
+  let seed =
+    Arg.(value & opt int64 42L
+         & info [ "seed" ] ~docv:"N"
+             ~doc:"world seed; same seed + scenario = identical stats")
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"emit one deterministic JSON stats line per scenario")
+  in
+  Cmd.v
+    (Cmd.info "scenario"
+       ~doc:"open-loop load-generation scenarios: 10^5+ modeled connections \
+             multiplexed over the real datapath (list, or run by name)")
+    Term.(
+      const scenario_run $ scn_name $ all $ smoke $ shards_arg $ offered_rate
+      $ seed $ json)
+
 (* ---- faults ---- *)
 
 module Fault = Dk_fault.Fault
@@ -605,8 +712,8 @@ let main =
     (Cmd.info "demi" ~version:"1.0"
        ~doc:"Demikernel reproduction: parameterised simulation scenarios")
     [
-      rtt_cmd; kv_cmd; wakeups_cmd; loss_cmd; stats_cmd; faults_cmd;
-      shardcheck_cmd; hotcheck_cmd;
+      rtt_cmd; kv_cmd; wakeups_cmd; loss_cmd; stats_cmd; scenario_cmd;
+      faults_cmd; shardcheck_cmd; hotcheck_cmd;
     ]
 
 let () = exit (Cmd.eval main)

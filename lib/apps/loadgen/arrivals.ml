@@ -1,0 +1,81 @@
+(* Open-loop arrival processes over the virtual clock.
+
+   An open-loop generator decides arrival times from the clock and its
+   seeded RNG alone — never from completions, queue depths or any
+   other feedback from the system under test. That is what makes
+   saturation visible: when offered rate exceeds service rate the
+   backlog grows (and is shed), instead of the generator politely
+   slowing down the way a closed-loop harness does.
+
+   Two processes:
+   - [Poisson]: exponential inter-arrival gaps at the offered rate —
+     the steady memoryless baseline.
+   - [On_off]: a heavy-tailed burst process. The source alternates
+     between ON phases (arrivals at a compensated burst rate) and OFF
+     phases (silence); phase lengths are truncated-Pareto draws, whose
+     heavy tail is the classic self-similar traffic construction
+     (aggregating many on-off sources with Pareto sojourns). The burst
+     rate is scaled so the long-run average still equals the offered
+     rate, which keeps goodput-vs-offered curves comparable across
+     arrival models. *)
+
+module Rng = Dk_sim.Rng
+
+type spec =
+  | Poisson
+  | On_off of { on_mean_ns : float; off_mean_ns : float; alpha : float }
+
+type t = {
+  spec : spec;
+  rng : Rng.t;
+  (* On/off phase machine; unused for Poisson. *)
+  mutable in_burst : bool;
+  mutable phase_end : int64;
+}
+
+let create ~spec ~rng = { spec; rng; in_burst = false; phase_end = 0L }
+
+let max64 a b = if Int64.compare a b >= 0 then a else b
+
+(* Truncated Pareto with the given mean: heavy-tailed (index [alpha])
+   but capped at 50x the mean so one extreme draw cannot silence a
+   source for the whole run. *)
+let pareto rng ~mean ~alpha =
+  let xm = mean *. (alpha -. 1.0) /. alpha in
+  let u = Rng.float rng in
+  let raw = xm /. ((1.0 -. u) ** (1.0 /. alpha)) in
+  Float.min raw (mean *. 50.0)
+
+let exp_gap rng rate_per_ns =
+  Float.max 1.0 (Rng.exponential rng (1.0 /. rate_per_ns))
+
+(* [next t ~now ~rate_per_ns] is the absolute virtual time of the next
+   arrival strictly after [now], or [None] when the offered rate is
+   zero (the caller re-probes; rates move as churn re-steers flows). *)
+let next t ~now ~rate_per_ns =
+  if rate_per_ns <= 0.0 then None
+  else
+    match t.spec with
+    | Poisson -> Some (Int64.add now (Int64.of_float (exp_gap t.rng rate_per_ns)))
+    | On_off { on_mean_ns; off_mean_ns; alpha } ->
+        let burst_rate =
+          rate_per_ns *. (on_mean_ns +. off_mean_ns) /. on_mean_ns
+        in
+        (* Walk the phase machine forward from [now] until a draw lands
+           inside an ON phase. Each iteration either returns or strictly
+           advances the cursor, so this terminates. *)
+        let rec walk cursor =
+          if Int64.compare cursor t.phase_end >= 0 then begin
+            t.in_burst <- not t.in_burst;
+            let mean = if t.in_burst then on_mean_ns else off_mean_ns in
+            let len = Float.max 1.0 (pareto t.rng ~mean ~alpha) in
+            t.phase_end <-
+              Int64.add (max64 cursor t.phase_end) (Int64.of_float len);
+            walk cursor
+          end
+          else if not t.in_burst then walk t.phase_end
+          else
+            let at = Int64.add cursor (Int64.of_float (exp_gap t.rng burst_rate)) in
+            if Int64.compare at t.phase_end <= 0 then at else walk t.phase_end
+        in
+        Some (walk now)

@@ -1,0 +1,22 @@
+(** Open-loop arrival processes over the virtual clock.
+
+    Arrival times are a function of the seeded RNG and the clock only —
+    no feedback from completions or queue depths — so offered load is
+    independent of how the system under test is coping (the open-loop
+    property the scenario tests pin). *)
+
+type spec =
+  | Poisson  (** memoryless arrivals at the offered rate *)
+  | On_off of { on_mean_ns : float; off_mean_ns : float; alpha : float }
+      (** bursty source: truncated-Pareto (tail index [alpha]) ON/OFF
+          phases, arrivals only during ON at a rate compensated so the
+          long-run average equals the offered rate *)
+
+type t
+
+val create : spec:spec -> rng:Dk_sim.Rng.t -> t
+
+val next : t -> now:int64 -> rate_per_ns:float -> int64 option
+(** Absolute virtual time of the next arrival strictly after [now] at
+    the given offered rate, or [None] when the rate is zero (caller
+    re-probes later — rates change as churn re-steers flows). *)

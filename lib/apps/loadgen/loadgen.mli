@@ -1,0 +1,74 @@
+(** Open-loop load generation at 10^5+ connection scale.
+
+    Connections are modeled as lightweight ids (RSS-steered by a
+    synthetic 5-tuple, slow-reader bit by pure hash); their requests
+    are multiplexed over a small set of real Demikernel TCP trunks per
+    shard, so the service rate is whatever the actual datapath
+    sustains while the offered side scales to any connection count.
+
+    Open-loop discipline: every offered-side decision draws from
+    seeded [Dk_sim.Rng] streams the service side never touches, and
+    the run digest folds the offered stream alone — change the cost
+    model and the digest must not move. Overload sheds at the bounded
+    per-shard queue and is counted in [apps.loadgen.dropped]
+    ([shard<i>.apps.loadgen.dropped] multi-shard); conservation holds:
+    offered = admitted + dropped, and admitted = completed once the
+    run drains. *)
+
+type shard_stats = {
+  ls_shard : int;
+  ls_conns : int;  (** long-lived population at end of run *)
+  ls_offered : int;
+  ls_admitted : int;
+  ls_shed : int;
+  ls_done : int;
+  ls_inwin : int;  (** completions inside the offered window *)
+  ls_churn : int;
+  ls_qdepth_hwm : int;  (** bounded-memory witness: <= scenario qcap *)
+  ls_stall_hwm : int;  (** slow-reader stalled trunks: <= trunks *)
+  ls_lat : Dk_sim.Histogram.t;
+}
+
+type stats = {
+  l_scenario : string;
+  l_shards : int;
+  l_conns : int;
+  l_seed : int64;
+  l_capacity : float;  (** calibrated closed-loop ops/s; 0 if rate forced *)
+  l_offered_rate : float;  (** ops/s *)
+  l_duration_ns : int64;  (** length of the offered window *)
+  l_offered : int;
+  l_admitted : int;
+  l_shed : int;
+  l_done : int;
+  l_inwin : int;
+  l_churn : int;
+  l_goodput : float;
+      (** in-window completed ops/s — drain-phase completions are late
+          by definition and do not count, so an overloaded run's
+          goodput flattens at capacity instead of tracking offered *)
+  l_digest : int64;  (** offered-stream witness (open-loop invariant) *)
+  l_lat : Dk_sim.Histogram.t;  (** merged born-to-completion latency *)
+  l_per_shard : shard_stats array;
+}
+
+val calibrate : scn:Scenario.t -> shards:int -> seed:int64 -> float
+(** Closed-loop capacity (ops/s) of a throwaway world of the same
+    shape; [Scenario.offered_mult] is applied to this. *)
+
+val run :
+  ?drive:(Dk_sim.Engine.t array -> unit) ->
+  ?offered_rate:float ->
+  scn:Scenario.t ->
+  shards:int ->
+  seed:int64 ->
+  unit ->
+  stats
+(** Run one scenario. [offered_rate] (ops/s) skips calibration and
+    forces the rate — the sweep and the tests use it. [drive] replaces
+    [Engine.run_group] for the main run (N=1 identity tests drive
+    [Engine.run] directly). *)
+
+val stats_json : stats -> string
+(** Deterministic single-line JSON: equal (scenario, shards, seed) runs
+    render byte-identically. *)

@@ -25,9 +25,9 @@ let pp_table ppf (s : Metrics.snapshot) =
     List.iter
       (fun (name, h) ->
         Format.fprintf ppf
-          "  %-*s n=%d mean=%.0f p50=%Ld p90=%Ld p99=%Ld max=%Ld@\n"
+          "  %-*s n=%d mean=%.0f p50=%Ld p90=%Ld p99=%Ld p99.9=%Ld max=%Ld@\n"
           name_width name h.Metrics.hs_count h.Metrics.hs_mean h.Metrics.hs_p50
-          h.Metrics.hs_p90 h.Metrics.hs_p99 h.Metrics.hs_max)
+          h.Metrics.hs_p90 h.Metrics.hs_p99 h.Metrics.hs_p999 h.Metrics.hs_max)
       s.Metrics.hists
   end
 
@@ -51,9 +51,9 @@ let json_string s =
 
 let json_hist (h : Metrics.hist_summary) =
   Printf.sprintf
-    "{\"count\":%d,\"mean\":%.1f,\"p50\":%Ld,\"p90\":%Ld,\"p99\":%Ld,\"max\":%Ld}"
+    "{\"count\":%d,\"mean\":%.1f,\"p50\":%Ld,\"p90\":%Ld,\"p99\":%Ld,\"p999\":%Ld,\"max\":%Ld}"
     h.Metrics.hs_count h.Metrics.hs_mean h.Metrics.hs_p50 h.Metrics.hs_p90
-    h.Metrics.hs_p99 h.Metrics.hs_max
+    h.Metrics.hs_p99 h.Metrics.hs_p999 h.Metrics.hs_max
 
 let fields items = String.concat "," items
 

@@ -75,6 +75,7 @@ type hist_summary = {
   hs_p50 : int64;
   hs_p90 : int64;
   hs_p99 : int64;
+  hs_p999 : int64;
   hs_max : int64;
 }
 
@@ -97,6 +98,7 @@ let summarize (h : Dk_sim.Histogram.t) =
     hs_p50 = Dk_sim.Histogram.quantile h 0.5;
     hs_p90 = Dk_sim.Histogram.quantile h 0.9;
     hs_p99 = Dk_sim.Histogram.quantile h 0.99;
+    hs_p999 = Dk_sim.Histogram.quantile h 0.999;
     hs_max = Dk_sim.Histogram.max h;
   }
 

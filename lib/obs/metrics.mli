@@ -83,6 +83,7 @@ type hist_summary = {
   hs_p50 : int64;
   hs_p90 : int64;
   hs_p99 : int64;
+  hs_p999 : int64;  (** SLO tail: p99.9 (see DESIGN.md "Scenario harness") *)
   hs_max : int64;
 }
 

@@ -1,0 +1,248 @@
+(* dk_loadgen: the open-loop scenario harness (E15, `demi scenario`).
+
+   What must stay true, in order of importance:
+
+   1. Determinism — same (scenario, shards, seed) renders the same
+      stats JSON byte for byte. The CI percentile gate and the E15
+      baseline both stand on this.
+   2. The open-loop invariant — the offered stream (arrival times,
+      connection ids, keys, op mix) is decided by seeded RNG streams
+      the service side never touches. Slowing the datapath down must
+      not change what was offered, only what happened to it.
+   3. Conservation and bounded memory under overload — every offered
+      request is admitted or shed (offered = admitted + dropped),
+      admitted work completes once the run drains, and the pending
+      queue never exceeds the scenario's qcap.
+
+   Everything runs at Scenario.smoke scale (10^4 conns, <=8ms virtual)
+   so the whole suite is CI-cheap; the @scenario alias runs exactly
+   this binary. *)
+
+module Loadgen = Dk_loadgen.Loadgen
+module Scenario = Dk_loadgen.Scenario
+module Arrivals = Dk_loadgen.Arrivals
+module Workload = Dk_apps.Workload
+module Engine = Dk_sim.Engine
+module Rng = Dk_sim.Rng
+module Metrics = Dk_obs.Metrics
+
+let seed = 42L
+
+let scn name =
+  match Scenario.find name with
+  | Some s -> Scenario.smoke s
+  | None -> Alcotest.failf "scenario %s missing from catalogue" name
+
+(* ---- 1. determinism ---- *)
+
+let test_same_seed_byte_identical () =
+  let go () =
+    Loadgen.stats_json (Loadgen.run ~scn:(scn "poisson-steady") ~shards:2 ~seed ())
+  in
+  let a = go () and b = go () in
+  Alcotest.(check string) "same seed, same stats JSON" a b
+
+let test_seed_changes_digest () =
+  let digest s =
+    (Loadgen.run ~offered_rate:200_000.0 ~scn:(scn "poisson-steady") ~shards:2
+       ~seed:s ())
+      .Loadgen.l_digest
+  in
+  Alcotest.(check bool) "different seed, different offered stream" false
+    (Int64.equal (digest 1L) (digest 2L))
+
+(* ---- 2. open-loop invariant ---- *)
+
+(* Same seed and offered rate, but the second world serves 16x larger
+   values, so every service-side timing changes. The offered stream —
+   witnessed by the digest, which folds (relative arrival time, conn,
+   key) for every offered request — and the offered count must not
+   move. A closed-loop generator fails this by construction: its
+   arrivals wait on completions. *)
+let test_offered_stream_independent_of_service () =
+  let run value_size =
+    let s = { (scn "poisson-steady") with value_size } in
+    Loadgen.run ~offered_rate:300_000.0 ~scn:s ~shards:2 ~seed ()
+  in
+  let fast = run 64 and slow = run 1024 in
+  Alcotest.(check bool) "service got slower (else the test tests nothing)"
+    true
+    Dk_sim.Histogram.(
+      Int64.compare (quantile slow.Loadgen.l_lat 0.5)
+        (quantile fast.Loadgen.l_lat 0.5)
+      > 0);
+  Alcotest.(check int) "offered count unchanged" fast.Loadgen.l_offered
+    slow.Loadgen.l_offered;
+  Alcotest.(check bool) "offered digest unchanged" true
+    (Int64.equal fast.Loadgen.l_digest slow.Loadgen.l_digest)
+
+(* ---- 3. N=1 shard == single engine ---- *)
+
+let test_single_shard_is_single_engine () =
+  let go drive =
+    Loadgen.stats_json
+      (Loadgen.run ?drive ~offered_rate:200_000.0 ~scn:(scn "poisson-steady")
+         ~shards:1 ~seed ())
+  in
+  let grouped = go None in
+  let direct = go (Some (fun engines -> Engine.run engines.(0))) in
+  Alcotest.(check string)
+    "run_group over one shard == Engine.run on its engine" grouped direct
+
+(* ---- 4. distribution sanity (qcheck) ---- *)
+
+let counts_of wl ~keys ~draws =
+  let c = Array.make keys 0 in
+  for _ = 1 to draws do
+    let k = Workload.next_key wl in
+    c.(k) <- c.(k) + 1
+  done;
+  c
+
+let zipf_skew =
+  QCheck.Test.make ~count:30 ~name:"zipf skews, uniform does not"
+    QCheck.(map Int64.of_int (int_range 1 100_000))
+    (fun s ->
+      let keys = 256 and draws = 4096 in
+      let zipf =
+        counts_of (Workload.create ~seed:s (Workload.Zipf { n = keys; theta = 0.99 }))
+          ~keys ~draws
+      and unif =
+        counts_of (Workload.create ~seed:s (Workload.Uniform keys)) ~keys ~draws
+      in
+      let max_of = Array.fold_left max 0 in
+      (* Zipf theta=0.99 concentrates ~11% of draws on the hottest key;
+         uniform's hottest is ~1/256 plus noise. 4x separates them with
+         huge margin for any seed. *)
+      max_of zipf > 4 * max_of unif)
+
+let arrival_gaps_positive =
+  QCheck.Test.make ~count:50 ~name:"arrival times strictly advance"
+    QCheck.(map Int64.of_int (int_range 1 100_000))
+    (fun s ->
+      let specs =
+        [
+          Arrivals.Poisson;
+          Arrivals.On_off
+            { on_mean_ns = 50_000.0; off_mean_ns = 100_000.0; alpha = 1.5 };
+        ]
+      in
+      List.for_all
+        (fun spec ->
+          let a = Arrivals.create ~spec ~rng:(Rng.create s) in
+          let now = ref 0L in
+          let ok = ref true in
+          for _ = 1 to 200 do
+            match Arrivals.next a ~now:!now ~rate_per_ns:1e-4 with
+            | Some ts ->
+                if Int64.compare ts !now <= 0 then ok := false;
+                now := ts
+            | None -> ok := false
+          done;
+          !ok)
+        specs)
+
+(* ---- 5. churn conservation ---- *)
+
+let test_churn_conserves_population () =
+  let s = Loadgen.run ~scn:(scn "churn-heavy") ~shards:2 ~seed () in
+  let total =
+    Array.fold_left
+      (fun a p -> a + p.Loadgen.ls_conns)
+      0 s.Loadgen.l_per_shard
+  in
+  Alcotest.(check int) "churn replaces conns, never leaks them"
+    s.Loadgen.l_conns total;
+  Alcotest.(check bool) "churn actually happened" true (s.Loadgen.l_churn > 0)
+
+(* ---- 6. overload: shed, conserve, stay bounded ---- *)
+
+let test_overload_sheds_and_stays_bounded () =
+  (* Fresh registry state so the qdepth high-water below is this run's,
+     not a previous test's. *)
+  Metrics.reset Metrics.default;
+  let s = { (scn "overload") with qcap = 128 } in
+  let st = Loadgen.run ~scn:s ~shards:2 ~seed () in
+  Alcotest.(check bool) "overload sheds explicitly" true (st.Loadgen.l_shed > 0);
+  Alcotest.(check int) "offered = admitted + dropped" st.Loadgen.l_offered
+    (st.Loadgen.l_admitted + st.Loadgen.l_shed);
+  Alcotest.(check int) "admitted work completes once drained"
+    st.Loadgen.l_admitted st.Loadgen.l_done;
+  Array.iter
+    (fun p ->
+      Alcotest.(check bool)
+        (Printf.sprintf "shard%d pending queue bounded by qcap"
+           p.Loadgen.ls_shard)
+        true
+        (p.Loadgen.ls_qdepth_hwm <= s.Scenario.qcap);
+      Alcotest.(check bool)
+        (Printf.sprintf "shard%d stalls bounded by trunk count"
+           p.Loadgen.ls_shard)
+        true
+        (p.Loadgen.ls_stall_hwm <= s.Scenario.trunks))
+    st.Loadgen.l_per_shard;
+  (* The explicit counter the ISSUE requires: shed load is visible in
+     obs, not silently absorbed by an unbounded queue. *)
+  let snap = Metrics.snapshot_with_shard_agg Metrics.default in
+  let dropped =
+    match List.assoc_opt "shards.agg.apps.loadgen.dropped" snap.Metrics.counters with
+    | Some v -> v
+    | None -> Alcotest.fail "shards.agg.apps.loadgen.dropped not exported"
+  in
+  Alcotest.(check int) "dropped counter matches shed total" st.Loadgen.l_shed
+    dropped
+
+(* ---- 7. every catalogue scenario runs at smoke scale ---- *)
+
+let test_catalogue_smoke () =
+  List.iter
+    (fun s ->
+      let sm = Scenario.smoke s in
+      let st = Loadgen.run ~scn:sm ~shards:2 ~seed () in
+      Alcotest.(check bool)
+        (s.Scenario.name ^ " offered something")
+        true
+        (st.Loadgen.l_offered > 0);
+      Alcotest.(check int)
+        (s.Scenario.name ^ " conserves requests")
+        st.Loadgen.l_offered
+        (st.Loadgen.l_admitted + st.Loadgen.l_shed))
+    Scenario.all
+
+let () =
+  Alcotest.run "loadgen"
+    [
+      ( "determinism",
+        [
+          Alcotest.test_case "same seed byte-identical" `Quick
+            test_same_seed_byte_identical;
+          Alcotest.test_case "seed moves the digest" `Quick
+            test_seed_changes_digest;
+        ] );
+      ( "open-loop",
+        [
+          Alcotest.test_case "offered stream independent of service" `Quick
+            test_offered_stream_independent_of_service;
+        ] );
+      ( "identity",
+        [
+          Alcotest.test_case "1 shard == single engine" `Quick
+            test_single_shard_is_single_engine;
+        ] );
+      ( "distributions",
+        List.map QCheck_alcotest.to_alcotest [ zipf_skew; arrival_gaps_positive ]
+      );
+      ( "churn",
+        [
+          Alcotest.test_case "population conserved" `Quick
+            test_churn_conserves_population;
+        ] );
+      ( "overload",
+        [
+          Alcotest.test_case "sheds, conserves, bounded" `Quick
+            test_overload_sheds_and_stays_bounded;
+        ] );
+      ( "catalogue",
+        [ Alcotest.test_case "all scenarios smoke" `Quick test_catalogue_smoke ]
+      );
+    ]

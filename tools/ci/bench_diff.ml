@@ -1,6 +1,6 @@
 (* bench_diff — gate on virtual-time regressions in the bench tables.
 
-   Usage: bench_diff.exe BASELINE_DIR FRESH_DIR [MAX_RATIO]
+   Usage: bench_diff.exe BASELINE_DIR FRESH_DIR [MAX_RATIO] [PCTL_RATIO]
 
    Loads every BENCH_e*.json in BASELINE_DIR, finds the same file in
    FRESH_DIR, and compares the headline virtual-time metrics: every
@@ -9,6 +9,14 @@
    times the baseline (default 1.25, i.e. a >25% regression) fails the
    run; so does a missing file, table, column or row — baselines are
    regenerated deliberately, never drifted past.
+
+   Latency-percentile columns — headers of the form p<digits>, e.g.
+   "p50(ns)", "p99(ns)", "p99.9(ns)" — are the SLO gate and take the
+   separate PCTL_RATIO bound (same 1.25 default). Tail percentiles
+   amplify queueing shifts that leave sums untouched, so CI can pin
+   them tighter (or looser, for an intentionally tail-heavy change)
+   without moving the virtual-time bound, via DK_BENCH_PCTL_MAX_RATIO
+   in bench_diff.sh.
 
    The simulation is deterministic, so on an unchanged tree fresh ==
    baseline exactly; the 25% headroom is for intentional cost-model or
@@ -178,6 +186,12 @@ let is_ns_header h =
   in
   go 0
 
+(* A column is a latency percentile iff its header is "p" followed by a
+   digit ("p50(ns)", "p99.9(ns)") — the SLO columns every experiment
+   emits through Report.table. *)
+let is_pctl_header h =
+  String.length h >= 2 && h.[0] = 'p' && h.[1] >= '0' && h.[1] <= '9'
+
 let member k = function
   | Obj fields -> List.assoc_opt k fields
   | _ -> None
@@ -185,10 +199,10 @@ let member k = function
 let as_arr = function Arr l -> l | _ -> raise (Bad "expected array")
 let as_str = function Str s -> s | _ -> raise (Bad "expected string")
 
-(* [(metric key, value)] for every ns-column cell of every table.
-   The key embeds the table index, column header and the row's first
-   cell (its label), so renumbered rows do not silently compare the
-   wrong cells. *)
+(* [(metric key, (value, is_percentile))] for every ns-column cell of
+   every table. The key embeds the table index, column header and the
+   row's first cell (its label), so renumbered rows do not silently
+   compare the wrong cells. *)
 let headline_metrics path =
   let doc = parse_json (read_file path) in
   let tables = match member "tables" doc with Some t -> as_arr t | None -> [] in
@@ -215,7 +229,10 @@ let headline_metrics path =
                        | Some h when is_ns_header h -> (
                            match float_of_string_opt cell with
                            | Some v ->
-                               [ (Printf.sprintf "t%d[%s].%s" ti label h, v) ]
+                               [
+                                 ( Printf.sprintf "t%d[%s].%s" ti label h,
+                                   (v, is_pctl_header h) );
+                               ]
                            | None -> [])
                        | _ -> [])
                      cells))
@@ -223,12 +240,15 @@ let headline_metrics path =
        tables)
 
 let () =
-  let baseline_dir, fresh_dir, max_ratio =
+  let baseline_dir, fresh_dir, max_ratio, pctl_ratio =
     match Array.to_list Sys.argv with
-    | [ _; b; f ] -> (b, f, 1.25)
-    | [ _; b; f; r ] -> (b, f, float_of_string r)
+    | [ _; b; f ] -> (b, f, 1.25, 1.25)
+    | [ _; b; f; r ] -> (b, f, float_of_string r, float_of_string r)
+    | [ _; b; f; r; p ] -> (b, f, float_of_string r, float_of_string p)
     | _ ->
-        prerr_endline "usage: bench_diff.exe BASELINE_DIR FRESH_DIR [MAX_RATIO]";
+        prerr_endline
+          "usage: bench_diff.exe BASELINE_DIR FRESH_DIR [MAX_RATIO] \
+           [PCTL_RATIO]";
         exit 2
   in
   let baselines =
@@ -255,18 +275,21 @@ let () =
         let base = headline_metrics bpath in
         let fresh = headline_metrics fpath in
         List.iter
-          (fun (key, bv) ->
+          (fun (key, (bv, pctl)) ->
             match List.assoc_opt key fresh with
             | None ->
                 Printf.eprintf "FAIL %s %s: metric missing from fresh run\n"
                   file key;
                 incr failures
-            | Some fv ->
+            | Some (fv, _) ->
                 incr compared;
-                if bv > 0. && fv > bv *. max_ratio then (
+                let allowed = if pctl then pctl_ratio else max_ratio in
+                if bv > 0. && fv > bv *. allowed then (
                   Printf.eprintf
-                    "FAIL %s %s: %.0fns -> %.0fns (%.2fx > %.2fx allowed)\n"
-                    file key bv fv (fv /. bv) max_ratio;
+                    "FAIL %s %s%s: %.0fns -> %.0fns (%.2fx > %.2fx allowed)\n"
+                    file key
+                    (if pctl then " [pctl]" else "")
+                    bv fv (fv /. bv) allowed;
                   incr failures))
           base)
     baselines;

@@ -28,11 +28,17 @@
 #             normal then sanitized; export DK_FAULT_CI=1 to widen the
 #             every-plan matrix to multiple seeds (the CI matrix job
 #             does)
-#   bench     tools/ci/bench_diff.sh — regenerate the E1-E14 bench
-#             tables and fail on >25% virtual-time regression against
-#             the committed baselines
-#   all       build + test + shard + hot + sanitize, plus fault when
-#             DK_FAULT_CI is set
+#   scenario  dune build @scenario — the E15 open-loop scenario
+#             harness at smoke scale (10^4 connections, seconds of
+#             host time): determinism, open-loop invariant, overload
+#             shedding/bounded-memory checks, plus one `demi scenario
+#             --all --smoke` sweep through the CLI
+#   bench     tools/ci/bench_diff.sh — regenerate the E1-E15 bench
+#             tables and fail on >25% regression against the committed
+#             baselines (virtual-time columns at DK_BENCH_MAX_RATIO,
+#             latency percentiles at DK_BENCH_PCTL_MAX_RATIO)
+#   all       build + test + shard + hot + scenario + sanitize, plus
+#             fault when DK_FAULT_CI is set
 #
 # Run from anywhere; exits nonzero on the first failure.
 
@@ -72,6 +78,11 @@ run_fault() {
   dune build @fault --force
 }
 
+run_scenario() {
+  echo "== [scenario] dune build @scenario"
+  dune build @scenario --force
+}
+
 run_bench() {
   echo "== [bench] tools/ci/bench_diff.sh"
   tools/ci/bench_diff.sh
@@ -84,19 +95,21 @@ case "$stage" in
   shard)    run_shard ;;
   hot)      run_hot ;;
   fault)    run_fault ;;
+  scenario) run_scenario ;;
   bench)    run_bench ;;
   all)
     run_build
     run_test
     run_shard
     run_hot
+    run_scenario
     run_sanitize
     if [ "${DK_FAULT_CI:-}" = "1" ]; then
       run_fault
     fi
     ;;
   *)
-    echo "usage: $0 [build|test|sanitize|shard|hot|fault|bench|all]" >&2
+    echo "usage: $0 [build|test|sanitize|shard|hot|fault|scenario|bench|all]" >&2
     exit 2
     ;;
 esac
