@@ -23,6 +23,7 @@ let experiments =
     ("e13", Exp13_batching.run);
     ("e14", Exp14_shards.run);
     ("e15", Exp15_scenario.run);
+    ("e16", Exp16_offload_hit.run);
     ("waitsmoke", Wait_smoke.run);
     ("micro", Micro.run);
   ]

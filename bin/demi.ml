@@ -33,6 +33,13 @@ let xfrac_arg =
            ~doc:"fraction of requests whose home is another shard, served \
                  through the cross-shard mailbox (requires --shards > 1)")
 
+let offload_arg =
+  Arg.(value & flag
+       & info [ "offload" ]
+           ~doc:"serve the kv GET hot path from the programmable NIC's \
+                 device-resident table over UDP datagrams (demikernel \
+                 stack only); misses, SETs and DELs still reach the host")
+
 let flows_per_shard = 4
 
 let merged_latency (s : Runtime.stats) =
@@ -127,8 +134,106 @@ let rtt_cmd =
 
 (* ---- kv ---- *)
 
-let kv_run iface ops keys value reads shards xfrac =
-  if shards > 1 then begin
+module Workload = Dk_apps.Workload
+module Proto = Dk_apps.Proto
+
+(* Closed-loop kv over UDP datagrams with the GET hot path offloaded to
+   the server NIC's device-resident table (`--offload`). The server is
+   host-managed + populate: SETs write through to the device over the
+   synchronous control queue and host-served GET hits are inserted, so
+   a Zipf-read-heavy loop converges onto the device fast. Returns the
+   world, the server demi instance, the server handle and the latency
+   histogram so both `demi kv` and `demi stats` can report on it. *)
+let kv_offload_world ~ops ~keys ~value ~reads =
+  let duo = Setup.two_hosts ~programmable:true () in
+  let engine = duo.Setup.engine and cost = duo.Setup.cost in
+  let da = Setup.demi_of_host ~engine ~cost duo.Setup.a () in
+  let db = Setup.demi_of_host ~engine ~cost duo.Setup.b () in
+  let kv = Dk_apps.Kv.create (Demi_rt.manager db) in
+  let fail_on what = function
+    | Ok v -> v
+    | Error e ->
+        Format.eprintf "demi kv --offload: %s failed: %s@." what
+          (Demikernel.Types.error_to_string e);
+        exit 1
+  in
+  let srv =
+    fail_on "server start"
+      (Dk_apps.Kv_app.start_udp_offload_server ~demi:db ~port:1 ~kv
+         ~capacity:(max 16 keys) ~max_value:(max 64 value) ~populate:true ())
+  in
+  fail_on "set peer"
+    (Dk_apps.Kv_app.set_udp_peer srv (Setup.endpoint duo.Setup.a 5555));
+  let qd = fail_on "client socket" (Demi_rt.socket da `Udp) in
+  fail_on "client bind" (Demi_rt.bind da qd ~port:5555);
+  fail_on "client connect"
+    (Demi_rt.connect da qd ~dst:(Setup.endpoint duo.Setup.b 1));
+  let rpc s =
+    match Demi_rt.blocking_push da qd (Dk_mem.Sga.of_strings [ s ]) with
+    | Demikernel.Types.Pushed -> (
+        match Demi_rt.blocking_pop da qd with
+        | Demikernel.Types.Popped r -> Dk_mem.Sga.free r
+        | _ ->
+            prerr_endline "demi kv --offload: pop failed";
+            exit 1)
+    | _ ->
+        prerr_endline "demi kv --offload: push failed";
+        exit 1
+  in
+  let wl = Workload.create ~seed:42L (Workload.Zipf { n = keys; theta = 0.99 }) in
+  for k = 0 to keys - 1 do
+    rpc
+      (Proto.udp_request_string
+         (Proto.Set (Workload.key_name k, Workload.value wl ~size:value)))
+  done;
+  let h = H.create () in
+  for _ = 1 to ops do
+    let k = Workload.next_key wl in
+    let req =
+      if Workload.is_get wl ~read_fraction:reads then
+        Proto.Get (Workload.key_name k)
+      else Proto.Set (Workload.key_name k, Workload.value wl ~size:value)
+    in
+    let t0 = Dk_sim.Engine.now engine in
+    rpc (Proto.udp_request_string req);
+    H.record h (Int64.sub (Dk_sim.Engine.now engine) t0)
+  done;
+  (duo, db, srv, h)
+
+let kv_offload_run ops keys value reads =
+  let duo, db, srv, h = kv_offload_world ~ops ~keys ~value ~reads in
+  let engine = duo.Setup.engine in
+  pp_hist "demikernel kv (GET path on the NIC)" h;
+  Format.printf "throughput: %.1f kops/s@."
+    (float_of_int ops
+    /. (Int64.to_float (Dk_sim.Engine.now engine) /. 1e9)
+    /. 1000.);
+  (match Demi_rt.offload_stats db with
+  | Some s ->
+      Format.printf
+        "device table: %d/%d GETs served on the NIC (%.0f%% hit), %d \
+         requests host-served@."
+        s.Dk_device.Table.hits s.Dk_device.Table.lookups
+        (100.
+        *. float_of_int s.Dk_device.Table.hits
+        /. float_of_int (max 1 s.Dk_device.Table.lookups))
+        (Dk_apps.Kv_app.requests_served srv)
+  | None -> Format.printf "device table: pipeline ran on the host (CPU fallback)@.");
+  Format.printf "host CPU: %Ldns busy (client + server share the engine)@."
+    (Dk_sim.Engine.consumed engine);
+  if not (Dk_apps.Kv_app.server_offloaded srv) then
+    prerr_endline "warning: GET pipeline did not land on the device"
+
+let kv_run iface ops keys value reads offload shards xfrac =
+  if offload then begin
+    if shards > 1 || not (String.equal iface "demikernel") then begin
+      prerr_endline
+        "demi kv: --offload requires --iface demikernel and --shards 1";
+      exit 2
+    end;
+    kv_offload_run ops keys value reads
+  end
+  else if shards > 1 then begin
     if not (String.equal iface "demikernel") then begin
       prerr_endline "demi kv: --shards > 1 requires --iface demikernel";
       exit 2
@@ -201,8 +306,8 @@ let kv_cmd =
   in
   Cmd.v (Cmd.info "kv" ~doc:"key-value workload on a chosen interface")
     Term.(
-      const kv_run $ iface $ ops $ keys $ value $ reads $ shards_arg
-      $ xfrac_arg)
+      const kv_run $ iface $ ops $ keys $ value $ reads $ offload_arg
+      $ shards_arg $ xfrac_arg)
 
 (* ---- wakeups ---- *)
 
@@ -304,7 +409,7 @@ let meter_host_alloc ~since ~ops =
   Dk_obs.Metrics.set g_minor_words dw;
   Dk_obs.Metrics.set g_minor_per_op (dw / max 1 ops)
 
-let stats_run size rounds loss json window shards xfrac =
+let stats_run size rounds loss json window offload shards xfrac =
   (* A sanitizer violation mid-run dumps the flight recorder: the last
      thing the datapath did before the bug, which the kernel can no
      longer tell us (the whole point of lib/obs). *)
@@ -314,7 +419,29 @@ let stats_run size rounds loss json window shards xfrac =
   Dk_obs.Metrics.reset Dk_obs.Metrics.default;
   Dk_obs.Flight.clear Dk_obs.Flight.default;
   let mw0 = Gc.minor_words () in
-  if shards > 1 then begin
+  if offload then begin
+    (* Offload workload instead of echo: the snapshot then carries the
+       device.nic.offload.* instruments (table hits/misses/insertions/
+       bytes) next to the usual datapath counters. *)
+    if shards > 1 then begin
+      prerr_endline "demi stats: --offload requires --shards 1";
+      exit 2
+    end;
+    let duo, _db, srv, h =
+      kv_offload_world ~ops:rounds ~keys:200 ~value:size ~reads:0.9
+    in
+    meter_host_alloc ~since:mw0 ~ops:rounds;
+    Format.printf
+      "kv offload workload: %d ops, %dB values, GET hot path on the NIC \
+       (offloaded=%b)@."
+      rounds size
+      (Dk_apps.Kv_app.server_offloaded srv);
+    pp_hist "op latency" h;
+    let now = Dk_sim.Engine.now duo.Setup.engine in
+    let snap = Dk_obs.Metrics.snapshot Dk_obs.Metrics.default in
+    print_obs_and_flight ~now snap json
+  end
+  else if shards > 1 then begin
     (* Multi-shard echo: per-shard shard<i>.* instruments plus the
        folded shards.agg.* view in the table and the JSON export. *)
     let t = Runtime.create ~n:shards ~xfrac ~seed:42L () in
@@ -369,7 +496,7 @@ let stats_cmd =
        ~doc:"run an echo workload and dump every datapath obs instrument")
     Term.(
       const stats_run $ size_arg $ rounds_arg $ stats_loss_arg $ json_arg
-      $ batch_window_arg $ shards_arg $ xfrac_arg)
+      $ batch_window_arg $ offload_arg $ shards_arg $ xfrac_arg)
 
 (* ---- scenario ---- *)
 
@@ -410,9 +537,23 @@ let pp_scenario_stats (s : Loadgen.stats) =
         p.Loadgen.ls_shed p.Loadgen.ls_done p.Loadgen.ls_qdepth_hwm
         (H.quantile p.Loadgen.ls_lat 0.99))
     s.Loadgen.l_per_shard;
+  if s.Loadgen.l_offload then
+    Format.printf
+      "  offload: %d resident keys, %d/%d GETs served by the device, host \
+       CPU %Ldns@."
+      s.Loadgen.l_offload_resident s.Loadgen.l_offload_hits
+      s.Loadgen.l_offload_lookups s.Loadgen.l_host_cpu_ns;
   Format.printf "  digest 0x%016Lx@." s.Loadgen.l_digest
 
-let scenario_run name all smoke shards offered_rate seed json =
+(* Default modeled-connection scale for full (non-smoke) runs. Conns
+   are lightweight ids — O(1) ints each and an O(conns) placement pass
+   — so 10^6 raises the population the RSS/churn/slow-reader machinery
+   exercises without touching the offered window; only `--smoke` stays
+   at the CI-budget 10^4. *)
+let scenario_default_conns = 1_000_000
+
+let scenario_run name all smoke shards conns offload offload_hit offered_rate
+    seed json =
   let picked =
     if all then Scen.all
     else
@@ -432,7 +573,20 @@ let scenario_run name all smoke shards offered_rate seed json =
   else
     List.iter
       (fun scn ->
-        let scn = if smoke then Scen.smoke scn else scn in
+        let scn =
+          if smoke then Scen.smoke scn
+          else { scn with Scen.conns = max scn.Scen.conns scenario_default_conns }
+        in
+        let scn =
+          match conns with
+          | Some c -> { scn with Scen.conns = max 1 c }
+          | None -> scn
+        in
+        let scn =
+          if offload then
+            { scn with Scen.offload = true; Scen.offload_hit = offload_hit }
+          else scn
+        in
         let s = Loadgen.run ?offered_rate ~scn ~shards ~seed () in
         if json then print_endline (Loadgen.stats_json s)
         else pp_scenario_stats s)
@@ -453,6 +607,19 @@ let scenario_cmd =
          & info [ "smoke" ]
              ~doc:"CI scale: 10^4 connections and a short window")
   in
+  let conns =
+    Arg.(value & opt (some int) None
+         & info [ "conns" ] ~docv:"N"
+             ~doc:"modeled connection count (default: 10^6 for full runs, \
+                   10^4 under --smoke)")
+  in
+  let offload_hit =
+    Arg.(value & opt float 0.9
+         & info [ "offload-hit" ] ~docv:"FRAC"
+             ~doc:"with --offload: target device-hit fraction of GETs — the \
+                   smallest hot-key prefix carrying this much popularity \
+                   mass is pre-inserted into each shard's device table")
+  in
   let offered_rate =
     Arg.(value & opt (some float) None
          & info [ "offered-rate" ] ~docv:"OPS_S"
@@ -472,11 +639,11 @@ let scenario_cmd =
   in
   Cmd.v
     (Cmd.info "scenario"
-       ~doc:"open-loop load-generation scenarios: 10^5+ modeled connections \
+       ~doc:"open-loop load-generation scenarios: 10^6 modeled connections \
              multiplexed over the real datapath (list, or run by name)")
     Term.(
-      const scenario_run $ scn_name $ all $ smoke $ shards_arg $ offered_rate
-      $ seed $ json)
+      const scenario_run $ scn_name $ all $ smoke $ shards_arg $ conns
+      $ offload_arg $ offload_hit $ offered_rate $ seed $ json)
 
 (* ---- faults ---- *)
 
@@ -701,11 +868,12 @@ let default =
   in
   Term.(
     ret
-      (const (fun stats size rounds loss json window shards xfrac ->
-           if stats then `Ok (stats_run size rounds loss json window shards xfrac)
+      (const (fun stats size rounds loss json window offload shards xfrac ->
+           if stats then
+             `Ok (stats_run size rounds loss json window offload shards xfrac)
            else `Help (`Pager, None))
       $ stats_flag $ size_arg $ rounds_arg $ stats_loss_arg $ json_arg
-      $ batch_window_arg $ shards_arg $ xfrac_arg))
+      $ batch_window_arg $ offload_arg $ shards_arg $ xfrac_arg))
 
 let main =
   Cmd.group ~default

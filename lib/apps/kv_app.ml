@@ -2,6 +2,7 @@ module Demi = Demikernel.Demi
 module Types = Demikernel.Types
 module Engine = Dk_sim.Engine
 module Cost = Dk_sim.Cost
+module Prog = Dk_device.Prog
 
 type server = {
   demi : Demi.t;
@@ -9,6 +10,11 @@ type server = {
   mutable served : int;
   mutable udp_qd : Types.qd option;
   udp_port : int option;
+  offloaded : bool;
+  populate : bool;
+  cpu_pipeline : Prog.pipeline;
+      (* payload-level GET pipeline evaluated on the host when the NIC
+         is not programmable; [] everywhere else *)
 }
 
 let app_work srv =
@@ -55,7 +61,18 @@ let start_tcp_server ~demi ~port ~kv =
   let* lqd = Demi.socket demi `Tcp in
   let* () = Demi.bind demi lqd ~port in
   let* () = Demi.listen demi lqd in
-  let srv = { demi; kv; served = 0; udp_qd = None; udp_port = None } in
+  let srv =
+    {
+      demi;
+      kv;
+      served = 0;
+      udp_qd = None;
+      udp_port = None;
+      offloaded = false;
+      populate = false;
+      cpu_pipeline = [];
+    }
+  in
   accept_loop srv lqd;
   Ok srv
 
@@ -63,9 +80,115 @@ let start_udp_server ~demi ~port ~kv =
   let ( let* ) = Result.bind in
   let* qd = Demi.socket demi `Udp in
   let* () = Demi.bind demi qd ~port in
-  let srv = { demi; kv; served = 0; udp_qd = Some qd; udp_port = Some port } in
+  let srv =
+    {
+      demi;
+      kv;
+      served = 0;
+      udp_qd = Some qd;
+      udp_port = Some port;
+      offloaded = false;
+      populate = false;
+      cpu_pipeline = [];
+    }
+  in
   serve_conn srv qd;
   Ok srv
+
+(* ---- offloaded UDP server (single-datagram codec) ----
+
+   Requests arrive as flat strings under the Proto UDP codec. When the
+   NIC is programmable, GET hits never reach this loop — the device
+   answers them from its resident table; only misses, SETs and DELs
+   land here. Device-table coherence is maintained *before* a mutating
+   response is pushed (over the synchronous control queue), so a client
+   that has seen a SET acknowledged can never read a stale device
+   entry. Without a programmable NIC the same pipeline stages run here
+   on the host, priced by their static footprint. *)
+
+let push_flat srv qd s =
+  match Demi.push srv.demi qd (Dk_mem.Sga.of_strings [ s ]) with
+  | Ok tok -> Demi.watch srv.demi tok (fun _ -> ())
+  | Error _ -> ()
+
+let answer_udp srv qd sga =
+  let payload =
+    String.concat "" (List.map Dk_mem.Buffer.to_string (Dk_mem.Sga.segments sga))
+  in
+  Dk_mem.Sga.free sga;
+  let fallback_hit =
+    match srv.cpu_pipeline with
+    | [] -> None
+    | p -> (
+        Engine.consume (Demi.engine srv.demi)
+          (Demi.pipeline_cpu_ns srv.demi p (String.length payload));
+        match Prog.eval_pipeline ~lookup:(Kv.get_copy srv.kv) p payload with
+        | Prog.Responded r -> Some r
+        | Prog.Deliver _ | Prog.Dropped | Prog.Steered _ -> None)
+  in
+  match fallback_hit with
+  | Some raw ->
+      push_flat srv qd raw;
+      srv.served <- srv.served + 1
+  | None -> (
+      app_work srv;
+      match Proto.udp_request_of_string payload with
+      | None -> ()
+      | Some req ->
+          let resp = Kv.apply srv.kv req in
+          (match (req, resp) with
+          | Proto.Set (k, v), Proto.Stored ->
+              ignore (Demi.offload_update srv.demi k v : bool)
+          | Proto.Del k, _ ->
+              ignore (Demi.offload_invalidate srv.demi k : bool)
+          | Proto.Get k, Proto.Value v when srv.populate && srv.offloaded -> (
+              match Demi.offload_insert srv.demi k v with
+              | Ok () | Error `Rejected -> ())
+          | _ -> ());
+          push_flat srv qd (Proto.udp_response_string resp);
+          srv.served <- srv.served + 1)
+
+let rec serve_udp srv qd =
+  match Demi.pop srv.demi qd with
+  | Error _ -> ()
+  | Ok tok ->
+      Demi.watch srv.demi tok (function
+        | Types.Popped sga ->
+            answer_udp srv qd sga;
+            serve_udp srv qd
+        | Types.Failed _ -> (
+            match Demi.close srv.demi qd with Ok () | Error _ -> ())
+        | Types.Pushed | Types.Accepted _ -> ())
+
+let start_udp_offload_server ~demi ~port ~kv ?policy ?obs_prefix ?capacity
+    ?(max_value = 4096) ?(populate = false) () =
+  let ( let* ) = Result.bind in
+  let* qd = Demi.socket demi `Udp in
+  let* () = Demi.bind demi qd ~port in
+  let offloaded =
+    match
+      Demi.offload_udp_get demi qd ?policy ?obs_prefix ?capacity ~max_value ()
+    with
+    | Ok () -> true
+    | Error _ -> false
+  in
+  let cpu_pipeline = if offloaded then [] else Demi.get_pipeline ~max_value in
+  let srv =
+    {
+      demi;
+      kv;
+      served = 0;
+      udp_qd = Some qd;
+      udp_port = Some port;
+      offloaded;
+      populate;
+      cpu_pipeline;
+    }
+  in
+  serve_udp srv qd;
+  Ok srv
+
+let server_offloaded srv = srv.offloaded
 
 let set_udp_peer srv peer =
   match srv.udp_qd with

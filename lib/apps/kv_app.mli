@@ -19,6 +19,34 @@ val start_udp_server :
     on the client being the only sender). For the UDP server to answer,
     its queue's peer must be set via {!set_udp_peer}. *)
 
+val start_udp_offload_server :
+  demi:Demikernel.Demi.t ->
+  port:int ->
+  kv:Kv.t ->
+  ?policy:Dk_device.Table.policy ->
+  ?obs_prefix:string ->
+  ?capacity:int ->
+  ?max_value:int ->
+  ?populate:bool ->
+  unit ->
+  (server, Demikernel.Types.error) result
+(** UDP server speaking the single-datagram codec
+    ({!Proto.udp_request_string}) with the GET hot path offloaded to
+    the NIC via {!Demikernel.Demi.offload_udp_get}: on a programmable
+    NIC, GET hits are answered from the device-resident table at zero
+    host CPU and only misses/SETs/DELs reach this loop. SETs and DELs
+    update/invalidate the device entry over the synchronous control
+    queue {e before} the response is pushed, so acknowledged writes are
+    never followed by stale device reads. [populate] additionally
+    inserts host-served GET hits into the device table (default:
+    host-managed population only). Without a programmable NIC the same
+    pipeline runs on the host, charged per datagram by its static
+    footprint ({!Demikernel.Demi.pipeline_cpu_ns}) — responses are
+    byte-identical either way. *)
+
+val server_offloaded : server -> bool
+(** Whether the GET pipeline actually landed on the device. *)
+
 val set_udp_peer :
   server -> Dk_net.Addr.endpoint -> (unit, Demikernel.Types.error) result
 val requests_served : server -> int

@@ -43,10 +43,17 @@ module Demi = Demikernel.Demi
 module Types = Demikernel.Types
 module Proto = Dk_apps.Proto
 module Kv = Dk_apps.Kv
+module Kv_app = Dk_apps.Kv_app
 module Workload = Dk_apps.Workload
+module Sim_setup = Dk_apps.Sim_setup
 module Shard = Dk_shard_rt.Shard
 
 let kv_port = 6379
+
+(* Offload mode trunks are UDP sockets with fixed client-side ports:
+   trunk k runs (client:40000+k) <-> (server:kv_port+k), one request
+   outstanding per trunk, so responses correlate FIFO without tags. *)
+let trunk_port k = 40000 + k
 
 (* ---- seeded stream derivation (splitmix-style, pure) ---- *)
 
@@ -211,6 +218,56 @@ let connect_client sh =
   let* () = Demi.connect demi qd ~dst:(Shard.server_endpoint sh kv_port) in
   Ok qd
 
+let key_dist (scn : Scenario.t) =
+  if scn.zipf_theta <= 0.0 then Workload.Uniform scn.keys
+  else Workload.Zipf { n = scn.keys; theta = scn.zipf_theta }
+
+(* ---- offload mode: UDP trunk servers + device-table population ----
+
+   One Kv_app offload server per trunk port, all sharing the shard's KV
+   store and the server NIC's single device-resident table. After the
+   servers are up, the smallest hot-key prefix carrying [offload_hit]
+   of the popularity mass is pushed into the table over the control
+   queue: with SETs applied update-only (Kv_app), the resident set is
+   pinned for the whole run, so the offered hit ratio tracks the
+   prefix mass. *)
+
+let offload_resident (scn : Scenario.t) =
+  if not scn.offload then 0
+  else Workload.hot_prefix (key_dist scn) ~mass:scn.offload_hit
+
+let start_server_udp (scn : Scenario.t) n sh =
+  let demi = Shard.demi_server sh in
+  let prefix = if n = 1 then "" else Shard.obs_name (Shard.id sh) "" in
+  let client_ip = (Shard.client_host sh).Sim_setup.ip in
+  let ( let* ) = Result.bind in
+  let rec go k =
+    if k >= scn.trunks then Ok ()
+    else
+      let* srv =
+        Kv_app.start_udp_offload_server ~demi ~port:(kv_port + k)
+          ~kv:(Shard.kv sh) ~obs_prefix:prefix ~capacity:(max 16 scn.keys)
+          ~max_value:(max 64 scn.value_size) ()
+      in
+      let* () = Kv_app.set_udp_peer srv (Addr.endpoint client_ip (trunk_port k)) in
+      go (k + 1)
+  in
+  let* () = go 0 in
+  let v = String.make scn.value_size 'v' in
+  for i = 0 to offload_resident scn - 1 do
+    match Demi.offload_insert demi (Workload.key_name i) v with
+    | Ok () | Error `Rejected -> ()
+  done;
+  Ok ()
+
+let connect_client_udp sh k =
+  let demi = Shard.demi_client sh in
+  let ( let* ) = Result.bind in
+  let* qd = Demi.socket demi `Udp in
+  let* () = Demi.bind demi qd ~port:(trunk_port k) in
+  let* () = Demi.connect demi qd ~dst:(Shard.server_endpoint sh (kv_port + k)) in
+  Ok qd
+
 let preload (scn : Scenario.t) sh =
   (* Any key may be asked of any shard (the key space is global, the
      conn->shard map is RSS), so every shard's store holds them all. *)
@@ -227,7 +284,11 @@ let rec issue t j qd p =
   let demi = Shard.demi_client st.sh in
   let key = Workload.key_name p.p_key in
   let req = if p.p_get then Proto.Get key else Proto.Set (key, t.value) in
-  let sga = Proto.request_sga req in
+  let sga =
+    if t.cfg.offload then
+      Dk_mem.Sga.of_strings [ Proto.udp_request_string req ]
+    else Proto.request_sga req
+  in
   (match Demi.push demi qd sga with
   | Ok ptok -> Demi.watch demi ptok (fun _ -> ())
   | Error _ -> ());
@@ -473,6 +534,11 @@ type stats = {
   l_digest : int64;
   l_lat : Histogram.t;
   l_per_shard : shard_stats array;
+  l_offload : bool;
+  l_offload_resident : int;  (* hot keys pre-inserted per shard *)
+  l_offload_hits : int;  (* device-table hits, summed over shards *)
+  l_offload_lookups : int;
+  l_host_cpu_ns : int64;  (* total host busy ns, window open -> drained *)
 }
 
 (* ---- world construction ---- *)
@@ -483,7 +549,7 @@ let build_stations ~(scn : Scenario.t) ~n ~seed =
     else Workload.Zipf { n = scn.keys; theta = scn.zipf_theta }
   in
   Array.init n (fun id ->
-      let sh = Shard.create ~id ~seed () in
+      let sh = Shard.create ~id ~programmable:scn.offload ~seed () in
       let arr_rng = Rng.create (substream seed (Int64.of_int (100 + id))) in
       {
         id;
@@ -531,7 +597,7 @@ let build_stations ~(scn : Scenario.t) ~n ~seed =
 let cal_ops_per_trunk = 200
 let cal_window = 8
 
-let rec cal_pop sh wl ~read_fraction ~value qd ~to_push ~to_pop ~fin =
+let rec cal_pop sh wl ~udp ~read_fraction ~value qd ~to_push ~to_pop ~fin =
   let demi = Shard.demi_client sh in
   if !to_pop <= 0 then begin
     (* Elapsed runs to the last completion, not engine drain: closing
@@ -551,50 +617,56 @@ let rec cal_pop sh wl ~read_fraction ~value qd ~to_push ~to_pop ~fin =
               decr to_pop;
               if !to_push > 0 then begin
                 decr to_push;
-                cal_push sh wl ~read_fraction ~value qd
+                cal_push sh wl ~udp ~read_fraction ~value qd
               end;
-              cal_pop sh wl ~read_fraction ~value qd ~to_push ~to_pop ~fin
+              cal_pop sh wl ~udp ~read_fraction ~value qd ~to_push ~to_pop ~fin
           | Types.Failed _ -> (
               match Demi.close demi qd with Ok () | Error _ -> ())
           | Types.Pushed | Types.Accepted _ -> ())
 
-and cal_push sh wl ~read_fraction ~value qd =
+and cal_push sh wl ~udp ~read_fraction ~value qd =
   let demi = Shard.demi_client sh in
   let key = Workload.key_name (Workload.next_key wl) in
   let req =
     if Workload.is_get wl ~read_fraction then Proto.Get key
     else Proto.Set (key, value)
   in
-  match Demi.push demi qd (Proto.request_sga req) with
+  let sga =
+    if udp then Dk_mem.Sga.of_strings [ Proto.udp_request_string req ]
+    else Proto.request_sga req
+  in
+  match Demi.push demi qd sga with
   | Ok ptok -> Demi.watch demi ptok (fun _ -> ())
   | Error _ -> ()
 
-let cal_trunk sh wl ~read_fraction ~value qd ~fin =
+let cal_trunk sh wl ~udp ~read_fraction ~value qd ~fin =
   let w = min cal_window cal_ops_per_trunk in
   for _k = 1 to w do
-    cal_push sh wl ~read_fraction ~value qd
+    cal_push sh wl ~udp ~read_fraction ~value qd
   done;
-  cal_pop sh wl ~read_fraction ~value qd
+  cal_pop sh wl ~udp ~read_fraction ~value qd
     ~to_push:(ref (cal_ops_per_trunk - w))
     ~to_pop:(ref cal_ops_per_trunk) ~fin
 
 let calibrate ~(scn : Scenario.t) ~shards ~seed =
   let n = shards in
   let cseed = substream seed 0x5CA1AB1EL in
-  let shs = Array.init n (fun id -> Shard.create ~id ~seed:cseed ()) in
+  let shs =
+    Array.init n (fun id ->
+        Shard.create ~id ~programmable:scn.offload ~seed:cseed ())
+  in
   let engines = Array.map Shard.engine shs in
   Array.iter (preload scn) shs;
   Array.iter
     (fun sh ->
-      match start_server sh with
+      match
+        if scn.offload then start_server_udp scn n sh else start_server sh
+      with
       | Ok () -> ()
       | Error _ -> invalid_arg "Loadgen.calibrate: server start failed")
     shs;
   let value = String.make scn.value_size 'v' in
-  let dist =
-    if scn.zipf_theta <= 0.0 then Workload.Uniform scn.keys
-    else Workload.Zipf { n = scn.keys; theta = scn.zipf_theta }
-  in
+  let dist = key_dist scn in
   let conns =
     Array.init n (fun i ->
         Array.init scn.trunks (fun k ->
@@ -603,7 +675,11 @@ let calibrate ~(scn : Scenario.t) ~shards ~seed =
                 ~seed:(substream cseed (Int64.of_int ((i * 1000) + k)))
                 dist
             in
-            match connect_client shs.(i) with
+            let trunk =
+              if scn.offload then connect_client_udp shs.(i) k
+              else connect_client shs.(i)
+            in
+            match trunk with
             | Ok qd -> (i, qd, wl)
             | Error _ -> invalid_arg "Loadgen.calibrate: connect failed"))
     |> Array.to_list |> Array.concat
@@ -612,8 +688,8 @@ let calibrate ~(scn : Scenario.t) ~shards ~seed =
   let fins = Array.map (fun s -> ref s) starts in
   Array.iter
     (fun (i, qd, wl) ->
-      cal_trunk shs.(i) wl ~read_fraction:scn.read_fraction ~value qd
-        ~fin:fins.(i))
+      cal_trunk shs.(i) wl ~udp:scn.offload ~read_fraction:scn.read_fraction
+        ~value qd ~fin:fins.(i))
     conns;
   Engine.run_group engines;
   let elapsed =
@@ -647,14 +723,20 @@ let run ?drive ?offered_rate ~(scn : Scenario.t) ~shards ~seed () =
   Array.iter
     (fun st ->
       preload scn st.sh;
-      match start_server st.sh with
+      match
+        if scn.offload then start_server_udp scn n st.sh
+        else start_server st.sh
+      with
       | Ok () -> ()
       | Error _ -> invalid_arg "Loadgen.run: server start failed")
     stations;
   Array.iter
     (fun st ->
-      for _k = 1 to scn.trunks do
-        match connect_client st.sh with
+      for k = 0 to scn.trunks - 1 do
+        match
+          if scn.offload then connect_client_udp st.sh k
+          else connect_client st.sh
+        with
         | Ok qd -> Queue.push qd st.idle
         | Error _ -> invalid_arg "Loadgen.run: connect failed"
       done)
@@ -665,6 +747,11 @@ let run ?drive ?offered_rate ~(scn : Scenario.t) ~shards ~seed () =
     Array.fold_left
       (fun a e -> if Int64.compare (Engine.now e) a > 0 then Engine.now e else a)
       0L engines
+  in
+  (* Host-CPU meter baseline: everything consumed from here on is the
+     run's own busy time (setup/preload/population excluded). *)
+  let host_cpu0 =
+    Array.fold_left (fun a e -> Int64.add a (Engine.consumed e)) 0L engines
   in
   let deadline =
     Int64.add t0 (Int64.mul (Int64.of_int scn.duration_ms) 1_000_000L)
@@ -751,6 +838,20 @@ let run ?drive ?offered_rate ~(scn : Scenario.t) ~shards ~seed () =
       (fun a st -> mix64 (Int64.logxor a st.m_digest))
       t.inc_digest stations
   in
+  let host_cpu_ns =
+    Int64.sub
+      (Array.fold_left (fun a e -> Int64.add a (Engine.consumed e)) 0L engines)
+      host_cpu0
+  in
+  let off_hits, off_lookups =
+    Array.fold_left
+      (fun (h, l) st ->
+        match Demi.offload_stats (Shard.demi_server st.sh) with
+        | None -> (h, l)
+        | Some s ->
+            (h + s.Dk_device.Table.hits, l + s.Dk_device.Table.lookups))
+      (0, 0) stations
+  in
   {
     l_scenario = scn.name;
     l_shards = n;
@@ -769,6 +870,11 @@ let run ?drive ?offered_rate ~(scn : Scenario.t) ~shards ~seed () =
     l_digest = digest;
     l_lat = merged;
     l_per_shard = per_shard;
+    l_offload = scn.offload;
+    l_offload_resident = offload_resident scn;
+    l_offload_hits = off_hits;
+    l_offload_lookups = off_lookups;
+    l_host_cpu_ns = host_cpu_ns;
   }
 
 (* ---- deterministic JSON export ---- *)
@@ -784,17 +890,28 @@ let json_hist h =
 
 let stats_json s =
   let b = Buffer.create 1024 in
+  (* The offload object appears only in offload mode, so non-offload
+     output stays byte-identical to the pre-offload format. *)
+  let offload_fields =
+    if not s.l_offload then ""
+    else
+      Printf.sprintf
+        "\"offload\":{\"resident\":%d,\"hits\":%d,\"lookups\":%d,\
+         \"host_cpu_ns\":%Ld},"
+        s.l_offload_resident s.l_offload_hits s.l_offload_lookups
+        s.l_host_cpu_ns
+  in
   Buffer.add_string b
     (Printf.sprintf
        "{\"scenario\":%S,\"shards\":%d,\"conns\":%d,\"seed\":%Ld,\
         \"capacity_ops_s\":%.3f,\"offered_ops_s\":%.3f,\"duration_ns\":%Ld,\
         \"offered\":%d,\"admitted\":%d,\"dropped\":%d,\"completed\":%d,\
         \"completed_in_window\":%d,\"churned\":%d,\"goodput_ops_s\":%.3f,\
-        \"digest\":\"0x%016Lx\",\"latency_ns\":%s,\"per_shard\":["
+        \"digest\":\"0x%016Lx\",\"latency_ns\":%s,%s\"per_shard\":["
        s.l_scenario s.l_shards s.l_conns s.l_seed s.l_capacity
        s.l_offered_rate s.l_duration_ns s.l_offered s.l_admitted s.l_shed
        s.l_done s.l_inwin s.l_churn s.l_goodput s.l_digest
-       (json_hist s.l_lat));
+       (json_hist s.l_lat) offload_fields);
   Array.iteri
     (fun i sh ->
       if i > 0 then Buffer.add_char b ',';

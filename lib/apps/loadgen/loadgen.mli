@@ -50,6 +50,15 @@ type stats = {
   l_digest : int64;  (** offered-stream witness (open-loop invariant) *)
   l_lat : Dk_sim.Histogram.t;  (** merged born-to-completion latency *)
   l_per_shard : shard_stats array;
+  l_offload : bool;  (** the run served kv over NIC-offloaded UDP trunks *)
+  l_offload_resident : int;
+      (** hot keys pre-inserted into each shard's device table *)
+  l_offload_hits : int;  (** device-table GET hits, summed over shards *)
+  l_offload_lookups : int;
+  l_host_cpu_ns : int64;
+      (** total host busy time ({!Dk_sim.Engine.consumed}) across all
+          shard engines from window open to drain — device-served hits
+          move goodput without moving this *)
 }
 
 val calibrate : scn:Scenario.t -> shards:int -> seed:int64 -> float

@@ -29,6 +29,13 @@ type t = {
   incast_fanin : int;  (** simultaneous requests per incast burst *)
   qcap : int;  (** per-shard pending-request bound (shed above) *)
   trunks : int;  (** real datapath connections multiplexed per shard *)
+  offload : bool;
+      (** serve kv over UDP trunks with the GET hot path offloaded to
+          the (programmable) server NIC's device-resident table *)
+  offload_hit : float;
+      (** target device-hit fraction of GETs: the smallest hot-key
+          prefix carrying this much popularity mass is pre-inserted
+          into the device table (0.0 = cold table, every GET misses) *)
 }
 
 let base =
@@ -51,6 +58,8 @@ let base =
     incast_fanin = 0;
     qcap = 4096;
     trunks = 8;
+    offload = false;
+    offload_hit = 0.0;
   }
 
 let all =

@@ -25,6 +25,8 @@ type t = {
   incast_fanin : int;
   qcap : int;
   trunks : int;
+  offload : bool;
+  offload_hit : float;
 }
 
 val base : t

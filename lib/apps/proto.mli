@@ -32,3 +32,19 @@ val response_of_sga : Dk_mem.Sga.t -> response option
 val value_response_sga : Dk_mem.Buffer.t -> Dk_mem.Sga.t
 (** Wrap a stored value buffer (a new reference) as a [Value] response
     without copying — the Redis zero-copy pattern of §4.5. *)
+
+(** {2 Single-datagram (UDP) codec}
+
+    One flat string per message, for the offloaded UDP kv path. A GET
+    encodes as ["G" ^ key] and a [Value] reply as ["+" ^ value] — the
+    exact bytes the NIC's device-resident table pipeline produces
+    ([K_rest 1] key extraction, hit prefix ["+"]) — so device-served
+    and host-served replies are wire-identical. SET carries a 2-byte
+    big-endian key length ahead of the key. *)
+
+val udp_request_string : request -> string
+(** Raises [Invalid_argument] on a SET key longer than 65535 bytes. *)
+
+val udp_request_of_string : string -> request option
+val udp_response_string : response -> string
+val udp_response_of_string : string -> response option

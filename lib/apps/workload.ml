@@ -44,6 +44,23 @@ let next_key t =
 
 let key_name i = Printf.sprintf "key-%08d" i
 
+let hot_prefix dist ~mass =
+  if mass <= 0.0 then 0
+  else
+    match dist with
+    | Uniform n ->
+        if mass >= 1.0 then n
+        else min n (int_of_float (Float.ceil (mass *. float_of_int n)))
+    | Zipf { n; theta } ->
+        if mass >= 1.0 then n
+        else begin
+          let cdf = build_zipf_cdf n theta in
+          (* cdf.(k) is the mass of the top k+1 ranks *)
+          let k = ref 0 in
+          while !k < n && cdf.(!k) < mass do incr k done;
+          min n (!k + 1)
+        end
+
 let is_get t ~read_fraction = Dk_sim.Rng.float t.rng < read_fraction
 
 let value t ~size =

@@ -14,6 +14,13 @@ val next_key : t -> int
 val key_name : int -> string
 (** Canonical fixed-width key string for an index. *)
 
+val hot_prefix : key_dist -> mass:float -> int
+(** Smallest count [k] such that the top-[k] keys of the popularity
+    ranking (indices [0, k)) carry at least [mass] of the request
+    probability — e.g. how many keys a device-resident cache must hold
+    for an expected hit ratio of [mass] on GETs. 0 when [mass <= 0],
+    the whole key space when [mass >= 1]. *)
+
 val is_get : t -> read_fraction:float -> bool
 (** Draw the op type for a GET/SET mix. *)
 

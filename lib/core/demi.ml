@@ -27,6 +27,8 @@ type t = {
   files : (string, file_meta) Hashtbl.t;
   (* device-offloaded filters: (udp port, payload-level predicate) *)
   mutable device_filters : (int * Prog.pred) list;
+  (* device-offloaded rx pipelines: (udp port, payload-level stages) *)
+  mutable device_pipelines : (int * Prog.pipeline) list;
   offloaded : (Types.qd, unit) Hashtbl.t;
   mutable next_qd : int;
   mutable next_file_lba : int;
@@ -88,6 +90,7 @@ let create ~engine ~cost ?stack ?posix ?rdma ?block ?(mem_initial = 1 lsl 20)
       socks = Hashtbl.create 16;
       files = Hashtbl.create 8;
       device_filters = [];
+      device_pipelines = [];
       offloaded = Hashtbl.create 4;
       next_qd = 1;
       next_file_lba = 0;
@@ -903,3 +906,148 @@ let qconnect t ~src ~dst =
       Ok ())
 
 let filter_offloaded t qd = Hashtbl.mem t.offloaded qd
+
+(* ---- rx pipeline offload (deep NIC offload) ----
+
+   Payload-level pipelines compile to frame-level ones exactly the way
+   E8 filters do: every offset shifts past the 42-byte
+   ethernet+IPv4+UDP headers and every stage guard is conjoined with
+   the port match, so a pipeline installed for one socket can never
+   touch another port's traffic. Pipelines for all offloaded ports
+   concatenate (sorted by port — install order cannot change the
+   program) into the single NIC rx pipeline. *)
+
+let shift_field off (f : Prog.field) : Prog.field =
+  match f with
+  | Prog.F_len -> Prog.F_len
+  | Prog.F_u8 o -> Prog.F_u8 (o + off)
+  | Prog.F_u16 o -> Prog.F_u16 (o + off)
+  | Prog.F_hash (o, l) -> Prog.F_hash (o + off, l)
+  | Prog.F_hash_rest o -> Prog.F_hash_rest (o + off)
+
+let shift_key off (k : Prog.key) : Prog.key =
+  match k with
+  | Prog.K_bytes (o, l) -> Prog.K_bytes (o + off, l)
+  | Prog.K_rest o -> Prog.K_rest (o + off)
+
+let rec shift_fmatch off (m : Prog.fmatch) : Prog.fmatch =
+  match m with
+  | Prog.M_pred p -> Prog.M_pred (shift_pred off p)
+  | Prog.M_eq (f, v) -> Prog.M_eq (shift_field off f, v)
+  | Prog.M_mod (f, m, tgt) -> Prog.M_mod (shift_field off f, m, tgt)
+  | Prog.M_all ms -> Prog.M_all (List.map (shift_fmatch off) ms)
+  | Prog.M_any ms -> Prog.M_any (List.map (shift_fmatch off) ms)
+  | Prog.M_not m -> Prog.M_not (shift_fmatch off m)
+
+let rec shift_action off (a : Prog.action) : Prog.action =
+  match a with
+  | Prog.Pass | Prog.Drop | Prog.Steer _ -> a
+  | Prog.Steer_field (f, n) -> Prog.Steer_field (shift_field off f, n)
+  | Prog.Rewrite m -> Prog.Rewrite m
+  | Prog.Respond r ->
+      Prog.Respond
+        {
+          r with
+          Prog.r_key = shift_key off r.Prog.r_key;
+          Prog.r_on_miss = shift_action off r.Prog.r_on_miss;
+        }
+
+let shift_stage off port (st : Prog.stage) : Prog.stage =
+  {
+    Prog.guard =
+      Prog.M_all
+        [ Prog.M_pred (udp_port_match port); shift_fmatch off st.Prog.guard ];
+    Prog.act = shift_action off st.Prog.act;
+  }
+
+let rebuild_device_pipeline t =
+  match t.stack with
+  | None -> ()
+  | Some stack ->
+      let nic = Stack.nic stack in
+      let sorted =
+        List.sort
+          (fun (a, _) (b, _) -> Int.compare a b)
+          t.device_pipelines
+      in
+      let program =
+        List.concat_map
+          (fun (port, stages) ->
+            List.map (shift_stage header_bytes port) stages)
+          sorted
+      in
+      ignore (Dk_device.Nic.set_rx_pipeline nic program)
+
+let offload_udp_pipeline t qd stages =
+  match (t.stack, lookup t qd, Hashtbl.find_opt t.socks qd) with
+  | _, None, _ -> Error `Bad_qd
+  | Some stack, Some impl, Some { proto = `Udp; port = Some port; _ }
+    when impl.Qimpl.kind = "udp"
+         && Dk_device.Nic.programmable (Stack.nic stack) ->
+      t.device_pipelines <-
+        (port, stages)
+        :: List.filter (fun (p, _) -> p <> port) t.device_pipelines;
+      rebuild_device_pipeline t;
+      Ok ()
+  | _, Some _, _ -> Error `Not_supported
+
+(* The kv GET hot-path pipeline, payload level: a datagram starting
+   with 'G' is a GET whose key is the rest of the payload; answer hits
+   as "+" ^ value (byte-identical to the host's Value reply under the
+   UDP codec), pass misses — and everything that is not a GET — to the
+   host. *)
+let get_pipeline ~max_value : Prog.pipeline =
+  [
+    {
+      Prog.guard = Prog.M_pred (Prog.All [ Prog.Len_ge 1; Prog.Byte_eq (0, 'G') ]);
+      Prog.act =
+        Prog.Respond
+          {
+            Prog.r_key = Prog.K_rest 1;
+            Prog.r_hit_prefix = "+";
+            Prog.r_max_value = max_value;
+            Prog.r_on_miss = Prog.Pass;
+          };
+    };
+  ]
+
+let offload_udp_get t qd ?policy ?obs_prefix ?(capacity = 4096)
+    ?(max_value = 4096) () =
+  match t.stack with
+  | None -> Error `Not_supported
+  | Some stack -> (
+      match
+        Dk_device.Nic.offload_enable (Stack.nic stack) ?policy ?obs_prefix
+          ~capacity ~max_value ()
+      with
+      | Error `Not_programmable -> Error `Not_supported
+      | Ok _ -> offload_udp_pipeline t qd (get_pipeline ~max_value))
+
+(* Host -> device control-queue wrappers: the sanctioned path for table
+   writes (dk-lint `offload-site`). Each completes on the device before
+   returning — see [Nic.ctrl_insert]. *)
+
+let offload_insert t k v =
+  match t.stack with
+  | None -> Error `Rejected
+  | Some stack -> Dk_device.Nic.ctrl_insert (Stack.nic stack) k v
+
+let offload_update t k v =
+  match t.stack with
+  | None -> false
+  | Some stack -> Dk_device.Nic.ctrl_update (Stack.nic stack) k v
+
+let offload_invalidate t k =
+  match t.stack with
+  | None -> false
+  | Some stack -> Dk_device.Nic.ctrl_invalidate (Stack.nic stack) k
+
+let offload_stats t =
+  match t.stack with
+  | None -> None
+  | Some stack ->
+      Option.map Dk_device.Table.stats
+        (Dk_device.Nic.offload_table (Stack.nic stack))
+
+let pipeline_cpu_ns t p len =
+  Dk_sim.Cost.filter_cpu_ns t.cost (Prog.pipeline_footprint p len)

@@ -149,6 +149,66 @@ val qconnect : t -> src:Types.qd -> dst:Types.qd -> (unit, Types.error) result
 val filter_offloaded : t -> Types.qd -> bool
 (** Whether the given (filtered) queue's program runs on the device. *)
 
+(** {2 Deep NIC offload: rx pipelines and the device-resident table}
+
+    Payload-level {!Dk_device.Prog.pipeline} stages installed on a
+    bound UDP queue compile to frame-level stages (offsets shifted past
+    the 42-byte headers, every guard conjoined with the port match — the
+    E8 filter compilation, lifted to pipelines) and load onto the
+    programmable NIC. Traffic for other ports is untouched by
+    construction; with no pipeline installed the rx path is
+    byte-identical to a stock NIC. *)
+
+val offload_udp_pipeline :
+  t -> Types.qd -> Dk_device.Prog.pipeline -> (unit, Types.error) result
+(** Install (or replace) the pipeline for this socket's port.
+    [Error `Not_supported] when the descriptor is not a bound UDP queue
+    on a programmable NIC — callers fall back to evaluating the same
+    stages on the CPU at {!pipeline_cpu_ns} per element. *)
+
+val get_pipeline : max_value:int -> Dk_device.Prog.pipeline
+(** The payload-level kv GET pipeline {!offload_udp_get} installs:
+    one stage guarding on a leading ['G'] byte, responding from the
+    table keyed by the rest of the datagram with hit prefix ["+"].
+    Exposed so the CPU fallback (and tests) can evaluate the very same
+    stages through {!Dk_device.Prog.eval_pipeline}. *)
+
+val offload_udp_get :
+  t ->
+  Types.qd ->
+  ?policy:Dk_device.Table.policy ->
+  ?obs_prefix:string ->
+  ?capacity:int ->
+  ?max_value:int ->
+  unit ->
+  (unit, Types.error) result
+(** Offload the kv GET hot path: enable the device-resident table
+    (defaults: LRU, 4096 entries, 4096-byte values) and install the
+    GET pipeline — datagrams starting with ['G'] are looked up by key
+    (the rest of the payload) and hits are answered from the device as
+    ["+" ^ value], byte-identical to the host's reply under the UDP
+    codec; misses and non-GETs pass to the host. *)
+
+val offload_insert : t -> string -> string -> (unit, [ `Rejected ]) result
+(** Populate the device table over the host→device control queue; the
+    write has completed on the device when this returns. *)
+
+val offload_update : t -> string -> string -> bool
+(** Overwrite only if resident ([false] otherwise); an oversized value
+    invalidates instead. The kv SET path calls this {e before}
+    answering, which is what makes stale device GETs impossible. *)
+
+val offload_invalidate : t -> string -> bool
+
+val offload_stats : t -> Dk_device.Table.stats option
+(** [None] until a table is enabled. *)
+
+val pipeline_cpu_ns : t -> Dk_device.Prog.pipeline -> int -> int64
+(** CPU-fallback cost of one element through the pipeline: the
+    statically-derived {!Dk_device.Prog.pipeline_footprint} priced at
+    the filter CPU rate — the same footprint that prices the device
+    latency. *)
+
 (** {2 Data path} *)
 
 val push : t -> Types.qd -> Dk_mem.Sga.t -> (Types.qtoken, Types.error) result

@@ -7,6 +7,8 @@ type stats = {
   rx_dropped : int;
   rx_filtered : int;
   rx_mapped : int;
+  rx_responded : int;
+  rx_steered : int;
 }
 
 module Fault = Dk_fault.Fault
@@ -23,6 +25,8 @@ let m_rx_filtered = Dk_obs.Metrics.counter "device.nic.rx_filtered"
 let g_rx_pending = Dk_obs.Metrics.gauge "device.nic.rx_pending"
 let g_tx_inflight = Dk_obs.Metrics.gauge "device.nic.tx_inflight"
 
+let no_lookup (_ : string) : string option = None
+
 type t = {
   engine : Dk_sim.Engine.t;
   cost : Dk_sim.Cost.t;
@@ -30,11 +34,16 @@ type t = {
   mac : int;
   programmable : bool;
   db : Doorbell.t;
+  ctrl_db : Doorbell.t;
   rxq : string Dk_util.Bqueue.t;
   tx_capacity : int;
   mutable tx_inflight : int;
   mutable rx_filter : Prog.filter option;
   mutable rx_map : Prog.map option;
+  mutable rx_pipeline : Prog.pipeline;
+  mutable table : Table.t option;
+  mutable lookup_fn : string -> string option;
+  mutable steer : (queue:int -> string -> unit) option;
   mutable uplink : (src:int -> dst:int -> departed:int64 -> string -> unit) option;
   mutable rx_notify : unit -> unit;
   mutable tx_frames : int;
@@ -45,33 +54,53 @@ type t = {
   mutable rx_dropped : int;
   mutable rx_filtered : int;
   mutable rx_mapped : int;
+  mutable rx_responded : int;
+  mutable rx_steered : int;
 }
 
 let create ~engine ~cost ?(fault = Fault.default) ~mac ?(rx_capacity = 1024)
     ?(tx_capacity = 1024) ?(programmable = false) () =
-  {
-    engine;
-    cost;
-    fault;
-    mac;
-    programmable;
-    db = Doorbell.create ~engine ~cost ~name:"nic.tx.doorbells" ();
-    rxq = Dk_util.Bqueue.create rx_capacity;
-    tx_capacity;
-    tx_inflight = 0;
-    rx_filter = None;
-    rx_map = None;
-    uplink = None;
-    rx_notify = (fun () -> ());
-    tx_frames = 0;
-    tx_bytes = 0;
-    tx_rejected = 0;
-    rx_frames = 0;
-    rx_bytes = 0;
-    rx_dropped = 0;
-    rx_filtered = 0;
-    rx_mapped = 0;
-  }
+  let ctrl_db = Doorbell.create ~engine ~cost ~name:"nic.ctrl.doorbells" () in
+  (* The control queue is a correctness channel (SET invalidations ride
+     it): it never coalesces, so a submitted op completes synchronously
+     before the submitting host call returns. *)
+  Doorbell.set_window ctrl_db 0L;
+  let t =
+    {
+      engine;
+      cost;
+      fault;
+      mac;
+      programmable;
+      db = Doorbell.create ~engine ~cost ~name:"nic.tx.doorbells" ();
+      ctrl_db;
+      rxq = Dk_util.Bqueue.create rx_capacity;
+      tx_capacity;
+      tx_inflight = 0;
+      rx_filter = None;
+      rx_map = None;
+      rx_pipeline = [];
+      table = None;
+      lookup_fn = no_lookup;
+      steer = None;
+      uplink = None;
+      rx_notify = (fun () -> ());
+      tx_frames = 0;
+      tx_bytes = 0;
+      tx_rejected = 0;
+      rx_frames = 0;
+      rx_bytes = 0;
+      rx_dropped = 0;
+      rx_filtered = 0;
+      rx_mapped = 0;
+      rx_responded = 0;
+      rx_steered = 0;
+    }
+  in
+  (* One closure per NIC, built here rather than per frame. *)
+  t.lookup_fn <-
+    (fun k -> match t.table with Some tbl -> Table.lookup tbl k | None -> None);
+  t
 
 let mac t = t.mac
 let programmable t = t.programmable
@@ -90,13 +119,108 @@ let set_rx_map t prog =
   end
   else Error `Not_programmable
 
+let set_rx_pipeline t p =
+  if t.programmable then begin
+    t.rx_pipeline <- p;
+    Ok ()
+  end
+  else Error `Not_programmable
+
+let rx_pipeline t = t.rx_pipeline
+
+let offload_enable t ?policy ?obs_prefix ~capacity ~max_value () =
+  if not t.programmable then Error `Not_programmable
+  else
+    match t.table with
+    | Some tbl -> Ok tbl
+    | None ->
+        let tbl = Table.create ?policy ?obs_prefix ~capacity ~max_value () in
+        t.table <- Some tbl;
+        Ok tbl
+
+let offload_table t = t.table
+let set_rx_steer t f = t.steer <- Some f
+
+(* ---- host -> device control queue ----
+   Table writes from the host travel over their own doorbell
+   ([nic.ctrl.doorbells], zero window: see [create]), so a control op
+   has completed on the device before the submitting call returns —
+   the ordering the no-stale-GET invariant rests on. *)
+
+let ctrl t f =
+  match t.table with
+  | None -> None
+  | Some tbl ->
+      let out = ref None in
+      Doorbell.submit t.ctrl_db (fun () -> out := Some (f tbl));
+      !out
+  [@@hot.alloc
+    "one result cell + thunk per control-queue op; the kv SET/DEL path \
+     pays it alongside its doorbell, never the per-frame rx path"]
+
+let ctrl_insert t k v =
+  match ctrl t (fun tbl -> Table.insert tbl k v) with
+  | Some r -> r
+  | None -> Error `Rejected
+  [@@hot.alloc "control-queue closure (see ctrl)"]
+
+let ctrl_update t k v =
+  match ctrl t (fun tbl -> Table.update tbl k v) with
+  | Some r -> r
+  | None -> false
+  [@@hot.alloc "control-queue closure (see ctrl)"]
+
+let ctrl_invalidate t k =
+  match ctrl t (fun tbl -> Table.invalidate tbl k) with
+  | Some r -> r
+  | None -> false
+  [@@hot.alloc "control-queue closure (see ctrl)"]
+
+let ctrl_doorbells t = Doorbell.rings t.ctrl_db
+
+(* The tx descriptor body: DMA then uplink. [transmit] reaches it
+   through the doorbell; the device-side respond path calls it
+   directly — a NIC answering from its own table rings no host
+   doorbell (that is the point of the offload). *)
+let tx_start t ~dst frame =
+  t.tx_inflight <- t.tx_inflight + 1;
+  Dk_obs.Metrics.gauge_add g_tx_inflight 1;
+  let len = String.length frame in
+  let departed =
+    Int64.add (Dk_sim.Engine.now t.engine) (Dk_sim.Cost.dma_ns t.cost len)
+  in
+  let finish () =
+    t.tx_inflight <- t.tx_inflight - 1;
+    t.tx_frames <- t.tx_frames + 1;
+    t.tx_bytes <- t.tx_bytes + len;
+    Dk_obs.Metrics.gauge_add g_tx_inflight (-1);
+    Dk_obs.Metrics.incr m_tx_frames;
+    Dk_obs.Metrics.add m_tx_bytes len;
+    (* Injected tx drop: the DMA completed (the host paid for it)
+       but the frame dies at the PHY and never reaches the
+       fabric. *)
+    if Fault.fire t.fault Fault.Nic_tx_drop ~now:(Dk_sim.Engine.now t.engine)
+    then ()
+    else
+      match t.uplink with
+      | Some send -> send ~src:t.mac ~dst ~departed frame
+      | None -> ()
+  in
+  ignore (Dk_sim.Engine.at t.engine departed finish)
+  [@@hot.alloc
+    "the DMA-completion event is the sim's stand-in for descriptor \
+     writes"]
+
+let tx_ring_full t =
+  t.tx_rejected <- t.tx_rejected + 1;
+  Dk_obs.Metrics.incr m_tx_rejected;
+  Dk_obs.Flight.recordf Dk_obs.Flight.default
+    ~now:(Dk_sim.Engine.now t.engine) Dk_obs.Flight.Drop
+    "nic %x tx ring full (%d in flight)" t.mac t.tx_inflight
+
 let transmit t ~dst frame =
   if t.tx_inflight >= t.tx_capacity then begin
-    t.tx_rejected <- t.tx_rejected + 1;
-    Dk_obs.Metrics.incr m_tx_rejected;
-    Dk_obs.Flight.recordf Dk_obs.Flight.default
-      ~now:(Dk_sim.Engine.now t.engine) Dk_obs.Flight.Drop
-      "nic %x tx ring full (%d in flight)" t.mac t.tx_inflight;
+    tx_ring_full t;
     false
   end
   else begin
@@ -106,38 +230,25 @@ let transmit t ~dst frame =
        the clock having been consumed past this point — cannot reorder
        frames on the wire. Under a coalescing window the ring-capacity
        check above sees the pre-flush inflight count. *)
-    Doorbell.submit t.db (fun () ->
-        t.tx_inflight <- t.tx_inflight + 1;
-        Dk_obs.Metrics.gauge_add g_tx_inflight 1;
-        let len = String.length frame in
-        let departed =
-          Int64.add (Dk_sim.Engine.now t.engine) (Dk_sim.Cost.dma_ns t.cost len)
-        in
-        let finish () =
-          t.tx_inflight <- t.tx_inflight - 1;
-          t.tx_frames <- t.tx_frames + 1;
-          t.tx_bytes <- t.tx_bytes + len;
-          Dk_obs.Metrics.gauge_add g_tx_inflight (-1);
-          Dk_obs.Metrics.incr m_tx_frames;
-          Dk_obs.Metrics.add m_tx_bytes len;
-          (* Injected tx drop: the DMA completed (the host paid for it)
-             but the frame dies at the PHY and never reaches the
-             fabric. *)
-          if
-            Fault.fire t.fault Fault.Nic_tx_drop
-              ~now:(Dk_sim.Engine.now t.engine)
-          then ()
-          else
-            match t.uplink with
-            | Some send -> send ~src:t.mac ~dst ~departed frame
-            | None -> ()
-        in
-        ignore (Dk_sim.Engine.at t.engine departed finish));
+    Doorbell.submit t.db (fun () -> tx_start t ~dst frame);
     true
   end
   [@@hot.alloc
     "the staged tx thunk and its DMA-completion event are the sim's \
      stand-in for descriptor writes; the host CPU pays only the doorbell"]
+
+(* Device-originated tx (pipeline [Respond]): same ring-capacity check,
+   DMA model and tx fault site as [transmit], but no doorbell — no host
+   CPU is involved. *)
+let device_transmit t ~dst frame =
+  if t.tx_inflight >= t.tx_capacity then begin
+    tx_ring_full t;
+    false
+  end
+  else begin
+    tx_start t ~dst frame;
+    true
+  end
 
 let rec transmit_count t ~dst frames acc =
   match frames with
@@ -176,7 +287,7 @@ let enqueue_rx t frame =
 (* Toplevel (not a local closure inside [receive]): the filter/map
    stage runs once per delivered frame, and the plain path — no program
    loaded — must stay allocation-free. *)
-let process_rx t frame =
+let process_filter_map t frame =
   let keep =
     match t.rx_filter with
     | None -> true
@@ -196,6 +307,36 @@ let process_rx t frame =
     in
     enqueue_rx t frame
 
+(* Pipeline first (when loaded), then the classic filter/map pair on
+   whatever the pipeline delivers. A [Responded] verdict is re-checked
+   against the raw frame ([Udp_frame.reply] verifies both checksums):
+   a corrupt frame that reached a table hit anyway falls through to the
+   host, whose stack will reject it — the device never answers for a
+   key it cannot trust. *)
+let process_rx t frame =
+  match t.rx_pipeline with
+  | [] -> process_filter_map t frame
+  | p -> (
+      match Prog.eval_pipeline ~lookup:t.lookup_fn p frame with
+      | Prog.Deliver frame -> process_filter_map t frame
+      | Prog.Dropped ->
+          t.rx_filtered <- t.rx_filtered + 1;
+          Dk_obs.Metrics.incr m_rx_filtered
+      | Prog.Steered (q, frame) -> (
+          match t.steer with
+          | Some sink ->
+              t.rx_steered <- t.rx_steered + 1;
+              sink ~queue:q frame
+          | None ->
+              (* Single-queue NIC: every rx queue is this ring. *)
+              process_filter_map t frame)
+      | Prog.Responded payload -> (
+          match Udp_frame.reply ~self_mac:t.mac ~request:frame ~payload with
+          | Some (dst, reply) ->
+              t.rx_responded <- t.rx_responded + 1;
+              ignore (device_transmit t ~dst reply)
+          | None -> process_filter_map t frame))
+
 let receive t frame =
   let now = Dk_sim.Engine.now t.engine in
   (* Fault hooks sit at the wire edge, before any on-NIC program: a
@@ -212,17 +353,32 @@ let receive t frame =
       | None -> frame
     in
     let copies = if Fault.fire t.fault Fault.Nic_rx_dup ~now then 2 else 1 in
-    let prog_active =
-      (match t.rx_filter with Some _ -> true | None -> false)
-      || match t.rx_map with Some _ -> true | None -> false
-    in
     for _ = 1 to copies do
-      if prog_active then
-        (* On-device program execution adds device latency but no CPU. *)
-        ignore
-          (Dk_sim.Engine.after t.engine t.cost.Dk_sim.Cost.device_prog_per_elem
-             (fun () -> process_rx t frame))
-      else process_rx t frame
+      match t.rx_pipeline with
+      | _ :: _ as p ->
+          (* Pipeline latency scales with the statically-priced
+             footprint: one program element per 64 touched bytes, all
+             on the device clock — no host CPU. *)
+          let elems =
+            1 + (Prog.pipeline_footprint p (String.length frame) / 64)
+          in
+          ignore
+            (Dk_sim.Engine.after t.engine
+               (Int64.mul t.cost.Dk_sim.Cost.device_prog_per_elem
+                  (Int64.of_int elems))
+               (fun () -> process_rx t frame))
+      | [] ->
+          let prog_active =
+            (match t.rx_filter with Some _ -> true | None -> false)
+            || match t.rx_map with Some _ -> true | None -> false
+          in
+          if prog_active then
+            (* On-device program execution adds device latency but no CPU. *)
+            ignore
+              (Dk_sim.Engine.after t.engine
+                 t.cost.Dk_sim.Cost.device_prog_per_elem (fun () ->
+                   process_rx t frame))
+          else process_rx t frame
     done
   end
   [@@hot.alloc
@@ -247,6 +403,8 @@ let stats t =
     rx_dropped = t.rx_dropped;
     rx_filtered = t.rx_filtered;
     rx_mapped = t.rx_mapped;
+    rx_responded = t.rx_responded;
+    rx_steered = t.rx_steered;
   }
 
 let set_uplink t f = t.uplink <- Some f

@@ -18,8 +18,10 @@ type stats = {
   rx_frames : int;
   rx_bytes : int;
   rx_dropped : int;  (** frames lost to RX ring overflow *)
-  rx_filtered : int; (** frames dropped on-device by the filter program *)
+  rx_filtered : int; (** frames dropped on-device (filter or pipeline) *)
   rx_mapped : int;   (** frames transformed on-device by the map program *)
+  rx_responded : int; (** frames answered from the device-resident table *)
+  rx_steered : int;  (** frames handed to the steer sink by the pipeline *)
 }
 
 val create :
@@ -38,6 +40,58 @@ val programmable : t -> bool
 
 val set_rx_filter : t -> Prog.filter option -> (unit, [ `Not_programmable ]) result
 val set_rx_map : t -> Prog.map option -> (unit, [ `Not_programmable ]) result
+
+(** {2 Rx pipelines and the device-resident table}
+
+    A programmable NIC can run a {!Prog.pipeline} on inbound frames
+    ahead of the classic filter/map pair, at device latency priced by
+    {!Prog.pipeline_footprint} (one program element per 64 touched
+    bytes on [Cost.device_prog_per_elem]) and zero host CPU. [Respond]
+    verdicts are served from a bounded {!Table} and transmitted back
+    without ringing any host doorbell; the reply is only sent when the
+    request frame re-validates ({!Udp_frame.reply} checks both
+    checksums), otherwise the frame falls through to the host. *)
+
+val set_rx_pipeline : t -> Prog.pipeline -> (unit, [ `Not_programmable ]) result
+(** [[]] unloads the pipeline — the rx path is then byte-identical to
+    a NIC that never had one. *)
+
+val rx_pipeline : t -> Prog.pipeline
+
+val offload_enable :
+  t ->
+  ?policy:Table.policy ->
+  ?obs_prefix:string ->
+  capacity:int ->
+  max_value:int ->
+  unit ->
+  (Table.t, [ `Not_programmable ]) result
+(** Create (or return the existing) device-resident table. Counters
+    are registered lazily here — offload-off runs register nothing. *)
+
+val offload_table : t -> Table.t option
+
+val set_rx_steer : t -> (queue:int -> string -> unit) -> unit
+(** Sink for [Steer]/[Steer_field] verdicts (e.g. an {!Rss}-backed
+    dispatch to per-shard queues). Without one, steered frames land in
+    this NIC's own rx ring — the single-queue degenerate case. *)
+
+(** {3 Host → device control queue}
+
+    Table writes from the host ride a dedicated doorbell
+    ([nic.ctrl.doorbells]) with a permanently-zero coalescing window:
+    each op charges the host one doorbell and has completed on the
+    device before the call returns. kv SETs/DELs use this to
+    update/invalidate the device entry {e before} their response is
+    sent, which is what makes stale device GETs impossible. All return
+    the no-op/failure value when no table is enabled. *)
+
+val ctrl_insert : t -> string -> string -> (unit, [ `Rejected ]) result
+val ctrl_update : t -> string -> string -> bool
+val ctrl_invalidate : t -> string -> bool
+
+val ctrl_doorbells : t -> int
+(** Control-queue doorbell rings so far. *)
 
 val transmit : t -> dst:int -> string -> bool
 (** Charge a doorbell (through the coalescing stage — see

@@ -88,8 +88,12 @@ let rec filter_footprint = function
   | Byte_eq _ | Byte_in _ -> 1
   | Prefix p -> String.length p
   | Hash_mod (_, len, _, _) -> max 0 len
-  | All ps | Any ps -> List.fold_left (fun acc p -> acc + filter_footprint p) 0 ps
+  | All ps | Any ps -> filter_list_footprint ps
   | Not p -> filter_footprint p
+
+and filter_list_footprint = function
+  | [] -> 0
+  | p :: rest -> filter_footprint p + filter_list_footprint rest
 
 let rec map_footprint m len =
   match m with
@@ -98,7 +102,200 @@ let rec map_footprint m len =
   | Append a -> String.length a + len
   | Xor_mask _ -> len
   | Truncate n -> min n len
-  | Chain ms -> List.fold_left (fun acc m -> acc + map_footprint m len) 0 ms
+  | Chain ms -> map_list_footprint ms len
+
+and map_list_footprint ms len =
+  match ms with
+  | [] -> 0
+  | m :: rest -> map_footprint m len + map_list_footprint rest len
+
+(* ---- parse -> match -> action pipelines ----
+   A pipeline is a bounded list of stages; every construct below is a
+   finite term and every evaluator is structural recursion over it, so
+   evaluation provably terminates (there is no loop construct and no
+   stage can re-enter an earlier one). *)
+
+type field =
+  | F_len
+  | F_u8 of int
+  | F_u16 of int
+  | F_hash of int * int
+  | F_hash_rest of int
+
+type key =
+  | K_bytes of int * int
+  | K_rest of int
+
+type fmatch =
+  | M_pred of pred
+  | M_eq of field * int64
+  | M_mod of field * int * int
+  | M_all of fmatch list
+  | M_any of fmatch list
+  | M_not of fmatch
+
+type action =
+  | Pass
+  | Drop
+  | Steer of int
+  | Steer_field of field * int
+  | Rewrite of map
+  | Respond of respond
+
+and respond = {
+  r_key : key;
+  r_hit_prefix : string;
+  r_max_value : int;
+  r_on_miss : action;
+}
+
+type stage = { guard : fmatch; act : action }
+type pipeline = stage list
+
+type verdict =
+  | Deliver of string
+  | Dropped
+  | Steered of int * string
+  | Responded of string
+
+(* Field extraction yields [None] when the frame is too short for the
+   typed read — matches evaluate false and steers fall through, so an
+   out-of-range access can never fault or read beyond the payload. *)
+let field_value f s =
+  let n = String.length s in
+  match f with
+  | F_len -> Some (Int64.of_int n)
+  | F_u8 off ->
+      if off >= 0 && off < n then Some (Int64.of_int (Char.code s.[off]))
+      else None
+  | F_u16 off ->
+      if off >= 0 && off + 1 < n then
+        Some
+          (Int64.of_int ((Char.code s.[off] lsl 8) lor Char.code s.[off + 1]))
+      else None
+  | F_hash (off, len) ->
+      if off >= 0 && len >= 0 && off + len <= n then Some (fnv1a s off len)
+      else None
+  | F_hash_rest off ->
+      if off >= 0 && off <= n then Some (fnv1a s off (n - off)) else None
+
+let key_bytes k s =
+  let n = String.length s in
+  match k with
+  | K_bytes (off, len) ->
+      if off >= 0 && len >= 0 && off + len <= n then
+        Some (String.sub s off len)
+      else None
+  | K_rest off -> if off >= 0 && off <= n then Some (String.sub s off (n - off)) else None
+  [@@hot.alloc "the extracted lookup key is copied out of the frame"]
+
+(* Non-negative modular reduction, identical to [Hash_mod]. *)
+let mod_reduce v m =
+  Int64.to_int (Int64.rem (Int64.logand v Int64.max_int) (Int64.of_int m))
+
+let rec eval_fmatch m s =
+  match m with
+  | M_pred p -> eval_pred p s
+  | M_eq (f, v) -> (
+      match field_value f s with Some x -> Int64.equal x v | None -> false)
+  | M_mod (f, modulo, target) -> (
+      if modulo <= 0 then false
+      else
+        match field_value f s with
+        | Some x -> mod_reduce x modulo = target
+        | None -> false)
+  | M_all ms -> eval_fmatch_all ms s
+  | M_any ms -> eval_fmatch_any ms s
+  | M_not m -> not (eval_fmatch m s)
+
+and eval_fmatch_all ms s =
+  match ms with [] -> true | m :: rest -> eval_fmatch m s && eval_fmatch_all rest s
+
+and eval_fmatch_any ms s =
+  match ms with [] -> false | m :: rest -> eval_fmatch m s || eval_fmatch_any rest s
+
+(* Mutual structural recursion: [eval_stages] descends the stage list,
+   [eval_action] descends an action term (only through [r_on_miss],
+   which is a strict subterm). Falling off the end delivers to the
+   host — the safe default. *)
+let rec eval_stages ~lookup stages s =
+  match stages with
+  | [] -> Deliver s
+  | { guard; act } :: rest ->
+      if eval_fmatch guard s then eval_action ~lookup act rest s
+      else eval_stages ~lookup rest s
+
+and eval_action ~lookup act rest s =
+  match act with
+  | Pass -> Deliver s
+  | Drop -> Dropped
+  | Steer q -> Steered (q, s)
+  | Steer_field (f, n) -> (
+      if n <= 0 then Deliver s
+      else
+        match field_value f s with
+        | Some v -> Steered (mod_reduce v n, s)
+        | None -> eval_stages ~lookup rest s)
+  | Rewrite m -> eval_stages ~lookup rest (eval_map m s)
+  | Respond r -> (
+      match key_bytes r.r_key s with
+      | None -> eval_action ~lookup r.r_on_miss rest s
+      | Some k -> (
+          match lookup k with
+          | Some v when String.length v <= r.r_max_value ->
+              Responded (r.r_hit_prefix ^ v)
+          | Some _ | None -> eval_action ~lookup r.r_on_miss rest s))
+  [@@hot.alloc "a device-resident hit materializes the response payload"]
+
+let eval_pipeline ~lookup p s = eval_stages ~lookup p s
+
+(* ---- static footprints ----
+   Upper bound on payload bytes examined or produced when evaluating on
+   a [len]-byte frame, summing every stage and both branches of every
+   [Respond] — static in the term, independent of which guards fire. *)
+
+let field_footprint f len =
+  match f with
+  | F_len -> 0
+  | F_u8 _ -> 1
+  | F_u16 _ -> 2
+  | F_hash (_, l) -> max 0 l
+  | F_hash_rest off -> max 0 (len - max 0 off)
+
+let key_footprint k len =
+  match k with
+  | K_bytes (_, l) -> max 0 l
+  | K_rest off -> max 0 (len - max 0 off)
+
+let rec fmatch_footprint m len =
+  match m with
+  | M_pred p -> filter_footprint p
+  | M_eq (f, _) | M_mod (f, _, _) -> field_footprint f len
+  | M_all ms | M_any ms -> fmatch_list_footprint ms len
+  | M_not m -> fmatch_footprint m len
+
+and fmatch_list_footprint ms len =
+  match ms with
+  | [] -> 0
+  | m :: rest -> fmatch_footprint m len + fmatch_list_footprint rest len
+
+let rec action_footprint a len =
+  match a with
+  | Pass | Drop | Steer _ -> 0
+  | Steer_field (f, _) -> field_footprint f len
+  | Rewrite m -> map_footprint m len
+  | Respond r ->
+      key_footprint r.r_key len
+      + String.length r.r_hit_prefix + max 0 r.r_max_value
+      + action_footprint r.r_on_miss len
+
+let stage_footprint st len =
+  fmatch_footprint st.guard len + action_footprint st.act len
+
+let rec pipeline_footprint p len =
+  match p with
+  | [] -> 0
+  | st :: rest -> stage_footprint st len + pipeline_footprint rest len
 
 let rec pp_pred ppf = function
   | True -> Format.fprintf ppf "true"
@@ -129,3 +326,46 @@ let rec pp_map ppf = function
       Format.fprintf ppf "(chain %a)"
         (Format.pp_print_list ~pp_sep:Format.pp_print_space pp_map)
         ms
+
+let pp_field ppf = function
+  | F_len -> Format.fprintf ppf "len"
+  | F_u8 o -> Format.fprintf ppf "u8[%d]" o
+  | F_u16 o -> Format.fprintf ppf "u16[%d]" o
+  | F_hash (o, l) -> Format.fprintf ppf "hash[%d..+%d]" o l
+  | F_hash_rest o -> Format.fprintf ppf "hash[%d..]" o
+
+let pp_key ppf = function
+  | K_bytes (o, l) -> Format.fprintf ppf "bytes[%d..+%d]" o l
+  | K_rest o -> Format.fprintf ppf "bytes[%d..]" o
+
+let rec pp_fmatch ppf = function
+  | M_pred p -> pp_pred ppf p
+  | M_eq (f, v) -> Format.fprintf ppf "%a=%Ld" pp_field f v
+  | M_mod (f, m, t) -> Format.fprintf ppf "%a%%%d=%d" pp_field f m t
+  | M_all ms ->
+      Format.fprintf ppf "(all %a)"
+        (Format.pp_print_list ~pp_sep:Format.pp_print_space pp_fmatch)
+        ms
+  | M_any ms ->
+      Format.fprintf ppf "(any %a)"
+        (Format.pp_print_list ~pp_sep:Format.pp_print_space pp_fmatch)
+        ms
+  | M_not m -> Format.fprintf ppf "(not %a)" pp_fmatch m
+
+let rec pp_action ppf = function
+  | Pass -> Format.fprintf ppf "pass"
+  | Drop -> Format.fprintf ppf "drop"
+  | Steer q -> Format.fprintf ppf "steer %d" q
+  | Steer_field (f, n) -> Format.fprintf ppf "steer %a%%%d" pp_field f n
+  | Rewrite m -> Format.fprintf ppf "rewrite %a" pp_map m
+  | Respond r ->
+      Format.fprintf ppf "respond key=%a prefix=%S max=%d miss=(%a)" pp_key
+        r.r_key r.r_hit_prefix r.r_max_value pp_action r.r_on_miss
+
+let pp_stage ppf st =
+  Format.fprintf ppf "[%a -> %a]" pp_fmatch st.guard pp_action st.act
+
+let pp_pipeline ppf p =
+  Format.fprintf ppf "(pipeline %a)"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_space pp_stage)
+    p

@@ -41,7 +41,8 @@ let obs_name id rest = Printf.sprintf "shard%d.%s" id rest
 let client_ip id = Printf.sprintf "10.%d.0.1" (id land 0xff)
 let server_ip id = Printf.sprintf "10.%d.0.2" (id land 0xff)
 
-let create ~id ?(cost = Cost.default) ?fault_plan ~seed () =
+let create ~id ?(cost = Cost.default) ?fault_plan ?(programmable = false) ~seed
+    () =
   if id < 0 then invalid_arg "Shard.create: negative id";
   let fault = Fault.create () in
   (match fault_plan with Some p -> Fault.install fault p | None -> ());
@@ -52,7 +53,7 @@ let create ~id ?(cost = Cost.default) ?fault_plan ~seed () =
   in
   let server =
     Sim_setup.add_host ~engine ~cost ~fabric ~index:((2 * id) + 2)
-      ~ip:(server_ip id) ~fault ()
+      ~ip:(server_ip id) ~fault ~programmable ()
   in
   let demi_client = Sim_setup.demi_of_host ~engine ~cost client () in
   let demi_server = Sim_setup.demi_of_host ~engine ~cost server () in

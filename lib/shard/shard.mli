@@ -14,14 +14,19 @@ val create :
   id:int ->
   ?cost:Dk_sim.Cost.t ->
   ?fault_plan:Dk_fault.Fault.plan ->
+  ?programmable:bool ->
   seed:int64 ->
   unit ->
   t
 (** Build the shard's whole world. [fault_plan], when given, is
     installed into the shard's private {!Dk_fault.Fault.t} domain —
-    faults never leak across shards. The shard's RNG stream is derived
-    from [seed] and [id], so it is independent of other shards'
-    draw counts. *)
+    faults never leak across shards. [programmable] (default [false])
+    gives the {e server} host a programmable NIC so the shard can
+    offload its kv GET hot path ({!Demikernel.Demi.offload_udp_get});
+    its device table's instruments live under the shard's own
+    [shard<i>.] namespace. The shard's RNG stream is derived from
+    [seed] and [id], so it is independent of other shards' draw
+    counts. *)
 
 val id : t -> int
 val engine : t -> Dk_sim.Engine.t

@@ -4,15 +4,23 @@ type t = {
   mutable clock : int64;
   queue : event Dk_util.Heap.t;
   mutable live : int; (* scheduled and not cancelled *)
+  mutable busy : int64; (* total ns ever passed to [consume] *)
 }
 
 type timer = { ev : event; owner : t }
 
-let create () = { clock = 0L; queue = Dk_util.Heap.create (); live = 0 }
+let create () =
+  { clock = 0L; queue = Dk_util.Heap.create (); live = 0; busy = 0L }
+
 let now t = t.clock
 
 let consume t ns =
-  if Int64.compare ns 0L > 0 then t.clock <- Int64.add t.clock ns
+  if Int64.compare ns 0L > 0 then begin
+    t.clock <- Int64.add t.clock ns;
+    t.busy <- Int64.add t.busy ns
+  end
+
+let consumed t = t.busy
 
 let at t time thunk =
   let time = if Int64.compare time t.clock < 0 then t.clock else time in

@@ -25,6 +25,13 @@ val consume : t -> int64 -> unit
     matches a single-core poll loop that cannot observe interrupts while
     computing. Negative durations are ignored. *)
 
+val consumed : t -> int64
+(** Cumulative ns ever charged through {!consume} — the engine's total
+    CPU busy time, as opposed to {!now} which also advances while the
+    core idles between events. [consumed b - consumed a] across a
+    workload is its host-CPU cost; device-side work (DMA, on-NIC
+    programs) never moves it. *)
+
 val at : t -> int64 -> (unit -> unit) -> timer
 (** Schedule a thunk at an absolute time (clamped to [now]). *)
 

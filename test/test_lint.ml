@@ -215,6 +215,58 @@ let doorbell_outside_lib_ok () =
   in
   check_int "tests exempt" 0 (List.length (lines_of "doorbell-site" fs))
 
+(* ---------------- offload-site ---------------- *)
+
+let table_write_in_apps () =
+  let fs =
+    scan ~path:"lib/apps/kv_app.ml" "let f t k v = Table.insert t k v\n"
+  in
+  check (Alcotest.list Alcotest.string) "rule" [ "offload-site" ] (rules fs)
+
+let qualified_table_read_in_shard () =
+  let fs =
+    scan ~path:"lib/shard/shard.ml"
+      "let g t k = Dk_device.Table.lookup t k\n"
+  in
+  check (Alcotest.list Alcotest.int) "line" [ 1 ] (lines_of "offload-site" fs)
+
+let ctrl_queue_bypass () =
+  let fs =
+    scan ~path:"lib/apps/loadgen/loadgen.ml"
+      "let ins nic k v = Dk_device.Nic.ctrl_insert nic k v\n"
+  in
+  check (Alcotest.list Alcotest.string) "rule" [ "offload-site" ] (rules fs)
+
+let table_in_device_ok () =
+  (* the device layer owns the table *)
+  let fs = scan ~path:"lib/device/nic.ml" "let f t k = Table.lookup t k\n" in
+  check_int "lib/device exempt" 0 (List.length (lines_of "offload-site" fs))
+
+let ctrl_path_in_demi_ok () =
+  (* Demi.offload_insert/update/invalidate is the sanctioned host path *)
+  let fs =
+    scan ~path:"lib/core/demi.ml"
+      "let ins stack k v = Dk_device.Nic.ctrl_insert (Stack.nic stack) k v\n"
+  in
+  check_int "Demi control path exempt" 0
+    (List.length (lines_of "offload-site" fs))
+
+let stats_field_projection_ok () =
+  (* reading a Table.stats record field off a Demi.offload_stats result
+     tokenizes with the receiver prefix, not a Table call *)
+  let fs =
+    scan ~path:"lib/apps/loadgen/loadgen.ml"
+      "let hits s = s.Dk_device.Table.hits\n"
+  in
+  check_int "stats projection ok" 0 (List.length (lines_of "offload-site" fs))
+
+let arp_table_ok () =
+  (* lib/net's ARP cache is a different Table module entirely *)
+  let fs =
+    scan ~path:"lib/net/stack.ml" "let m t ip = Arp.Table.lookup t.arp ip\n"
+  in
+  check_int "Arp.Table ok" 0 (List.length (lines_of "offload-site" fs))
+
 (* ---------------- stripping / line numbers ---------------- *)
 
 let nested_comments () =
@@ -316,6 +368,20 @@ let () =
             doorbell_module_exempt;
           Alcotest.test_case "lib/sim exempt" `Quick doorbell_cost_def_exempt;
           Alcotest.test_case "outside lib ok" `Quick doorbell_outside_lib_ok;
+        ] );
+      ( "offload-site",
+        [
+          Alcotest.test_case "Table write in lib/apps" `Quick
+            table_write_in_apps;
+          Alcotest.test_case "qualified read in lib/shard" `Quick
+            qualified_table_read_in_shard;
+          Alcotest.test_case "ctrl-queue bypass" `Quick ctrl_queue_bypass;
+          Alcotest.test_case "lib/device exempt" `Quick table_in_device_ok;
+          Alcotest.test_case "Demi control path exempt" `Quick
+            ctrl_path_in_demi_ok;
+          Alcotest.test_case "stats projection ok" `Quick
+            stats_field_projection_ok;
+          Alcotest.test_case "Arp.Table ok" `Quick arp_table_ok;
         ] );
       ( "stripping",
         [

@@ -209,6 +209,54 @@ let test_catalogue_smoke () =
         (st.Loadgen.l_admitted + st.Loadgen.l_shed))
     Scenario.all
 
+(* ---- 8. offload mode (E16): UDP trunks + device-resident table ---- *)
+
+let offload_scn hit =
+  { (scn "poisson-steady") with Scenario.offload = true; offload_hit = hit }
+
+(* Same offered rate, same seed: the device-hit ratio is purely a
+   service-side property, so the offered digest must not move between a
+   cold and a hot table — and host CPU per completed op must drop when
+   the device serves the hot keys. *)
+let test_offload_frees_host_cpu () =
+  let run hit =
+    Loadgen.run ~offered_rate:150_000.0 ~scn:(offload_scn hit) ~shards:2 ~seed ()
+  in
+  let cold = run 0.0 and hot = run 0.9 in
+  Alcotest.(check bool) "offered digest unchanged" true
+    (Int64.equal cold.Loadgen.l_digest hot.Loadgen.l_digest);
+  Alcotest.(check int) "cold table has no hits" 0 cold.Loadgen.l_offload_hits;
+  Alcotest.(check bool) "hot table serves hits" true
+    (hot.Loadgen.l_offload_hits > 0);
+  let per_op s =
+    Int64.to_float s.Loadgen.l_host_cpu_ns /. float_of_int s.Loadgen.l_done
+  in
+  Alcotest.(check bool) "hot run frees host CPU per op" true
+    (per_op hot < per_op cold);
+  Alcotest.(check int) "conserves requests" hot.Loadgen.l_offered
+    (hot.Loadgen.l_admitted + hot.Loadgen.l_shed)
+
+(* The offered stream is also identical between offload mode and the
+   TCP datapath: the transport is service-side too. *)
+let test_offload_digest_matches_tcp () =
+  let tcp =
+    Loadgen.run ~offered_rate:150_000.0 ~scn:(scn "poisson-steady") ~shards:2
+      ~seed ()
+  in
+  let udp =
+    Loadgen.run ~offered_rate:150_000.0 ~scn:(offload_scn 0.5) ~shards:2 ~seed ()
+  in
+  Alcotest.(check bool) "same digest across transports" true
+    (Int64.equal tcp.Loadgen.l_digest udp.Loadgen.l_digest)
+
+let test_offload_deterministic () =
+  let go () =
+    Loadgen.stats_json
+      (Loadgen.run ~offered_rate:150_000.0 ~scn:(offload_scn 0.9) ~shards:2
+         ~seed ())
+  in
+  Alcotest.(check string) "same seed, same offload stats JSON" (go ()) (go ())
+
 let () =
   Alcotest.run "loadgen"
     [
@@ -245,4 +293,12 @@ let () =
       ( "catalogue",
         [ Alcotest.test_case "all scenarios smoke" `Quick test_catalogue_smoke ]
       );
+      ( "offload",
+        [
+          Alcotest.test_case "frees host CPU, digest fixed" `Quick
+            test_offload_frees_host_cpu;
+          Alcotest.test_case "digest matches TCP datapath" `Quick
+            test_offload_digest_matches_tcp;
+          Alcotest.test_case "deterministic" `Quick test_offload_deterministic;
+        ] );
     ]

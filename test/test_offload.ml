@@ -1,0 +1,636 @@
+(* Deep NIC offload: the device-resident table, the rx pipeline kv GET
+   hot path, and its coherence protocol.
+
+   The load-bearing assertions:
+   - device-served GET replies are byte-identical to host-served ones
+     (same world, offload on vs CPU fallback, same op sequence);
+   - pipeline traffic is port-scoped — frames for other ports reach
+     their sockets untouched and never touch the table;
+   - no stale reads: a GET never returns a value older than the last
+     acknowledged SET for its key, including under the "partition" and
+     "nic-flaky" fault plans (SETs update the device entry over the
+     synchronous control queue before the response is pushed). *)
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+let check_string = check Alcotest.string
+
+module Engine = Dk_sim.Engine
+module Fault = Dk_fault.Fault
+module Metrics = Dk_obs.Metrics
+module Table = Dk_device.Table
+module Prog = Dk_device.Prog
+module Nic = Dk_device.Nic
+module Setup = Dk_apps.Sim_setup
+module Kv = Dk_apps.Kv
+module Kv_app = Dk_apps.Kv_app
+module Proto = Dk_apps.Proto
+module Demi = Demikernel.Demi
+module Types = Demikernel.Types
+
+let reset_world () =
+  Metrics.reset Metrics.default;
+  Dk_obs.Flight.clear Dk_obs.Flight.default;
+  Fault.clear Fault.default
+
+let with_plan plan f =
+  reset_world ();
+  (match plan with
+  | Some p -> Fault.install Fault.default p
+  | None -> Fault.clear Fault.default);
+  Fun.protect ~finally:(fun () -> Fault.clear Fault.default) f
+
+let named ~seed name =
+  match Fault.named ~seed name with
+  | Some p -> p
+  | None -> Alcotest.failf "unknown named plan %S" name
+
+(* ---------------- Table ---------------- *)
+
+let test_table_basics () =
+  reset_world ();
+  let t = Table.create ~capacity:2 ~max_value:8 () in
+  check_bool "miss on empty" true (Table.lookup t "a" = None);
+  (match Table.insert t "a" "1" with
+  | Ok () -> ()
+  | Error `Rejected -> Alcotest.fail "insert rejected");
+  check (Alcotest.option Alcotest.string) "hit" (Some "1") (Table.lookup t "a");
+  check_bool "oversized value rejected" true
+    (Table.insert t "big" "123456789" = Error `Rejected);
+  let s = Table.stats t in
+  check_int "lookups" 2 s.Table.lookups;
+  check_int "hits" 1 s.Table.hits;
+  check_int "misses" 1 s.Table.misses;
+  check_int "rejected" 1 s.Table.rejected
+
+let test_table_lru () =
+  reset_world ();
+  let t = Table.create ~capacity:2 ~max_value:8 () in
+  let ins k v =
+    match Table.insert t k v with
+    | Ok () -> ()
+    | Error `Rejected -> Alcotest.failf "insert %s rejected" k
+  in
+  ins "a" "1";
+  ins "b" "2";
+  (* touch a so b is the LRU victim *)
+  ignore (Table.lookup t "a");
+  ins "c" "3";
+  check_bool "b evicted" true (Table.lookup t "b" = None);
+  check_bool "a kept" true (Table.lookup t "a" = Some "1");
+  check_bool "c kept" true (Table.lookup t "c" = Some "3");
+  check_int "evictions" 1 (Table.stats t).Table.evictions
+
+let test_table_host_managed () =
+  reset_world ();
+  let t = Table.create ~policy:Table.Host_managed ~capacity:1 ~max_value:8 () in
+  (match Table.insert t "a" "1" with
+  | Ok () -> ()
+  | Error `Rejected -> Alcotest.fail "first insert rejected");
+  check_bool "at capacity: rejected, not evicted" true
+    (Table.insert t "b" "2" = Error `Rejected);
+  check_bool "a still resident" true (Table.lookup t "a" = Some "1");
+  check_int "no evictions" 0 (Table.stats t).Table.evictions
+
+let test_table_update_invalidate () =
+  reset_world ();
+  let t = Table.create ~capacity:4 ~max_value:4 () in
+  check_bool "update absent = false" false (Table.update t "a" "1");
+  (match Table.insert t "a" "1" with
+  | Ok () -> ()
+  | Error `Rejected -> Alcotest.fail "insert rejected");
+  check_bool "update present" true (Table.update t "a" "2");
+  check_bool "updated value" true (Table.lookup t "a" = Some "2");
+  (* an oversized update must not leave the stale value resident: it
+     reports not-resident and drops the entry *)
+  check_bool "oversized update not resident" false (Table.update t "a" "12345");
+  check_bool "entry gone" true (Table.lookup t "a" = None);
+  check_bool "invalidate absent = false" false (Table.invalidate t "a")
+
+(* deterministic LRU: same op sequence, same evictions, twice *)
+let test_table_deterministic () =
+  reset_world ();
+  let run () =
+    let t = Table.create ~capacity:8 ~max_value:16 () in
+    for i = 0 to 63 do
+      (match Table.insert t (Printf.sprintf "k%d" (i mod 13)) "v" with
+      | Ok () | Error `Rejected -> ());
+      ignore (Table.lookup t (Printf.sprintf "k%d" (i mod 7)))
+    done;
+    let s = Table.stats t in
+    (s.Table.hits, s.Table.evictions,
+     List.sort compare
+       (List.filter_map
+          (fun i ->
+            let k = Printf.sprintf "k%d" i in
+            if Table.lookup t k <> None then Some k else None)
+          (List.init 13 Fun.id)))
+  in
+  let a = run () and b = run () in
+  check_bool "byte-identical replay" true (a = b)
+
+(* ---------------- pipelines: cost model + semantics ---------------- *)
+
+let lookup_none _ = None
+
+let test_footprint_monotone () =
+  let s1 = { Prog.guard = Prog.M_pred (Prog.Byte_eq (0, 'G')); act = Prog.Drop } in
+  let s2 =
+    {
+      Prog.guard = Prog.M_eq (Prog.F_u16 36, 6379L);
+      act =
+        Prog.Respond
+          {
+            Prog.r_key = Prog.K_rest 1;
+            r_hit_prefix = "+";
+            r_max_value = 64;
+            r_on_miss = Prog.Pass;
+          };
+    }
+  in
+  let len = 100 in
+  let f0 = Prog.pipeline_footprint [] len in
+  let f1 = Prog.pipeline_footprint [ s1 ] len in
+  let f2 = Prog.pipeline_footprint [ s1; s2 ] len in
+  check_bool "empty = 0" true (f0 = 0);
+  check_bool "append grows" true (f1 <= f2 && f0 <= f1);
+  (* map footprint monotone under Chain too *)
+  let m1 = Prog.Prepend "xx" and m2 = Prog.Append "yy" in
+  check_bool "chain >= parts" true
+    (Prog.map_footprint (Prog.Chain [ m1; m2 ]) len
+     >= Prog.map_footprint m1 len)
+
+let test_stage_semantics () =
+  let lookup = function "hot" -> Some "value" | _ -> None in
+  let v p s = Prog.eval_pipeline ~lookup p s in
+  let stage guard act = { Prog.guard; act } in
+  let g = Prog.M_pred (Prog.Byte_eq (0, 'G')) in
+  (* Pass stops the pipeline *)
+  check_bool "pass" true
+    (v [ stage g Prog.Pass; stage (Prog.M_pred Prog.True) Prog.Drop ] "Gx"
+     = Prog.Deliver "Gx");
+  (* Drop *)
+  check_bool "drop" true (v [ stage g Prog.Drop ] "Gx" = Prog.Dropped);
+  (* unmatched guard falls through to delivery *)
+  check_bool "no match" true (v [ stage g Prog.Drop ] "Sx" = Prog.Deliver "Sx");
+  (* Steer *)
+  check_bool "steer" true
+    (v [ stage g (Prog.Steer 3) ] "Gx" = Prog.Steered (3, "Gx"));
+  (* Steer_field: hash mod n is in range; out-of-range field falls on *)
+  (match v [ stage g (Prog.Steer_field (Prog.F_hash_rest 1, 4)) ] "Gkey" with
+  | Prog.Steered (q, "Gkey") -> check_bool "steer range" true (q >= 0 && q < 4)
+  | _ -> Alcotest.fail "expected steer");
+  check_bool "short frame falls through" true
+    (v [ stage (Prog.M_pred Prog.True) (Prog.Steer_field (Prog.F_u16 90, 4)) ]
+       "abc"
+     = Prog.Deliver "abc");
+  (* Rewrite continues the pipeline *)
+  check_bool "rewrite then drop" true
+    (v
+       [
+         stage g (Prog.Rewrite (Prog.Prepend "X"));
+         stage (Prog.M_pred (Prog.Prefix "XG")) Prog.Drop;
+       ]
+       "Gx"
+     = Prog.Dropped);
+  (* Respond: hit, miss, oversized *)
+  let rsp on_miss maxv =
+    stage g
+      (Prog.Respond
+         {
+           Prog.r_key = Prog.K_rest 1;
+           r_hit_prefix = "+";
+           r_max_value = maxv;
+           r_on_miss = on_miss;
+         })
+  in
+  check_bool "respond hit" true
+    (v [ rsp Prog.Pass 64 ] "Ghot" = Prog.Responded "+value");
+  check_bool "respond miss passes" true
+    (v [ rsp Prog.Pass 64 ] "Gcold" = Prog.Deliver "Gcold");
+  check_bool "respond miss can drop" true
+    (v [ rsp Prog.Drop 64 ] "Gcold" = Prog.Dropped);
+  check_bool "oversized hit is a miss" true
+    (v [ rsp Prog.Pass 2 ] "Ghot" = Prog.Deliver "Ghot")
+
+(* qcheck: arbitrary pipelines over arbitrary frames terminate, never
+   raise, and Steer_field verdicts stay in range. *)
+let gen_field =
+  QCheck.Gen.(
+    oneof
+      [
+        return Prog.F_len;
+        map (fun o -> Prog.F_u8 o) (int_bound 64);
+        map (fun o -> Prog.F_u16 o) (int_bound 64);
+        map2 (fun o l -> Prog.F_hash (o, l)) (int_bound 64) (int_bound 64);
+        map (fun o -> Prog.F_hash_rest o) (int_bound 64);
+      ])
+
+let gen_fmatch =
+  QCheck.Gen.(
+    sized @@ fix (fun self n ->
+        let leaf =
+          oneof
+            [
+              map (fun f -> Prog.M_eq (f, 7L)) gen_field;
+              map (fun f -> Prog.M_mod (f, 5, 2)) gen_field;
+              return (Prog.M_pred (Prog.Byte_eq (0, 'G')));
+              return (Prog.M_pred Prog.True);
+            ]
+        in
+        if n <= 0 then leaf
+        else
+          frequency
+            [
+              (3, leaf);
+              (1, map (fun l -> Prog.M_all l) (list_size (int_bound 3) (self (n / 2))));
+              (1, map (fun l -> Prog.M_any l) (list_size (int_bound 3) (self (n / 2))));
+              (1, map (fun m -> Prog.M_not m) (self (n / 2)));
+            ]))
+
+let rec gen_action n =
+  QCheck.Gen.(
+    let leaf =
+      oneof
+        [
+          return Prog.Pass;
+          return Prog.Drop;
+          map (fun q -> Prog.Steer (abs q mod 8)) small_int;
+          map (fun f -> Prog.Steer_field (f, 4)) gen_field;
+          map (fun s -> Prog.Rewrite (Prog.Prepend s)) (string_size (int_bound 4));
+        ]
+    in
+    if n <= 0 then leaf
+    else
+      frequency
+        [
+          (3, leaf);
+          ( 1,
+            map2
+              (fun k miss ->
+                Prog.Respond
+                  {
+                    Prog.r_key = (if k then Prog.K_rest 1 else Prog.K_bytes (2, 8));
+                    r_hit_prefix = "+";
+                    r_max_value = 32;
+                    r_on_miss = miss;
+                  })
+              bool (gen_action (n - 1)) );
+        ])
+
+let gen_pipeline =
+  QCheck.Gen.(
+    list_size (int_bound 5)
+      (map2 (fun g a -> { Prog.guard = g; act = a }) gen_fmatch (gen_action 2)))
+
+let arb_pipeline_frame =
+  QCheck.make
+    QCheck.Gen.(pair gen_pipeline (string_size (int_bound 80)))
+
+let prop_pipeline_total =
+  QCheck.Test.make ~count:500 ~name:"pipeline eval total and in-range"
+    arb_pipeline_frame (fun (p, s) ->
+      let lookup k = if String.length k land 1 = 0 then Some "yes" else None in
+      (match Prog.eval_pipeline ~lookup p s with
+      | Prog.Steered (q, _) -> q >= 0
+      | Prog.Deliver _ | Prog.Dropped | Prog.Responded _ -> true)
+      && Prog.pipeline_footprint p (String.length s) >= 0)
+
+let prop_footprint_monotone =
+  QCheck.Test.make ~count:300 ~name:"pipeline footprint monotone under append"
+    (QCheck.make QCheck.Gen.(pair gen_pipeline gen_pipeline))
+    (fun (p, q) ->
+      let len = 64 in
+      Prog.pipeline_footprint (p @ q) len >= Prog.pipeline_footprint p len)
+
+(* empty pipeline: eval is the identity delivery — the byte-identity
+   anchor for offload-off worlds *)
+let prop_empty_pipeline_identity =
+  QCheck.Test.make ~count:100 ~name:"empty pipeline delivers unchanged"
+    (QCheck.make QCheck.Gen.(string_size (int_bound 80)))
+    (fun s -> Prog.eval_pipeline ~lookup:lookup_none [] s = Prog.Deliver s)
+
+(* ---------------- end-to-end: the offloaded kv GET path -------------- *)
+
+let client_port = 5555
+let kv_port = 6379
+
+type world = {
+  duo : Setup.duo;
+  demi_a : Demi.t;
+  demi_b : Demi.t;
+  srv : Kv_app.server;
+  cqd : Types.qd;
+}
+
+let make_world ~programmable ?(populate = false) () =
+  let duo = Setup.two_hosts ~programmable () in
+  let demi_a = Setup.demi_of_host ~engine:duo.Setup.engine ~cost:duo.Setup.cost duo.Setup.a () in
+  let demi_b = Setup.demi_of_host ~engine:duo.Setup.engine ~cost:duo.Setup.cost duo.Setup.b () in
+  let kv = Kv.create (Demi.manager demi_b) in
+  let srv =
+    match
+      Kv_app.start_udp_offload_server ~demi:demi_b ~port:kv_port ~kv
+        ~capacity:64 ~max_value:64 ~populate ()
+    with
+    | Ok s -> s
+    | Error _ -> Alcotest.fail "server start failed"
+  in
+  (match Kv_app.set_udp_peer srv (Setup.endpoint duo.Setup.a client_port) with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "set_udp_peer failed");
+  let cqd =
+    match Demi.socket demi_a `Udp with
+    | Ok qd -> qd
+    | Error _ -> Alcotest.fail "client socket failed"
+  in
+  (match Demi.bind demi_a cqd ~port:client_port with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "client bind failed");
+  (match Demi.connect demi_a cqd ~dst:(Setup.endpoint duo.Setup.b kv_port) with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "client connect failed");
+  { duo; demi_a; demi_b; srv; cqd }
+
+let rpc w req =
+  let sga = Dk_mem.Sga.of_strings [ Proto.udp_request_string req ] in
+  match Demi.blocking_push w.demi_a w.cqd sga with
+  | Types.Pushed -> (
+      match Demi.blocking_pop w.demi_a w.cqd with
+      | Types.Popped resp ->
+          let s =
+            String.concat ""
+              (List.map Dk_mem.Buffer.to_string (Dk_mem.Sga.segments resp))
+          in
+          Dk_mem.Sga.free resp;
+          s
+      | _ -> Alcotest.fail "rpc: pop failed")
+  | _ -> Alcotest.fail "rpc: push failed"
+
+let test_offload_get_path () =
+  reset_world ();
+  let w = make_world ~programmable:true () in
+  check_bool "offloaded" true (Kv_app.server_offloaded w.srv);
+  (* SET goes to the host *)
+  check_string "set acked" "!" (rpc w (Proto.Set ("k1", "v1")));
+  (* GET misses the cold table, host answers *)
+  check_string "host get" "+v1" (rpc w (Proto.Get "k1"));
+  let served_before = Kv_app.requests_served w.srv in
+  (* populate the device entry, then the device answers alone *)
+  (match Demi.offload_insert w.demi_b "k1" "v1" with
+  | Ok () -> ()
+  | Error `Rejected -> Alcotest.fail "insert rejected");
+  check_string "device get" "+v1" (rpc w (Proto.Get "k1"));
+  check_int "host never saw the hit" served_before
+    (Kv_app.requests_served w.srv);
+  let s =
+    match Demi.offload_stats w.demi_b with
+    | Some s -> s
+    | None -> Alcotest.fail "no table"
+  in
+  check_int "device hit counted" 1 s.Table.hits;
+  (* SET updates the device entry before acking: next GET is fresh *)
+  check_string "set v2" "!" (rpc w (Proto.Set ("k1", "v2")));
+  check_string "updated device get" "+v2" (rpc w (Proto.Get "k1"));
+  check_int "still no host GET" (served_before + 1)
+    (Kv_app.requests_served w.srv);
+  (* DEL invalidates: GET falls back to the host and misses *)
+  check_string "del" "x" (rpc w (Proto.Del "k1"));
+  check_string "get after del" "-" (rpc w (Proto.Get "k1"))
+
+(* device-served and CPU-fallback replies are byte-identical *)
+let test_device_cpu_equality () =
+  let script w =
+    (* exercise every response shape incl. a device/CPU-resident key *)
+    ignore (rpc w (Proto.Set ("k1", "v1")));
+    (match Demi.offload_insert w.demi_b "k1" "v1" with
+    | Ok () | Error `Rejected -> ());
+    [
+      rpc w (Proto.Get "k1");
+      rpc w (Proto.Get "nope");
+      rpc w (Proto.Set ("k1", "v2"));
+      rpc w (Proto.Get "k1");
+      rpc w (Proto.Del "k1");
+      rpc w (Proto.Get "k1");
+    ]
+  in
+  reset_world ();
+  let on = script (make_world ~programmable:true ()) in
+  reset_world ();
+  let woff = make_world ~programmable:false () in
+  check_bool "fallback world not offloaded" false (Kv_app.server_offloaded woff.srv);
+  let off = script woff in
+  check (Alcotest.list Alcotest.string) "byte-identical replies" on off
+
+(* cross-traffic isolation: the pipeline is scoped to the kv port; a
+   bystander UDP flow on another port is delivered verbatim and never
+   touches the device table, even when its payload looks like a GET
+   for a device-resident key. *)
+let bystander_port = 7000
+
+let test_cross_traffic_isolation () =
+  reset_world ();
+  let w = make_world ~programmable:true () in
+  ignore (rpc w (Proto.Set ("k1", "v1")));
+  (match Demi.offload_insert w.demi_b "k1" "v1" with
+  | Ok () -> ()
+  | Error `Rejected -> Alcotest.fail "insert rejected");
+  (* a lookup through the kv port works (sanity: table is live) *)
+  check_string "kv port hit" "+v1" (rpc w (Proto.Get "k1"));
+  let lookups0 =
+    match Demi.offload_stats w.demi_b with
+    | Some s -> s.Table.lookups
+    | None -> Alcotest.fail "no table"
+  in
+  (* bystander server on another port of the same host *)
+  let bqd =
+    match Demi.socket w.demi_b `Udp with
+    | Ok qd -> qd
+    | Error _ -> Alcotest.fail "bystander socket"
+  in
+  (match Demi.bind w.demi_b bqd ~port:bystander_port with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "bystander bind");
+  let got = ref [] in
+  let rec pump () =
+    match Demi.pop w.demi_b bqd with
+    | Error _ -> ()
+    | Ok tok ->
+        Demi.watch w.demi_b tok (function
+          | Types.Popped sga ->
+              got :=
+                String.concat ""
+                  (List.map Dk_mem.Buffer.to_string (Dk_mem.Sga.segments sga))
+                :: !got;
+              Dk_mem.Sga.free sga;
+              pump ()
+          | _ -> ())
+  in
+  pump ();
+  (* second client socket talks to the bystander port *)
+  let cqd2 =
+    match Demi.socket w.demi_a `Udp with
+    | Ok qd -> qd
+    | Error _ -> Alcotest.fail "client socket 2"
+  in
+  (match Demi.connect w.demi_a cqd2 ~dst:(Setup.endpoint w.duo.Setup.b bystander_port) with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "client connect 2");
+  let send s =
+    match Demi.blocking_push w.demi_a cqd2 (Dk_mem.Sga.of_strings [ s ]) with
+    | Types.Pushed -> ()
+    | _ -> Alcotest.fail "bystander push failed"
+  in
+  (* looks exactly like a GET for the resident key *)
+  send "Gk1";
+  send "hello";
+  Engine.run w.duo.Setup.engine;
+  check
+    (Alcotest.list Alcotest.string)
+    "delivered verbatim" [ "Gk1"; "hello" ] (List.rev !got);
+  let lookups1 =
+    match Demi.offload_stats w.demi_b with
+    | Some s -> s.Table.lookups
+    | None -> Alcotest.fail "no table"
+  in
+  check_int "table untouched by bystander traffic" lookups0 lookups1
+
+(* ---------------- no stale reads under fault plans ------------------ *)
+
+(* Open-loop: fire alternating SET/GET on a fixed cadence, drain, and
+   check every Value reply against the SET ack state at the moment the
+   matching GET was pushed. Replies on one UDP flow arrive FIFO (the
+   fabric reorders nothing, it only drops), so a Value reply pairs with
+   the oldest outstanding GET; if that GET's own reply was dropped the
+   pairing is conservative (an older, smaller bound), never unsound. *)
+
+let ver_value v = Printf.sprintf "v%06d" v
+
+let ver_of s =
+  (* "+v000123" -> 123 *)
+  if String.length s >= 2 && s.[0] = '+' && s.[1] = 'v' then
+    int_of_string (String.sub s 2 (String.length s - 2))
+  else Alcotest.failf "unparseable value reply %S" s
+
+let run_no_stale plan_name =
+  with_plan (Some (named ~seed:42L plan_name)) @@ fun () ->
+  let w = make_world ~programmable:true () in
+  check_bool "offloaded" true (Kv_app.server_offloaded w.srv);
+  let engine = w.duo.Setup.engine in
+  (* seed version 1 on host and device before faults arm *)
+  check_string "seed set" "!" (rpc w (Proto.Set ("k", ver_value 1)));
+  (match Demi.offload_insert w.demi_b "k" (ver_value 1) with
+  | Ok () -> ()
+  | Error `Rejected -> Alcotest.fail "seed insert rejected");
+  let acked = ref 1 in
+  let unacked_sets = Queue.create () in
+  let pending_gets = Queue.create () in
+  let value_checks = ref 0 in
+  let rec pump () =
+    match Demi.pop w.demi_a w.cqd with
+    | Error _ -> ()
+    | Ok tok ->
+        Demi.watch w.demi_a tok (function
+          | Types.Popped sga ->
+              let s =
+                String.concat ""
+                  (List.map Dk_mem.Buffer.to_string (Dk_mem.Sga.segments sga))
+              in
+              Dk_mem.Sga.free sga;
+              (if s = "!" then (
+                 if not (Queue.is_empty unacked_sets) then
+                   acked := max !acked (Queue.pop unacked_sets))
+               else
+                 let seen = ver_of s in
+                 let bound =
+                   if Queue.is_empty pending_gets then !acked
+                   else Queue.pop pending_gets
+                 in
+                 incr value_checks;
+                 if seen < bound then
+                   Alcotest.failf
+                     "stale read under %s: saw v%d after v%d was acked"
+                     plan_name seen bound);
+              pump ()
+          | Types.Failed _ -> ()
+          | _ -> ())
+  in
+  pump ();
+  let next_ver = ref 1 in
+  let push req =
+    match Demi.push w.demi_a w.cqd (Dk_mem.Sga.of_strings [ Proto.udp_request_string req ]) with
+    | Ok tok -> Demi.watch w.demi_a tok (fun _ -> ())
+    | Error _ -> ()
+  in
+  (* 300 ops, 5 us apart: spans the 100-900 us flaky window and crosses
+     the 200 us partition onset *)
+  let t_base = Engine.now engine in
+  for i = 0 to 299 do
+    let at = Int64.add t_base (Int64.of_int (5_000 * (i + 1))) in
+    let (_ : Engine.timer) =
+      Engine.at engine at (fun () ->
+          if i mod 2 = 0 then begin
+            incr next_ver;
+            let v = !next_ver in
+            Queue.push v unacked_sets;
+            push (Proto.Set ("k", ver_value v))
+          end
+          else begin
+            Queue.push !acked pending_gets;
+            push (Proto.Get "k")
+          end)
+    in
+    ()
+  done;
+  Engine.run engine;
+  check_bool "some GETs were answered" true (!value_checks > 0);
+  (* the device actually served hits along the way *)
+  match Demi.offload_stats w.demi_b with
+  | Some s -> check_bool "device hits happened" true (s.Table.hits > 0)
+  | None -> Alcotest.fail "no table"
+
+let test_no_stale_partition () = run_no_stale "partition"
+let test_no_stale_nic_flaky () = run_no_stale "nic-flaky"
+
+(* ---------------- suite ---------------- *)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "offload"
+    [
+      ( "table",
+        [
+          Alcotest.test_case "basics" `Quick test_table_basics;
+          Alcotest.test_case "lru" `Quick test_table_lru;
+          Alcotest.test_case "host-managed" `Quick test_table_host_managed;
+          Alcotest.test_case "update/invalidate" `Quick
+            test_table_update_invalidate;
+          Alcotest.test_case "deterministic" `Quick test_table_deterministic;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "footprint monotone" `Quick test_footprint_monotone;
+          Alcotest.test_case "stage semantics" `Quick test_stage_semantics;
+        ] );
+      qsuite "pipeline-qcheck"
+        [
+          prop_pipeline_total;
+          prop_footprint_monotone;
+          prop_empty_pipeline_identity;
+        ];
+      ( "kv-offload",
+        [
+          Alcotest.test_case "device GET path" `Quick test_offload_get_path;
+          Alcotest.test_case "device = CPU fallback" `Quick
+            test_device_cpu_equality;
+          Alcotest.test_case "cross-traffic isolation" `Quick
+            test_cross_traffic_isolation;
+        ] );
+      ( "no-stale",
+        [
+          Alcotest.test_case "partition" `Quick test_no_stale_partition;
+          Alcotest.test_case "nic-flaky" `Quick test_no_stale_nic_flaky;
+        ] );
+    ]

@@ -1,5 +1,5 @@
 #!/bin/sh
-# Regenerate the E1-E15 bench tables and diff their headline
+# Regenerate the E1-E16 bench tables and diff their headline
 # virtual-time metrics against the committed baselines in
 # tools/ci/baselines/, failing on a >25% regression (see
 # tools/ci/bench_diff.ml for the comparison rules). Latency-percentile
@@ -12,7 +12,7 @@
 # change, regenerate with:
 #
 #   cd tools/ci/baselines && ../../../_build/default/bench/main.exe \
-#       e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 e14 e15
+#       e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 e14 e15 e16
 #
 # and explain the shift in the commit message.
 
@@ -27,7 +27,7 @@ trap 'rm -rf "$fresh"' EXIT INT TERM
 
 root="$(pwd)"
 (cd "$fresh" && "$root/_build/default/bench/main.exe" \
-    e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 e14 e15 >/dev/null)
+    e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 e14 e15 e16 >/dev/null)
 
 exec "$root/_build/default/tools/ci/bench_diff.exe" \
     tools/ci/baselines "$fresh" "${DK_BENCH_MAX_RATIO:-1.25}" \

@@ -33,12 +33,16 @@
 #             host time): determinism, open-loop invariant, overload
 #             shedding/bounded-memory checks, plus one `demi scenario
 #             --all --smoke` sweep through the CLI
-#   bench     tools/ci/bench_diff.sh — regenerate the E1-E15 bench
+#   offload   dune build @offload — the deep-NIC-offload suite (device
+#             pipeline/table units and properties, device==CPU-fallback
+#             equality, cross-traffic isolation, no-stale-reads under
+#             fault plans), normal then DK_SANITIZE=1
+#   bench     tools/ci/bench_diff.sh — regenerate the E1-E16 bench
 #             tables and fail on >25% regression against the committed
 #             baselines (virtual-time columns at DK_BENCH_MAX_RATIO,
 #             latency percentiles at DK_BENCH_PCTL_MAX_RATIO)
-#   all       build + test + shard + hot + scenario + sanitize, plus
-#             fault when DK_FAULT_CI is set
+#   all       build + test + shard + hot + scenario + offload +
+#             sanitize, plus fault when DK_FAULT_CI is set
 #
 # Run from anywhere; exits nonzero on the first failure.
 
@@ -83,6 +87,11 @@ run_scenario() {
   dune build @scenario --force
 }
 
+run_offload() {
+  echo "== [offload] dune build @offload"
+  dune build @offload --force
+}
+
 run_bench() {
   echo "== [bench] tools/ci/bench_diff.sh"
   tools/ci/bench_diff.sh
@@ -96,6 +105,7 @@ case "$stage" in
   hot)      run_hot ;;
   fault)    run_fault ;;
   scenario) run_scenario ;;
+  offload)  run_offload ;;
   bench)    run_bench ;;
   all)
     run_build
@@ -103,13 +113,14 @@ case "$stage" in
     run_shard
     run_hot
     run_scenario
+    run_offload
     run_sanitize
     if [ "${DK_FAULT_CI:-}" = "1" ]; then
       run_fault
     fi
     ;;
   *)
-    echo "usage: $0 [build|test|sanitize|shard|hot|fault|scenario|bench|all]" >&2
+    echo "usage: $0 [build|test|sanitize|shard|hot|fault|scenario|offload|bench|all]" >&2
     exit 2
     ;;
 esac

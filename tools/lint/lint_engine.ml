@@ -44,6 +44,17 @@ let fault_site_dirs = [ "lib/device/"; "lib/fault/" ]
 let in_fault_scope path =
   List.exists (fun d -> starts_with ~prefix:d path) fault_site_dirs
 
+(* Offload-site discipline: the NIC's device-resident table is device
+   state with a coherence protocol — reads answer rx frames on the
+   device clock, writes must flow through the synchronous host→device
+   control queue so an acknowledged SET/DEL can never be followed by a
+   stale device GET. Only the device layer itself and the sanctioned
+   kv control path in Demi (offload_insert/update/invalidate wrapping
+   the Nic.ctrl functions) may touch it; anything else would bypass
+   the ordering the no-stale tests assert. *)
+let offload_sanctioned path =
+  starts_with ~prefix:"lib/device/" path || path = "lib/core/demi.ml"
+
 (* ---------------- comment / literal stripping ---------------- *)
 
 (* Replace comments, string literals and char literals with spaces,
@@ -306,6 +317,22 @@ let scan_tokens ~path (toks : token array) : finding list =
          must go through the device-layer submission stage (Doorbell.submit / \
          Doorbell.group) so coalescing windows and the *.doorbells counters \
          see it";
+    (* device-resident table access outside the device layer / Demi
+       control path *)
+    if
+      (not (offload_sanctioned path))
+      && (starts_with ~prefix:"Dk_device.Table." tok
+         || starts_with ~prefix:"Table." tok
+         || starts_with ~prefix:"Dk_device.Nic.ctrl_" tok
+         || starts_with ~prefix:"Nic.ctrl_" tok)
+    then
+      add line "offload-site"
+        (Printf.sprintf
+           "%s outside lib/device and the Demi kv control path: the \
+            device-resident table is coherent only through the synchronous \
+            ctrl queue (Demi.offload_insert/update/invalidate) — direct \
+            access can serve stale device reads after an acknowledged write"
+           tok);
     (* printing from library code *)
     if lib && List.mem tok print_primitives then
       add line "print-in-lib"
